@@ -1,0 +1,55 @@
+//! §4.4.3 — comparison of the two algorithm–system combinations: the
+//! isospeed-efficiency metric quantifies that MM-Sunwulf is more
+//! scalable than GE-Sunwulf (less communication, no sequential stage).
+
+use crate::table::{fnum, Table};
+use scalability::metric::ScalabilityLadder;
+
+/// Builds the comparison table from the two measured ladders.
+pub fn comparison(ge: &ScalabilityLadder, mm: &ScalabilityLadder) -> Table {
+    let mut t = Table::new(
+        "§4.4.3 — GE vs MM scalability on Sunwulf",
+        &["Step", "psi (GE)", "psi (MM)", "MM more scalable?"],
+    );
+    for (g, m) in ge.steps.iter().zip(&mm.steps) {
+        t.push_row(vec![
+            format!("{} -> {}", short(&g.from), short(&g.to)),
+            fnum(g.psi),
+            fnum(m.psi),
+            if m.psi > g.psi { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    t.push_note(format!(
+        "geometric means: GE {:.4}, MM {:.4}",
+        ge.geometric_mean_psi(),
+        mm.geometric_mean_psi()
+    ));
+    t.push_note(
+        "paper: the GE algorithm has a sequential portion and more communication, \
+         so its scalability should be smaller — confirmed when every row says yes",
+    );
+    t
+}
+
+fn short(label: &str) -> String {
+    label.split(" on ").nth(1).unwrap_or(label).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{f2t5::figure2_and_table5, t3t4::table3_and_4};
+    use crate::params::ExperimentParams;
+
+    #[test]
+    fn mm_beats_ge_at_every_step() {
+        let params = ExperimentParams::quick();
+        let (_t3, _t4, ge) = table3_and_4(&params);
+        let (_f2, _t5, mm) = figure2_and_table5(&params);
+        let t = comparison(&ge, &mm);
+        assert!(!t.rows.is_empty());
+        for row in &t.rows {
+            assert_eq!(row[3], "yes", "step {} should favour MM: {row:?}", row[0]);
+        }
+    }
+}

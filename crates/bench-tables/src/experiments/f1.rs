@@ -1,0 +1,120 @@
+//! Fig. 1 — speed-efficiency vs matrix size on two nodes, with the
+//! polynomial trend line, the required N for the 0.3 target, and the
+//! paper's verification step (measure E_s back at the required N).
+
+use crate::plot::AsciiPlot;
+use crate::systems::GeSystem;
+use crate::table::{fnum, Table};
+use hetsim_cluster::sunwulf;
+use scalability::metric::{AlgorithmSystem, EfficiencyCurve};
+
+/// Regenerates Fig. 1 as a data table: the sampled curve, the fitted
+/// trend line's readout at each sample, the inverted required `N` for
+/// `target`, and the verification measurement at that `N`.
+pub fn figure1(sizes: &[usize], target: f64, fit_degree: usize) -> Table {
+    let cluster = sunwulf::ge_config(2);
+    let net = sunwulf::sunwulf_network();
+    let sys = GeSystem::new(&cluster, &net);
+    let curve = EfficiencyCurve::measure(&sys, sizes);
+    let fit = curve.fit(fit_degree).expect("enough samples for the trend line");
+
+    let mut t = Table::new(
+        "Fig. 1 — Speed-efficiency on two nodes (samples + trend line)",
+        &["Rank N", "E_s (measured)", "E_s (trend line)"],
+    );
+    for (x, y) in curve.series.iter() {
+        t.push_row(vec![fnum(x), fnum(y), fnum(fit.poly.eval(x))]);
+    }
+    t.push_note(format!("trend line R² = {:.6}", fit.r_squared));
+
+    match curve.required_n(target, fit_degree) {
+        Ok(n_req) => {
+            let n_int = n_req.round() as usize;
+            let verify = sys.measure(n_int).speed_efficiency();
+            t.push_note(format!(
+                "required N for E_s = {target}: {n_req:.1} (paper: ~310)"
+            ));
+            t.push_note(format!(
+                "verification: measured E_s({n_int}) = {verify:.4} (paper: 0.312 at 310)"
+            ));
+        }
+        Err(e) => t.push_note(format!("required N for E_s = {target}: not reached ({e})")),
+    }
+    t
+}
+
+/// Renders Fig. 1 as a terminal plot: measured samples, the dense trend
+/// line, and the target-efficiency reference line.
+pub fn figure1_plot(sizes: &[usize], target: f64, fit_degree: usize) -> AsciiPlot {
+    let cluster = sunwulf::ge_config(2);
+    let net = sunwulf::sunwulf_network();
+    let sys = GeSystem::new(&cluster, &net);
+    let curve = EfficiencyCurve::measure(&sys, sizes);
+
+    let mut plot = AsciiPlot::new(
+        "Fig. 1 — Speed-efficiency on two nodes",
+        "rank N",
+        "E_s",
+    );
+    plot.add_series("measured", curve.series.iter().collect());
+    if let Ok(fit) = curve.fit(fit_degree) {
+        if let Some((lo, hi)) = curve.series.x_range() {
+            let dense: Vec<(f64, f64)> = (0..=60)
+                .map(|i| {
+                    let x = lo + (hi - lo) * i as f64 / 60.0;
+                    (x, fit.poly.eval(x))
+                })
+                .collect();
+            plot.add_series("trend line", dense);
+        }
+    }
+    plot.with_hline(target, "target efficiency");
+    plot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sizes() -> Vec<usize> {
+        vec![60, 100, 160, 260, 420, 700]
+    }
+
+    #[test]
+    fn trend_line_fits_well() {
+        let t = figure1(&sizes(), 0.3, 3);
+        let r2_note = t.notes.iter().find(|n| n.contains("R²")).unwrap();
+        let r2: f64 = r2_note.split("= ").nth(1).unwrap().parse().unwrap();
+        assert!(r2 > 0.98, "trend line R² = {r2}");
+    }
+
+    #[test]
+    fn plot_shows_samples_trend_and_target() {
+        let plot = figure1_plot(&sizes(), 0.3, 3);
+        assert_eq!(plot.series_count(), 2);
+        let text = format!("{plot}");
+        assert!(text.contains("measured"));
+        assert!(text.contains("trend line"));
+        assert!(text.contains("target efficiency"));
+    }
+
+    #[test]
+    fn required_n_is_reported_and_verifies() {
+        let t = figure1(&sizes(), 0.3, 3);
+        let req_note = t.notes.iter().find(|n| n.contains("required N")).unwrap();
+        assert!(req_note.contains("required N for E_s = 0.3"), "{req_note}");
+        let verify_note = t.notes.iter().find(|n| n.contains("verification")).unwrap();
+        // The verification measurement must land close to the target —
+        // the paper's own check (0.312 against 0.3).
+        let measured: f64 = verify_note
+            .split("= ")
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((measured - 0.3).abs() < 0.05, "verified E_s = {measured}");
+    }
+}

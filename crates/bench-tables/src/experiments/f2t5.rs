@@ -1,0 +1,120 @@
+//! Fig. 2 & Table 5 — the MM experiment: speed-efficiency curves at
+//! every configuration of the mixed SunBlade/V210 ladder, and the
+//! measured scalability at the 0.2 target.
+
+use crate::params::ExperimentParams;
+use crate::plot::AsciiPlot;
+use crate::systems::MmSystem;
+use crate::table::{fnum, Table};
+use hetsim_cluster::sunwulf;
+use scalability::metric::{AlgorithmSystem, EfficiencyCurve, ScalabilityLadder};
+
+/// Runs the MM ladder and returns `(Fig. 2 data, Table 5, ladder)`.
+pub fn figure2_and_table5(params: &ExperimentParams) -> (Table, Table, ScalabilityLadder) {
+    let net = sunwulf::sunwulf_network();
+    let clusters: Vec<_> = params.mm_ladder.iter().map(|&p| sunwulf::mm_config(p)).collect();
+    let systems: Vec<MmSystem<_>> =
+        clusters.iter().map(|c| MmSystem::new(c, &net)).collect();
+
+    // Fig. 2: one efficiency column per configuration.
+    let mut headers: Vec<String> = vec!["Rank N".to_string()];
+    headers.extend(params.mm_ladder.iter().map(|p| format!("{p} nodes")));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut f2 = Table::new("Fig. 2 — Speed-efficiency of MM on Sunwulf", &header_refs);
+
+    let curves: Vec<EfficiencyCurve> =
+        systems.iter().map(|s| EfficiencyCurve::measure(s, &params.mm_sizes)).collect();
+    for (i, &n) in params.mm_sizes.iter().enumerate() {
+        let mut row = vec![n.to_string()];
+        for curve in &curves {
+            row.push(fnum(curve.series.ys()[i]));
+        }
+        f2.push_row(row);
+    }
+
+    let dyn_systems: Vec<&dyn AlgorithmSystem> =
+        systems.iter().map(|s| s as &dyn AlgorithmSystem).collect();
+    let ladder = ScalabilityLadder::measure(
+        &dyn_systems,
+        params.mm_target,
+        &params.mm_sizes,
+        params.fit_degree,
+    )
+    .expect("every MM rung reaches the target efficiency");
+
+    let mut t5 = Table::new(
+        "Table 5 — Measured scalability of MM on Sunwulf",
+        &["Step", "psi"],
+    );
+    for step in &ladder.steps {
+        t5.push_row(vec![format!("psi({}, {})", step.from, step.to), fnum(step.psi)]);
+    }
+    t5.push_note(format!("geometric mean psi = {:.4}", ladder.geometric_mean_psi()));
+    t5.push_note(format!("target speed-efficiency = {}", params.mm_target));
+    (f2, t5, ladder)
+}
+
+/// Renders Fig. 2 as a terminal plot: one curve per configuration plus
+/// the target-efficiency line the ψ ladder reads from.
+pub fn figure2_plot(params: &ExperimentParams) -> AsciiPlot {
+    let net = sunwulf::sunwulf_network();
+    let mut plot = AsciiPlot::new(
+        "Fig. 2 — Speed-efficiency of MM on Sunwulf",
+        "rank N",
+        "E_s",
+    );
+    for &p in &params.mm_ladder {
+        let cluster = sunwulf::mm_config(p);
+        let sys = MmSystem::new(&cluster, &net);
+        let curve = EfficiencyCurve::measure(&sys, &params.mm_sizes);
+        plot.add_series(format!("{p} nodes"), curve.series.iter().collect());
+    }
+    plot.with_hline(params.mm_target, "target efficiency");
+    plot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm_curves_rise_and_larger_systems_lag() {
+        let params = ExperimentParams::quick();
+        let (f2, _t5, _) = figure2_and_table5(&params);
+        // Each column rises with N.
+        for col in 1..=params.mm_ladder.len() {
+            let es: Vec<f64> =
+                f2.rows.iter().map(|r| r[col].parse::<f64>().unwrap()).collect();
+            assert!(
+                es.windows(2).all(|w| w[1] >= w[0] - 1e-9),
+                "column {col} not rising: {es:?}"
+            );
+        }
+        // At a fixed small N, bigger systems are less efficient (the
+        // Fig. 2 family ordering).
+        let first = &f2.rows[1];
+        let row: Vec<f64> = first[1..].iter().map(|c| c.parse().unwrap()).collect();
+        assert!(
+            row.windows(2).all(|w| w[1] <= w[0] + 1e-9),
+            "family ordering at small N: {row:?}"
+        );
+    }
+
+    #[test]
+    fn plot_has_one_series_per_configuration() {
+        let params = ExperimentParams::quick();
+        let plot = figure2_plot(&params);
+        assert_eq!(plot.series_count(), params.mm_ladder.len());
+        let text = format!("{plot}");
+        assert!(text.contains("2 nodes") && text.contains("8 nodes"));
+    }
+
+    #[test]
+    fn mm_psi_is_high_and_below_one() {
+        let params = ExperimentParams::quick();
+        let (_f2, _t5, ladder) = figure2_and_table5(&params);
+        for step in &ladder.steps {
+            assert!(step.psi > 0.2 && step.psi <= 1.0, "psi = {}", step.psi);
+        }
+    }
+}

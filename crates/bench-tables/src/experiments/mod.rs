@@ -1,0 +1,16 @@
+//! One module per reproduced artifact. See the crate docs for the index.
+
+pub mod ablate;
+pub mod baselines;
+pub mod compare;
+pub mod decomp;
+pub mod ext;
+pub mod f1;
+pub mod noise;
+pub mod f2t5;
+pub mod t1;
+pub mod t2;
+pub mod t3t4;
+pub mod t6t7;
+pub mod validate;
+pub mod x2;

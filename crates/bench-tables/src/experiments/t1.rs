@@ -1,0 +1,60 @@
+//! Table 1 — marked speed of Sunwulf nodes (Mflop/s), measured with the
+//! NPB-flavoured suite per node type (§4.3).
+
+use crate::table::{fnum, Table};
+use hetsim_cluster::sunwulf;
+use marked_speed::rate_node;
+
+/// Regenerates Table 1: per-kernel and average marked speeds for the
+/// three Sunwulf node types (server node restricted to one CPU, as in
+/// the paper's table).
+pub fn table1() -> Table {
+    let nodes = [
+        ("Server node (1 CPU)", sunwulf::server_node(1)),
+        ("SunBlade", sunwulf::sunblade_node(1)),
+        ("SunFire V210 (1 CPU)", sunwulf::v210_node(65, 1)),
+    ];
+    let mut t = Table::new(
+        "Table 1 — Marked speed of Sunwulf nodes (Mflop/s)",
+        &["Node type", "LU", "FT", "BT", "Marked speed (avg)"],
+    );
+    for (label, node) in nodes {
+        let rating = rate_node(&node);
+        let mut cells = vec![label.to_string()];
+        for r in &rating.per_kernel {
+            cells.push(fnum(r.mflops));
+        }
+        cells.push(fnum(rating.marked_speed_mflops));
+        t.push_row(cells);
+    }
+    t.push_note(
+        "node constants are reconstructions (the published table is illegible); \
+         see EXPERIMENTS.md",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim_cluster::sunwulf::{SERVER_CPU_MFLOPS, SUNBLADE_MFLOPS, V210_CPU_MFLOPS};
+
+    #[test]
+    fn averages_recover_the_node_constants() {
+        let t = table1();
+        assert_eq!(t.rows.len(), 3);
+        let avg: Vec<f64> =
+            t.rows.iter().map(|r| r.last().unwrap().parse::<f64>().unwrap()).collect();
+        assert!((avg[0] - SERVER_CPU_MFLOPS).abs() < 0.1);
+        assert!((avg[1] - SUNBLADE_MFLOPS).abs() < 0.1);
+        assert!((avg[2] - V210_CPU_MFLOPS).abs() < 0.5);
+    }
+
+    #[test]
+    fn v210_is_fastest_node_type() {
+        let t = table1();
+        let avg: Vec<f64> =
+            t.rows.iter().map(|r| r.last().unwrap().parse::<f64>().unwrap()).collect();
+        assert!(avg[2] > avg[0] && avg[2] > avg[1]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Table 2 — GE on two nodes: workload, execution time, achieved speed
+//! and speed-efficiency at a sweep of matrix ranks (§4.4.1).
+
+use crate::systems::GeSystem;
+use crate::table::{fnum, Table};
+use hetsim_cluster::sunwulf;
+use scalability::metric::AlgorithmSystem;
+
+/// Regenerates Table 2 on the two-node GE configuration (server with two
+/// CPUs + one SunBlade).
+pub fn table2(sizes: &[usize]) -> Table {
+    let cluster = sunwulf::ge_config(2);
+    let net = sunwulf::sunwulf_network();
+    let sys = GeSystem::new(&cluster, &net);
+    let mut t = Table::new(
+        format!(
+            "Table 2 — GE on two nodes (C = {:.2} Mflop/s)",
+            cluster.marked_speed_mflops()
+        ),
+        &["Rank N", "Workload W (flop)", "Execution time T (s)", "Achieved speed (Mflop/s)", "Speed-efficiency"],
+    );
+    for &n in sizes {
+        let m = sys.measure(n);
+        t.push_row(vec![
+            n.to_string(),
+            fnum(m.work_flops),
+            fnum(m.time_secs),
+            fnum(m.achieved_speed_mflops()),
+            fnum(m.speed_efficiency()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_column_increases_with_n() {
+        let t = table2(&[60, 120, 240, 480]);
+        let es: Vec<f64> =
+            t.rows.iter().map(|r| r.last().unwrap().parse::<f64>().unwrap()).collect();
+        assert!(es.windows(2).all(|w| w[0] < w[1]), "E column: {es:?}");
+        assert!(es.iter().all(|&e| e > 0.0 && e < 1.0));
+    }
+
+    #[test]
+    fn speed_is_work_over_time() {
+        let t = table2(&[100]);
+        let row = &t.rows[0];
+        let w: f64 = row[1].parse().unwrap();
+        let time: f64 = row[2].parse().unwrap();
+        let s: f64 = row[3].parse().unwrap();
+        assert!((s - w / time / 1e6).abs() / s < 1e-2);
+    }
+}

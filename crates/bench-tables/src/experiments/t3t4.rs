@@ -1,0 +1,90 @@
+//! Tables 3 & 4 — the GE ladder: required rank for the 0.3 target at
+//! every configuration (Table 3) and the measured isospeed-efficiency
+//! scalability between consecutive configurations (Table 4).
+
+use crate::params::ExperimentParams;
+use crate::systems::GeSystem;
+use crate::table::{fnum, Table};
+use hetsim_cluster::memory::{ge_feasible, max_feasible};
+use hetsim_cluster::sunwulf;
+use scalability::metric::{AlgorithmSystem, ScalabilityLadder};
+
+/// Runs the GE ladder and returns `(Table 3, Table 4, ladder)`.
+pub fn table3_and_4(params: &ExperimentParams) -> (Table, Table, ScalabilityLadder) {
+    let net = sunwulf::sunwulf_network();
+    let clusters: Vec<_> = params.ge_ladder.iter().map(|&p| sunwulf::ge_config(p)).collect();
+    let systems: Vec<GeSystem<_>> =
+        clusters.iter().map(|c| GeSystem::new(c, &net)).collect();
+    let dyn_systems: Vec<&dyn AlgorithmSystem> =
+        systems.iter().map(|s| s as &dyn AlgorithmSystem).collect();
+    let ladder = ScalabilityLadder::measure(
+        &dyn_systems,
+        params.ge_target,
+        &params.ge_sizes,
+        params.fit_degree,
+    )
+    .expect("every GE rung reaches the target efficiency");
+
+    let mut t3 = Table::new(
+        format!("Table 3 — Required rank for E_s = {} (GE)", params.ge_target),
+        &["System", "Rank N", "Workload W (flop)", "Marked speed (Mflop/s)"],
+    );
+    for (label, c_flops, n, w) in &ladder.required {
+        t3.push_row(vec![label.clone(), n.to_string(), fnum(*w), fnum(c_flops / 1e6)]);
+    }
+    t3.push_note("paper anchors: N ≈ 310 at 2 nodes, ≈ 480 at 4 nodes");
+    // Physical-memory caveat: flag any rung whose required rank would
+    // not fit the real machines' memory (the simulator has no such cap).
+    for ((label, _, n, _), cluster) in ladder.required.iter().zip(&clusters) {
+        if !ge_feasible(cluster, *n) {
+            t3.push_note(format!(
+                "{label}: required N = {n} exceeds the physical nodes' memory \
+                 (max feasible ≈ {})",
+                max_feasible(cluster, ge_feasible)
+            ));
+        }
+    }
+
+    let mut t4 = Table::new(
+        "Table 4 — Measured scalability of GE on Sunwulf",
+        &["Step", "psi"],
+    );
+    for step in &ladder.steps {
+        t4.push_row(vec![format!("psi({}, {})", step.from, step.to), fnum(step.psi)]);
+    }
+    t4.push_note(format!("geometric mean psi = {:.4}", ladder.geometric_mean_psi()));
+    (t3, t4, ladder)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ge_ladder_shapes_match_paper() {
+        let params = ExperimentParams::quick();
+        let (t3, t4, ladder) = table3_and_4(&params);
+        assert_eq!(t3.rows.len(), params.ge_ladder.len());
+        assert_eq!(t4.rows.len(), params.ge_ladder.len() - 1);
+
+        // Required N grows with the system.
+        let ns: Vec<usize> = ladder.required.iter().map(|r| r.2).collect();
+        assert!(ns.windows(2).all(|w| w[1] > w[0]), "required N: {ns:?}");
+
+        // Every step's psi is in (0, 1): GE is scalable but imperfect.
+        for step in &ladder.steps {
+            assert!(step.psi > 0.0 && step.psi < 1.0, "psi = {}", step.psi);
+        }
+    }
+
+    #[test]
+    fn two_node_required_rank_is_near_the_papers() {
+        let params = ExperimentParams::quick();
+        let (_t3, _t4, ladder) = table3_and_4(&params);
+        let n2 = ladder.required[0].2;
+        assert!(
+            (200..=450).contains(&n2),
+            "2-node required N = {n2}, paper reads ~310"
+        );
+    }
+}

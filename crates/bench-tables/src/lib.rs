@@ -1,0 +1,37 @@
+//! # bench-tables — regenerating the paper's evaluation section
+//!
+//! One function per table/figure of the paper, returning a structured
+//! [`table::Table`] that the `bench-tables` binary prints (and can dump
+//! as CSV). The experiment index lives in DESIGN.md; the paper-vs-
+//! measured record lives in EXPERIMENTS.md.
+//!
+//! | id | paper artifact | function |
+//! |----|----------------|----------|
+//! | t1 | Table 1 — marked speeds of Sunwulf nodes | [`experiments::t1::table1`] |
+//! | t2 | Table 2 — GE on two nodes | [`experiments::t2::table2`] |
+//! | f1 | Fig. 1 — speed-efficiency on two nodes + required N | [`experiments::f1::figure1`] |
+//! | t3/t4 | Tables 3, 4 — required rank and measured ψ (GE) | [`experiments::t3t4::table3_and_4`] |
+//! | f2/t5 | Fig. 2, Table 5 — MM curves and measured ψ | [`experiments::f2t5::figure2_and_table5`] |
+//! | t6/t7 | Tables 6, 7 — predicted required rank and ψ | [`experiments::t6t7::table6_and_7`] |
+//! | x1 | §4.4.3 — GE vs MM comparison | [`experiments::compare::comparison`] |
+//! | x2 | extension — three-combination comparison (+ stencil) | [`experiments::x2::three_way_comparison`] |
+//! | d1 | extension — overhead decomposition by operation | [`experiments::decomp::overhead_decomposition`] |
+//! | b1 | extension — baseline metrics side by side | [`experiments::baselines::baseline_comparison`] |
+//! | a1 | ablation — distribution strategy | [`experiments::ablate::ablate_distribution`] |
+//! | a2 | ablation — network-model fidelity | [`experiments::ablate::ablate_network`] |
+//! | a3 | ablation — trend-line degree | [`experiments::ablate::ablate_fit_degree`] |
+//! | e1 | extension — multi-parameter marked performance | [`experiments::ext::extension_marked_performance`] |
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod experiments;
+pub mod params;
+pub mod plot;
+pub mod systems;
+pub mod table;
+
+pub use params::ExperimentParams;
+pub use systems::{GeSystem, MmSystem, PowerSystem, StencilSystem};
+pub use plot::AsciiPlot;
+pub use table::Table;

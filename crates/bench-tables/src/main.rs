@@ -1,0 +1,173 @@
+//! `bench-tables` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! bench-tables [--quick] [--csv DIR] [ids...]
+//!   ids: t1 t2 f1 t3 t4 f2 t5 t6 t7 compare x2 decomp ablate-dist
+//!        ablate-net ablate-fit ablate-place ext-mp all      (default: all)
+//! ```
+
+use bench_tables::experiments::{
+    ablate, baselines, compare, decomp, ext, f1, f2t5, noise, t1, t2, t3t4, t6t7, validate, x2,
+};
+use bench_tables::{ExperimentParams, Table};
+use std::collections::BTreeSet;
+
+fn main() {
+    let mut quick = false;
+    let mut csv_dir: Option<String> = None;
+    let mut ids: BTreeSet<String> = BTreeSet::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--csv" => {
+                csv_dir = Some(args.next().unwrap_or_else(|| usage("--csv needs a directory")))
+            }
+            "--help" | "-h" => usage(""),
+            id => {
+                ids.insert(id.to_string());
+            }
+        }
+    }
+    if ids.is_empty() || ids.contains("all") {
+        ids = ["t1", "t2", "f1", "t3", "t4", "f2", "t5", "t6", "t7", "compare",
+               "x2", "decomp", "ablate-dist", "ablate-net", "ablate-fit", "ablate-place", "ablate-sched", "ablate-noise", "validate", "baselines", "ext-mp"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    let params = if quick { ExperimentParams::quick() } else { ExperimentParams::full() };
+    let mut emitted: Vec<Table> = Vec::new();
+    let mut emit = |t: Table| {
+        println!("{t}");
+        emitted.push(t);
+    };
+
+    let wants = |id: &str| ids.contains(id);
+
+    if wants("t1") {
+        emit(t1::table1());
+    }
+    if wants("t2") {
+        emit(t2::table2(&params.ge_sizes));
+    }
+    if wants("f1") {
+        emit(f1::figure1(&params.ge_sizes, params.ge_target, params.fit_degree));
+        println!("{}", f1::figure1_plot(&params.ge_sizes, params.ge_target, params.fit_degree));
+    }
+
+    // The GE ladder feeds t3, t4, t6, t7 and the comparison; the MM
+    // ladder feeds f2, t5 and the comparison. Run each at most once.
+    let need_ge = ["t3", "t4", "t6", "t7", "compare", "x2"].iter().any(|id| wants(id));
+    let need_mm = ["f2", "t5", "compare", "x2"].iter().any(|id| wants(id));
+    let ge_ladder = need_ge.then(|| t3t4::table3_and_4(&params));
+    let mm_ladder = need_mm.then(|| f2t5::figure2_and_table5(&params));
+
+    if let Some((t3, t4, _)) = &ge_ladder {
+        if wants("t3") {
+            emit(t3.clone());
+        }
+        if wants("t4") {
+            emit(t4.clone());
+        }
+    }
+    if let Some((f2, t5, _)) = &mm_ladder {
+        if wants("f2") {
+            emit(f2.clone());
+            println!("{}", f2t5::figure2_plot(&params));
+        }
+        if wants("t5") {
+            emit(t5.clone());
+        }
+    }
+    if wants("t6") || wants("t7") {
+        let (_, _, ladder) = ge_ladder.as_ref().expect("ladder computed above");
+        let (t6, t7) = t6t7::table6_and_7(&params, ladder);
+        if wants("t6") {
+            emit(t6);
+        }
+        if wants("t7") {
+            emit(t7);
+        }
+    }
+    if wants("compare") {
+        let (_, _, ge) = ge_ladder.as_ref().expect("ladder computed above");
+        let (_, _, mm) = mm_ladder.as_ref().expect("ladder computed above");
+        emit(compare::comparison(ge, mm));
+    }
+    if wants("x2") {
+        let (_, _, ge) = ge_ladder.as_ref().expect("ladder computed above");
+        let (_, _, mm) = mm_ladder.as_ref().expect("ladder computed above");
+        let st = x2::stencil_ladder(&params, quick);
+        let pw = x2::power_ladder(&params, quick);
+        emit(x2::three_way_comparison(ge, mm, &st, &pw));
+        println!("{}", x2::psi_ladder_plot(ge, mm, &st, &pw));
+    }
+    if wants("decomp") {
+        emit(decomp::overhead_decomposition(
+            &params.ge_ladder,
+            if quick { 192 } else { 384 },
+        ));
+    }
+    if wants("ablate-dist") {
+        emit(ablate::ablate_distribution(if quick { 128 } else { 256 }));
+    }
+    if wants("ablate-net") {
+        emit(ablate::ablate_network(if quick { 128 } else { 256 }));
+    }
+    if wants("ablate-place") {
+        emit(ablate::ablate_placement(if quick { 96 } else { 192 }));
+    }
+    if wants("ablate-sched") {
+        emit(ablate::ablate_scheduling());
+    }
+    if wants("ablate-fit") {
+        emit(ablate::ablate_fit_degree(&params.ge_sizes, params.ge_target));
+    }
+    if wants("ablate-noise") {
+        let seeds = if quick { 6 } else { 12 };
+        emit(noise::ablate_noise(&params.ge_sizes, params.ge_target, params.fit_degree, seeds));
+    }
+    if wants("validate") {
+        let (ladder, sizes): (&[usize], &[usize]) = if quick {
+            (&[2, 4, 8], &[96, 192, 384])
+        } else {
+            (&[2, 4, 8, 16], &[96, 192, 384, 768])
+        };
+        emit(validate::model_validation(ladder, sizes));
+    }
+    if wants("baselines") {
+        emit(baselines::baseline_comparison(&params));
+    }
+    if wants("ext-mp") {
+        emit(ext::extension_marked_performance());
+    }
+
+    if let Some(dir) = csv_dir {
+        std::fs::create_dir_all(&dir).expect("create csv output directory");
+        for table in &emitted {
+            let slug: String = table
+                .title
+                .chars()
+                .take_while(|&c| c != '—')
+                .filter(|c| c.is_ascii_alphanumeric())
+                .collect::<String>()
+                .to_lowercase();
+            let path = format!("{dir}/{slug}.csv");
+            std::fs::write(&path, table.to_csv()).expect("write csv");
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: bench-tables [--quick] [--csv DIR] [ids...]\n\
+         ids: t1 t2 f1 t3 t4 f2 t5 t6 t7 compare x2 decomp ablate-dist ablate-net ablate-fit ablate-place ablate-sched ablate-noise validate baselines ext-mp all"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,91 @@
+//! Shared experiment parameters: ladders, sweeps, targets.
+//!
+//! Everything tunable about the reproduction lives here, in one place,
+//! with the paper's corresponding choice noted. `ExperimentParams::full()`
+//! mirrors the paper (ladders to 32 nodes); `ExperimentParams::quick()`
+//! shrinks sweeps for smoke tests and CI.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable knobs for the experiment suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentParams {
+    /// Node counts of the GE ladder (paper: 2, 4, 8, 16, 32).
+    pub ge_ladder: Vec<usize>,
+    /// Node counts of the MM ladder (paper: 2, 4, 8, 16, 32).
+    pub mm_ladder: Vec<usize>,
+    /// Target speed-efficiency for GE (paper: 0.3).
+    pub ge_target: f64,
+    /// Target speed-efficiency for MM (paper: 0.2).
+    pub mm_target: f64,
+    /// Problem sizes swept for the GE efficiency curves.
+    pub ge_sizes: Vec<usize>,
+    /// Problem sizes swept for the MM efficiency curves.
+    pub mm_sizes: Vec<usize>,
+    /// Trend-line polynomial degree (paper: "polynomial trend line").
+    pub fit_degree: usize,
+}
+
+impl ExperimentParams {
+    /// The paper-scale configuration.
+    pub fn full() -> ExperimentParams {
+        ExperimentParams {
+            ge_ladder: vec![2, 4, 8, 16, 32],
+            mm_ladder: vec![2, 4, 8, 16, 32],
+            ge_target: 0.3,
+            mm_target: 0.2,
+            // Geometric-ish sweep wide enough that every rung's required
+            // N (from ~290 at p = 2 to ~4700 at p = 32) is interior.
+            ge_sizes: vec![60, 120, 240, 420, 700, 1100, 1700, 2600, 3800, 5200],
+            // MM saturates fast (overhead is O(N²) against O(N³) work);
+            // small sizes resolve the target crossing (required N runs
+            // from ~30 at p = 2 to ~230 at p = 32), larger ones the
+            // curve shape.
+            mm_sizes: vec![12, 16, 24, 32, 48, 64, 96, 128, 176, 240, 330, 450],
+            fit_degree: 3,
+        }
+    }
+
+    /// A fast configuration for smoke tests: 3-rung ladders, short sweeps.
+    pub fn quick() -> ExperimentParams {
+        ExperimentParams {
+            ge_ladder: vec![2, 4, 8],
+            mm_ladder: vec![2, 4, 8],
+            ge_target: 0.3,
+            mm_target: 0.2,
+            ge_sizes: vec![60, 100, 160, 260, 420, 700, 1100, 1700],
+            mm_sizes: vec![12, 16, 24, 32, 48, 64, 96, 128, 176],
+            fit_degree: 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_matches_paper_ladders() {
+        let p = ExperimentParams::full();
+        assert_eq!(p.ge_ladder, vec![2, 4, 8, 16, 32]);
+        assert_eq!(p.mm_ladder, vec![2, 4, 8, 16, 32]);
+        assert_eq!(p.ge_target, 0.3);
+        assert_eq!(p.mm_target, 0.2);
+    }
+
+    #[test]
+    fn sweeps_are_sorted_and_distinct() {
+        for p in [ExperimentParams::full(), ExperimentParams::quick()] {
+            assert!(p.ge_sizes.windows(2).all(|w| w[0] < w[1]));
+            assert!(p.mm_sizes.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn quick_is_a_strict_subscale_of_full() {
+        let q = ExperimentParams::quick();
+        let f = ExperimentParams::full();
+        assert!(q.ge_ladder.len() < f.ge_ladder.len());
+        assert!(q.ge_sizes.last().unwrap() < f.ge_sizes.last().unwrap());
+    }
+}

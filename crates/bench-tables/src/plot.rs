@@ -1,0 +1,252 @@
+//! Terminal scatter/line plots — the "figure" half of reproducing
+//! figures. Renders one or more `(x, y)` series on a character grid
+//! with axes, per-series glyphs, and an optional horizontal target line
+//! (the `E_s = 0.3` threshold the paper reads its required `N` from).
+
+use std::fmt;
+
+/// One plotted series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Plot glyph for this series' points.
+    pub glyph: char,
+    /// `(x, y)` samples.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A multi-series character plot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsciiPlot {
+    /// Plot title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Plot area width in characters.
+    pub width: usize,
+    /// Plot area height in characters.
+    pub height: usize,
+    series: Vec<Series>,
+    hline: Option<(f64, String)>,
+}
+
+/// Default glyph cycle for successive series.
+pub const GLYPHS: [char; 6] = ['o', '+', 'x', '*', '#', '@'];
+
+impl AsciiPlot {
+    /// Creates an empty plot with an 72×20 character canvas.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> AsciiPlot {
+        AsciiPlot {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            width: 72,
+            height: 20,
+            series: Vec::new(),
+            hline: None,
+        }
+    }
+
+    /// Adds a series; the glyph cycles through [`GLYPHS`].
+    ///
+    /// # Panics
+    /// Panics when a point is not finite.
+    pub fn add_series(&mut self, label: impl Into<String>, points: Vec<(f64, f64)>) {
+        assert!(
+            points.iter().all(|(x, y)| x.is_finite() && y.is_finite()),
+            "plot points must be finite"
+        );
+        let glyph = GLYPHS[self.series.len() % GLYPHS.len()];
+        self.series.push(Series { label: label.into(), glyph, points });
+    }
+
+    /// Draws a horizontal reference line at `y` with a margin label
+    /// (e.g. the target efficiency).
+    pub fn with_hline(&mut self, y: f64, label: impl Into<String>) {
+        assert!(y.is_finite(), "hline level must be finite");
+        self.hline = Some((y, label.into()));
+    }
+
+    /// Number of series.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    fn bounds(&self) -> Option<(f64, f64, f64, f64)> {
+        let mut pts = self.series.iter().flat_map(|s| s.points.iter());
+        let first = pts.next()?;
+        let (mut x0, mut x1, mut y0, mut y1) = (first.0, first.0, first.1, first.1);
+        for &(x, y) in pts {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if let Some((h, _)) = &self.hline {
+            y0 = y0.min(*h);
+            y1 = y1.max(*h);
+        }
+        // Degenerate ranges get a unit of padding so division is safe.
+        if x0 == x1 {
+            x1 = x0 + 1.0;
+        }
+        if y0 == y1 {
+            y1 = y0 + 1.0;
+        }
+        Some((x0, x1, y0, y1))
+    }
+}
+
+impl fmt::Display for AsciiPlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let Some((x0, x1, y0, y1)) = self.bounds() else {
+            return writeln!(f, "== {} == (no data)", self.title);
+        };
+        let (w, h) = (self.width, self.height);
+        let mut grid = vec![vec![' '; w]; h];
+
+        // Reference line first so points draw over it.
+        if let Some((level, _)) = &self.hline {
+            let row = ((y1 - level) / (y1 - y0) * (h - 1) as f64).round() as usize;
+            if row < h {
+                for cell in grid[row].iter_mut() {
+                    *cell = '-';
+                }
+            }
+        }
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                let col = ((x - x0) / (x1 - x0) * (w - 1) as f64).round() as usize;
+                let row = ((y1 - y) / (y1 - y0) * (h - 1) as f64).round() as usize;
+                if row < h && col < w {
+                    grid[row][col] = s.glyph;
+                }
+            }
+        }
+
+        writeln!(f, "== {} ==", self.title)?;
+        let y_hi = format!("{y1:.3}");
+        let y_lo = format!("{y0:.3}");
+        let margin = y_hi.len().max(y_lo.len()).max(self.y_label.chars().count());
+        writeln!(f, "{:>margin$}", self.y_label, margin = margin)?;
+        for (i, row) in grid.iter().enumerate() {
+            let tick = if i == 0 {
+                y_hi.clone()
+            } else if i == h - 1 {
+                y_lo.clone()
+            } else {
+                String::new()
+            };
+            writeln!(f, "{tick:>margin$} |{}|", row.iter().collect::<String>(), margin = margin)?;
+        }
+        writeln!(
+            f,
+            "{:>margin$} +{}+",
+            "",
+            "-".repeat(w),
+            margin = margin
+        )?;
+        let lo_tick = format!("{x0:.0}");
+        let hi_tick = format!("{x1:.0}");
+        let pad = w.saturating_sub(lo_tick.len() + hi_tick.len()).max(1);
+        writeln!(
+            f,
+            "{:>margin$}  {lo_tick}{}{hi_tick}",
+            "",
+            " ".repeat(pad),
+            margin = margin
+        )?;
+        writeln!(f, "{:>margin$}  ({})", "", self.x_label, margin = margin)?;
+        for s in &self.series {
+            writeln!(f, "   {}  {}", s.glyph, s.label)?;
+        }
+        if let Some((level, label)) = &self.hline {
+            writeln!(f, "   -  {label} (y = {level})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_plot() -> AsciiPlot {
+        let mut p = AsciiPlot::new("demo", "N", "E_s");
+        p.add_series("2 nodes", vec![(100.0, 0.1), (200.0, 0.3), (400.0, 0.6)]);
+        p.add_series("4 nodes", vec![(100.0, 0.05), (200.0, 0.15), (400.0, 0.35)]);
+        p.with_hline(0.3, "target");
+        p
+    }
+
+    #[test]
+    fn renders_title_axes_and_legend() {
+        let text = format!("{}", demo_plot());
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("E_s"));
+        assert!(text.contains("(N)"));
+        assert!(text.contains("o  2 nodes"));
+        assert!(text.contains("+  4 nodes"));
+        assert!(text.contains("target (y = 0.3)"));
+    }
+
+    #[test]
+    fn points_land_in_the_grid() {
+        let text = format!("{}", demo_plot());
+        assert!(text.matches('o').count() >= 3, "all series-1 points visible");
+        assert!(text.matches('+').count() >= 3);
+        assert!(text.contains('-'), "reference line drawn");
+    }
+
+    #[test]
+    fn higher_y_draws_higher_on_screen() {
+        let mut p = AsciiPlot::new("t", "x", "y");
+        p.add_series("s", vec![(0.0, 0.0), (1.0, 1.0)]);
+        let text = format!("{p}");
+        let rows: Vec<&str> = text.lines().filter(|l| l.contains('|')).collect();
+        let top_hit = rows.iter().position(|l| l.contains('o')).unwrap();
+        let bottom_hit = rows.iter().rposition(|l| l.contains('o')).unwrap();
+        assert!(top_hit < bottom_hit, "two distinct rows used");
+    }
+
+    #[test]
+    fn empty_plot_degrades_gracefully() {
+        let p = AsciiPlot::new("empty", "x", "y");
+        let text = format!("{p}");
+        assert!(text.contains("no data"));
+    }
+
+    #[test]
+    fn degenerate_single_point_is_fine() {
+        let mut p = AsciiPlot::new("pt", "x", "y");
+        p.add_series("s", vec![(5.0, 5.0)]);
+        let text = format!("{p}");
+        assert!(text.contains('o'));
+    }
+
+    #[test]
+    fn glyphs_cycle_across_many_series() {
+        let mut p = AsciiPlot::new("many", "x", "y");
+        for i in 0..8 {
+            p.add_series(format!("s{i}"), vec![(i as f64, i as f64)]);
+        }
+        assert_eq!(p.series_count(), 8);
+        let text = format!("{p}");
+        assert!(text.contains("@  s5"));
+        assert!(text.contains("o  s6"), "glyphs wrap around");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_points_rejected() {
+        let mut p = AsciiPlot::new("bad", "x", "y");
+        p.add_series("s", vec![(f64::NAN, 0.0)]);
+    }
+}

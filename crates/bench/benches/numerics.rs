@@ -1,0 +1,68 @@
+//! Numerics benches: the fitting and inversion primitives behind the
+//! trend-line methodology.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use numfit::{invert_monotone, polyfit, Polynomial};
+use std::hint::black_box;
+
+fn efficiency_like_samples(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let xs: Vec<f64> = (1..=n).map(|i| 50.0 * i as f64).collect();
+    let ys: Vec<f64> = xs.iter().map(|&x| x / (x + 700.0)).collect();
+    (xs, ys)
+}
+
+fn bench_polyfit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("polyfit");
+    for samples in [8usize, 32, 128] {
+        let (xs, ys) = efficiency_like_samples(samples);
+        for degree in [3usize, 5] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("deg{degree}"), samples),
+                &samples,
+                |b, _| b.iter(|| black_box(polyfit(&xs, &ys, degree).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_inversion(c: &mut Criterion) {
+    let (xs, ys) = efficiency_like_samples(32);
+    let fit = polyfit(&xs, &ys, 3).unwrap();
+    c.bench_function("invert_required_n", |b| {
+        b.iter(|| {
+            black_box(
+                invert_monotone(|x| fit.poly.eval(x), 50.0, 1600.0, 0.3, 1e-6).unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_poly_eval(c: &mut Criterion) {
+    let poly = Polynomial::new(vec![0.1, -2.0, 3.0e-3, 4.0e-6, -1.0e-9]);
+    let xs: Vec<f64> = (0..4096).map(|i| i as f64).collect();
+    c.bench_function("poly_eval_4096", |b| b.iter(|| black_box(poly.eval_many(&xs))));
+}
+
+fn bench_solver(c: &mut Criterion) {
+    use numfit::solve::{solve_dense, DenseSystem};
+    let n = 8usize;
+    let mut state = 1u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+    };
+    let a: Vec<f64> = (0..n * n).map(|_| next()).collect();
+    let b: Vec<f64> = (0..n).map(|_| next()).collect();
+    let system = DenseSystem::new(a, b).unwrap();
+    c.bench_function("dense_solve_8x8", |bch| {
+        bch.iter(|| black_box(solve_dense(&system).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = numerics_benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_polyfit, bench_inversion, bench_poly_eval, bench_solver
+}
+criterion_main!(numerics_benches);

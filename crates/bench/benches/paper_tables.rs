@@ -1,0 +1,95 @@
+//! One Criterion bench per paper artifact: regenerates each table/figure
+//! at a bounded sweep so `cargo bench` exercises the full reproduction
+//! pipeline and tracks its cost over time.
+
+use bench_tables::experiments::{ablate, compare, ext, f1, f2t5, t1, t2, t3t4, t6t7};
+use bench_tables::ExperimentParams;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Bench-sized parameters: 2-rung ladders, short sweeps — the shape of
+/// the full experiment at a fraction of the cost.
+fn bench_params() -> ExperimentParams {
+    ExperimentParams {
+        ge_ladder: vec![2, 4],
+        mm_ladder: vec![2, 4],
+        ge_target: 0.3,
+        mm_target: 0.2,
+        ge_sizes: vec![60, 100, 160, 260, 420, 700],
+        mm_sizes: vec![12, 16, 24, 32, 48, 64, 96],
+        fit_degree: 3,
+    }
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("t1_marked_speeds", |b| b.iter(|| black_box(t1::table1())));
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let sizes = [60usize, 120, 240];
+    c.bench_function("t2_ge_two_nodes", |b| b.iter(|| black_box(t2::table2(&sizes))));
+}
+
+fn bench_figure1(c: &mut Criterion) {
+    let p = bench_params();
+    c.bench_function("f1_efficiency_curve", |b| {
+        b.iter(|| black_box(f1::figure1(&p.ge_sizes, p.ge_target, p.fit_degree)))
+    });
+}
+
+fn bench_tables34(c: &mut Criterion) {
+    let p = bench_params();
+    c.bench_function("t3_t4_ge_ladder", |b| b.iter(|| black_box(t3t4::table3_and_4(&p))));
+}
+
+fn bench_fig2_table5(c: &mut Criterion) {
+    let p = bench_params();
+    c.bench_function("f2_t5_mm_ladder", |b| {
+        b.iter(|| black_box(f2t5::figure2_and_table5(&p)))
+    });
+}
+
+fn bench_tables67(c: &mut Criterion) {
+    let p = bench_params();
+    let (_, _, ladder) = t3t4::table3_and_4(&p);
+    c.bench_function("t6_t7_prediction", |b| {
+        b.iter(|| black_box(t6t7::table6_and_7(&p, &ladder)))
+    });
+}
+
+fn bench_compare(c: &mut Criterion) {
+    let p = bench_params();
+    let (_, _, ge) = t3t4::table3_and_4(&p);
+    let (_, _, mm) = f2t5::figure2_and_table5(&p);
+    c.bench_function("x1_ge_vs_mm_comparison", |b| {
+        b.iter(|| black_box(compare::comparison(&ge, &mm)))
+    });
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    c.bench_function("a1_ablate_distribution", |b| {
+        b.iter(|| black_box(ablate::ablate_distribution(96)))
+    });
+    c.bench_function("a2_ablate_network", |b| {
+        b.iter(|| black_box(ablate::ablate_network(96)))
+    });
+    let sizes = [60usize, 100, 160, 260, 420, 700];
+    c.bench_function("a3_ablate_fit_degree", |b| {
+        b.iter(|| black_box(ablate::ablate_fit_degree(&sizes, 0.3)))
+    });
+}
+
+fn bench_extension(c: &mut Criterion) {
+    c.bench_function("e1_marked_performance", |b| {
+        b.iter(|| black_box(ext::extension_marked_performance()))
+    });
+}
+
+criterion_group! {
+    name = paper_tables;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_table2, bench_figure1, bench_tables34,
+              bench_fig2_table5, bench_tables67, bench_compare,
+              bench_ablations, bench_extension
+}
+criterion_main!(paper_tables);

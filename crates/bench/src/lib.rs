@@ -1,0 +1,16 @@
+//! Shared helpers for the Criterion benchmark suite (see `benches/`).
+//!
+//! Each bench target regenerates one of the paper's artifacts (or a
+//! scaled-down version bounded for benchmarking time) so `cargo bench`
+//! doubles as a performance regression net and a reproduction driver:
+//!
+//! * `paper_tables` — tables T1–T7, figures F1/F2 at reduced sweeps.
+//! * `kernels` — sequential vs parallel GE/MM, real and timing mode.
+//! * `runtime` — hetsim-mpi point-to-point and collective throughput.
+//! * `numerics` — polynomial fitting and required-N inversion.
+
+/// Problem sizes used by the kernel benches: large enough to be
+/// meaningful, small enough for Criterion's sample counts.
+pub const BENCH_GE_N: usize = 96;
+/// Matrix size for the MM kernel benches.
+pub const BENCH_MM_N: usize = 64;

@@ -1,0 +1,117 @@
+//! Load-balance analysis of a distribution against a speed vector.
+//!
+//! The paper's Theorem 1 assumes "a balanced workload on each node",
+//! meaning `Wᵢ/Cᵢ` equal across nodes. These helpers quantify how close
+//! an integer row assignment comes to that ideal, and estimate the
+//! compute-phase makespan a distribution implies.
+
+/// Estimated parallel compute time: `max_i(work_i / speed_i)`, with work
+/// in flop and speed in flop/s.
+///
+/// # Panics
+/// Panics on mismatched lengths or a non-positive speed paired with
+/// non-zero work (that node would never finish).
+pub fn parallel_time_estimate(work: &[f64], speeds_flops: &[f64]) -> f64 {
+    assert_eq!(work.len(), speeds_flops.len(), "one speed per work share");
+    let mut worst = 0.0f64;
+    for (&w, &s) in work.iter().zip(speeds_flops) {
+        if w == 0.0 {
+            continue;
+        }
+        assert!(s > 0.0, "node with work {w} has non-positive speed {s}");
+        worst = worst.max(w / s);
+    }
+    worst
+}
+
+/// Load imbalance of an assignment: `T_max / T_ideal − 1`, where
+/// `T_max = max_i(work_i/speed_i)` and `T_ideal = ΣW / ΣC` (perfectly
+/// proportional assignment). 0 means perfectly balanced; 1 means the
+/// critical node takes twice the ideal time.
+///
+/// Returns 0 for an all-zero workload.
+pub fn imbalance(work: &[f64], speeds_flops: &[f64]) -> f64 {
+    assert_eq!(work.len(), speeds_flops.len(), "one speed per work share");
+    let total_work: f64 = work.iter().sum();
+    if total_work == 0.0 {
+        return 0.0;
+    }
+    let total_speed: f64 = speeds_flops.iter().sum();
+    assert!(total_speed > 0.0, "total speed must be positive");
+    let ideal = total_work / total_speed;
+    let actual = parallel_time_estimate(work, speeds_flops);
+    actual / ideal - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_assignment_is_perfectly_balanced() {
+        let speeds = [9e7, 5e7, 11e7];
+        let work: Vec<f64> = speeds.iter().map(|s| s * 2.0).collect(); // 2 s each
+        assert!(imbalance(&work, &speeds).abs() < 1e-12);
+        assert!((parallel_time_estimate(&work, &speeds) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_split_on_heterogeneous_nodes_is_imbalanced() {
+        // Two nodes, 4:1 speed ratio, equal work: slow node dominates.
+        let speeds = [4e8, 1e8];
+        let work = [1e8, 1e8];
+        // Ideal time: 2e8 / 5e8 = 0.4 s; actual: 1 s on the slow node.
+        assert!((imbalance(&work, &speeds) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_is_max_over_nodes() {
+        let speeds = [1e8, 1e8];
+        let work = [3e8, 1e8];
+        assert_eq!(parallel_time_estimate(&work, &speeds), 3.0);
+    }
+
+    #[test]
+    fn zero_work_nodes_are_ignored() {
+        // A zero-speed node with zero work is legal (e.g. excluded rank).
+        let speeds = [1e8, 0.0];
+        let work = [1e8, 0.0];
+        assert_eq!(parallel_time_estimate(&work, &speeds), 1.0);
+    }
+
+    #[test]
+    fn all_zero_work_is_balanced() {
+        assert_eq!(imbalance(&[0.0, 0.0], &[1e8, 2e8]), 0.0);
+        assert_eq!(parallel_time_estimate(&[0.0, 0.0], &[1e8, 2e8]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive speed")]
+    fn work_on_zero_speed_node_panics() {
+        parallel_time_estimate(&[1.0], &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one speed per work share")]
+    fn length_mismatch_panics() {
+        imbalance(&[1.0, 2.0], &[1e8]);
+    }
+
+    #[test]
+    fn integer_rounding_gives_small_imbalance() {
+        // Row counts from largest-remainder apportionment are within one
+        // row of ideal, so imbalance shrinks as n grows.
+        let speeds = [9e7, 5e7, 11e7];
+        let mflops = [90.0, 50.0, 110.0];
+        let mut last = f64::INFINITY;
+        for n in [25usize, 100, 400, 1600] {
+            let counts = crate::proportional_counts(n, &mflops);
+            let work: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+            let imb = imbalance(&work, &speeds);
+            assert!(imb >= 0.0);
+            assert!(imb <= last + 1e-9, "imbalance should not grow with n");
+            last = imb;
+        }
+        assert!(last < 0.02, "large-n imbalance should be tiny, got {last}");
+    }
+}

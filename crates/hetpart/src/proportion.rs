@@ -1,0 +1,180 @@
+//! Integer apportionment by the largest-remainder (Hamilton) method.
+//!
+//! Distributing `n` indivisible rows proportionally to real-valued speeds
+//! requires rounding that (a) preserves the total exactly and (b) never
+//! deviates from the ideal share by a full unit. Largest-remainder gives
+//! both, and is deterministic given a fixed tie order (lower index wins).
+
+/// Splits `n` units among weights, proportionally, summing exactly to `n`.
+///
+/// Zero weights receive zero units. Ties in fractional remainders go to
+/// the lower index, making the result fully deterministic.
+///
+/// # Panics
+/// Panics when `weights` is empty, contains a negative or non-finite
+/// value, or sums to zero while `n > 0`.
+pub fn proportional_counts(n: usize, weights: &[f64]) -> Vec<usize> {
+    assert!(!weights.is_empty(), "need at least one weight");
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "weights must be finite and non-negative"
+    );
+    let total: f64 = weights.iter().sum();
+    if n == 0 {
+        return vec![0; weights.len()];
+    }
+    assert!(total > 0.0, "cannot apportion {n} units over all-zero weights");
+
+    let ideal: Vec<f64> = weights.iter().map(|w| n as f64 * w / total).collect();
+    let mut counts: Vec<usize> = ideal.iter().map(|x| x.floor() as usize).collect();
+    let assigned: usize = counts.iter().sum();
+    let mut leftover = n - assigned;
+
+    // Hand the leftover units to the largest fractional remainders.
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = ideal[a] - ideal[a].floor();
+        let fb = ideal[b] - ideal[b].floor();
+        fb.total_cmp(&fa).then(a.cmp(&b))
+    });
+    for &i in &order {
+        if leftover == 0 {
+            break;
+        }
+        // Never give a unit to a zero-weight participant.
+        if weights[i] > 0.0 {
+            counts[i] += 1;
+            leftover -= 1;
+        }
+    }
+    assert_eq!(counts.iter().sum::<usize>(), n, "apportionment must be exact");
+    counts
+}
+
+/// Like [`proportional_counts`], but guarantees every positive-weight
+/// participant at least one unit when `n` allows it (`n ≥` number of
+/// positive weights). Used for distributions where a rank with zero rows
+/// would deadlock a collective protocol.
+pub fn proportional_counts_min_one(n: usize, weights: &[f64]) -> Vec<usize> {
+    let positive: usize = weights.iter().filter(|&&w| w > 0.0).count();
+    if n < positive || positive == 0 {
+        return proportional_counts(n, weights);
+    }
+    // Reserve one unit per positive weight, apportion the rest, add back.
+    let rest = proportional_counts(n - positive, weights);
+    rest.iter()
+        .zip(weights)
+        .map(|(&c, &w)| if w > 0.0 { c + 1 } else { c })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division_has_no_remainder() {
+        assert_eq!(proportional_counts(10, &[1.0, 1.0]), vec![5, 5]);
+        assert_eq!(proportional_counts(12, &[1.0, 2.0, 3.0]), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn sum_is_always_exact() {
+        for n in [0usize, 1, 7, 100, 313] {
+            for w in [
+                vec![1.0, 2.0, 3.0],
+                vec![0.3, 0.3, 0.4],
+                vec![90.0, 50.0],
+                vec![45.0, 50.0, 110.0, 110.0],
+            ] {
+                let c = proportional_counts(n, &w);
+                assert_eq!(c.iter().sum::<usize>(), n, "n={n}, w={w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn deviation_below_one_unit() {
+        let w = [45.0, 50.0, 110.0];
+        let total: f64 = w.iter().sum();
+        for n in [10usize, 31, 97, 310] {
+            let c = proportional_counts(n, &w);
+            for (i, &ci) in c.iter().enumerate() {
+                let ideal = n as f64 * w[i] / total;
+                assert!(
+                    (ci as f64 - ideal).abs() < 1.0,
+                    "n={n} i={i}: got {ci}, ideal {ideal}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn faster_nodes_get_more_rows() {
+        // The paper's two-node GE case: server (2 CPU, 90) + SunBlade (50).
+        let c = proportional_counts(310, &[90.0, 50.0]);
+        assert!(c[0] > c[1]);
+        assert_eq!(c.iter().sum::<usize>(), 310);
+    }
+
+    #[test]
+    fn zero_weight_gets_nothing() {
+        let c = proportional_counts(10, &[1.0, 0.0, 1.0]);
+        assert_eq!(c[1], 0);
+        assert_eq!(c.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn zero_units_is_fine() {
+        assert_eq!(proportional_counts(0, &[1.0, 2.0]), vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero weights")]
+    fn all_zero_weights_panics() {
+        proportional_counts(5, &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn empty_weights_panics() {
+        proportional_counts(5, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_weight_panics() {
+        proportional_counts(5, &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn ties_break_deterministically_low_index_first() {
+        // Two equal weights, odd total: the extra unit goes to index 0.
+        assert_eq!(proportional_counts(3, &[1.0, 1.0]), vec![2, 1]);
+        assert_eq!(proportional_counts(5, &[1.0, 1.0, 1.0]), vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn min_one_guarantees_nonzero_shares() {
+        // A very slow node would get 0 rows under pure apportionment.
+        let w = [1000.0, 1.0];
+        assert_eq!(proportional_counts(5, &w)[1], 0);
+        let c = proportional_counts_min_one(5, &w);
+        assert_eq!(c[1], 1);
+        assert_eq!(c.iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn min_one_falls_back_when_n_too_small() {
+        // Cannot give 3 nodes one row each out of 2 rows.
+        let c = proportional_counts_min_one(2, &[1.0, 1.0, 1.0]);
+        assert_eq!(c.iter().sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn min_one_skips_zero_weights() {
+        let c = proportional_counts_min_one(4, &[1.0, 0.0, 1.0]);
+        assert_eq!(c[1], 0);
+        assert_eq!(c.iter().sum::<usize>(), 4);
+    }
+}

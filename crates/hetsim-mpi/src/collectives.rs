@@ -1,0 +1,369 @@
+//! Synchronization hub for collective operations.
+//!
+//! SPMD programs must invoke collectives in the same order on every rank
+//! (as in MPI). Each collective call consumes one slot id from the rank's
+//! local sequence counter; ranks rendezvous on the slot. The hub itself
+//! is pure synchronization — virtual-time arithmetic stays in
+//! [`crate::context`], which keeps the cost model in exactly one place.
+
+use bytes::Bytes;
+use hetsim_cluster::time::SimTime;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+
+/// One in-flight collective. The variant doubles as a misuse check: two
+/// ranks disagreeing on the sequence of collective types is a program
+/// bug and panics with a diagnostic.
+#[derive(Debug)]
+enum Slot {
+    Barrier {
+        entries: Vec<Option<SimTime>>,
+        result: Option<SimTime>,
+        reads: usize,
+    },
+    Gather {
+        deposits: Vec<Option<(SimTime, Bytes)>>,
+        count: usize,
+    },
+    Bcast {
+        deposit: Option<(SimTime, Bytes)>,
+        reads: usize,
+    },
+    Scatter {
+        departure: SimTime,
+        parts: Vec<Option<Bytes>>,
+        taken: usize,
+        deposited: bool,
+    },
+}
+
+/// Rendezvous point shared by all ranks of one SPMD run.
+pub struct CollectiveHub {
+    p: usize,
+    slots: Mutex<HashMap<u64, Slot>>,
+    cond: Condvar,
+}
+
+impl CollectiveHub {
+    /// Creates a hub for `p` ranks.
+    pub fn new(p: usize) -> Self {
+        assert!(p > 0, "hub needs at least one rank");
+        CollectiveHub { p, slots: Mutex::new(HashMap::new()), cond: Condvar::new() }
+    }
+
+    /// Number of participating ranks.
+    pub fn size(&self) -> usize {
+        self.p
+    }
+
+    /// Barrier rendezvous: deposits this rank's entry clock and blocks
+    /// until all `p` ranks have arrived; returns `max(entry clocks) +
+    /// cost`. All ranks must pass the same `cost` (it is a pure function
+    /// of `p` on their shared network model).
+    pub fn barrier(&self, op: u64, rank: usize, entry: SimTime, cost: SimTime) -> SimTime {
+        let mut slots = self.slots.lock();
+        let slot = slots.entry(op).or_insert_with(|| Slot::Barrier {
+            entries: vec![None; self.p],
+            result: None,
+            reads: 0,
+        });
+        let Slot::Barrier { entries, result, .. } = slot else {
+            panic!("collective sequence mismatch: op {op} is not a barrier");
+        };
+        assert!(entries[rank].is_none(), "rank {rank} entered barrier {op} twice");
+        entries[rank] = Some(entry);
+        if entries.iter().all(|e| e.is_some()) {
+            let max_entry = entries.iter().map(|e| e.expect("all present")).max().unwrap();
+            *result = Some(max_entry + cost);
+            self.cond.notify_all();
+        }
+        // Wait for the result, then count reads and clean up after the
+        // last reader.
+        loop {
+            match slots.get_mut(&op) {
+                Some(Slot::Barrier { result: Some(r), reads, .. }) => {
+                    let out = *r;
+                    *reads += 1;
+                    if *reads == self.p {
+                        slots.remove(&op);
+                    }
+                    return out;
+                }
+                Some(Slot::Barrier { .. }) => self.cond.wait(&mut slots),
+                _ => unreachable!("barrier slot vanished before all ranks read it"),
+            }
+        }
+    }
+
+    /// Deposits one rank's gather contribution (entry clock + payload).
+    pub fn gather_deposit(&self, op: u64, rank: usize, entry: SimTime, payload: Bytes) {
+        let mut slots = self.slots.lock();
+        let slot = slots.entry(op).or_insert_with(|| Slot::Gather {
+            deposits: vec![None; self.p],
+            count: 0,
+        });
+        let Slot::Gather { deposits, count } = slot else {
+            panic!("collective sequence mismatch: op {op} is not a gather");
+        };
+        assert!(deposits[rank].is_none(), "rank {rank} deposited twice into gather {op}");
+        deposits[rank] = Some((entry, payload));
+        *count += 1;
+        if *count == self.p {
+            self.cond.notify_all();
+        }
+    }
+
+    /// Root side of a gather: blocks until all `p` deposits are present
+    /// and returns them indexed by rank. Consumes the slot.
+    pub fn gather_collect(&self, op: u64) -> Vec<(SimTime, Bytes)> {
+        let mut slots = self.slots.lock();
+        loop {
+            match slots.get(&op) {
+                Some(Slot::Gather { count, .. }) if *count == self.p => break,
+                Some(Slot::Gather { .. }) | None => self.cond.wait(&mut slots),
+                Some(_) => panic!("collective sequence mismatch: op {op} is not a gather"),
+            }
+        }
+        let Some(Slot::Gather { deposits, .. }) = slots.remove(&op) else {
+            unreachable!("checked above")
+        };
+        deposits.into_iter().map(|d| d.expect("count == p")).collect()
+    }
+
+    /// Root side of a broadcast: publishes the payload and the root's
+    /// departure time.
+    pub fn bcast_deposit(&self, op: u64, departure: SimTime, payload: Bytes) {
+        let mut slots = self.slots.lock();
+        let slot = slots
+            .entry(op)
+            .or_insert_with(|| Slot::Bcast { deposit: None, reads: 0 });
+        let Slot::Bcast { deposit, .. } = slot else {
+            panic!("collective sequence mismatch: op {op} is not a bcast");
+        };
+        assert!(deposit.is_none(), "two roots deposited into bcast {op}");
+        *deposit = Some((departure, payload));
+        self.cond.notify_all();
+        // If p == 1 nobody will read the slot; drop it now.
+        if self.p == 1 {
+            slots.remove(&op);
+        }
+    }
+
+    /// Receiver side of a broadcast: blocks for the root's deposit and
+    /// returns (root departure, payload). The last of the `p − 1`
+    /// receivers frees the slot.
+    pub fn bcast_wait(&self, op: u64) -> (SimTime, Bytes) {
+        let mut slots = self.slots.lock();
+        loop {
+            match slots.get_mut(&op) {
+                Some(Slot::Bcast { deposit: Some((t, payload)), reads }) => {
+                    let out = (*t, payload.clone());
+                    *reads += 1;
+                    if *reads == self.p - 1 {
+                        slots.remove(&op);
+                    }
+                    return out;
+                }
+                Some(Slot::Bcast { deposit: None, .. }) | None => self.cond.wait(&mut slots),
+                Some(_) => panic!("collective sequence mismatch: op {op} is not a bcast"),
+            }
+        }
+    }
+
+    /// Root side of a scatter: publishes one payload per rank plus the
+    /// root's departure time. `parts[root]` should be the root's own
+    /// share; it is returned to the root by [`CollectiveHub::scatter_take`].
+    pub fn scatter_deposit(&self, op: u64, departure: SimTime, parts: Vec<Bytes>) {
+        assert_eq!(parts.len(), self.p, "scatter needs one part per rank");
+        let mut slots = self.slots.lock();
+        let slot = slots.entry(op).or_insert_with(|| Slot::Scatter {
+            departure: SimTime::ZERO,
+            parts: vec![None; self.p],
+            taken: 0,
+            deposited: false,
+        });
+        let Slot::Scatter { departure: dep, parts: slot_parts, deposited, .. } = slot else {
+            panic!("collective sequence mismatch: op {op} is not a scatter");
+        };
+        assert!(!*deposited, "two roots deposited into scatter {op}");
+        *dep = departure;
+        for (dst, part) in slot_parts.iter_mut().zip(parts) {
+            *dst = Some(part);
+        }
+        *deposited = true;
+        self.cond.notify_all();
+    }
+
+    /// Takes rank `rank`'s share of a scatter, blocking for the deposit.
+    /// Returns (root departure, payload). The last taker frees the slot.
+    pub fn scatter_take(&self, op: u64, rank: usize) -> (SimTime, Bytes) {
+        let mut slots = self.slots.lock();
+        loop {
+            match slots.get_mut(&op) {
+                Some(Slot::Scatter { departure, parts, taken, deposited: true }) => {
+                    let payload = parts[rank].take().expect("each rank takes its part once");
+                    let out = (*departure, payload);
+                    *taken += 1;
+                    if *taken == self.p {
+                        slots.remove(&op);
+                    }
+                    return out;
+                }
+                Some(Slot::Scatter { deposited: false, .. }) | None => self.cond.wait(&mut slots),
+                Some(_) => panic!("collective sequence mismatch: op {op} is not a scatter"),
+            }
+        }
+    }
+
+    /// Number of live slots (diagnostics; zero after a clean run).
+    pub fn live_slots(&self) -> usize {
+        self.slots.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::encode_f64s;
+    use std::sync::Arc;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn barrier_returns_max_entry_plus_cost() {
+        let hub = Arc::new(CollectiveHub::new(3));
+        let entries = [1.0, 5.0, 3.0];
+        let cost = t(0.5);
+        let handles: Vec<_> = entries
+            .iter()
+            .enumerate()
+            .map(|(r, &e)| {
+                let hub = Arc::clone(&hub);
+                std::thread::spawn(move || hub.barrier(0, r, t(e), cost))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), t(5.5));
+        }
+        assert_eq!(hub.live_slots(), 0);
+    }
+
+    #[test]
+    fn consecutive_barriers_use_distinct_ops() {
+        let hub = Arc::new(CollectiveHub::new(2));
+        let handles: Vec<_> = (0..2)
+            .map(|r| {
+                let hub = Arc::clone(&hub);
+                std::thread::spawn(move || {
+                    let a = hub.barrier(0, r, t(r as f64), t(0.1));
+                    let b = hub.barrier(1, r, a, t(0.1));
+                    (a, b)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (a, b) = h.join().unwrap();
+            assert_eq!(a, t(1.1));
+            assert!((b.as_secs() - 1.2).abs() < 1e-12, "b = {b:?}");
+        }
+        assert_eq!(hub.live_slots(), 0);
+    }
+
+    #[test]
+    fn gather_collects_all_deposits_by_rank() {
+        let hub = Arc::new(CollectiveHub::new(3));
+        for r in 1..3usize {
+            let hub = Arc::clone(&hub);
+            std::thread::spawn(move || {
+                hub.gather_deposit(7, r, t(r as f64), encode_f64s(&[r as f64]));
+            });
+        }
+        hub.gather_deposit(7, 0, t(0.0), encode_f64s(&[0.0]));
+        let deposits = hub.gather_collect(7);
+        assert_eq!(deposits.len(), 3);
+        for (r, (entry, payload)) in deposits.iter().enumerate() {
+            assert_eq!(*entry, t(r as f64));
+            assert_eq!(payload.len(), 8);
+        }
+        assert_eq!(hub.live_slots(), 0);
+    }
+
+    #[test]
+    fn bcast_delivers_payload_to_all_receivers() {
+        let hub = Arc::new(CollectiveHub::new(4));
+        let handles: Vec<_> = (1..4)
+            .map(|_| {
+                let hub = Arc::clone(&hub);
+                std::thread::spawn(move || hub.bcast_wait(3))
+            })
+            .collect();
+        hub.bcast_deposit(3, t(2.0), encode_f64s(&[42.0]));
+        for h in handles {
+            let (dep, payload) = h.join().unwrap();
+            assert_eq!(dep, t(2.0));
+            assert_eq!(crate::message::decode_f64s(&payload), vec![42.0]);
+        }
+        assert_eq!(hub.live_slots(), 0);
+    }
+
+    #[test]
+    fn bcast_single_rank_leaves_no_slot() {
+        let hub = CollectiveHub::new(1);
+        hub.bcast_deposit(0, t(1.0), encode_f64s(&[1.0]));
+        assert_eq!(hub.live_slots(), 0);
+    }
+
+    #[test]
+    fn scatter_gives_each_rank_its_part() {
+        let hub = Arc::new(CollectiveHub::new(3));
+        let handles: Vec<_> = (0..3usize)
+            .map(|r| {
+                let hub = Arc::clone(&hub);
+                std::thread::spawn(move || hub.scatter_take(9, r))
+            })
+            .collect();
+        let parts: Vec<Bytes> =
+            (0..3).map(|r| encode_f64s(&[r as f64 * 10.0])).collect();
+        hub.scatter_deposit(9, t(1.5), parts);
+        let mut got: Vec<Vec<f64>> = handles
+            .into_iter()
+            .map(|h| crate::message::decode_f64s(&h.join().unwrap().1))
+            .collect();
+        got.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        assert_eq!(got, vec![vec![0.0], vec![10.0], vec![20.0]]);
+        assert_eq!(hub.live_slots(), 0);
+    }
+
+    #[test]
+    fn single_rank_barrier_completes_immediately() {
+        let hub = CollectiveHub::new(1);
+        let out = hub.barrier(0, 0, t(3.0), t(0.25));
+        assert_eq!(out, t(3.25));
+        assert_eq!(hub.live_slots(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deposited twice")]
+    fn double_gather_deposit_panics() {
+        let hub = CollectiveHub::new(2);
+        hub.gather_deposit(0, 1, t(0.0), encode_f64s(&[1.0]));
+        hub.gather_deposit(0, 1, t(0.0), encode_f64s(&[1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a barrier")]
+    fn type_mismatch_panics() {
+        let hub = CollectiveHub::new(2);
+        hub.bcast_deposit(0, t(0.0), encode_f64s(&[1.0]));
+        let _ = hub.barrier(0, 0, t(0.0), t(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one part per rank")]
+    fn scatter_wrong_part_count_panics() {
+        let hub = CollectiveHub::new(3);
+        hub.scatter_deposit(0, t(0.0), vec![encode_f64s(&[1.0])]);
+    }
+}

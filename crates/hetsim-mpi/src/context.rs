@@ -1,0 +1,371 @@
+//! Per-rank execution context: the handle SPMD code programs against.
+//!
+//! All virtual-time arithmetic lives here, in one place, directly
+//! implementing the semantics documented at the crate root.
+
+use crate::collectives::CollectiveHub;
+use crate::message::{decode_f64s, encode_f64s, Mailbox, Message, Tag};
+use crate::trace::{OpKind, RankTrace, TraceRecord};
+use bytes::Bytes;
+use hetsim_cluster::cluster::ClusterSpec;
+use hetsim_cluster::network::NetworkModel;
+use hetsim_cluster::node::NodeSpec;
+use hetsim_cluster::time::SimTime;
+
+/// State shared by every rank of one SPMD run.
+pub(crate) struct Shared<'a> {
+    pub cluster: &'a ClusterSpec,
+    pub network: &'a dyn NetworkModel,
+    pub mailboxes: Vec<Mailbox>,
+    pub hub: CollectiveHub,
+    /// When set, every rank records a [`RankTrace`].
+    pub tracing: bool,
+}
+
+/// The handle one SPMD process uses to compute, communicate, and read its
+/// virtual clock. Mirrors the slice of MPI the paper's kernels need.
+pub struct Rank<'a> {
+    id: usize,
+    shared: &'a Shared<'a>,
+    clock: SimTime,
+    compute_time: SimTime,
+    comm_time: SimTime,
+    collective_seq: u64,
+    speed_flops: f64,
+    trace: RankTrace,
+}
+
+impl<'a> Rank<'a> {
+    pub(crate) fn new(id: usize, shared: &'a Shared<'a>) -> Self {
+        let speed_flops = shared.cluster.nodes()[id].marked_speed_flops();
+        Rank {
+            id,
+            shared,
+            clock: SimTime::ZERO,
+            compute_time: SimTime::ZERO,
+            comm_time: SimTime::ZERO,
+            collective_seq: 0,
+            speed_flops,
+            trace: RankTrace::default(),
+        }
+    }
+
+    /// Consumes the rank's trace at end of run (runtime use).
+    pub(crate) fn take_trace(&mut self) -> RankTrace {
+        std::mem::take(&mut self.trace)
+    }
+
+    fn record(&mut self, kind: OpKind, start: hetsim_cluster::time::SimTime, bytes: u64) {
+        if self.shared.tracing {
+            self.trace.records.push(TraceRecord { kind, start, end: self.clock, bytes });
+        }
+    }
+
+    /// This process's rank id, `0 ≤ rank < size`.
+    pub fn rank(&self) -> usize {
+        self.id
+    }
+
+    /// Number of processes in the run.
+    pub fn size(&self) -> usize {
+        self.shared.cluster.size()
+    }
+
+    /// The node this rank is placed on.
+    pub fn node(&self) -> &NodeSpec {
+        &self.shared.cluster.nodes()[self.id]
+    }
+
+    /// The whole cluster specification (marked speeds drive distribution).
+    pub fn cluster(&self) -> &ClusterSpec {
+        self.shared.cluster
+    }
+
+    /// Current virtual time of this rank.
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Accumulated computation time (the `T_c` of the paper's Theorem 1).
+    pub fn compute_time(&self) -> SimTime {
+        self.compute_time
+    }
+
+    /// Accumulated communication/synchronization time — this rank's share
+    /// of the total overhead `T_o`.
+    pub fn comm_time(&self) -> SimTime {
+        self.comm_time
+    }
+
+    /// Advances the clock by the time to execute `flops` floating-point
+    /// operations at this node's marked speed.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite `flops`.
+    pub fn compute_flops(&mut self, flops: f64) {
+        assert!(flops.is_finite() && flops >= 0.0, "flops must be finite and ≥ 0");
+        let start = self.clock;
+        let dt = SimTime::from_secs(flops / self.speed_flops);
+        self.clock += dt;
+        self.compute_time += dt;
+        self.record(OpKind::Compute, start, 0);
+    }
+
+    /// Advances the clock by an explicit duration of local work that is
+    /// *not* floating-point (I/O, bookkeeping). Counted as compute.
+    pub fn advance(&mut self, dt: SimTime) {
+        let start = self.clock;
+        self.clock += dt;
+        self.compute_time += dt;
+        self.record(OpKind::Compute, start, 0);
+    }
+
+    fn charge_comm(&mut self, new_clock: SimTime, kind: OpKind, bytes: u64) {
+        debug_assert!(new_clock >= self.clock, "communication cannot rewind time");
+        let start = self.clock;
+        self.comm_time += new_clock - self.clock;
+        self.clock = new_clock;
+        self.record(kind, start, bytes);
+    }
+
+    // ---- point-to-point -------------------------------------------------
+
+    /// Sends raw bytes to `dest` with `tag`. The sender occupies the wire
+    /// for `p2p_time(len)`; the message arrives when the send completes.
+    ///
+    /// # Panics
+    /// Panics when `dest` is out of range or equals this rank (self-sends
+    /// are a deadlock in this blocking-receive runtime, so they are
+    /// rejected eagerly).
+    pub fn send_bytes(&mut self, dest: usize, tag: Tag, payload: Bytes) {
+        assert!(dest < self.size(), "destination rank {dest} out of range");
+        assert_ne!(dest, self.id, "self-send is not supported");
+        let bytes = payload.len() as u64;
+        let cost = SimTime::from_secs(self.shared.network.p2p_time_between(self.id, dest, bytes));
+        self.charge_comm(self.clock + cost, OpKind::Send, bytes);
+        self.shared.mailboxes[dest].push(Message {
+            source: self.id,
+            tag,
+            arrival: self.clock,
+            payload,
+        });
+    }
+
+    /// Receives bytes from `source` with `tag`, blocking until available.
+    /// The clock advances to the message arrival time if later.
+    pub fn recv_bytes(&mut self, source: usize, tag: Tag) -> Bytes {
+        assert!(source < self.size(), "source rank {source} out of range");
+        assert_ne!(source, self.id, "self-receive is not supported");
+        let msg = self.shared.mailboxes[self.id].recv_matching(source, tag);
+        let bytes = msg.payload.len() as u64;
+        self.charge_comm(self.clock.max(msg.arrival), OpKind::Recv, bytes);
+        msg.payload
+    }
+
+    /// Sends a slice of `f64`s (see [`Rank::send_bytes`]).
+    pub fn send_f64s(&mut self, dest: usize, tag: Tag, values: &[f64]) {
+        self.send_bytes(dest, tag, encode_f64s(values));
+    }
+
+    /// Receives a vector of `f64`s (see [`Rank::recv_bytes`]).
+    pub fn recv_f64s(&mut self, source: usize, tag: Tag) -> Vec<f64> {
+        decode_f64s(&self.recv_bytes(source, tag))
+    }
+
+    // ---- collectives ----------------------------------------------------
+
+    fn next_op(&mut self) -> u64 {
+        let op = self.collective_seq;
+        self.collective_seq += 1;
+        op
+    }
+
+    /// Barrier across all ranks: every rank leaves at
+    /// `max(entry clocks) + barrier_time(p)`.
+    pub fn barrier(&mut self) {
+        let op = self.next_op();
+        let cost = SimTime::from_secs(self.shared.network.barrier_time(self.size()));
+        let exit = self.shared.hub.barrier(op, self.id, self.clock, cost);
+        self.charge_comm(exit, OpKind::Barrier, 0);
+    }
+
+    /// Broadcast from `root`. The root passes `Some(data)` and gets its
+    /// own data back; receivers pass `None`. The root leaves at
+    /// `entry + bcast_time(p, bytes)`; receivers leave at
+    /// `max(own entry, root departure)`.
+    ///
+    /// # Panics
+    /// Panics when the caller's `data` argument disagrees with its role.
+    pub fn broadcast_f64s(&mut self, root: usize, data: Option<&[f64]>) -> Vec<f64> {
+        assert!(root < self.size(), "root rank {root} out of range");
+        let op = self.next_op();
+        if self.id == root {
+            let data = data.expect("root must supply broadcast data");
+            let payload = encode_f64s(data);
+            let cost = SimTime::from_secs(
+                self.shared.network.bcast_time(self.size(), payload.len() as u64),
+            );
+            let departure = self.clock + cost;
+            let bytes = payload.len() as u64;
+            self.shared.hub.bcast_deposit(op, departure, payload);
+            self.charge_comm(departure, OpKind::Bcast, bytes);
+            data.to_vec()
+        } else {
+            assert!(data.is_none(), "non-root rank {} passed broadcast data", self.id);
+            let (departure, payload) = self.shared.hub.bcast_wait(op);
+            let bytes = payload.len() as u64;
+            self.charge_comm(self.clock.max(departure), OpKind::Bcast, bytes);
+            decode_f64s(&payload)
+        }
+    }
+
+    /// Gather to `root`: every rank contributes a slice; the root gets
+    /// all contributions indexed by rank (including its own), others get
+    /// `None`. Contributors leave at `entry + p2p_time(own bytes)`; the
+    /// root leaves at `max(all entries) + gather_time(sizes)`.
+    pub fn gather_f64s(&mut self, root: usize, contribution: &[f64]) -> Option<Vec<Vec<f64>>> {
+        assert!(root < self.size(), "root rank {root} out of range");
+        let op = self.next_op();
+        let payload = encode_f64s(contribution);
+        if self.id == root {
+            self.shared.hub.gather_deposit(op, self.id, self.clock, payload);
+            let deposits = self.shared.hub.gather_collect(op);
+            let sizes: Vec<u64> = deposits.iter().map(|(_, b)| b.len() as u64).collect();
+            let max_entry =
+                deposits.iter().map(|(t, _)| *t).max().expect("at least the root deposited");
+            let cost = SimTime::from_secs(self.shared.network.gather_time(&sizes, root));
+            let total_bytes: u64 = sizes.iter().sum();
+            self.charge_comm(self.clock.max(max_entry) + cost, OpKind::Gather, total_bytes);
+            Some(deposits.into_iter().map(|(_, b)| decode_f64s(&b)).collect())
+        } else {
+            let bytes = payload.len() as u64;
+            self.shared.hub.gather_deposit(op, self.id, self.clock, payload);
+            let cost = SimTime::from_secs(self.shared.network.p2p_time_between(self.id, root, bytes));
+            self.charge_comm(self.clock + cost, OpKind::Gather, bytes);
+            None
+        }
+    }
+
+    /// Scatter from `root`: the root passes one slice per rank (`parts`)
+    /// and receives its own share; receivers pass `None` and receive
+    /// theirs. The root leaves at `entry + scatter_time(sizes)`;
+    /// receiver `i` leaves at `max(own entry, root departure)`.
+    pub fn scatter_f64s(&mut self, root: usize, parts: Option<&[Vec<f64>]>) -> Vec<f64> {
+        assert!(root < self.size(), "root rank {root} out of range");
+        let op = self.next_op();
+        if self.id == root {
+            let parts = parts.expect("root must supply scatter parts");
+            assert_eq!(parts.len(), self.size(), "scatter needs one part per rank");
+            let payloads: Vec<Bytes> = parts.iter().map(|p| encode_f64s(p)).collect();
+            let sizes: Vec<u64> = payloads.iter().map(|b| b.len() as u64).collect();
+            let cost = SimTime::from_secs(self.shared.network.scatter_time(&sizes, root));
+            let departure = self.clock + cost;
+            let total_bytes: u64 = sizes.iter().sum();
+            self.shared.hub.scatter_deposit(op, departure, payloads);
+            let (_, own) = self.shared.hub.scatter_take(op, self.id);
+            self.charge_comm(departure, OpKind::Scatter, total_bytes);
+            decode_f64s(&own)
+        } else {
+            assert!(parts.is_none(), "non-root rank {} passed scatter parts", self.id);
+            let (departure, payload) = self.shared.hub.scatter_take(op, self.id);
+            let bytes = payload.len() as u64;
+            self.charge_comm(self.clock.max(departure), OpKind::Scatter, bytes);
+            decode_f64s(&payload)
+        }
+    }
+
+    /// Element-wise sum reduction to `root` (gather + local combine at
+    /// the root, charged as root compute: one flop per element per
+    /// contributor).
+    pub fn reduce_sum_f64s(&mut self, root: usize, contribution: &[f64]) -> Option<Vec<f64>> {
+        let n = contribution.len();
+        let gathered = self.gather_f64s(root, contribution)?;
+        let mut acc = vec![0.0f64; n];
+        for v in &gathered {
+            assert_eq!(v.len(), n, "reduce contributions must have equal length");
+            for (a, &x) in acc.iter_mut().zip(v.iter()) {
+                *a += x;
+            }
+        }
+        self.compute_flops((gathered.len().saturating_sub(1) * n) as f64);
+        Some(acc)
+    }
+
+    /// All-gather: every rank contributes a slice and receives every
+    /// rank's contribution, indexed by rank. Implemented as gather to
+    /// rank 0 followed by a broadcast of the concatenation (the classic
+    /// two-phase algorithm; both phases are priced by the network
+    /// model). Contributions may differ in length; the per-rank split is
+    /// carried in a length header.
+    pub fn allgather_f64s(&mut self, contribution: &[f64]) -> Vec<Vec<f64>> {
+        let p = self.size();
+        let gathered = self.gather_f64s(0, contribution);
+        if self.id == 0 {
+            let parts = gathered.expect("rank 0 is the gather root");
+            // Header: p lengths, then the concatenated payloads.
+            let mut packed = Vec::with_capacity(
+                p + parts.iter().map(|v| v.len()).sum::<usize>(),
+            );
+            packed.extend(parts.iter().map(|v| v.len() as f64));
+            for v in &parts {
+                packed.extend_from_slice(v);
+            }
+            self.broadcast_f64s(0, Some(&packed));
+            parts
+        } else {
+            let packed = self.broadcast_f64s(0, None);
+            let lens: Vec<usize> = packed[..p].iter().map(|&l| l as usize).collect();
+            let mut out = Vec::with_capacity(p);
+            let mut cursor = p;
+            for len in lens {
+                out.push(packed[cursor..cursor + len].to_vec());
+                cursor += len;
+            }
+            out
+        }
+    }
+
+    /// All-to-all personalized exchange: rank `i` sends `parts[j]` to
+    /// rank `j` and receives one part from every rank (its own part is
+    /// kept locally). Implemented as `p·(p−1)` point-to-point messages
+    /// in a deterministic schedule (each rank sends in destination
+    /// order), each priced individually — the faithful cost structure
+    /// on a non-combining fabric.
+    ///
+    /// # Panics
+    /// Panics unless `parts.len() == size()`.
+    pub fn alltoall_f64s(&mut self, parts: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let p = self.size();
+        assert_eq!(parts.len(), p, "alltoall needs one part per rank");
+        const TAG_A2A: Tag = Tag(0xA2A);
+        for dest in 0..p {
+            if dest != self.id {
+                self.send_f64s(dest, TAG_A2A, &parts[dest]);
+            }
+        }
+        let mut out: Vec<Vec<f64>> = Vec::with_capacity(p);
+        for source in 0..p {
+            if source == self.id {
+                out.push(parts[self.id].clone());
+            } else {
+                out.push(self.recv_f64s(source, TAG_A2A));
+            }
+        }
+        out
+    }
+
+    /// All-reduce of a scalar maximum: reduce to rank 0 then broadcast.
+    pub fn allreduce_max(&mut self, value: f64) -> f64 {
+        let gathered = self.gather_f64s(0, &[value]);
+        if self.id == 0 {
+            let m = gathered
+                .expect("rank 0 is the gather root")
+                .iter()
+                .map(|v| v[0])
+                .fold(f64::NEG_INFINITY, f64::max);
+            self.broadcast_f64s(0, Some(&[m]))[0]
+        } else {
+            self.broadcast_f64s(0, None)[0]
+        }
+    }
+}

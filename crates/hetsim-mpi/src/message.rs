@@ -1,0 +1,214 @@
+//! Messages, tags, and per-rank mailboxes.
+//!
+//! Payloads travel as [`bytes::Bytes`] (cheaply cloneable, immutable).
+//! Matching follows MPI semantics: a receive names a source rank and a
+//! tag; messages between a fixed (source, destination) pair are delivered
+//! in send order (non-overtaking), which together with SPMD program order
+//! makes matching deterministic.
+
+use bytes::Bytes;
+use hetsim_cluster::time::SimTime;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+/// Message tag, used to disambiguate concurrent streams between the same
+/// pair of ranks (pivot rows vs. result rows, say).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tag(pub u32);
+
+impl Tag {
+    /// Conventional tag for bulk data distribution.
+    pub const DATA: Tag = Tag(0);
+    /// Conventional tag for pivot/broadcast traffic.
+    pub const PIVOT: Tag = Tag(1);
+    /// Conventional tag for result collection.
+    pub const RESULT: Tag = Tag(2);
+}
+
+/// A message in flight.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sending rank.
+    pub source: usize,
+    /// Matching tag.
+    pub tag: Tag,
+    /// Virtual time at which the last byte arrives at the receiver.
+    pub arrival: SimTime,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+/// Encodes a slice of `f64` into little-endian bytes.
+pub fn encode_f64s(values: &[f64]) -> Bytes {
+    let mut buf = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    Bytes::from(buf)
+}
+
+/// Decodes little-endian bytes back into `f64`s.
+///
+/// # Panics
+/// Panics when the byte length is not a multiple of 8 (always a protocol
+/// bug in SPMD code, never a recoverable condition).
+pub fn decode_f64s(bytes: &Bytes) -> Vec<f64> {
+    assert!(
+        bytes.len() % 8 == 0,
+        "payload of {} bytes is not a whole number of f64s",
+        bytes.len()
+    );
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
+        .collect()
+}
+
+/// Mailbox: the inbound message queue of one rank.
+///
+/// One mailbox per rank; senders push, the owning rank blocks on
+/// [`Mailbox::recv_matching`]. Per-(source, tag) order is preserved
+/// because each sender pushes under the same lock in its program order.
+#[derive(Debug, Default)]
+pub struct Mailbox {
+    inner: Mutex<VecDeque<Message>>,
+    available: Condvar,
+}
+
+impl Mailbox {
+    /// Creates an empty mailbox.
+    pub fn new() -> Self {
+        Mailbox::default()
+    }
+
+    /// Deposits a message and wakes any waiting receiver.
+    pub fn push(&self, msg: Message) {
+        let mut q = self.inner.lock();
+        q.push_back(msg);
+        // notify_all: a single receiver thread owns this mailbox, but a
+        // waiter may be matching on a different (source, tag) than the
+        // message just pushed, so waking everyone is the safe choice.
+        self.available.notify_all();
+    }
+
+    /// Blocks until a message from `source` with `tag` is available and
+    /// removes the earliest such message.
+    pub fn recv_matching(&self, source: usize, tag: Tag) -> Message {
+        let mut q = self.inner.lock();
+        loop {
+            if let Some(pos) = q.iter().position(|m| m.source == source && m.tag == tag) {
+                return q.remove(pos).expect("position is valid");
+            }
+            self.available.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking probe: true if a matching message is queued.
+    pub fn probe(&self, source: usize, tag: Tag) -> bool {
+        self.inner.lock().iter().any(|m| m.source == source && m.tag == tag)
+    }
+
+    /// Number of queued messages (for diagnostics and leak checks).
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when no messages are queued — used by the runtime's
+    /// end-of-program leak check.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn msg(source: usize, tag: Tag, arrival_s: f64) -> Message {
+        Message {
+            source,
+            tag,
+            arrival: SimTime::from_secs(arrival_s),
+            payload: encode_f64s(&[arrival_s]),
+        }
+    }
+
+    #[test]
+    fn f64_codec_roundtrips() {
+        let values = vec![0.0, -1.5, std::f64::consts::PI, f64::MAX, f64::MIN_POSITIVE];
+        let bytes = encode_f64s(&values);
+        assert_eq!(bytes.len(), values.len() * 8);
+        assert_eq!(decode_f64s(&bytes), values);
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let bytes = encode_f64s(&[]);
+        assert!(bytes.is_empty());
+        assert!(decode_f64s(&bytes).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a whole number of f64s")]
+    fn ragged_payload_panics() {
+        decode_f64s(&Bytes::from_static(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn mailbox_matches_source_and_tag() {
+        let mb = Mailbox::new();
+        mb.push(msg(1, Tag::DATA, 1.0));
+        mb.push(msg(2, Tag::DATA, 2.0));
+        mb.push(msg(1, Tag::PIVOT, 3.0));
+        let got = mb.recv_matching(1, Tag::PIVOT);
+        assert_eq!(got.arrival, SimTime::from_secs(3.0));
+        assert_eq!(mb.len(), 2);
+        assert!(mb.probe(2, Tag::DATA));
+        assert!(!mb.probe(2, Tag::PIVOT));
+    }
+
+    #[test]
+    fn mailbox_preserves_per_pair_fifo() {
+        let mb = Mailbox::new();
+        mb.push(msg(1, Tag::DATA, 1.0));
+        mb.push(msg(1, Tag::DATA, 2.0));
+        mb.push(msg(1, Tag::DATA, 3.0));
+        assert_eq!(mb.recv_matching(1, Tag::DATA).arrival, SimTime::from_secs(1.0));
+        assert_eq!(mb.recv_matching(1, Tag::DATA).arrival, SimTime::from_secs(2.0));
+        assert_eq!(mb.recv_matching(1, Tag::DATA).arrival, SimTime::from_secs(3.0));
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn recv_blocks_until_push() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let handle = std::thread::spawn(move || mb2.recv_matching(7, Tag::RESULT));
+        // Give the receiver a chance to block, then deliver.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        mb.push(msg(7, Tag::RESULT, 9.0));
+        let got = handle.join().expect("receiver thread");
+        assert_eq!(got.source, 7);
+    }
+
+    #[test]
+    fn recv_skips_non_matching_messages() {
+        let mb = Arc::new(Mailbox::new());
+        mb.push(msg(3, Tag::DATA, 1.0));
+        let mb2 = Arc::clone(&mb);
+        let handle = std::thread::spawn(move || mb2.recv_matching(4, Tag::DATA));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        mb.push(msg(4, Tag::DATA, 2.0));
+        assert_eq!(handle.join().unwrap().source, 4);
+        // The non-matching message is still queued.
+        assert!(mb.probe(3, Tag::DATA));
+    }
+
+    #[test]
+    fn tag_constants_are_distinct() {
+        assert_ne!(Tag::DATA, Tag::PIVOT);
+        assert_ne!(Tag::PIVOT, Tag::RESULT);
+        assert_ne!(Tag::DATA, Tag::RESULT);
+    }
+}

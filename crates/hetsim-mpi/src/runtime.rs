@@ -1,0 +1,466 @@
+//! SPMD launcher: runs one closure on every rank and collects results,
+//! per-rank virtual clocks, and the run's makespan.
+
+use crate::collectives::CollectiveHub;
+use crate::context::{Rank, Shared};
+use crate::message::Mailbox;
+use crate::trace::RankTrace;
+use hetsim_cluster::cluster::ClusterSpec;
+use hetsim_cluster::network::NetworkModel;
+use hetsim_cluster::time::SimTime;
+
+/// Everything a finished SPMD run reports.
+#[derive(Debug, Clone)]
+pub struct SpmdOutcome<R> {
+    /// Per-rank return values, indexed by rank.
+    pub results: Vec<R>,
+    /// Per-rank final virtual clocks.
+    pub times: Vec<SimTime>,
+    /// Per-rank accumulated pure-computation time (`T_c` components).
+    pub compute_times: Vec<SimTime>,
+    /// Per-rank accumulated communication/wait time (`T_o` components).
+    pub comm_times: Vec<SimTime>,
+    /// Per-rank operation traces; empty unless the run was started with
+    /// [`run_spmd_traced`].
+    pub traces: Vec<RankTrace>,
+}
+
+impl<R> SpmdOutcome<R> {
+    /// The parallel execution time `T`: the latest rank's final clock.
+    pub fn makespan(&self) -> SimTime {
+        self.times.iter().copied().max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Total communication overhead `T_o`: the sum of per-rank comm time.
+    /// This is the quantity Theorem 1 calls "total overhead spent on
+    /// communication, synchronization and other overhead".
+    pub fn total_overhead(&self) -> SimTime {
+        self.comm_times
+            .iter()
+            .fold(SimTime::ZERO, |acc, &t| acc + t)
+    }
+
+    /// Largest per-rank compute-time imbalance, as `(max − min) / max`;
+    /// 0 for a perfectly balanced run.
+    pub fn compute_imbalance(&self) -> f64 {
+        let max = self.compute_times.iter().map(|t| t.as_secs()).fold(0.0, f64::max);
+        let min = self
+            .compute_times
+            .iter()
+            .map(|t| t.as_secs())
+            .fold(f64::INFINITY, f64::min);
+        if max == 0.0 {
+            0.0
+        } else {
+            (max - min) / max
+        }
+    }
+}
+
+/// Runs `body` as an SPMD program: one OS thread per node of `cluster`,
+/// each handed a [`Rank`] whose virtual clock is driven by the node's
+/// marked speed and `network`'s communication costs.
+///
+/// Blocks until every rank returns. Results arrive indexed by rank.
+///
+/// # Panics
+/// Propagates any rank's panic, and panics if a rank leaves undelivered
+/// messages in another rank's mailbox (a protocol bug in `body`).
+pub fn run_spmd<R, F, N>(cluster: &ClusterSpec, network: &N, body: F) -> SpmdOutcome<R>
+where
+    R: Send,
+    F: Fn(&mut Rank) -> R + Sync,
+    N: NetworkModel,
+{
+    run_spmd_inner(cluster, network, body, false)
+}
+
+/// [`run_spmd`] with per-rank operation tracing enabled; the outcome's
+/// `traces` field holds one [`RankTrace`] per rank.
+pub fn run_spmd_traced<R, F, N>(cluster: &ClusterSpec, network: &N, body: F) -> SpmdOutcome<R>
+where
+    R: Send,
+    F: Fn(&mut Rank) -> R + Sync,
+    N: NetworkModel,
+{
+    run_spmd_inner(cluster, network, body, true)
+}
+
+fn run_spmd_inner<R, F, N>(
+    cluster: &ClusterSpec,
+    network: &N,
+    body: F,
+    tracing: bool,
+) -> SpmdOutcome<R>
+where
+    R: Send,
+    F: Fn(&mut Rank) -> R + Sync,
+    N: NetworkModel,
+{
+    let p = cluster.size();
+    let shared = Shared {
+        cluster,
+        network,
+        mailboxes: (0..p).map(|_| Mailbox::new()).collect(),
+        hub: CollectiveHub::new(p),
+        tracing,
+    };
+
+    let mut slots: Vec<Option<(R, SimTime, SimTime, SimTime, RankTrace)>> =
+        Vec::with_capacity(p);
+    slots.resize_with(p, || None);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for id in 0..p {
+            let shared_ref = &shared;
+            let body_ref = &body;
+            handles.push(scope.spawn(move || {
+                let mut rank = Rank::new(id, shared_ref);
+                let result = body_ref(&mut rank);
+                let trace = rank.take_trace();
+                (result, rank.clock(), rank.compute_time(), rank.comm_time(), trace)
+            }));
+        }
+        for (id, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(tuple) => slots[id] = Some(tuple),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    for (id, mb) in shared.mailboxes.iter().enumerate() {
+        assert!(
+            mb.is_empty(),
+            "rank {id} finished with {} undelivered message(s) in its mailbox",
+            mb.len()
+        );
+    }
+    assert_eq!(
+        shared.hub.live_slots(),
+        0,
+        "collective slots leaked — ranks disagreed on collective count"
+    );
+
+    let mut results = Vec::with_capacity(p);
+    let mut times = Vec::with_capacity(p);
+    let mut compute_times = Vec::with_capacity(p);
+    let mut comm_times = Vec::with_capacity(p);
+    let mut traces = Vec::with_capacity(p);
+    for slot in slots {
+        let (r, t, tc, to, trace) = slot.expect("every rank joined");
+        results.push(r);
+        times.push(t);
+        compute_times.push(tc);
+        comm_times.push(to);
+        traces.push(trace);
+    }
+    SpmdOutcome { results, times, compute_times, comm_times, traces }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Tag;
+    use hetsim_cluster::network::{ConstantLatency, SharedEthernet};
+    use hetsim_cluster::node::NodeSpec;
+
+    fn small_net() -> SharedEthernet {
+        SharedEthernet::new(1e-3, 1e6) // 1 ms latency, 1 MB/s
+    }
+
+    fn het2() -> ClusterSpec {
+        ClusterSpec::new(
+            "het2",
+            vec![NodeSpec::synthetic("fast", 100.0), NodeSpec::synthetic("slow", 25.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn compute_time_reflects_marked_speed() {
+        let outcome = run_spmd(&het2(), &small_net(), |rank| {
+            rank.compute_flops(1e8); // 100 Mflop
+            rank.clock().as_secs()
+        });
+        // fast: 100 Mflop at 100 Mflop/s = 1 s; slow: 4 s.
+        assert!((outcome.results[0] - 1.0).abs() < 1e-12);
+        assert!((outcome.results[1] - 4.0).abs() < 1e-12);
+        assert_eq!(outcome.makespan(), SimTime::from_secs(4.0));
+    }
+
+    #[test]
+    fn send_recv_transfers_data_and_time() {
+        let outcome = run_spmd(&het2(), &small_net(), |rank| {
+            if rank.rank() == 0 {
+                rank.compute_flops(1e8); // ready at t = 1
+                rank.send_f64s(1, Tag::DATA, &[1.0, 2.0, 3.0]);
+                rank.clock().as_secs()
+            } else {
+                let data = rank.recv_f64s(0, Tag::DATA);
+                assert_eq!(data, vec![1.0, 2.0, 3.0]);
+                rank.clock().as_secs()
+            }
+        });
+        // Transfer: 24 bytes at 1 MB/s + 1 ms = 1.024 ms.
+        let t_send = 1e-3 + 24.0 / 1e6;
+        assert!((outcome.results[0] - (1.0 + t_send)).abs() < 1e-12);
+        // Receiver idles until the arrival.
+        assert!((outcome.results[1] - (1.0 + t_send)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn receiver_already_late_keeps_its_own_clock() {
+        let outcome = run_spmd(&het2(), &small_net(), |rank| {
+            if rank.rank() == 0 {
+                rank.send_f64s(1, Tag::DATA, &[5.0]);
+            } else {
+                rank.compute_flops(1e9); // 40 s of local work first
+                let _ = rank.recv_f64s(0, Tag::DATA);
+            }
+            rank.clock().as_secs()
+        });
+        // The message arrived long ago; recv is effectively free.
+        assert!((outcome.results[1] - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let cluster = ClusterSpec::homogeneous(4, 50.0);
+        let net = ConstantLatency::new(2e-3);
+        let outcome = run_spmd(&cluster, &net, |rank| {
+            rank.compute_flops(1e6 * (rank.rank() as f64 + 1.0));
+            rank.barrier();
+            rank.clock().as_secs()
+        });
+        // Slowest rank: 4 Mflop at 50 Mflop/s = 0.08 s; barrier +2 ms.
+        for &t in &outcome.results {
+            assert!((t - 0.082).abs() < 1e-12, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn broadcast_delivers_and_times_correctly() {
+        let cluster = ClusterSpec::homogeneous(3, 50.0);
+        let net = small_net();
+        let outcome = run_spmd(&cluster, &net, |rank| {
+            let data = if rank.rank() == 0 {
+                rank.broadcast_f64s(0, Some(&[7.0, 8.0]))
+            } else {
+                rank.broadcast_f64s(0, None)
+            };
+            assert_eq!(data, vec![7.0, 8.0]);
+            rank.clock().as_secs()
+        });
+        // Shared ethernet bcast p=3: 2 transfers of 16 B.
+        let expect = 2.0 * (1e-3 + 16.0 / 1e6);
+        for &t in &outcome.results {
+            assert!((t - expect).abs() < 1e-12, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn gather_collects_rank_indexed_data() {
+        let cluster = ClusterSpec::homogeneous(4, 50.0);
+        let outcome = run_spmd(&cluster, &small_net(), |rank| {
+            let mine = vec![rank.rank() as f64; rank.rank() + 1];
+            rank.gather_f64s(0, &mine)
+        });
+        let gathered = outcome.results[0].as_ref().expect("root result");
+        for (r, v) in gathered.iter().enumerate() {
+            assert_eq!(v.len(), r + 1);
+            assert!(v.iter().all(|&x| x == r as f64));
+        }
+        assert!(outcome.results[1].is_none());
+    }
+
+    #[test]
+    fn scatter_distributes_parts() {
+        let cluster = ClusterSpec::homogeneous(3, 50.0);
+        let outcome = run_spmd(&cluster, &small_net(), |rank| {
+            if rank.rank() == 0 {
+                let parts = vec![vec![0.0], vec![1.0, 1.0], vec![2.0, 2.0, 2.0]];
+                rank.scatter_f64s(0, Some(&parts))
+            } else {
+                rank.scatter_f64s(0, None)
+            }
+        });
+        assert_eq!(outcome.results[0], vec![0.0]);
+        assert_eq!(outcome.results[1], vec![1.0, 1.0]);
+        assert_eq!(outcome.results[2], vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn reduce_sum_accumulates() {
+        let cluster = ClusterSpec::homogeneous(4, 50.0);
+        let outcome = run_spmd(&cluster, &small_net(), |rank| {
+            rank.reduce_sum_f64s(0, &[rank.rank() as f64, 1.0])
+        });
+        assert_eq!(outcome.results[0].as_ref().unwrap(), &vec![6.0, 4.0]);
+    }
+
+    #[test]
+    fn allreduce_max_agrees_everywhere() {
+        let cluster = ClusterSpec::homogeneous(5, 50.0);
+        let outcome = run_spmd(&cluster, &small_net(), |rank| {
+            rank.allreduce_max(rank.rank() as f64 * 1.5)
+        });
+        assert!(outcome.results.iter().all(|&m| m == 6.0));
+    }
+
+    #[test]
+    fn allgather_delivers_everything_everywhere() {
+        let cluster = ClusterSpec::homogeneous(4, 50.0);
+        let outcome = run_spmd(&cluster, &small_net(), |rank| {
+            let mine = vec![rank.rank() as f64; rank.rank() + 1];
+            rank.allgather_f64s(&mine)
+        });
+        for (r, got) in outcome.results.iter().enumerate() {
+            assert_eq!(got.len(), 4, "rank {r}");
+            for (peer, v) in got.iter().enumerate() {
+                assert_eq!(v.len(), peer + 1, "rank {r} part {peer}");
+                assert!(v.iter().all(|&x| x == peer as f64));
+            }
+        }
+        // Everyone pays: no rank finishes at time zero.
+        assert!(outcome.times.iter().all(|t| t.as_secs() > 0.0));
+    }
+
+    #[test]
+    fn allgather_clocks_agree_across_ranks() {
+        // The closing broadcast synchronizes receivers to the root's
+        // departure; with equal entry clocks all exits match.
+        let cluster = ClusterSpec::homogeneous(3, 50.0);
+        let outcome = run_spmd(&cluster, &small_net(), |rank| {
+            rank.allgather_f64s(&[rank.rank() as f64]);
+            rank.clock()
+        });
+        let t0 = outcome.results[0];
+        assert!(outcome.results.iter().all(|&t| t == t0), "{:?}", outcome.results);
+    }
+
+    #[test]
+    fn alltoall_transposes_the_part_matrix() {
+        let cluster = ClusterSpec::homogeneous(3, 50.0);
+        let outcome = run_spmd(&cluster, &small_net(), |rank| {
+            let me = rank.rank() as f64;
+            // parts[j] = [10·me + j]
+            let parts: Vec<Vec<f64>> =
+                (0..3).map(|j| vec![10.0 * me + j as f64]).collect();
+            rank.alltoall_f64s(&parts)
+        });
+        for (i, got) in outcome.results.iter().enumerate() {
+            for (j, v) in got.iter().enumerate() {
+                // Received from rank j its part for me: 10·j + i.
+                assert_eq!(v, &vec![10.0 * j as f64 + i as f64], "cell ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_single_rank_is_identity() {
+        let cluster = ClusterSpec::homogeneous(1, 50.0);
+        let outcome = run_spmd(&cluster, &small_net(), |rank| {
+            rank.alltoall_f64s(&[vec![7.0, 8.0]])
+        });
+        assert_eq!(outcome.results[0], vec![vec![7.0, 8.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one part per rank")]
+    fn alltoall_wrong_part_count_panics() {
+        let cluster = ClusterSpec::homogeneous(2, 50.0);
+        run_spmd(&cluster, &small_net(), |rank| {
+            rank.alltoall_f64s(&[vec![1.0]]);
+        });
+    }
+
+    #[test]
+    fn virtual_times_are_deterministic_across_runs() {
+        let cluster = het2();
+        let net = small_net();
+        let run = || {
+            run_spmd(&cluster, &net, |rank| {
+                for i in 0..10 {
+                    rank.compute_flops(1e6 * (rank.rank() + 1) as f64);
+                    if rank.rank() == 0 {
+                        rank.send_f64s(1, Tag(i), &[i as f64]);
+                    } else {
+                        let _ = rank.recv_f64s(0, Tag(i));
+                    }
+                    rank.barrier();
+                }
+                rank.clock()
+            })
+            .results
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn overhead_accounting_splits_compute_and_comm() {
+        let cluster = ClusterSpec::homogeneous(2, 100.0);
+        let net = ConstantLatency::new(1e-2);
+        let outcome = run_spmd(&cluster, &net, |rank| {
+            rank.compute_flops(1e8); // exactly 1 s
+            rank.barrier();
+        });
+        for r in 0..2 {
+            assert!((outcome.compute_times[r].as_secs() - 1.0).abs() < 1e-12);
+            assert!((outcome.comm_times[r].as_secs() - 1e-2).abs() < 1e-12);
+        }
+        assert!((outcome.total_overhead().as_secs() - 2e-2).abs() < 1e-12);
+        assert_eq!(outcome.compute_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn compute_imbalance_detects_skew() {
+        let cluster = ClusterSpec::homogeneous(2, 100.0);
+        let outcome = run_spmd(&cluster, &small_net(), |rank| {
+            rank.compute_flops(if rank.rank() == 0 { 2e8 } else { 1e8 });
+        });
+        assert!((outcome.compute_imbalance() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "undelivered message")]
+    fn leaked_message_is_detected() {
+        let cluster = ClusterSpec::homogeneous(2, 100.0);
+        run_spmd(&cluster, &small_net(), |rank| {
+            if rank.rank() == 0 {
+                rank.send_f64s(1, Tag::DATA, &[1.0]);
+                // rank 1 never receives it.
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "self-send")]
+    fn self_send_is_rejected() {
+        let cluster = ClusterSpec::homogeneous(2, 100.0);
+        run_spmd(&cluster, &small_net(), |rank| {
+            if rank.rank() == 0 {
+                rank.send_f64s(0, Tag::DATA, &[1.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn single_rank_runs_degenerate_collectives() {
+        let cluster = ClusterSpec::homogeneous(1, 100.0);
+        let outcome = run_spmd(&cluster, &small_net(), |rank| {
+            rank.barrier();
+            let b = rank.broadcast_f64s(0, Some(&[1.0]));
+            let g = rank.gather_f64s(0, &[2.0]).unwrap();
+            let s = rank.scatter_f64s(0, Some(&[vec![3.0]]));
+            (b, g, s, rank.clock().as_secs())
+        });
+        let (b, g, s, t) = &outcome.results[0];
+        assert_eq!(b, &vec![1.0]);
+        assert_eq!(g, &vec![vec![2.0]]);
+        assert_eq!(s, &vec![3.0]);
+        // No peers: every collective is free.
+        assert_eq!(*t, 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Sequential Gaussian elimination (no pivoting) — the reference oracle.
+//!
+//! The paper's parallel GE eliminates with the natural pivot row (no row
+//! exchanges), so the sequential reference does the same; callers supply
+//! diagonally dominant systems, for which this is numerically stable.
+
+use crate::matrix::Matrix;
+
+/// Solves `A·x = b` by forward elimination and back substitution.
+///
+/// # Panics
+/// Panics when `a` is not square, `b` has the wrong length, or a zero
+/// pivot is encountered (supply a diagonally dominant system).
+pub fn ge_sequential(a: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "matrix must be square");
+    assert_eq!(b.len(), n, "rhs length must equal n");
+
+    // Augmented copy [A | b].
+    let mut aug = Matrix::from_fn(n, n + 1, |i, j| if j < n { a[(i, j)] } else { b[i] });
+
+    for i in 0..n.saturating_sub(1) {
+        let pivot = aug[(i, i)];
+        assert!(pivot != 0.0, "zero pivot at row {i}; system needs pivoting");
+        for j in (i + 1)..n {
+            let factor = aug[(j, i)] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            aug[(j, i)] = 0.0;
+            for k in (i + 1)..=n {
+                let upd = factor * aug[(i, k)];
+                aug[(j, k)] -= upd;
+            }
+        }
+    }
+
+    back_substitute(&aug)
+}
+
+/// Back substitution on an upper-triangular augmented matrix `[U | y]`.
+///
+/// # Panics
+/// Panics on a zero diagonal element.
+pub fn back_substitute(aug: &Matrix) -> Vec<f64> {
+    let n = aug.rows();
+    assert_eq!(aug.cols(), n + 1, "augmented matrix must be n × (n+1)");
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut sum = aug[(i, n)];
+        for k in (i + 1)..n {
+            sum -= aug[(i, k)] * x[k];
+        }
+        let d = aug[(i, i)];
+        assert!(d != 0.0, "zero diagonal at row {i}");
+        x[i] = sum / d;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::residual_inf_norm;
+
+    #[test]
+    fn solves_identity_system() {
+        let a = Matrix::identity(4);
+        let b = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ge_sequential(&a, &b), b.to_vec());
+    }
+
+    #[test]
+    fn solves_hand_checked_2x2() {
+        // 2x + y = 5 ; x + 3y = 10 → x = 1, y = 3
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 3.0]);
+        let x = ge_sequential(&a, &[5.0, 10.0]);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_random_dominant_systems() {
+        for n in [1usize, 5, 20, 60] {
+            let a = Matrix::random_diagonally_dominant(n, n as u64);
+            let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 2.5).collect();
+            let b = a.matvec(&x_true);
+            let x = ge_sequential(&a, &b);
+            assert!(residual_inf_norm(&a, &x, &b) < 1e-8, "n = {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero pivot")]
+    fn zero_pivot_panics() {
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        ge_sequential(&a, &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_non_square() {
+        ge_sequential(&Matrix::zeros(2, 3), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn back_substitute_upper_triangular() {
+        // [2 1 | 5; 0 3 | 9] → y = 3, x = 1
+        let aug = Matrix::from_vec(2, 3, vec![2.0, 1.0, 5.0, 0.0, 3.0, 9.0]);
+        let x = back_substitute(&aug);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,207 @@
+//! Timing-mode parallel GE: the same SPMD protocol, message sizes, and
+//! charged flops as [`crate::ge::ge_parallel`], without executing the
+//! arithmetic.
+//!
+//! Virtual time in this runtime is a pure function of message sizes and
+//! charged flops — never of the floating-point *values* — so a skeleton
+//! that sends same-sized payloads and charges the same flop counts
+//! produces **bit-identical** virtual timings at a fraction of the real
+//! cost. That is what makes the paper's large-`N` sweeps (required `N`
+//! in the thousands at 32 nodes) affordable. The equivalence is pinned
+//! by `timed_matches_real_timings`, which runs both versions and
+//! compares every clock.
+
+use hetpart::{CyclicDistribution, Distribution};
+use hetsim_cluster::cluster::ClusterSpec;
+use hetsim_cluster::network::NetworkModel;
+use hetsim_cluster::time::SimTime;
+use hetsim_mpi::trace::RankTrace;
+use hetsim_mpi::{run_spmd, run_spmd_traced, Rank, Tag};
+
+/// Timing result of a protocol-skeleton run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingOutcome {
+    /// Parallel execution time `T`.
+    pub makespan: SimTime,
+    /// Total communication overhead `T_o` summed over ranks.
+    pub total_overhead: SimTime,
+    /// Per-rank final clocks.
+    pub times: Vec<SimTime>,
+    /// Per-rank pure-compute time.
+    pub compute_times: Vec<SimTime>,
+}
+
+/// Flops charged for eliminating one row of length `len` — must match
+/// `ge::parallel::elimination_flops` (pinned by the equivalence test).
+fn elimination_flops(len: usize) -> f64 {
+    (2 * len + 1) as f64
+}
+
+/// Runs the GE communication/computation skeleton at problem size `n`
+/// with the standard speed-proportional cyclic distribution.
+pub fn ge_parallel_timed<N: NetworkModel>(
+    cluster: &ClusterSpec,
+    network: &N,
+    n: usize,
+) -> TimingOutcome {
+    let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
+    let dist = CyclicDistribution::fine(n, &speeds);
+    ge_parallel_timed_with(cluster, network, n, &dist)
+}
+
+/// Runs the GE skeleton with an explicit row distribution — the hook the
+/// distribution-strategy ablation uses (e.g. a speed-blind cyclic layout
+/// on a heterogeneous cluster).
+///
+/// # Panics
+/// Panics when the distribution's shape does not match `n` and the
+/// cluster size.
+pub fn ge_parallel_timed_with<N: NetworkModel>(
+    cluster: &ClusterSpec,
+    network: &N,
+    n: usize,
+    dist: &CyclicDistribution,
+) -> TimingOutcome {
+    assert_eq!(dist.n(), n, "distribution covers a different problem size");
+    assert_eq!(dist.p(), cluster.size(), "distribution has a different rank count");
+    let outcome = run_spmd(cluster, network, |rank| ge_timed_body(rank, dist, n));
+    TimingOutcome {
+        makespan: outcome.makespan(),
+        total_overhead: outcome.total_overhead(),
+        times: outcome.times.clone(),
+        compute_times: outcome.compute_times.clone(),
+    }
+}
+
+/// [`ge_parallel_timed`] with per-rank operation tracing: returns the
+/// timing outcome together with one [`RankTrace`] per rank, feeding the
+/// overhead-decomposition experiment (where did `T_o` go — broadcast,
+/// barrier, or distribution?).
+pub fn ge_parallel_timed_traced<N: NetworkModel>(
+    cluster: &ClusterSpec,
+    network: &N,
+    n: usize,
+) -> (TimingOutcome, Vec<RankTrace>) {
+    let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
+    let dist = CyclicDistribution::fine(n, &speeds);
+    let outcome = run_spmd_traced(cluster, network, |rank| ge_timed_body(rank, &dist, n));
+    (
+        TimingOutcome {
+            makespan: outcome.makespan(),
+            total_overhead: outcome.total_overhead(),
+            times: outcome.times.clone(),
+            compute_times: outcome.compute_times.clone(),
+        },
+        outcome.traces,
+    )
+}
+
+fn ge_timed_body(rank: &mut Rank, dist: &CyclicDistribution, n: usize) {
+    let me = rank.rank();
+    let p = rank.size();
+    let my_row_ids = dist.rows_of(me);
+
+    // Stage 1: distribution — same payload sizes, zero-filled.
+    if me == 0 {
+        for peer in 1..p {
+            let count = dist.rows_of(peer).len() * (n + 1);
+            rank.send_f64s(peer, Tag::DATA, &vec![0.0; count]);
+        }
+    } else {
+        let packed = rank.recv_f64s(0, Tag::DATA);
+        assert_eq!(packed.len(), my_row_ids.len() * (n + 1));
+    }
+
+    // Stage 2: elimination — same broadcasts, barriers, and charged
+    // flops; no arithmetic on row contents.
+    // Precompute this rank's rows in sorted order for fast counting
+    // of "my rows strictly below pivot i".
+    let my_rows_sorted = my_row_ids; // rows_of is ascending
+    let mut below_idx = 0usize; // first owned row index > i (monotone in i)
+    for i in 0..n.saturating_sub(1) {
+        let owner = dist.owner(i);
+        let payload_len = n - i + 1;
+        if me == owner {
+            rank.broadcast_f64s(owner, Some(&vec![0.0; payload_len]));
+        } else {
+            let got = rank.broadcast_f64s(owner, None);
+            debug_assert_eq!(got.len(), payload_len);
+        }
+        while below_idx < my_rows_sorted.len() && my_rows_sorted[below_idx] <= i {
+            below_idx += 1;
+        }
+        let rows_below = (my_rows_sorted.len() - below_idx) as f64;
+        rank.compute_flops(rows_below * elimination_flops(n - i));
+        rank.barrier();
+    }
+
+    // Stage 3: collection + sequential back substitution at rank 0.
+    let packed = vec![0.0; my_rows_sorted.len() * (n + 1)];
+    let gathered = rank.gather_f64s(0, &packed);
+    if me == 0 {
+        let _ = gathered.expect("rank 0 is the gather root");
+        rank.compute_flops((n * n) as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ge::ge_parallel;
+    use crate::matrix::Matrix;
+    use hetsim_cluster::network::SharedEthernet;
+    use hetsim_cluster::NodeSpec;
+
+    #[test]
+    fn timed_matches_real_timings() {
+        // The skeleton must be *timing-equivalent* to the real kernel:
+        // identical per-rank clocks, compute times, and overheads.
+        let cluster = ClusterSpec::new(
+            "het3",
+            vec![
+                NodeSpec::synthetic("a", 90.0),
+                NodeSpec::synthetic("b", 50.0),
+                NodeSpec::synthetic("c", 110.0),
+            ],
+        )
+        .unwrap();
+        let net = SharedEthernet::new(0.3e-3, 1.25e7);
+        for n in [5usize, 17, 40] {
+            let a = Matrix::random_diagonally_dominant(n, n as u64);
+            let x_true: Vec<f64> = (0..n).map(|i| i as f64 * 0.01 + 1.0).collect();
+            let b = a.matvec(&x_true);
+            let real = ge_parallel(&cluster, &net, &a, &b);
+            let timed = ge_parallel_timed(&cluster, &net, n);
+            assert_eq!(timed.makespan, real.makespan, "makespan mismatch at n = {n}");
+            assert_eq!(timed.times, real.times, "per-rank clocks mismatch at n = {n}");
+            assert_eq!(
+                timed.compute_times, real.compute_times,
+                "compute time mismatch at n = {n}"
+            );
+            assert_eq!(
+                timed.total_overhead, real.total_overhead,
+                "overhead mismatch at n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn timed_is_deterministic() {
+        let cluster = ClusterSpec::homogeneous(4, 50.0);
+        let net = SharedEthernet::new(1e-4, 1.25e7);
+        assert_eq!(
+            ge_parallel_timed(&cluster, &net, 64),
+            ge_parallel_timed(&cluster, &net, 64)
+        );
+    }
+
+    #[test]
+    fn timed_handles_trivial_sizes() {
+        let cluster = ClusterSpec::homogeneous(2, 50.0);
+        let net = SharedEthernet::new(1e-4, 1.25e7);
+        for n in [1usize, 2] {
+            let t = ge_parallel_timed(&cluster, &net, n);
+            assert!(t.makespan.as_secs() >= 0.0);
+        }
+    }
+}

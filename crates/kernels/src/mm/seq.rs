@@ -1,0 +1,34 @@
+//! Sequential matrix multiplication — the correctness oracle.
+
+use crate::matrix::Matrix;
+
+/// Computes `C = A·B` sequentially (ikj loop order, cache-friendly for
+/// row-major storage).
+///
+/// # Panics
+/// Panics when the inner dimensions disagree.
+pub fn mm_sequential(a: &Matrix, b: &Matrix) -> Matrix {
+    a.multiply(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_matrix_multiply() {
+        let a = Matrix::random(6, 4, 1);
+        let b = Matrix::random(4, 5, 2);
+        assert_eq!(mm_sequential(&a, &b), a.multiply(&b));
+    }
+
+    #[test]
+    fn associativity_spot_check() {
+        let a = Matrix::random(5, 5, 3);
+        let b = Matrix::random(5, 5, 4);
+        let c = Matrix::random(5, 5, 5);
+        let left = mm_sequential(&mm_sequential(&a, &b), &c);
+        let right = mm_sequential(&a, &mm_sequential(&b, &c));
+        assert!(left.max_diff(&right) < 1e-12);
+    }
+}

@@ -1,0 +1,129 @@
+//! Timing-mode parallel MM: the HoHe protocol with zero-filled payloads
+//! and charged (not executed) arithmetic. See [`crate::ge::timed`] for
+//! why this is timing-exact.
+
+use crate::ge::TimingOutcome;
+use hetpart::{BlockDistribution, Distribution};
+use hetsim_cluster::cluster::ClusterSpec;
+use hetsim_cluster::network::NetworkModel;
+use hetsim_mpi::{run_spmd, Tag};
+
+/// Runs the MM communication/computation skeleton at problem size `n`
+/// with the standard speed-proportional block distribution.
+pub fn mm_parallel_timed<N: NetworkModel>(
+    cluster: &ClusterSpec,
+    network: &N,
+    n: usize,
+) -> TimingOutcome {
+    let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
+    let dist = BlockDistribution::proportional(n, &speeds);
+    mm_parallel_timed_with(cluster, network, n, &dist)
+}
+
+/// Runs the MM skeleton with an explicit block distribution — the hook
+/// the distribution-strategy ablation uses (e.g. equal blocks on a
+/// heterogeneous cluster).
+///
+/// # Panics
+/// Panics when the distribution's shape does not match `n` and the
+/// cluster size.
+pub fn mm_parallel_timed_with<N: NetworkModel>(
+    cluster: &ClusterSpec,
+    network: &N,
+    n: usize,
+    dist: &BlockDistribution,
+) -> TimingOutcome {
+    assert_eq!(dist.n(), n, "distribution covers a different problem size");
+    assert_eq!(dist.p(), cluster.size(), "distribution has a different rank count");
+
+    let outcome = run_spmd(cluster, network, |rank| {
+        let me = rank.rank();
+        let p = rank.size();
+        let my_range = dist.range_of(me);
+
+        // A-block distribution.
+        if me == 0 {
+            for peer in 1..p {
+                let r = dist.range_of(peer);
+                rank.send_f64s(peer, Tag::DATA, &vec![0.0; r.len() * n]);
+            }
+        } else {
+            let block = rank.recv_f64s(0, Tag::DATA);
+            assert_eq!(block.len(), my_range.len() * n);
+        }
+
+        // B broadcast.
+        if me == 0 {
+            rank.broadcast_f64s(0, Some(&vec![0.0; n * n]));
+        } else {
+            rank.broadcast_f64s(0, None);
+        }
+
+        // Local multiply: charged, not executed.
+        let rows = my_range.len();
+        let flops = (2 * rows * n * n).saturating_sub(rows * n) as f64;
+        rank.compute_flops(flops);
+
+        // C collection.
+        let gathered = rank.gather_f64s(0, &vec![0.0; rows * n]);
+        if me == 0 {
+            let _ = gathered.expect("rank 0 is the gather root");
+        }
+    });
+
+    TimingOutcome {
+        makespan: outcome.makespan(),
+        total_overhead: outcome.total_overhead(),
+        times: outcome.times.clone(),
+        compute_times: outcome.compute_times.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::mm::mm_parallel;
+    use hetsim_cluster::network::SharedEthernet;
+    use hetsim_cluster::NodeSpec;
+
+    #[test]
+    fn timed_matches_real_timings() {
+        let cluster = ClusterSpec::new(
+            "het3",
+            vec![
+                NodeSpec::synthetic("a", 45.0),
+                NodeSpec::synthetic("b", 50.0),
+                NodeSpec::synthetic("c", 110.0),
+            ],
+        )
+        .unwrap();
+        let net = SharedEthernet::new(0.3e-3, 1.25e7);
+        for n in [4usize, 15, 33] {
+            let a = Matrix::random(n, n, 1);
+            let b = Matrix::random(n, n, 2);
+            let real = mm_parallel(&cluster, &net, &a, &b);
+            let timed = mm_parallel_timed(&cluster, &net, n);
+            assert_eq!(timed.makespan, real.makespan, "makespan mismatch at n = {n}");
+            assert_eq!(timed.times, real.times, "per-rank clocks mismatch at n = {n}");
+            assert_eq!(
+                timed.compute_times, real.compute_times,
+                "compute time mismatch at n = {n}"
+            );
+            assert_eq!(
+                timed.total_overhead, real.total_overhead,
+                "overhead mismatch at n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn timed_is_deterministic() {
+        let cluster = ClusterSpec::homogeneous(3, 50.0);
+        let net = SharedEthernet::new(1e-4, 1.25e7);
+        assert_eq!(
+            mm_parallel_timed(&cluster, &net, 48),
+            mm_parallel_timed(&cluster, &net, 48)
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Sequential power iteration — the correctness oracle.
+
+use crate::matrix::Matrix;
+
+/// Runs `iters` power-method sweeps from the all-ones start vector:
+/// `y = A·x`, `λ ≈ ‖y‖∞`, `x = y/λ`. Returns the eigenvalue estimate
+/// and the (infinity-norm-normalized) eigenvector iterate.
+///
+/// # Panics
+/// Panics when `a` is not square or the iterate collapses to zero
+/// (A maps the start vector into its null space).
+pub fn power_sequential(a: &Matrix, iters: usize) -> (f64, Vec<f64>) {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "matrix must be square");
+    let mut x = vec![1.0f64; n];
+    let mut lambda = 0.0f64;
+    for _ in 0..iters {
+        let y = a.matvec(&x);
+        lambda = y.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        assert!(lambda > 0.0, "iterate collapsed to zero");
+        for (xi, &yi) in x.iter_mut().zip(&y) {
+            *xi = yi / lambda;
+        }
+    }
+    (lambda, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_converges_to_largest_entry() {
+        let mut a = Matrix::zeros(4, 4);
+        for (i, &d) in [3.0, 7.0, 2.0, 5.0].iter().enumerate() {
+            a[(i, i)] = d;
+        }
+        let (lambda, v) = power_sequential(&a, 60);
+        assert!((lambda - 7.0).abs() < 1e-9);
+        // Eigenvector concentrates on index 1.
+        assert!((v[1].abs() - 1.0).abs() < 1e-9);
+        assert!(v[0].abs() < 1e-6 && v[2].abs() < 1e-9);
+    }
+
+    #[test]
+    fn identity_matrix_is_a_fixed_point() {
+        let a = Matrix::identity(5);
+        let (lambda, v) = power_sequential(&a, 10);
+        assert_eq!(lambda, 1.0);
+        assert!(v.iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn zero_iterations_returns_start_state() {
+        let a = Matrix::identity(3);
+        let (lambda, v) = power_sequential(&a, 0);
+        assert_eq!(lambda, 0.0);
+        assert_eq!(v, vec![1.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_non_square() {
+        power_sequential(&Matrix::zeros(2, 3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "collapsed to zero")]
+    fn zero_matrix_collapses() {
+        power_sequential(&Matrix::zeros(3, 3), 1);
+    }
+}

@@ -1,0 +1,75 @@
+//! Timing-mode power iteration: identical distribution, allgather and
+//! charged flops; zero-filled payloads, no arithmetic. Equivalence is
+//! pinned in the parent module's tests.
+
+use crate::ge::TimingOutcome;
+use hetpart::BlockDistribution;
+use hetsim_cluster::cluster::ClusterSpec;
+use hetsim_cluster::network::NetworkModel;
+use hetsim_mpi::{run_spmd, Tag};
+
+/// Runs the power-method protocol skeleton: `iters` sweeps at size `n`.
+pub fn power_parallel_timed<N: NetworkModel>(
+    cluster: &ClusterSpec,
+    network: &N,
+    n: usize,
+    iters: usize,
+) -> TimingOutcome {
+    let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
+    let dist = BlockDistribution::proportional(n, &speeds);
+
+    let outcome = run_spmd(cluster, network, |rank| {
+        let me = rank.rank();
+        let p = rank.size();
+        let rows = dist.range_of(me).len();
+
+        if me == 0 {
+            for peer in 1..p {
+                let r = dist.range_of(peer);
+                rank.send_f64s(peer, Tag::DATA, &vec![0.0; r.len() * n]);
+            }
+        } else {
+            let block = rank.recv_f64s(0, Tag::DATA);
+            assert_eq!(block.len(), rows * n);
+        }
+
+        let y_local = vec![0.0f64; rows];
+        for _sweep in 0..iters {
+            rank.compute_flops(2.0 * (rows * n) as f64);
+            let _ = rank.allgather_f64s(&y_local);
+            rank.compute_flops(2.0 * n as f64);
+        }
+    });
+
+    TimingOutcome {
+        makespan: outcome.makespan(),
+        total_overhead: outcome.total_overhead(),
+        times: outcome.times.clone(),
+        compute_times: outcome.compute_times.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim_cluster::network::MpichEthernet;
+
+    #[test]
+    fn timed_is_deterministic() {
+        let cluster = ClusterSpec::homogeneous(4, 50.0);
+        let net = MpichEthernet::new(1e-4, 1e8);
+        assert_eq!(
+            power_parallel_timed(&cluster, &net, 40, 5),
+            power_parallel_timed(&cluster, &net, 40, 5)
+        );
+    }
+
+    #[test]
+    fn overhead_scales_with_sweeps() {
+        let cluster = ClusterSpec::homogeneous(4, 50.0);
+        let net = MpichEthernet::new(1e-4, 1e8);
+        let o1 = power_parallel_timed(&cluster, &net, 64, 2);
+        let o2 = power_parallel_timed(&cluster, &net, 64, 8);
+        assert!(o2.total_overhead > o1.total_overhead);
+    }
+}

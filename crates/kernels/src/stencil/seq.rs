@@ -1,0 +1,82 @@
+//! Sequential Jacobi reference: the correctness oracle.
+
+use crate::matrix::Matrix;
+
+/// Performs `iters` Jacobi sweeps on an `n × n` grid: every interior
+/// point becomes the average of its four neighbours; the boundary is a
+/// fixed Dirichlet condition (unchanged).
+pub fn jacobi_sequential(u0: &Matrix, iters: usize) -> Matrix {
+    let n = u0.rows();
+    assert_eq!(u0.cols(), n, "grid must be square");
+    let mut cur = u0.clone();
+    if n < 3 {
+        return cur;
+    }
+    let mut next = cur.clone();
+    for _ in 0..iters {
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                next[(i, j)] = 0.25
+                    * (cur[(i - 1, j)] + cur[(i + 1, j)] + cur[(i, j - 1)] + cur[(i, j + 1)]);
+            }
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_grid_is_a_fixed_point() {
+        let u = Matrix::from_fn(8, 8, |_, _| 3.5);
+        let out = jacobi_sequential(&u, 10);
+        assert!(out.max_diff(&u) < 1e-15);
+    }
+
+    #[test]
+    fn boundary_is_preserved() {
+        let u = Matrix::random(10, 10, 1);
+        let out = jacobi_sequential(&u, 5);
+        for k in 0..10 {
+            assert_eq!(out[(0, k)], u[(0, k)]);
+            assert_eq!(out[(9, k)], u[(9, k)]);
+            assert_eq!(out[(k, 0)], u[(k, 0)]);
+            assert_eq!(out[(k, 9)], u[(k, 9)]);
+        }
+    }
+
+    #[test]
+    fn one_sweep_averages_neighbours() {
+        let mut u = Matrix::zeros(3, 3);
+        u[(0, 1)] = 4.0;
+        u[(1, 0)] = 8.0;
+        u[(1, 2)] = 12.0;
+        u[(2, 1)] = 16.0;
+        let out = jacobi_sequential(&u, 1);
+        assert_eq!(out[(1, 1)], 10.0);
+    }
+
+    #[test]
+    fn iteration_converges_toward_harmonic_interior() {
+        // Hot left wall, cold elsewhere: the interior warms monotonically
+        // and stays bounded by the wall values.
+        let n = 12;
+        let u0 = Matrix::from_fn(n, n, |_, j| if j == 0 { 100.0 } else { 0.0 });
+        let few = jacobi_sequential(&u0, 5);
+        let many = jacobi_sequential(&u0, 50);
+        let mid = (n / 2, n / 2);
+        assert!(many[mid] > few[mid]);
+        assert!(many[mid] < 100.0);
+    }
+
+    #[test]
+    fn degenerate_grids_pass_through() {
+        for n in [0usize, 1, 2] {
+            let u = Matrix::random(n, n, 3);
+            assert!(jacobi_sequential(&u, 4).max_diff(&u) < 1e-15);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Timing-mode stencil: same distribution, halo exchanges, charged
+//! flops and collection as [`super::stencil_parallel`], zero-filled
+//! payloads, no arithmetic. Timing equivalence is pinned by the tests
+//! in the parent module.
+
+use crate::ge::TimingOutcome;
+use hetpart::BlockDistribution;
+use hetsim_cluster::cluster::ClusterSpec;
+use hetsim_cluster::network::NetworkModel;
+use hetsim_mpi::{run_spmd, Tag};
+
+const TAG_DOWN: Tag = Tag(10);
+const TAG_UP: Tag = Tag(11);
+
+/// Runs the stencil protocol skeleton at grid size `n` for `iters`
+/// sweeps.
+pub fn stencil_parallel_timed<N: NetworkModel>(
+    cluster: &ClusterSpec,
+    network: &N,
+    n: usize,
+    iters: usize,
+) -> TimingOutcome {
+    let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
+    let dist = BlockDistribution::proportional(n, &speeds);
+
+    let outcome = run_spmd(cluster, network, |rank| {
+        let me = rank.rank();
+        let p = rank.size();
+        let my_range = dist.range_of(me);
+        let rows = my_range.len();
+
+        // Distribution.
+        if me == 0 {
+            for peer in 1..p {
+                let r = dist.range_of(peer);
+                rank.send_f64s(peer, Tag::DATA, &vec![0.0; r.len() * n]);
+            }
+        } else {
+            let data = rank.recv_f64s(0, Tag::DATA);
+            assert_eq!(data.len(), rows * n);
+        }
+
+        // Sweeps: identical message pattern and charged flops.
+        let prev = (0..me).rev().find(|&r| !dist.range_of(r).is_empty());
+        let next = (me + 1..p).find(|&r| !dist.range_of(r).is_empty());
+        if rows > 0 && n >= 3 && iters > 0 {
+            let halo = vec![0.0f64; n];
+            let interior_rows = (my_range.start.max(1)..my_range.end.min(n - 1)).count();
+            for _sweep in 0..iters {
+                if let Some(prv) = prev {
+                    rank.send_f64s(prv, TAG_UP, &halo);
+                }
+                if let Some(nxt) = next {
+                    rank.send_f64s(nxt, TAG_DOWN, &halo);
+                }
+                if let Some(prv) = prev {
+                    let _ = rank.recv_f64s(prv, TAG_DOWN);
+                }
+                if let Some(nxt) = next {
+                    let _ = rank.recv_f64s(nxt, TAG_UP);
+                }
+                rank.compute_flops(4.0 * (interior_rows * (n - 2)) as f64);
+            }
+        }
+
+        // Collection.
+        let gathered = rank.gather_f64s(0, &vec![0.0; rows * n]);
+        if me == 0 {
+            let _ = gathered.expect("rank 0 is the gather root");
+        }
+    });
+
+    TimingOutcome {
+        makespan: outcome.makespan(),
+        total_overhead: outcome.total_overhead(),
+        times: outcome.times.clone(),
+        compute_times: outcome.compute_times.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim_cluster::network::MpichEthernet;
+
+    #[test]
+    fn timed_is_deterministic() {
+        let cluster = ClusterSpec::homogeneous(4, 50.0);
+        let net = MpichEthernet::new(1e-4, 1e8);
+        assert_eq!(
+            stencil_parallel_timed(&cluster, &net, 48, 6),
+            stencil_parallel_timed(&cluster, &net, 48, 6)
+        );
+    }
+
+    #[test]
+    fn overhead_scales_with_iterations() {
+        let cluster = ClusterSpec::homogeneous(4, 50.0);
+        let net = MpichEthernet::new(1e-4, 1e8);
+        let o2 = stencil_parallel_timed(&cluster, &net, 64, 2);
+        let o8 = stencil_parallel_timed(&cluster, &net, 64, 8);
+        assert!(o8.total_overhead > o2.total_overhead);
+    }
+}

@@ -1,0 +1,106 @@
+//! Error type shared by all numfit routines.
+
+use std::fmt;
+
+/// Errors produced by fitting, solving and inversion routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// The input series has too few points for the requested operation
+    /// (e.g. fitting a degree-3 polynomial through 2 points).
+    InsufficientData {
+        /// Number of data points supplied.
+        got: usize,
+        /// Minimum number of points required.
+        need: usize,
+    },
+    /// The linear system arising from the normal equations is singular to
+    /// working precision (collinear or duplicated abscissae).
+    SingularSystem,
+    /// Mismatched input lengths (x and y slices must be the same length).
+    LengthMismatch {
+        /// Length of the x slice.
+        x_len: usize,
+        /// Length of the y slice.
+        y_len: usize,
+    },
+    /// An input contained a NaN or infinite value.
+    NonFinite,
+    /// Root finding failed to bracket the requested level inside the
+    /// search interval.
+    NoBracket {
+        /// Lower end of the searched interval.
+        lo: f64,
+        /// Upper end of the searched interval.
+        hi: f64,
+        /// Level that could not be bracketed.
+        target: f64,
+    },
+    /// Iterative refinement did not converge within the iteration budget.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// A parameter was outside its documented domain (e.g. a negative
+    /// weight, an empty interval).
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::InsufficientData { got, need } => {
+                write!(f, "insufficient data: got {got} points, need at least {need}")
+            }
+            FitError::SingularSystem => {
+                write!(f, "normal equations are singular to working precision")
+            }
+            FitError::LengthMismatch { x_len, y_len } => {
+                write!(f, "length mismatch: x has {x_len} elements, y has {y_len}")
+            }
+            FitError::NonFinite => write!(f, "input contains NaN or infinite values"),
+            FitError::NoBracket { lo, hi, target } => {
+                write!(f, "could not bracket level {target} in [{lo}, {hi}]")
+            }
+            FitError::NoConvergence { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+            FitError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = FitError::InsufficientData { got: 2, need: 4 };
+        assert!(e.to_string().contains("got 2"));
+        assert!(e.to_string().contains("need at least 4"));
+
+        let e = FitError::LengthMismatch { x_len: 3, y_len: 5 };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('5'));
+
+        let e = FitError::NoBracket { lo: 0.0, hi: 1.0, target: 0.3 };
+        assert!(e.to_string().contains("0.3"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&FitError::SingularSystem);
+    }
+
+    #[test]
+    fn errors_compare_equal() {
+        assert_eq!(FitError::SingularSystem, FitError::SingularSystem);
+        assert_ne!(
+            FitError::SingularSystem,
+            FitError::NonFinite,
+        );
+    }
+}

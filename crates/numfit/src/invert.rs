@@ -1,0 +1,209 @@
+//! Root bracketing, bisection, and monotone curve inversion.
+//!
+//! The scalability methodology needs "given a target speed-efficiency
+//! level, find the problem size that achieves it" — i.e. invert a fitted
+//! efficiency curve over a search interval. Speed-efficiency curves are
+//! increasing-then-saturating over the ranges of interest, so a linear
+//! bracket scan followed by bisection is robust and derivative-free.
+
+use crate::error::FitError;
+use crate::Result;
+
+/// An interval `[lo, hi]` known to bracket a root of `f(x) − target`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bracket {
+    /// Lower end; `f(lo) − target` and `f(hi) − target` have opposite signs
+    /// (or one of them is exactly zero).
+    pub lo: f64,
+    /// Upper end.
+    pub hi: f64,
+}
+
+/// Scans `[lo, hi]` in `steps` equal subintervals and returns the first
+/// subinterval where `f(x) − target` changes sign.
+pub fn find_bracket<F: Fn(f64) -> f64>(
+    f: &F,
+    lo: f64,
+    hi: f64,
+    target: f64,
+    steps: usize,
+) -> Result<Bracket> {
+    if !(lo.is_finite() && hi.is_finite() && target.is_finite()) {
+        return Err(FitError::NonFinite);
+    }
+    if hi <= lo {
+        return Err(FitError::InvalidParameter("bracket scan requires lo < hi"));
+    }
+    if steps == 0 {
+        return Err(FitError::InvalidParameter("bracket scan requires steps > 0"));
+    }
+    let h = (hi - lo) / steps as f64;
+    let mut x_prev = lo;
+    let mut g_prev = f(lo) - target;
+    if g_prev == 0.0 {
+        return Ok(Bracket { lo, hi: lo });
+    }
+    for i in 1..=steps {
+        let x = if i == steps { hi } else { lo + h * i as f64 };
+        let g = f(x) - target;
+        if g == 0.0 {
+            return Ok(Bracket { lo: x, hi: x });
+        }
+        if g_prev.signum() != g.signum() {
+            return Ok(Bracket { lo: x_prev, hi: x });
+        }
+        x_prev = x;
+        g_prev = g;
+    }
+    Err(FitError::NoBracket { lo, hi, target })
+}
+
+/// Bisection on a bracketed root of `f(x) = target`.
+///
+/// Converges to absolute tolerance `tol` on `x` (or machine-limited
+/// interval width), within `max_iter` halvings.
+pub fn bisect<F: Fn(f64) -> f64>(
+    f: &F,
+    bracket: Bracket,
+    target: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64> {
+    let Bracket { mut lo, mut hi } = bracket;
+    if lo == hi {
+        return Ok(lo);
+    }
+    if tol <= 0.0 {
+        return Err(FitError::InvalidParameter("tolerance must be positive"));
+    }
+    let mut g_lo = f(lo) - target;
+    if g_lo == 0.0 {
+        return Ok(lo);
+    }
+    let g_hi = f(hi) - target;
+    if g_hi == 0.0 {
+        return Ok(hi);
+    }
+    if g_lo.signum() == g_hi.signum() {
+        return Err(FitError::NoBracket { lo, hi, target });
+    }
+    for _ in 0..max_iter {
+        let mid = 0.5 * (lo + hi);
+        if (hi - lo).abs() <= tol || mid == lo || mid == hi {
+            return Ok(mid);
+        }
+        let g_mid = f(mid) - target;
+        if g_mid == 0.0 {
+            return Ok(mid);
+        }
+        if g_mid.signum() == g_lo.signum() {
+            lo = mid;
+            g_lo = g_mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Err(FitError::NoConvergence { iterations: max_iter })
+}
+
+/// Inverts a (locally monotone) function over `[lo, hi]`: returns `x`
+/// with `f(x) ≈ target`.
+///
+/// This is the workhorse behind "required problem size for a target
+/// speed-efficiency": scan for a sign change with 256 steps, then bisect
+/// to `tol`.
+pub fn invert_monotone<F: Fn(f64) -> f64>(
+    f: F,
+    lo: f64,
+    hi: f64,
+    target: f64,
+    tol: f64,
+) -> Result<f64> {
+    let bracket = find_bracket(&f, lo, hi, target, 256)?;
+    bisect(&f, bracket, target, tol, 200)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverts_linear_function() {
+        let x = invert_monotone(|x| 2.0 * x + 1.0, 0.0, 10.0, 7.0, 1e-10).unwrap();
+        assert!((x - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverts_saturating_efficiency_curve() {
+        // Shape of a speed-efficiency curve: E(N) = N / (N + 700).
+        let e = |n: f64| n / (n + 700.0);
+        let n = invert_monotone(e, 1.0, 10_000.0, 0.3, 1e-6).unwrap();
+        assert!((n - 300.0).abs() < 1e-3, "n = {n}");
+    }
+
+    #[test]
+    fn inverts_decreasing_function() {
+        let x = invert_monotone(|x| 10.0 - x, 0.0, 10.0, 2.5, 1e-10).unwrap();
+        assert!((x - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_target_reports_no_bracket() {
+        let err = invert_monotone(|x| x / (x + 1.0), 0.0, 10.0, 2.0, 1e-9).unwrap_err();
+        assert!(matches!(err, FitError::NoBracket { .. }));
+    }
+
+    #[test]
+    fn exact_hit_at_endpoint() {
+        let x = invert_monotone(|x| x, 3.0, 9.0, 3.0, 1e-12).unwrap();
+        assert_eq!(x, 3.0);
+    }
+
+    #[test]
+    fn exact_hit_at_grid_point() {
+        // target hit exactly at an interior scan point.
+        let x = invert_monotone(|x| x, 0.0, 256.0, 128.0, 1e-12).unwrap();
+        assert_eq!(x, 128.0);
+    }
+
+    #[test]
+    fn invalid_interval_rejected() {
+        let err = invert_monotone(|x| x, 5.0, 5.0, 1.0, 1e-9).unwrap_err();
+        assert!(matches!(err, FitError::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn nan_target_rejected() {
+        let err = invert_monotone(|x| x, 0.0, 1.0, f64::NAN, 1e-9).unwrap_err();
+        assert_eq!(err, FitError::NonFinite);
+    }
+
+    #[test]
+    fn bisect_respects_tolerance() {
+        let f = |x: f64| x * x;
+        let b = find_bracket(&f, 0.0, 10.0, 2.0, 64).unwrap();
+        let x = bisect(&f, b, 2.0, 1e-12, 200).unwrap();
+        assert!((x - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_rejects_nonpositive_tolerance() {
+        let f = |x: f64| x;
+        let err = bisect(&f, Bracket { lo: 0.0, hi: 1.0 }, 0.5, 0.0, 10).unwrap_err();
+        assert!(matches!(err, FitError::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn bracket_scan_finds_interior_sign_change() {
+        // Root of cos(x) = 0 near π/2 inside [0, 3].
+        let b = find_bracket(&|x: f64| x.cos(), 0.0, 3.0, 0.0, 100).unwrap();
+        assert!(b.lo < std::f64::consts::FRAC_PI_2 && std::f64::consts::FRAC_PI_2 < b.hi);
+    }
+
+    #[test]
+    fn finds_first_root_of_oscillating_function() {
+        // sin has roots at π, 2π in [0.5, 7]; scan returns the first.
+        let x = invert_monotone(|x: f64| x.sin(), 0.5, 7.0, 0.0, 1e-10).unwrap();
+        assert!((x - std::f64::consts::PI).abs() < 1e-8, "x = {x}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Kumar et al.'s isoefficiency scalability (homogeneous).
+//!
+//! Parallel efficiency is `E = S/p` with speedup `S = T_seq/T_par`; a
+//! machine–algorithm combination is scalable if `E` can be held constant
+//! as `p` grows, by growing the problem. The *isoefficiency function*
+//! `W(p)` is the work growth rate required.
+//!
+//! The paper's criticism, reproduced here as a first-class citizen of
+//! the API: evaluating `E` requires the **sequential execution time of
+//! the full problem on one node**, which for large problems is
+//! impractical or impossible (memory, time). On a simulated substrate we
+//! *can* evaluate it, which is exactly what makes the simulator useful
+//! for comparing the metrics side by side.
+
+use numfit::FitError;
+
+/// Speedup `T_seq / T_par`.
+///
+/// # Panics
+/// Panics on non-positive times.
+pub fn speedup(t_seq: f64, t_par: f64) -> f64 {
+    assert!(t_seq > 0.0 && t_seq.is_finite(), "sequential time must be > 0");
+    assert!(t_par > 0.0 && t_par.is_finite(), "parallel time must be > 0");
+    t_seq / t_par
+}
+
+/// Parallel efficiency `E = speedup / p`.
+///
+/// # Panics
+/// Panics on non-positive times or zero `p`.
+pub fn parallel_efficiency(t_seq: f64, t_par: f64, p: usize) -> f64 {
+    assert!(p > 0, "need at least one processor");
+    speedup(t_seq, t_par) / p as f64
+}
+
+/// Finds the work required to hold parallel efficiency at `target` on a
+/// `p`-processor configuration: sweeps `ns`, computes `E(n)` from the
+/// supplied sequential and parallel measurement procedures, and inverts.
+///
+/// # Errors
+/// Fails when the sweep never reaches the target efficiency.
+pub fn isoefficiency_required_work(
+    p: usize,
+    target: f64,
+    ns: &[usize],
+    work: impl Fn(usize) -> f64,
+    t_seq: impl Fn(usize) -> f64,
+    t_par: impl Fn(usize) -> f64,
+) -> Result<f64, FitError> {
+    let xs: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
+    let ys: Vec<f64> =
+        ns.iter().map(|&n| parallel_efficiency(t_seq(n), t_par(n), p)).collect();
+    let series = numfit::series::Series::from_samples(&xs, &ys)?;
+    let n_req = series.invert_linear(target)?;
+    Ok(work(n_req.round() as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_and_efficiency_basics() {
+        assert_eq!(speedup(8.0, 2.0), 4.0);
+        assert_eq!(parallel_efficiency(8.0, 2.0, 4), 1.0);
+        assert_eq!(parallel_efficiency(8.0, 4.0, 4), 0.5);
+    }
+
+    #[test]
+    fn efficiency_below_one_with_overhead() {
+        // T_par = T_seq/p + overhead.
+        let t_seq = 10.0;
+        let p = 5;
+        let t_par = t_seq / p as f64 + 1.0;
+        let e = parallel_efficiency(t_seq, t_par, p);
+        assert!(e < 1.0 && e > 0.0);
+        assert!((e - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn required_work_grows_with_target() {
+        // Amdahl-style model: t_seq = W/s, t_par = W/(p·s) + k.
+        let p = 4usize;
+        let s = 1e8;
+        let k = 0.05;
+        let work = |n: usize| (n as f64).powi(3);
+        let t_seq = move |n: usize| work(n) / s;
+        let t_par = move |n: usize| work(n) / (p as f64 * s) + k;
+        let ns: Vec<usize> = (1..=30).map(|i| i * 20).collect();
+        let w_low =
+            isoefficiency_required_work(p, 0.5, &ns, work, t_seq, t_par).unwrap();
+        let w_high =
+            isoefficiency_required_work(p, 0.8, &ns, work, t_seq, t_par).unwrap();
+        assert!(w_high > w_low, "higher efficiency needs more work");
+    }
+
+    #[test]
+    fn required_work_matches_analytic_inverse() {
+        // E = (W/s)/(p·(W/(p·s)+k)) = W/(W + p·s·k)
+        // ⇒ W_req = E·p·s·k/(1−E).
+        let p = 4usize;
+        let s = 1e8;
+        let k = 0.05;
+        let target = 0.5;
+        let expected = target * p as f64 * s * k / (1.0 - target);
+        let work = |n: usize| (n as f64).powi(3);
+        let t_seq = move |n: usize| work(n) / s;
+        let t_par = move |n: usize| work(n) / (p as f64 * s) + k;
+        let ns: Vec<usize> = (1..=40).map(|i| i * 10).collect();
+        let w = isoefficiency_required_work(p, target, &ns, work, t_seq, t_par).unwrap();
+        assert!((w - expected).abs() / expected < 0.1, "w = {w}, expected = {expected}");
+    }
+
+    #[test]
+    fn unreachable_target_errors() {
+        let work = |n: usize| n as f64;
+        let t_seq = |_n: usize| 1.0;
+        let t_par = |_n: usize| 1.0; // efficiency pinned at 1/p
+        assert!(isoefficiency_required_work(4, 0.9, &[10, 20], work, t_seq, t_par).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel time must be > 0")]
+    fn zero_parallel_time_rejected() {
+        speedup(1.0, 0.0);
+    }
+}

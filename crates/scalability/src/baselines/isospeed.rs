@@ -1,0 +1,120 @@
+//! Sun & Rover's isospeed scalability (homogeneous; TPDS 1994).
+//!
+//! An algorithm–machine combination is scalable if the achieved *average
+//! unit speed* — achieved speed divided by the number of processors —
+//! can stay constant as processors are added, by growing the problem.
+//! The scalability function is `ψ(p, p') = (p'·W)/(p·W')`.
+//!
+//! This is the homogeneous special case of isospeed-efficiency: with
+//! `C = p·Cᵢ` the two functions coincide, which
+//! `tests::reduces_to_isospeed_efficiency` pins down.
+
+use numfit::FitError;
+
+/// Average unit speed `S/p = W/(T·p)` in flop/s per processor.
+///
+/// # Panics
+/// Panics on non-positive time or processor count, or negative work.
+pub fn average_unit_speed(work_flops: f64, time_secs: f64, p: usize) -> f64 {
+    assert!(p > 0, "need at least one processor");
+    assert!(work_flops >= 0.0 && work_flops.is_finite(), "work must be ≥ 0");
+    assert!(time_secs > 0.0 && time_secs.is_finite(), "time must be > 0");
+    work_flops / (time_secs * p as f64)
+}
+
+/// The isospeed scalability `ψ(p, p') = (p'·W)/(p·W')`.
+///
+/// # Panics
+/// Panics on zero processor counts or non-positive work.
+pub fn isospeed_psi(p: usize, w: f64, p_prime: usize, w_prime: f64) -> f64 {
+    assert!(p > 0 && p_prime > 0, "processor counts must be positive");
+    assert!(w > 0.0 && w_prime > 0.0, "work must be positive");
+    (p_prime as f64 * w) / (p as f64 * w_prime)
+}
+
+/// Finds the work that restores a target average unit speed on a
+/// configuration, given a measurement procedure `time(n)` and a work
+/// model `work(n)`, by sweeping `ns` and inverting piecewise-linearly.
+///
+/// # Errors
+/// Fails when the sweep never reaches the target unit speed.
+pub fn required_work_for_unit_speed(
+    p: usize,
+    target_unit_speed: f64,
+    ns: &[usize],
+    work: impl Fn(usize) -> f64,
+    time: impl Fn(usize) -> f64,
+) -> Result<f64, FitError> {
+    let xs: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
+    let ys: Vec<f64> =
+        ns.iter().map(|&n| average_unit_speed(work(n), time(n), p)).collect();
+    let series = numfit::series::Series::from_samples(&xs, &ys)?;
+    let n_req = series.invert_linear(target_unit_speed)?;
+    Ok(work(n_req.round() as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::isospeed_efficiency_scalability;
+
+    #[test]
+    fn unit_speed_divides_by_processors() {
+        assert_eq!(average_unit_speed(1e8, 1.0, 4), 2.5e7);
+    }
+
+    #[test]
+    fn psi_of_proportional_growth_is_one() {
+        // Doubling processors and work at constant unit speed: ψ = 1.
+        assert_eq!(isospeed_psi(2, 1e7, 4, 2e7), 1.0);
+    }
+
+    #[test]
+    fn superlinear_work_growth_gives_psi_below_one() {
+        let psi = isospeed_psi(2, 1e7, 4, 8e7);
+        assert_eq!(psi, 0.25);
+    }
+
+    #[test]
+    fn reduces_to_isospeed_efficiency() {
+        // The paper's claim: the homogeneous isospeed metric is the
+        // special case C = p·Cᵢ of isospeed-efficiency.
+        let ci = 5e7;
+        for (p, p2, w, w2) in [(2usize, 4usize, 1e7, 3e7), (4, 16, 5e7, 4e8)] {
+            let a = isospeed_psi(p, w, p2, w2);
+            let b = isospeed_efficiency_scalability(p as f64 * ci, w, p2 as f64 * ci, w2);
+            assert!((a - b).abs() < 1e-15, "p={p}→{p2}");
+        }
+    }
+
+    #[test]
+    fn required_work_inverts_a_unit_speed_sweep() {
+        // Unit speed model: W/(T·p) with T = W/(p·s) + k·n ⇒ rises to s.
+        let p = 4usize;
+        let s = 5e7; // per-processor peak
+        let k = 1e-3;
+        let work = |n: usize| (n as f64).powi(3);
+        let time = move |n: usize| work(n) / (p as f64 * s) + k * n as f64;
+        let ns: Vec<usize> = (1..=20).map(|i| i * 50).collect();
+        let target = 0.5 * s;
+        let w_req = required_work_for_unit_speed(p, target, &ns, work, time).unwrap();
+        // Check: at the returned work's n, unit speed ≈ target.
+        let n = (w_req).cbrt().round() as usize;
+        let got = average_unit_speed(work(n), time(n), p);
+        assert!((got - target).abs() / target < 0.05, "got {got}, target {target}");
+    }
+
+    #[test]
+    fn required_work_unreachable_errors() {
+        let work = |n: usize| n as f64;
+        let time = |_n: usize| 1.0;
+        let ns = [10usize, 20, 30];
+        assert!(required_work_for_unit_speed(1, 1e12, &ns, work, time).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        average_unit_speed(1.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! The prior scalability metrics the paper compares against (§2).
+//!
+//! * [`isospeed`] — Sun & Rover's isospeed scalability for homogeneous
+//!   machines: the metric the paper generalizes (and the special case it
+//!   must reduce to).
+//! * [`isoefficiency`] — Kumar et al.'s isoefficiency: parallel
+//!   efficiency (speedup over processor count) held constant. Requires a
+//!   sequential execution time at every problem size, which the paper
+//!   identifies as its practical limitation.
+//! * [`productivity`](productivity/index.html) (module) — Jogalekar & Woodside's strategy-based metric for
+//!   distributed systems: value delivered per unit cost, compared across
+//!   scales. Measures economic worthiness rather than the inherent
+//!   scalability of the machine.
+//! * [`pastor_bosque`] — Pastor & Bosque's heterogeneous efficiency
+//!   model: extends isoefficiency to heterogeneous clusters, inheriting
+//!   the sequential-time requirement.
+//! * [`memory_bounded`] — Sun & Ni's memory-bounded speedup (the
+//!   paper's reference \[9\]): the workload-growth models (Amdahl,
+//!   Gustafson, memory-bounded) that isospeed-style metrics quantify.
+
+pub mod isoefficiency;
+pub mod isospeed;
+pub mod memory_bounded;
+pub mod pastor_bosque;
+pub mod productivity;
+
+pub use isoefficiency::{isoefficiency_required_work, parallel_efficiency};
+pub use isospeed::{average_unit_speed, isospeed_psi, required_work_for_unit_speed};
+pub use memory_bounded::{
+    fixed_size_speedup, fixed_time_speedup, memory_bounded_speedup, GrowthProfile,
+};
+pub use pastor_bosque::{heterogeneous_efficiency, heterogeneous_speedup};
+pub use productivity::{productivity, productivity_scalability, ProductivityModel};

@@ -1,0 +1,95 @@
+//! Pastor & Bosque's heterogeneous efficiency and scalability model
+//! (IEEE Cluster 2001).
+//!
+//! Their model extends isoefficiency to heterogeneous clusters: the
+//! heterogeneous speedup compares the parallel time against the
+//! sequential time on a *reference* node, and the attainable maximum
+//! speedup is the cluster's aggregate power relative to that node,
+//! `S_max = C / C_ref`. Heterogeneous efficiency is then
+//! `E = S / S_max = (T_seq_ref / T_par) · (C_ref / C)`, and the cluster
+//! scales if `E` can be held constant as it grows.
+//!
+//! As the paper notes, the model inherits isoefficiency's practical
+//! limitation: it needs the sequential execution time of the full
+//! problem on a single node.
+
+/// Heterogeneous speedup `S = T_seq_ref / T_par`, where `T_seq_ref` is
+/// measured on the reference node.
+///
+/// # Panics
+/// Panics on non-positive times.
+pub fn heterogeneous_speedup(t_seq_ref: f64, t_par: f64) -> f64 {
+    assert!(t_seq_ref > 0.0 && t_seq_ref.is_finite(), "sequential time must be > 0");
+    assert!(t_par > 0.0 && t_par.is_finite(), "parallel time must be > 0");
+    t_seq_ref / t_par
+}
+
+/// Heterogeneous efficiency `E = S / S_max` with `S_max = C / C_ref`.
+///
+/// `c_flops` is the cluster's aggregate marked speed and `c_ref_flops`
+/// the reference node's.
+///
+/// # Panics
+/// Panics on non-positive speeds or times.
+pub fn heterogeneous_efficiency(
+    t_seq_ref: f64,
+    t_par: f64,
+    c_flops: f64,
+    c_ref_flops: f64,
+) -> f64 {
+    assert!(c_flops > 0.0 && c_ref_flops > 0.0, "speeds must be positive");
+    heterogeneous_speedup(t_seq_ref, t_par) * c_ref_flops / c_flops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_is_time_ratio() {
+        assert_eq!(heterogeneous_speedup(10.0, 2.0), 5.0);
+    }
+
+    #[test]
+    fn perfect_cluster_reaches_efficiency_one() {
+        // Cluster 4× the reference power finishing 4× faster: E = 1.
+        let e = heterogeneous_efficiency(8.0, 2.0, 4e8, 1e8);
+        assert!((e - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overheads_push_efficiency_below_one() {
+        // Same cluster finishing only 2× faster: E = 0.5.
+        let e = heterogeneous_efficiency(8.0, 4.0, 4e8, 1e8);
+        assert!((e - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equivalent_to_isospeed_efficiency_when_work_cancels() {
+        // With T_seq_ref = W/C_ref, E = (W/C_ref)/T_par · C_ref/C
+        // = W/(T_par·C) — the same number as speed-efficiency. The
+        // difference is operational: Pastor–Bosque must *measure*
+        // T_seq_ref; isospeed-efficiency never runs the problem on one
+        // node.
+        let (w, c, c_ref, t_par) = (2e8, 4e8, 1e8, 1.0);
+        let t_seq_ref = w / c_ref;
+        let pb = heterogeneous_efficiency(t_seq_ref, t_par, c, c_ref);
+        let ie = crate::measure::speed_efficiency(w, t_par, c);
+        assert!((pb - ie).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_choice_matters_when_seq_time_is_measured() {
+        // A slower-than-rated sequential run (cache effects) changes E —
+        // the fragility the isospeed-efficiency metric avoids.
+        let honest = heterogeneous_efficiency(2.0, 1.0, 4e8, 1e8);
+        let degraded_seq = heterogeneous_efficiency(2.4, 1.0, 4e8, 1e8);
+        assert!(degraded_seq > honest, "a slow baseline flatters the cluster");
+    }
+
+    #[test]
+    #[should_panic(expected = "speeds must be positive")]
+    fn zero_cluster_speed_rejected() {
+        heterogeneous_efficiency(1.0, 1.0, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Scalability versus execution time — the relations of Sun's JPDC 2002
+//! paper (the ICPP paper's reference \[8\]), carried over to the
+//! heterogeneous metric.
+//!
+//! Holding speed-efficiency constant (`E = W/(T·C) = W'/(T'·C')`) ties
+//! the scaled execution time directly to ψ:
+//!
+//! ```text
+//! T'/T = (W'/W)·(C/C') = 1/ψ(C, C')
+//! ```
+//!
+//! So ψ = 1 means constant execution time under isospeed-efficiency
+//! scaling; ψ < 1 means the scaled (bigger) problem takes *longer* even
+//! on the bigger machine, by exactly `1/ψ`. These helpers make that
+//! trade-off explicit and answer the practical question the 2002 paper
+//! poses: *given a scalability, what problem can I solve in a fixed
+//! time budget?*
+
+/// Execution-time ratio `T'/T = 1/ψ` under the isospeed-efficiency
+/// condition.
+///
+/// # Panics
+/// Panics on non-positive or non-finite ψ.
+pub fn execution_time_ratio(psi: f64) -> f64 {
+    assert!(psi.is_finite() && psi > 0.0, "psi must be positive, got {psi}");
+    1.0 / psi
+}
+
+/// The scaled system's execution time given the base time and ψ.
+///
+/// # Panics
+/// Panics on invalid ψ or non-positive base time.
+pub fn scaled_execution_time(base_time_secs: f64, psi: f64) -> f64 {
+    assert!(
+        base_time_secs.is_finite() && base_time_secs > 0.0,
+        "base time must be positive"
+    );
+    base_time_secs * execution_time_ratio(psi)
+}
+
+/// Fixed-time scaling: the largest work the scaled system can run in the
+/// *base* time while keeping the base speed-efficiency. From
+/// `T' = T`: `W'_budget = W·(C'/C)·(E'/E) = W·C'/C` — i.e. the ideal
+/// scaled work. Comparing it with the ψ-implied required work classifies
+/// the combination:
+///
+/// returns `(w_budget, w_required)`; the combination sustains fixed-time
+/// scaling iff `w_required ≤ w_budget`, i.e. iff ψ ≥ 1.
+pub fn fixed_time_work_budget(w: f64, c: f64, c_prime: f64, psi: f64) -> (f64, f64) {
+    assert!(w > 0.0 && c > 0.0 && c_prime > 0.0, "inputs must be positive");
+    let w_budget = w * c_prime / c;
+    // ψ = (C'·W)/(C·W') ⇒ W' = (C'/C)·W/ψ.
+    let w_required = w_budget / psi;
+    (w_budget, w_required)
+}
+
+/// Classification of an algorithm–system combination by its ψ, in the
+/// vocabulary of the 2002 paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeBehaviour {
+    /// ψ > 1: scaled runs get *faster* — super-scalable.
+    Shrinking,
+    /// ψ = 1 (within tolerance): constant execution time — perfectly
+    /// scalable.
+    Constant,
+    /// ψ < 1: scaled runs slow down by `1/ψ`.
+    Growing,
+}
+
+/// Classifies ψ with a relative tolerance around 1.
+pub fn classify(psi: f64, tol: f64) -> TimeBehaviour {
+    assert!(psi.is_finite() && psi > 0.0, "psi must be positive");
+    assert!(tol >= 0.0, "tolerance must be non-negative");
+    if (psi - 1.0).abs() <= tol {
+        TimeBehaviour::Constant
+    } else if psi > 1.0 {
+        TimeBehaviour::Shrinking
+    } else {
+        TimeBehaviour::Growing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::isospeed_efficiency_scalability;
+
+    #[test]
+    fn perfect_scalability_means_constant_time() {
+        assert_eq!(execution_time_ratio(1.0), 1.0);
+        assert_eq!(scaled_execution_time(12.5, 1.0), 12.5);
+        assert_eq!(classify(1.0, 0.0), TimeBehaviour::Constant);
+    }
+
+    #[test]
+    fn half_scalability_doubles_time() {
+        assert_eq!(execution_time_ratio(0.5), 2.0);
+        assert_eq!(scaled_execution_time(3.0, 0.5), 6.0);
+        assert_eq!(classify(0.5, 0.05), TimeBehaviour::Growing);
+    }
+
+    #[test]
+    fn ratio_is_consistent_with_the_definition() {
+        // Derive T'/T directly from (W, C, T) tuples at equal E and
+        // compare against 1/ψ.
+        let (c, w) = (1.4e8, 2e7);
+        let (c2, w2) = (2.4e8, 1.2e8);
+        let e = 0.3;
+        let t = w / (e * c);
+        let t2 = w2 / (e * c2);
+        let psi = isospeed_efficiency_scalability(c, w, c2, w2);
+        assert!((t2 / t - execution_time_ratio(psi)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_time_budget_matches_psi_one() {
+        let (w, c, c2) = (1e8, 1e8, 4e8);
+        let (budget, required) = fixed_time_work_budget(w, c, c2, 1.0);
+        assert_eq!(budget, required);
+        assert_eq!(budget, 4e8);
+    }
+
+    #[test]
+    fn sub_unit_psi_exceeds_the_budget() {
+        let (w, c, c2) = (1e8, 1e8, 4e8);
+        let (budget, required) = fixed_time_work_budget(w, c, c2, 0.25);
+        assert_eq!(required, 4.0 * budget);
+    }
+
+    #[test]
+    fn classification_tolerance_band() {
+        assert_eq!(classify(0.99, 0.02), TimeBehaviour::Constant);
+        assert_eq!(classify(1.05, 0.02), TimeBehaviour::Shrinking);
+        assert_eq!(classify(0.90, 0.02), TimeBehaviour::Growing);
+    }
+
+    #[test]
+    #[should_panic(expected = "psi must be positive")]
+    fn zero_psi_rejected() {
+        execution_time_ratio(0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! The isospeed-efficiency scalability function (§3.3 of the paper).
+
+/// The scalability function
+/// `ψ(C, C') = (C'·W) / (C·W')`,
+/// where `W` is the work at the base system of marked speed `C` and `W'`
+/// is the work required to restore the base speed-efficiency on the
+/// scaled system of marked speed `C'`.
+///
+/// In the ideal situation `W' = C'·W/C` and `ψ = 1`; generally
+/// `W' > C'·W/C` and `ψ < 1`.
+///
+/// ```
+/// use scalability::function::isospeed_efficiency_scalability;
+/// // 140 -> 240 Mflop/s system; holding E_s took W: 2e7 -> 6e7 flop.
+/// let psi = isospeed_efficiency_scalability(1.4e8, 2e7, 2.4e8, 6e7);
+/// assert!((psi - 4.0 / 7.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+/// Panics when any argument is non-positive or non-finite.
+pub fn isospeed_efficiency_scalability(c: f64, w: f64, c_prime: f64, w_prime: f64) -> f64 {
+    for (name, v) in [("C", c), ("W", w), ("C'", c_prime), ("W'", w_prime)] {
+        assert!(v.is_finite() && v > 0.0, "{name} must be positive and finite, got {v}");
+    }
+    (c_prime * w) / (c * w_prime)
+}
+
+/// The ideal scaled work `W' = C'·W/C` that would keep speed-efficiency
+/// constant with zero additional overhead.
+pub fn ideal_scaled_work(c: f64, w: f64, c_prime: f64) -> f64 {
+    c_prime * w / c
+}
+
+/// The homogeneous special case: Sun & Rover's isospeed scalability
+/// `ψ(p, p') = (p'·W)/(p·W')`. With `C = p·Cᵢ` and `C' = p'·Cᵢ` this is
+/// exactly [`isospeed_efficiency_scalability`]; it is exposed separately
+/// so the reduction can be asserted and the baseline used directly.
+pub fn isospeed_scalability(p: usize, w: f64, p_prime: usize, w_prime: f64) -> f64 {
+    isospeed_efficiency_scalability(p as f64, w, p_prime as f64, w_prime)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_work_gives_psi_one() {
+        let (c, w, c2) = (1.4e8, 2e7, 2.4e8);
+        let w2 = ideal_scaled_work(c, w, c2);
+        assert!((isospeed_efficiency_scalability(c, w, c2, w2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extra_work_gives_psi_below_one() {
+        let (c, w, c2) = (1.4e8, 2e7, 2.4e8);
+        let w2 = 2.0 * ideal_scaled_work(c, w, c2);
+        let psi = isospeed_efficiency_scalability(c, w, c2, w2);
+        assert!((psi - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn homogeneous_reduction_matches_isospeed() {
+        // C = p·Cᵢ: the two functions agree for any per-node speed.
+        let ci = 5e7;
+        let (p, p2) = (4usize, 16usize);
+        let (w, w2) = (1e8, 9e8);
+        let via_isospeed = isospeed_scalability(p, w, p2, w2);
+        let via_eff = isospeed_efficiency_scalability(p as f64 * ci, w, p2 as f64 * ci, w2);
+        assert!((via_isospeed - via_eff).abs() < 1e-15);
+    }
+
+    #[test]
+    fn paper_shaped_example() {
+        // The GE experiment's surviving numbers: N 310 → 480 as the
+        // ladder goes 2 → 4 nodes. ψ must land strictly inside (0, 1).
+        let w310 = (2.0 / 3.0) * 310.0f64.powi(3) + 1.5 * 310.0f64.powi(2);
+        let w480 = (2.0 / 3.0) * 480.0f64.powi(3) + 1.5 * 480.0f64.powi(2);
+        let c2 = 140.0e6;
+        let c4 = 240.0e6;
+        let psi = isospeed_efficiency_scalability(c2, w310, c4, w480);
+        assert!(psi > 0.0 && psi < 1.0, "psi = {psi}");
+    }
+
+    #[test]
+    fn psi_is_transitive_along_a_ladder() {
+        // ψ(C1,C3) = ψ(C1,C2)·ψ(C2,C3): the function is a ratio, so
+        // ladder steps compose multiplicatively.
+        let (c1, c2, c3) = (1e8, 2e8, 4e8);
+        let (w1, w2, w3) = (1e7, 3e7, 1e8);
+        let step12 = isospeed_efficiency_scalability(c1, w1, c2, w2);
+        let step23 = isospeed_efficiency_scalability(c2, w2, c3, w3);
+        let direct = isospeed_efficiency_scalability(c1, w1, c3, w3);
+        assert!((step12 * step23 - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shrinking_system_can_exceed_one() {
+        // ψ > 1 is possible when the "scaled" system is smaller and the
+        // required work shrinks more than proportionally.
+        let psi = isospeed_efficiency_scalability(2e8, 1e8, 1e8, 2e7);
+        assert!(psi > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "W' must be positive")]
+    fn rejects_zero_scaled_work() {
+        isospeed_efficiency_scalability(1e8, 1e7, 2e8, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "C must be positive")]
+    fn rejects_nan_speed() {
+        isospeed_efficiency_scalability(f64::NAN, 1e7, 2e8, 1e7);
+    }
+}

@@ -1,0 +1,195 @@
+//! Human-readable scalability reports: one call turns a measured
+//! [`ScalabilityLadder`] into the full story — ψ per step, the
+//! execution-time cost of holding efficiency, the fixed-time work
+//! budget, and a classification — the summary a capacity planner would
+//! actually read.
+
+use crate::execution_time::{classify, execution_time_ratio, fixed_time_work_budget, TimeBehaviour};
+use crate::metric::ScalabilityLadder;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One analyzed ladder step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepAnalysis {
+    /// Step label, e.g. `"sunwulf-ge-2 -> sunwulf-ge-4"`.
+    pub step: String,
+    /// The scalability ψ(C, C').
+    pub psi: f64,
+    /// Execution-time growth `T'/T = 1/ψ` under iso-efficiency scaling.
+    pub time_ratio: f64,
+    /// The largest work runnable on the scaled system within the *base*
+    /// execution time at the base efficiency.
+    pub fixed_time_work_budget: f64,
+    /// The work the iso-efficiency condition actually demands.
+    pub required_work: f64,
+    /// Qualitative classification.
+    pub behaviour: Behaviour,
+}
+
+/// Serializable mirror of [`TimeBehaviour`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Behaviour {
+    /// ψ > 1: scaled runs get faster.
+    Shrinking,
+    /// ψ ≈ 1: constant execution time.
+    Constant,
+    /// ψ < 1: scaled runs slow down by 1/ψ.
+    Growing,
+}
+
+impl From<TimeBehaviour> for Behaviour {
+    fn from(b: TimeBehaviour) -> Behaviour {
+        match b {
+            TimeBehaviour::Shrinking => Behaviour::Shrinking,
+            TimeBehaviour::Constant => Behaviour::Constant,
+            TimeBehaviour::Growing => Behaviour::Growing,
+        }
+    }
+}
+
+impl Behaviour {
+    fn verdict(self) -> &'static str {
+        match self {
+            Behaviour::Shrinking => "super-scalable (scaled runs get faster)",
+            Behaviour::Constant => "perfectly scalable (constant execution time)",
+            Behaviour::Growing => "scalable with growing execution time",
+        }
+    }
+}
+
+/// The full analysis of one measured ladder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalabilityReport {
+    /// The efficiency everything was held to.
+    pub target_efficiency: f64,
+    /// Per-step analyses, in ladder order.
+    pub steps: Vec<StepAnalysis>,
+    /// Geometric-mean ψ across the ladder.
+    pub geometric_mean_psi: f64,
+}
+
+/// Relative tolerance around ψ = 1 treated as "constant time".
+pub const CONSTANT_TOLERANCE: f64 = 0.05;
+
+/// Analyzes a measured ladder.
+pub fn analyze(ladder: &ScalabilityLadder) -> ScalabilityReport {
+    let steps = ladder
+        .steps
+        .iter()
+        .map(|s| {
+            let (budget, required) = fixed_time_work_budget(s.w, s.c, s.c_prime, s.psi);
+            StepAnalysis {
+                step: format!("{} -> {}", s.from, s.to),
+                psi: s.psi,
+                time_ratio: execution_time_ratio(s.psi),
+                fixed_time_work_budget: budget,
+                required_work: required,
+                behaviour: classify(s.psi, CONSTANT_TOLERANCE).into(),
+            }
+        })
+        .collect();
+    ScalabilityReport {
+        target_efficiency: ladder.target_efficiency,
+        steps,
+        geometric_mean_psi: ladder.geometric_mean_psi(),
+    }
+}
+
+impl fmt::Display for ScalabilityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "scalability report (speed-efficiency held at {:.2})",
+            self.target_efficiency
+        )?;
+        for s in &self.steps {
+            writeln!(f, "  {}", s.step)?;
+            writeln!(
+                f,
+                "    psi = {:.4}   T'/T = {:.2}x   {}",
+                s.psi,
+                s.time_ratio,
+                s.behaviour.verdict()
+            )?;
+            writeln!(
+                f,
+                "    fixed-time budget {:.3e} flop vs required {:.3e} flop ({})",
+                s.fixed_time_work_budget,
+                s.required_work,
+                if s.required_work <= s.fixed_time_work_budget {
+                    "fits"
+                } else {
+                    "exceeds"
+                }
+            )?;
+        }
+        writeln!(f, "  geometric mean psi = {:.4}", self.geometric_mean_psi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::LadderStep;
+
+    fn ladder_with(psis: &[f64]) -> ScalabilityLadder {
+        let steps = psis
+            .iter()
+            .enumerate()
+            .map(|(i, &psi)| {
+                let c = 1e8 * (1 << i) as f64;
+                let c2 = 2.0 * c;
+                let w = 1e9;
+                // ψ = C'W/(CW') ⇒ W' = (C'/C)·W/ψ.
+                let w2 = (c2 / c) * w / psi;
+                LadderStep {
+                    from: format!("sys-{i}"),
+                    to: format!("sys-{}", i + 1),
+                    c,
+                    c_prime: c2,
+                    n: 100,
+                    n_prime: 150,
+                    w,
+                    w_prime: w2,
+                    psi,
+                }
+            })
+            .collect();
+        ScalabilityLadder { target_efficiency: 0.3, required: Vec::new(), steps }
+    }
+
+    #[test]
+    fn analysis_computes_consistent_ratios() {
+        let report = analyze(&ladder_with(&[0.5, 1.0, 1.25]));
+        assert_eq!(report.steps.len(), 3);
+        assert_eq!(report.steps[0].time_ratio, 2.0);
+        assert_eq!(report.steps[0].behaviour, Behaviour::Growing);
+        assert_eq!(report.steps[1].behaviour, Behaviour::Constant);
+        assert_eq!(report.steps[2].behaviour, Behaviour::Shrinking);
+    }
+
+    #[test]
+    fn budget_fits_exactly_at_psi_one() {
+        let report = analyze(&ladder_with(&[1.0]));
+        let s = &report.steps[0];
+        assert!((s.fixed_time_work_budget - s.required_work).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_reads_like_a_report() {
+        let report = analyze(&ladder_with(&[0.4]));
+        let text = format!("{report}");
+        assert!(text.contains("scalability report"));
+        assert!(text.contains("psi = 0.4000"));
+        assert!(text.contains("T'/T = 2.50x"));
+        assert!(text.contains("exceeds"));
+        assert!(text.contains("geometric mean"));
+    }
+
+    #[test]
+    fn geometric_mean_carries_over() {
+        let report = analyze(&ladder_with(&[0.25, 1.0]));
+        assert!((report.geometric_mean_psi - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,146 @@
+//! Theorem 1 and its corollaries (§3.4 of the paper).
+//!
+//! For a load-balanced algorithm with sequential fraction `α`, write the
+//! parallel time as `T = T_c + T_o` with
+//! `T_c = (1−α)·W/C + t₀` (`t₀` = time of the sequential portion) and
+//! `T_o` = communication/synchronization overhead. Imposing the
+//! isospeed-efficiency condition `W/(T·C) = W'/(T'·C')` and cancelling
+//! the balanced term yields
+//!
+//! ```text
+//! W' = W · C'·(t₀' + T_o') / (C·(t₀ + T_o))
+//! ψ(C, C') = (C'·W)/(C·W') = (t₀ + T_o) / (t₀' + T_o')
+//! ```
+//!
+//! **Corollary 1** (α = 0, constant overhead): `T_o = T_o'`, `t₀ = t₀' = 0`
+//! ⇒ `ψ = 1`. **Corollary 2** (α = 0): `ψ = T_o / T_o'`.
+//!
+//! The theorem is what makes scalability *predictable*: analyze `t₀` and
+//! `T_o` at both scales and ψ follows without running the scaled system.
+
+/// ψ by Theorem 1: `(t₀ + T_o) / (t₀' + T_o')`.
+///
+/// ```
+/// use scalability::theorem::psi_theorem1;
+/// // Sequential portion 10 ms + overhead 50 ms, scaling to 12 + 110 ms.
+/// let psi = psi_theorem1(0.010, 0.050, 0.012, 0.110);
+/// assert!((psi - 60.0 / 122.0).abs() < 1e-12);
+/// ```
+///
+/// All inputs in seconds; `t0 + t_o` and `t0' + t_o'` must be positive
+/// (a system with *zero* sequential time and zero overhead is perfectly
+/// scalable by Corollary 1 — call that out explicitly rather than
+/// dividing 0/0).
+///
+/// # Panics
+/// Panics on negative or non-finite inputs, or when either denominator
+/// sum is zero.
+pub fn psi_theorem1(t0: f64, t_o: f64, t0_prime: f64, t_o_prime: f64) -> f64 {
+    for (name, v) in [("t0", t0), ("T_o", t_o), ("t0'", t0_prime), ("T_o'", t_o_prime)] {
+        assert!(v.is_finite() && v >= 0.0, "{name} must be ≥ 0 and finite, got {v}");
+    }
+    let base = t0 + t_o;
+    let scaled = t0_prime + t_o_prime;
+    assert!(base > 0.0 && scaled > 0.0, "overhead sums must be positive (Corollary 1 handles the all-zero case: ψ = 1)");
+    base / scaled
+}
+
+/// ψ by Corollary 2 (perfectly parallel algorithm): `T_o / T_o'`.
+///
+/// # Panics
+/// Panics on non-positive or non-finite overheads.
+pub fn psi_corollary2(t_o: f64, t_o_prime: f64) -> f64 {
+    psi_theorem1(0.0, t_o, 0.0, t_o_prime)
+}
+
+/// The scaled work demanded by the isospeed-efficiency condition:
+/// `W' = W · C'·(t₀' + T_o') / (C·(t₀ + T_o))`.
+///
+/// # Panics
+/// Panics on invalid inputs (see [`psi_theorem1`]) or non-positive
+/// `w`/`c`/`c_prime`.
+pub fn scaled_work_from_condition(
+    w: f64,
+    c: f64,
+    c_prime: f64,
+    t0: f64,
+    t_o: f64,
+    t0_prime: f64,
+    t_o_prime: f64,
+) -> f64 {
+    assert!(w.is_finite() && w > 0.0, "W must be positive");
+    assert!(c.is_finite() && c > 0.0, "C must be positive");
+    assert!(c_prime.is_finite() && c_prime > 0.0, "C' must be positive");
+    let psi = psi_theorem1(t0, t_o, t0_prime, t_o_prime);
+    // W' = (C'/C)·W/ψ, since ψ = C'W/(CW').
+    (c_prime / c) * w / psi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::isospeed_efficiency_scalability;
+
+    #[test]
+    fn corollary1_constant_overhead_is_perfectly_scalable() {
+        // α = 0 (t0 = t0' = 0) and T_o = T_o' ⇒ ψ = 1.
+        assert_eq!(psi_theorem1(0.0, 0.5, 0.0, 0.5), 1.0);
+    }
+
+    #[test]
+    fn corollary2_is_overhead_ratio() {
+        assert_eq!(psi_corollary2(0.2, 0.8), 0.25);
+        assert_eq!(psi_corollary2(1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn growing_overhead_shrinks_psi() {
+        let psi = psi_theorem1(0.1, 0.2, 0.15, 0.6);
+        assert!((psi - 0.3 / 0.75).abs() < 1e-15);
+        assert!(psi < 1.0);
+    }
+
+    #[test]
+    fn sequential_portion_counts_like_overhead() {
+        // Same total (t0 + T_o): ψ identical however it is split.
+        assert_eq!(psi_theorem1(0.3, 0.0, 0.0, 0.6), psi_theorem1(0.0, 0.3, 0.6, 0.0));
+    }
+
+    #[test]
+    fn theorem_and_function_agree_through_scaled_work() {
+        // ψ from Theorem 1 equals ψ from the definition applied to the
+        // W' the condition demands — internal consistency of the theory.
+        let (w, c, c2) = (2e7, 1.4e8, 2.4e8);
+        let (t0, to, t02, to2) = (0.01, 0.05, 0.012, 0.11);
+        let w2 = scaled_work_from_condition(w, c, c2, t0, to, t02, to2);
+        let psi_def = isospeed_efficiency_scalability(c, w, c2, w2);
+        let psi_thm = psi_theorem1(t0, to, t02, to2);
+        assert!((psi_def - psi_thm).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_work_exceeds_ideal_when_overhead_grows() {
+        let (w, c, c2) = (2e7, 1.4e8, 2.4e8);
+        let w2 = scaled_work_from_condition(w, c, c2, 0.0, 0.05, 0.0, 0.10);
+        let ideal = c2 * w / c;
+        assert!(w2 > ideal, "w2 = {w2}, ideal = {ideal}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 0")]
+    fn negative_overhead_rejected() {
+        psi_theorem1(0.0, -0.1, 0.0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "Corollary 1 handles the all-zero case")]
+    fn zero_over_zero_rejected() {
+        psi_theorem1(0.0, 0.0, 0.0, 0.5);
+    }
+
+    #[test]
+    fn psi_can_exceed_one_when_overhead_shrinks() {
+        // E.g. upgrading the interconnect along with the nodes.
+        assert!(psi_corollary2(0.5, 0.25) > 1.0);
+    }
+}

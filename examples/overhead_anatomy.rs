@@ -1,0 +1,43 @@
+//! Where does the overhead go? Traces one GE run per ladder rung,
+//! prints the per-operation breakdown (Theorem 1's `T_o`, dissected)
+//! and a text Gantt timeline of the ranks.
+//!
+//! ```sh
+//! cargo run --release --example overhead_anatomy
+//! ```
+
+use hetscale::hetsim_cluster::sunwulf;
+use hetscale::hetsim_mpi::trace::OverheadBreakdown;
+use hetscale::hetsim_mpi::timeline_text;
+use hetscale::kernels::ge::ge_parallel_timed_traced;
+
+fn main() {
+    let net = sunwulf::sunwulf_network();
+    let n = 256;
+
+    for p in [2usize, 4, 8, 16] {
+        let cluster = sunwulf::ge_config(p);
+        let (outcome, traces) = ge_parallel_timed_traced(&cluster, &net, n);
+        let breakdown = OverheadBreakdown::from_traces(&traces);
+        println!(
+            "== GE, N = {n}, {p} nodes (T = {:.4} s, overhead {:.1}% of rank time) ==",
+            outcome.makespan.as_secs(),
+            breakdown.overhead_fraction() * 100.0
+        );
+        print!("{breakdown}");
+        println!();
+    }
+
+    // Timeline of the small configuration, where individual operations
+    // are still visible.
+    let cluster = sunwulf::ge_config(4);
+    let (_, traces) = ge_parallel_timed_traced(&cluster, &net, 64);
+    println!("== timeline: GE, N = 64, 4 nodes ==");
+    print!("{}", timeline_text(&traces, 100));
+    println!();
+    println!(
+        "Theorem 1 reads ψ off t0 + T_o; the breakdown shows *which* operation \
+         grows with p: the barrier (linear in p) overtakes the broadcast (log p), \
+         which is why GE's ψ sits low on every rung."
+    );
+}

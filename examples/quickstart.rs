@@ -1,0 +1,51 @@
+//! Quickstart: measure the isospeed-efficiency scalability of parallel
+//! Gaussian elimination when a heterogeneous system grows from two to
+//! four nodes.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hetscale::hetsim_cluster::sunwulf;
+use hetscale::scalability::metric::{AlgorithmSystem, ScalabilityLadder};
+
+fn main() {
+    // 1. Two configurations of the (reconstructed) Sunwulf cluster: the
+    //    server node plus one / three SunBlade nodes.
+    let small = sunwulf::ge_config(2);
+    let big = sunwulf::ge_config(4);
+    let net = sunwulf::sunwulf_network();
+    println!("base system:   {small}");
+    println!("scaled system: {big}");
+
+    // 2. Bind the GE workload to each configuration. `GeSystem` runs the
+    //    actual SPMD kernel on the simulated cluster when measured.
+    let base = bench_tables::GeSystem::new(&small, &net);
+    let scaled = bench_tables::GeSystem::new(&big, &net);
+
+    // 3. Sweep problem sizes, hold speed-efficiency at 0.3, and read the
+    //    scalability ψ(C, C') off the ladder.
+    let sizes: Vec<usize> = vec![60, 100, 160, 260, 420, 700, 1100];
+    let ladder = ScalabilityLadder::measure(&[&base, &scaled], 0.3, &sizes, 3)
+        .expect("both systems reach E_s = 0.3 within the sweep");
+
+    for (label, c, n, w) in &ladder.required {
+        println!("{label}: requires N = {n} (W = {w:.3e} flop) at C = {:.1} Mflop/s", c / 1e6);
+    }
+    let step = &ladder.steps[0];
+    println!();
+    println!(
+        "isospeed-efficiency scalability psi(C, C') = {:.4}  (1.0 would be perfect)",
+        step.psi
+    );
+
+    // 4. Sanity-check one point the paper reports: E_s at the base
+    //    system's required N should sit at the 0.3 target.
+    let verify = base.measure(step.n).speed_efficiency();
+    println!("verification: measured E_s(N = {}) = {verify:.4} (target 0.30)", step.n);
+
+    // 5. The capacity-planning view: what ψ means for execution time and
+    //    fixed-time work budgets (Sun, JPDC 2002).
+    println!();
+    print!("{}", hetscale::scalability::report::analyze(&ladder));
+}

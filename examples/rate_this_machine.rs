@@ -1,0 +1,41 @@
+//! Rate *this* machine with the NPB-flavoured marked-speed suite — the
+//! wall-clock path one would use to assign marked speeds to a real set
+//! of heterogeneous hosts (Definition 1 of the paper).
+//!
+//! ```sh
+//! cargo run --release --example rate_this_machine
+//! ```
+
+use hetscale::marked_speed::host::{measure_kernel, rate_host};
+use hetscale::marked_speed::kernels::BenchKernel;
+
+fn main() {
+    println!("marked-speed suite on this host (single core, wall clock)\n");
+
+    // Individual kernels at a few sizes, to show the sustained-speed
+    // plateau the suite averages over.
+    println!("{:<8} {:>8} {:>14}", "kernel", "size", "Mflop/s");
+    for (kernel, sizes) in [
+        (BenchKernel::Lu, vec![96usize, 160, 256]),
+        (BenchKernel::Ft, vec![1 << 12, 1 << 14, 1 << 16]),
+        (BenchKernel::Bt, vec![1 << 14, 1 << 16, 1 << 18]),
+    ] {
+        for size in sizes {
+            let r = measure_kernel(kernel, size, 3);
+            println!("{:<8} {:>8} {:>14.1}", kernel.name(), size, r.mflops);
+        }
+    }
+
+    // The suite rating, as the paper takes "the average speed on each
+    // node as its marked speed".
+    let rating = rate_host(3);
+    println!("\nsuite ratings:");
+    for k in &rating.per_kernel {
+        println!("  {:<4} {:>12.1} Mflop/s", k.kernel.name(), k.mflops);
+    }
+    println!("\nmarked speed of this host: {:.1} Mflop/s", rating.marked_speed_mflops);
+    println!(
+        "(the reconstructed Sunwulf nodes rate 45-110 Mflop/s — \
+         2005-era hardware, same protocol)"
+    );
+}

@@ -1,0 +1,80 @@
+//! End-to-end: the real (arithmetic-executing) GE kernel on reconstructed
+//! Sunwulf configurations, driven through the scalability pipeline.
+
+use hetscale::hetsim_cluster::sunwulf;
+use hetscale::kernels::ge::{ge_parallel, ge_sequential};
+use hetscale::kernels::matrix::{residual_inf_norm, Matrix};
+use hetscale::kernels::workload::ge_work;
+use hetscale::scalability::measure::speed_efficiency;
+
+fn system(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+    let a = Matrix::random_diagonally_dominant(n, seed);
+    let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).cos() + 2.0).collect();
+    let b = a.matvec(&x_true);
+    (a, b)
+}
+
+#[test]
+fn ge_solves_correctly_on_every_ladder_rung() {
+    let net = sunwulf::sunwulf_network();
+    let (a, b) = system(48, 1);
+    let seq = ge_sequential(&a, &b);
+    for p in [2usize, 4, 8] {
+        let cluster = sunwulf::ge_config(p);
+        let out = ge_parallel(&cluster, &net, &a, &b);
+        assert!(
+            residual_inf_norm(&a, &out.x, &b) < 1e-8,
+            "residual too large at p = {p}"
+        );
+        for (pv, sv) in out.x.iter().zip(&seq) {
+            assert!((pv - sv).abs() < 1e-8, "p = {p}: {pv} vs {sv}");
+        }
+    }
+}
+
+#[test]
+fn speed_efficiency_rises_with_problem_size() {
+    let net = sunwulf::sunwulf_network();
+    let cluster = sunwulf::ge_config(4);
+    let c = cluster.marked_speed_flops();
+    let mut last = 0.0;
+    for n in [24usize, 48, 96, 192] {
+        let (a, b) = system(n, n as u64);
+        let out = ge_parallel(&cluster, &net, &a, &b);
+        let e = speed_efficiency(ge_work(n), out.makespan.as_secs(), c);
+        assert!(e > last, "E_s should rise: E({n}) = {e} after {last}");
+        assert!(e < 1.0);
+        last = e;
+    }
+}
+
+#[test]
+fn at_fixed_size_bigger_systems_are_less_efficient() {
+    // The Fig. 1 family ordering: adding nodes at fixed N lowers E_s.
+    let net = sunwulf::sunwulf_network();
+    let n = 96;
+    let (a, b) = system(n, 5);
+    let mut last = f64::INFINITY;
+    for p in [2usize, 4, 8] {
+        let cluster = sunwulf::ge_config(p);
+        let out = ge_parallel(&cluster, &net, &a, &b);
+        let e = speed_efficiency(ge_work(n), out.makespan.as_secs(), cluster.marked_speed_flops());
+        assert!(e < last, "E_s must fall with p at fixed N: p = {p}, E = {e}");
+        last = e;
+    }
+}
+
+#[test]
+fn overhead_definition_is_consistent_with_makespan() {
+    // T = compute + overhead per rank; the slowest rank defines T.
+    let net = sunwulf::sunwulf_network();
+    let cluster = sunwulf::ge_config(4);
+    let (a, b) = system(64, 9);
+    let out = ge_parallel(&cluster, &net, &a, &b);
+    for r in 0..cluster.size() {
+        let total = out.compute_times[r].as_secs()
+            + (out.times[r].as_secs() - out.compute_times[r].as_secs());
+        assert!((total - out.times[r].as_secs()).abs() < 1e-12);
+        assert!(out.times[r] <= out.makespan);
+    }
+}

@@ -1,0 +1,100 @@
+//! Failure-injection and degenerate-configuration tests: stragglers,
+//! near-zero-speed nodes, upgrades, and misuse detection across crates.
+
+use hetscale::hetsim_cluster::sunwulf;
+use hetscale::hetsim_cluster::{ClusterSpec, NodeSpec};
+use hetscale::kernels::ge::ge_parallel_timed;
+use hetscale::kernels::mm::mm_parallel_timed;
+use hetscale::kernels::workload::ge_work;
+use hetscale::scalability::measure::speed_efficiency;
+
+#[test]
+fn straggler_node_drags_efficiency() {
+    // One node 10× slower than the rest: even with a proportional
+    // distribution, the system's marked speed barely falls while its
+    // latency-bound overhead stays — efficiency at fixed N drops
+    // relative to the balanced cluster of the same C.
+    let net = sunwulf::sunwulf_network();
+    let n = 256;
+
+    let balanced = ClusterSpec::homogeneous(4, 55.0);
+    let straggling = ClusterSpec::new(
+        "straggler",
+        vec![
+            NodeSpec::synthetic("a", 70.0),
+            NodeSpec::synthetic("b", 70.0),
+            NodeSpec::synthetic("c", 70.0),
+            NodeSpec::synthetic("slow", 10.0),
+        ],
+    )
+    .unwrap();
+    assert_eq!(balanced.marked_speed_mflops(), straggling.marked_speed_mflops());
+
+    let t_bal = ge_parallel_timed(&balanced, &net, n).makespan.as_secs();
+    let t_str = ge_parallel_timed(&straggling, &net, n).makespan.as_secs();
+    let c = balanced.marked_speed_flops();
+    let e_bal = speed_efficiency(ge_work(n), t_bal, c);
+    let e_str = speed_efficiency(ge_work(n), t_str, c);
+    // Proportional distribution absorbs most of the imbalance, so the
+    // drop is modest but must not be an improvement.
+    assert!(e_str <= e_bal * 1.01, "straggler {e_str} vs balanced {e_bal}");
+}
+
+#[test]
+fn upgrading_a_node_increases_system_size_and_helps() {
+    // Definition 4's third way of growing a system: upgrade a node.
+    let net = sunwulf::sunwulf_network();
+    let n = 192;
+    let base = sunwulf::mm_config(4);
+    let upgraded = base.with_upgraded_node(1, sunwulf::v210_node(70, 2));
+    assert!(upgraded.marked_speed_mflops() > base.marked_speed_mflops());
+    let t_base = mm_parallel_timed(&base, &net, n).makespan.as_secs();
+    let t_up = mm_parallel_timed(&upgraded, &net, n).makespan.as_secs();
+    assert!(t_up < t_base, "upgrade must shorten the run: {t_up} vs {t_base}");
+}
+
+#[test]
+fn near_zero_speed_node_does_not_deadlock() {
+    // A (nearly) dead node still participates in all collectives; the
+    // run completes, just slowly.
+    let net = sunwulf::sunwulf_network();
+    let cluster = ClusterSpec::new(
+        "neardead",
+        vec![NodeSpec::synthetic("ok", 100.0), NodeSpec::synthetic("dying", 1e-3)],
+    )
+    .unwrap();
+    let out = ge_parallel_timed(&cluster, &net, 32);
+    assert!(out.makespan.as_secs().is_finite());
+}
+
+#[test]
+fn single_node_cluster_runs_whole_pipeline() {
+    let net = sunwulf::sunwulf_network();
+    let cluster = ClusterSpec::homogeneous(1, 50.0);
+    let out = ge_parallel_timed(&cluster, &net, 64);
+    assert_eq!(out.total_overhead.as_secs(), 0.0);
+    let e = speed_efficiency(ge_work(64), out.makespan.as_secs(), cluster.marked_speed_flops());
+    // One node, no communication: speed-efficiency is essentially 1
+    // (only the W(N)-vs-charged-flops mismatch keeps it off exactly 1).
+    assert!(e > 0.9, "single-node efficiency = {e}");
+}
+
+#[test]
+fn trivial_problem_sizes_do_not_break_distributions() {
+    let net = sunwulf::sunwulf_network();
+    for p in [2usize, 4, 8] {
+        let cluster = sunwulf::ge_config(p);
+        for n in [1usize, 2, 3] {
+            let out = ge_parallel_timed(&cluster, &net, n);
+            assert!(out.makespan.as_secs() >= 0.0, "p = {p}, n = {n}");
+        }
+    }
+}
+
+#[test]
+fn zero_size_mm_is_degenerate_but_sound() {
+    let net = sunwulf::sunwulf_network();
+    let cluster = sunwulf::mm_config(2);
+    let out = mm_parallel_timed(&cluster, &net, 0);
+    assert!(out.makespan.as_secs().is_finite());
+}

@@ -1,0 +1,106 @@
+//! The reproduction's regression suite: every headline claim recorded
+//! in EXPERIMENTS.md, asserted end-to-end through the public experiment
+//! API at quick scale. If a refactor moves any of these numbers out of
+//! their bands, this file says so before EXPERIMENTS.md goes stale.
+
+use bench_tables::experiments::{compare, f1, f2t5, t3t4, validate, x2};
+use bench_tables::ExperimentParams;
+
+fn params() -> ExperimentParams {
+    ExperimentParams::quick()
+}
+
+#[test]
+fn anchor_two_node_required_rank_and_verification() {
+    // Paper: required N ≈ 310 for E_s = 0.3 on two nodes, verified as
+    // E_s(310) = 0.312.
+    let p = params();
+    let table = f1::figure1(&p.ge_sizes, p.ge_target, p.fit_degree);
+    let req_note = table
+        .notes
+        .iter()
+        .find(|n| n.contains("required N"))
+        .expect("required-N note present");
+    let n: f64 = req_note
+        .split(": ")
+        .nth(1)
+        .unwrap()
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!((250.0..=360.0).contains(&n), "required N = {n}, paper ~310");
+
+    let verify_note = table
+        .notes
+        .iter()
+        .find(|note| note.contains("verification"))
+        .expect("verification note present");
+    let e: f64 = verify_note
+        .split("= ")
+        .nth(1)
+        .unwrap()
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!((e - 0.3).abs() < 0.05, "verified E_s = {e}, paper 0.312");
+}
+
+#[test]
+fn anchor_ge_ladder_shape() {
+    // ψ ∈ (0, 1) everywhere; required N strictly grows with C.
+    let p = params();
+    let (_t3, _t4, ladder) = t3t4::table3_and_4(&p);
+    let ns: Vec<usize> = ladder.required.iter().map(|r| r.2).collect();
+    assert!(ns.windows(2).all(|w| w[1] > w[0]), "required N: {ns:?}");
+    for step in &ladder.steps {
+        assert!(step.psi > 0.0 && step.psi < 1.0, "psi = {}", step.psi);
+    }
+}
+
+#[test]
+fn anchor_mm_more_scalable_than_ge_everywhere() {
+    // The paper's §4.4.3 conclusion.
+    let p = params();
+    let (_t3, _t4, ge) = t3t4::table3_and_4(&p);
+    let (_f2, _t5, mm) = f2t5::figure2_and_table5(&p);
+    let table = compare::comparison(&ge, &mm);
+    for row in &table.rows {
+        assert_eq!(row[3], "yes", "step {} must favour MM", row[0]);
+    }
+    assert!(mm.geometric_mean_psi() > ge.geometric_mean_psi());
+}
+
+#[test]
+fn anchor_communication_structure_orders_the_classes() {
+    // Extension X2's headline: stencil > MM > {power ≈ GE}.
+    let p = params();
+    let (_t3, _t4, ge) = t3t4::table3_and_4(&p);
+    let (_f2, _t5, mm) = f2t5::figure2_and_table5(&p);
+    let st = x2::stencil_ladder(&p, true);
+    let pw = x2::power_ladder(&p, true);
+    let (g, m, s, w) = (
+        ge.geometric_mean_psi(),
+        mm.geometric_mean_psi(),
+        st.geometric_mean_psi(),
+        pw.geometric_mean_psi(),
+    );
+    assert!(s > m, "stencil {s} > MM {m}");
+    assert!(m > g && m > w, "MM {m} > GE {g} and Power {w}");
+    let same_class = (w / g).max(g / w);
+    assert!(same_class < 2.0, "Power {w} and GE {g} share a class");
+}
+
+#[test]
+fn anchor_models_track_the_engine() {
+    // V1's headline: every analytic model within ~5% of the simulated
+    // kernels on the quick grid.
+    let table = validate::model_validation(&[2, 4, 8], &[96, 192, 384]);
+    for row in &table.rows {
+        let worst: f64 = row[3].trim_end_matches('%').parse().unwrap();
+        assert!(worst < 5.0, "{} at {} nodes: {worst}%", row[0], row[1]);
+    }
+}

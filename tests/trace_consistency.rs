@@ -1,0 +1,120 @@
+//! Trace invariants across the stack: traced runs must account for
+//! every virtual second, agree with the untraced accounting, and change
+//! nothing about the timing itself.
+
+use hetscale::hetsim_cluster::sunwulf;
+use hetscale::hetsim_cluster::ClusterSpec;
+use hetscale::hetsim_mpi::trace::OpKind;
+use hetscale::hetsim_mpi::{run_spmd, run_spmd_traced, Tag};
+use hetscale::kernels::ge::{ge_parallel_timed, ge_parallel_timed_traced};
+
+#[test]
+fn traced_and_untraced_runs_have_identical_timing() {
+    let cluster = sunwulf::ge_config(4);
+    let net = sunwulf::sunwulf_network();
+    let n = 96;
+    let plain = ge_parallel_timed(&cluster, &net, n);
+    let (traced, traces) = ge_parallel_timed_traced(&cluster, &net, n);
+    assert_eq!(plain.makespan, traced.makespan);
+    assert_eq!(plain.times, traced.times);
+    assert_eq!(plain.compute_times, traced.compute_times);
+    assert_eq!(traces.len(), cluster.size());
+}
+
+#[test]
+fn trace_spans_are_contiguous_and_exhaustive() {
+    // Every rank's records tile [0, final clock] without gaps or
+    // overlaps: the runtime accounts for every virtual second.
+    let cluster = sunwulf::ge_config(3);
+    let net = sunwulf::sunwulf_network();
+    let (_outcome, traces) = ge_parallel_timed_traced(&cluster, &net, 40);
+    for (rank, trace) in traces.iter().enumerate() {
+        let mut cursor = 0.0f64;
+        for r in &trace.records {
+            assert!(
+                (r.start.as_secs() - cursor).abs() < 1e-12,
+                "rank {rank}: gap/overlap at {cursor} (record starts {})",
+                r.start.as_secs()
+            );
+            assert!(r.end >= r.start, "negative span");
+            cursor = r.end.as_secs();
+        }
+    }
+}
+
+#[test]
+fn trace_sums_match_runtime_accounting() {
+    let cluster = sunwulf::ge_config(4);
+    let net = sunwulf::sunwulf_network();
+    let outcome = run_spmd_traced(&cluster, &net, |rank| {
+        rank.compute_flops(2e6);
+        if rank.rank() == 0 {
+            rank.broadcast_f64s(0, Some(&[1.0; 64]));
+        } else {
+            rank.broadcast_f64s(0, None);
+        }
+        rank.barrier();
+        (rank.compute_time(), rank.comm_time())
+    });
+    for (rank, trace) in outcome.traces.iter().enumerate() {
+        let (compute, comm) = outcome.results[rank];
+        let by_kind = trace.by_kind();
+        let traced_compute =
+            by_kind.get(&OpKind::Compute).map(|t| t.as_secs()).unwrap_or(0.0);
+        assert!(
+            (traced_compute - compute.as_secs()).abs() < 1e-12,
+            "rank {rank}: compute {traced_compute} vs {}",
+            compute.as_secs()
+        );
+        assert!(
+            (trace.overhead().as_secs() - comm.as_secs()).abs() < 1e-12,
+            "rank {rank}: overhead {} vs {}",
+            trace.overhead().as_secs(),
+            comm.as_secs()
+        );
+    }
+}
+
+#[test]
+fn untraced_runs_collect_no_records() {
+    let cluster = ClusterSpec::homogeneous(2, 50.0);
+    let net = sunwulf::sunwulf_network();
+    let outcome = run_spmd(&cluster, &net, |rank| {
+        rank.compute_flops(1e6);
+        if rank.rank() == 0 {
+            rank.send_f64s(1, Tag::DATA, &[1.0]);
+        } else {
+            let _ = rank.recv_f64s(0, Tag::DATA);
+        }
+    });
+    assert!(outcome.traces.iter().all(|t| t.records.is_empty()));
+}
+
+#[test]
+fn ge_trace_shows_the_expected_operation_mix() {
+    let cluster = sunwulf::ge_config(4);
+    let net = sunwulf::sunwulf_network();
+    let (_outcome, traces) = ge_parallel_timed_traced(&cluster, &net, 64);
+    // Rank 1 (a worker) must show compute, bcast, barrier, recv (its
+    // block) and gather (its contribution).
+    let kinds = traces[1].by_kind();
+    for kind in [OpKind::Compute, OpKind::Bcast, OpKind::Barrier, OpKind::Recv, OpKind::Gather] {
+        assert!(
+            kinds.get(&kind).map(|t| t.as_secs() > 0.0).unwrap_or(false),
+            "rank 1 missing {kind} time: {kinds:?}"
+        );
+    }
+    // Rank 0 distributes: sends must appear.
+    assert!(traces[0].by_kind().contains_key(&OpKind::Send));
+}
+
+#[test]
+fn timeline_renders_for_a_real_kernel() {
+    let cluster = sunwulf::ge_config(3);
+    let net = sunwulf::sunwulf_network();
+    let (_outcome, traces) = ge_parallel_timed_traced(&cluster, &net, 48);
+    let text = hetscale::hetsim_mpi::timeline_text(&traces, 80);
+    assert_eq!(text.matches("rank").count(), 3);
+    assert!(text.contains('.'), "compute must appear in the timeline");
+    assert!(text.contains('b') || text.contains('B'), "collectives must appear");
+}
