@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Repository CI gate: formatting, lints, tests. Run from the repo root.
+#
+# Requires network (or a populated cargo cache) for the dev-dependencies
+# (criterion, proptest); the library and binaries themselves build
+# offline. Style is pinned by rustfmt.toml.
+set -eux
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test --workspace --release

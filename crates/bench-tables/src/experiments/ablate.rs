@@ -36,8 +36,7 @@ pub fn ablate_distribution(n: usize) -> Table {
     for &p in &[4usize, 8] {
         // GE on the GE ladder.
         let cluster = sunwulf::ge_config(p);
-        let speeds: Vec<f64> =
-            cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
+        let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
         let c = cluster.marked_speed_flops();
         let strategies = [
             ("heterogeneous", CyclicDistribution::fine(n, &speeds)),
@@ -57,8 +56,7 @@ pub fn ablate_distribution(n: usize) -> Table {
 
         // MM on the MM ladder.
         let cluster = sunwulf::mm_config(p);
-        let speeds: Vec<f64> =
-            cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
+        let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
         let c = cluster.marked_speed_flops();
         let strategies = [
             ("heterogeneous", BlockDistribution::proportional(n, &speeds)),
@@ -161,8 +159,7 @@ pub fn ablate_placement(n: usize) -> Table {
 pub fn ablate_scheduling() -> Table {
     // The 8-node MM configuration's marked speeds, as flop/s.
     let cluster = sunwulf::mm_config(8);
-    let rated: Vec<f64> =
-        cluster.nodes().iter().map(|n| n.marked_speed_flops()).collect();
+    let rated: Vec<f64> = cluster.nodes().iter().map(|n| n.marked_speed_flops()).collect();
     // 512 chunks of 2 Mflop each (a 1024-rank MM row-block at 2 rows per
     // chunk is the same order).
     let chunks = vec![2e6f64; 512];
@@ -185,9 +182,13 @@ pub fn ablate_scheduling() -> Table {
             if s.makespan <= d.makespan { "static" } else { "dynamic" }.to_string(),
         ]);
     }
-    t.push_note("static = proportional by marked speed (the paper's scheme), priced at true speeds");
+    t.push_note(
+        "static = proportional by marked speed (the paper's scheme), priced at true speeds",
+    );
     t.push_note("dynamic = master-worker self-scheduling, 0.6 ms per chunk grant");
-    t.push_note("marked speed as a constant is sound while ratings hold; staleness flips the verdict");
+    t.push_note(
+        "marked speed as a constant is sound while ratings hold; staleness flips the verdict",
+    );
     t
 }
 
@@ -208,7 +209,7 @@ pub fn ablate_fit_degree(sizes: &[usize], target: f64) -> Table {
         let r2 = curve.fit(degree).map(|f| f.r_squared);
         t.push_row(vec![
             degree.to_string(),
-            n.map(|v| fnum(v)).unwrap_or_else(|e| format!("({e})")),
+            n.map(fnum).unwrap_or_else(|e| format!("({e})")),
             r2.map(|v| format!("{v:.6}")).unwrap_or_else(|e| format!("({e})")),
         ]);
     }
@@ -249,12 +250,7 @@ mod tests {
         // At p = 8, shared ethernet must be slowest, constant latency
         // fastest (at these parameter values).
         let at_p8 = |model: &str, col: usize| -> f64 {
-            t.rows
-                .iter()
-                .find(|r| r[0] == model && r[1] == "8")
-                .unwrap()[col]
-                .parse()
-                .unwrap()
+            t.rows.iter().find(|r| r[0] == model && r[1] == "8").unwrap()[col].parse().unwrap()
         };
         let tc = at_p8("constant-latency", 2);
         let ts = at_p8("switched", 2);
@@ -270,18 +266,13 @@ mod tests {
     fn scheduling_verdict_flips_with_staleness() {
         let t = ablate_scheduling();
         assert_eq!(t.rows[0][3], "static", "accurate ratings favour static: {t}");
-        assert_eq!(
-            t.rows.last().unwrap()[3],
-            "dynamic",
-            "a 4x-degraded node favours dynamic: {t}"
-        );
+        assert_eq!(t.rows.last().unwrap()[3], "dynamic", "a 4x-degraded node favours dynamic: {t}");
     }
 
     #[test]
     fn placement_changes_efficiency_at_constant_c() {
         let t = ablate_placement(128);
-        let es: Vec<f64> =
-            t.rows.iter().map(|r| r[2].parse::<f64>().unwrap()).collect();
+        let es: Vec<f64> = t.rows.iter().map(|r| r[2].parse::<f64>().unwrap()).collect();
         // One switch is best; isolating the root (every transfer crosses
         // the uplink) is worst.
         assert!(es[0] > es[1], "one switch {} vs split {}", es[0], es[1]);
@@ -292,11 +283,7 @@ mod tests {
     fn required_n_is_stable_across_fit_degrees() {
         let sizes = vec![60, 100, 160, 260, 420, 700];
         let t = ablate_fit_degree(&sizes, 0.3);
-        let ns: Vec<f64> = t
-            .rows
-            .iter()
-            .filter_map(|r| r[1].parse::<f64>().ok())
-            .collect();
+        let ns: Vec<f64> = t.rows.iter().filter_map(|r| r[1].parse::<f64>().ok()).collect();
         assert!(ns.len() >= 3, "most degrees should invert: {t}");
         let min = ns.iter().copied().fold(f64::INFINITY, f64::min);
         let max = ns.iter().copied().fold(0.0, f64::max);

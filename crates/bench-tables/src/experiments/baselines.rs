@@ -34,12 +34,18 @@ pub fn baseline_comparison(params: &ExperimentParams) -> Table {
     let sys_small = GeSystem::new(&small, &net);
     let sys_big = GeSystem::new(&big, &net);
 
-    let n1 = required_n_for_efficiency(&sys_small, params.ge_target, &params.ge_sizes, params.fit_degree)
-        .expect("target reachable")
-        .round() as usize;
-    let n2 = required_n_for_efficiency(&sys_big, params.ge_target, &params.ge_sizes, params.fit_degree)
-        .expect("target reachable")
-        .round() as usize;
+    let n1 = required_n_for_efficiency(
+        &sys_small,
+        params.ge_target,
+        &params.ge_sizes,
+        params.fit_degree,
+    )
+    .expect("target reachable")
+    .round() as usize;
+    let n2 =
+        required_n_for_efficiency(&sys_big, params.ge_target, &params.ge_sizes, params.fit_degree)
+            .expect("target reachable")
+            .round() as usize;
     let (w1, w2) = (ge_work(n1), ge_work(n2));
     let t1 = ge_parallel_timed(&small, &net, n1).makespan.as_secs();
 
@@ -73,8 +79,8 @@ pub fn baseline_comparison(params: &ExperimentParams) -> Table {
     ]);
 
     // 3. Isoefficiency: needs T_seq of the full problem on one node.
-    let one_blade = ClusterSpec::new("one-blade", vec![sunwulf::sunblade_node(1)])
-        .expect("non-empty");
+    let one_blade =
+        ClusterSpec::new("one-blade", vec![sunwulf::sunblade_node(1)]).expect("non-empty");
     let t_seq = w1 / one_blade.marked_speed_flops();
     let e_par = parallel_efficiency(t_seq, t1, small.size());
     let seq_cap = max_feasible(&one_blade, ge_feasible);
@@ -116,10 +122,7 @@ pub fn baseline_comparison(params: &ExperimentParams) -> Table {
         "equals E_s when T_seq is rated, but must be *measured* on one node".into(),
     ]);
 
-    t.push_note(format!(
-        "scenario: required N for E_s = {}: {n1} -> {n2}",
-        params.ge_target
-    ));
+    t.push_note(format!("scenario: required N for E_s = {}: {n1} -> {n2}", params.ge_target));
     t
 }
 
@@ -135,10 +138,7 @@ mod tests {
         assert!(psi > 0.0 && psi < 1.0);
         // The 2-node rung is heterogeneous (server ≠ SunBlade), so the
         // p-based value must differ from the C-based one.
-        assert!(
-            (psi_iso - psi).abs() / psi > 0.02,
-            "p-based {psi_iso} vs C-based {psi}"
-        );
+        assert!((psi_iso - psi).abs() / psi > 0.02, "p-based {psi_iso} vs C-based {psi}");
     }
 
     #[test]

@@ -31,9 +31,7 @@ pub fn figure1(sizes: &[usize], target: f64, fit_degree: usize) -> Table {
         Ok(n_req) => {
             let n_int = n_req.round() as usize;
             let verify = sys.measure(n_int).speed_efficiency();
-            t.push_note(format!(
-                "required N for E_s = {target}: {n_req:.1} (paper: ~310)"
-            ));
+            t.push_note(format!("required N for E_s = {target}: {n_req:.1} (paper: ~310)"));
             t.push_note(format!(
                 "verification: measured E_s({n_int}) = {verify:.4} (paper: 0.312 at 310)"
             ));
@@ -51,11 +49,7 @@ pub fn figure1_plot(sizes: &[usize], target: f64, fit_degree: usize) -> AsciiPlo
     let sys = GeSystem::new(&cluster, &net);
     let curve = EfficiencyCurve::measure(&sys, sizes);
 
-    let mut plot = AsciiPlot::new(
-        "Fig. 1 — Speed-efficiency on two nodes",
-        "rank N",
-        "E_s",
-    );
+    let mut plot = AsciiPlot::new("Fig. 1 — Speed-efficiency on two nodes", "rank N", "E_s");
     plot.add_series("measured", curve.series.iter().collect());
     if let Ok(fit) = curve.fit(fit_degree) {
         if let Some((lo, hi)) = curve.series.x_range() {

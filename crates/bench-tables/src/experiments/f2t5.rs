@@ -13,8 +13,7 @@ use scalability::metric::{AlgorithmSystem, EfficiencyCurve, ScalabilityLadder};
 pub fn figure2_and_table5(params: &ExperimentParams) -> (Table, Table, ScalabilityLadder) {
     let net = sunwulf::sunwulf_network();
     let clusters: Vec<_> = params.mm_ladder.iter().map(|&p| sunwulf::mm_config(p)).collect();
-    let systems: Vec<MmSystem<_>> =
-        clusters.iter().map(|c| MmSystem::new(c, &net)).collect();
+    let systems: Vec<MmSystem<_>> = clusters.iter().map(|c| MmSystem::new(c, &net)).collect();
 
     // Fig. 2: one efficiency column per configuration.
     let mut headers: Vec<String> = vec!["Rank N".to_string()];
@@ -42,10 +41,7 @@ pub fn figure2_and_table5(params: &ExperimentParams) -> (Table, Table, Scalabili
     )
     .expect("every MM rung reaches the target efficiency");
 
-    let mut t5 = Table::new(
-        "Table 5 — Measured scalability of MM on Sunwulf",
-        &["Step", "psi"],
-    );
+    let mut t5 = Table::new("Table 5 — Measured scalability of MM on Sunwulf", &["Step", "psi"]);
     for step in &ladder.steps {
         t5.push_row(vec![format!("psi({}, {})", step.from, step.to), fnum(step.psi)]);
     }
@@ -58,11 +54,7 @@ pub fn figure2_and_table5(params: &ExperimentParams) -> (Table, Table, Scalabili
 /// the target-efficiency line the ψ ladder reads from.
 pub fn figure2_plot(params: &ExperimentParams) -> AsciiPlot {
     let net = sunwulf::sunwulf_network();
-    let mut plot = AsciiPlot::new(
-        "Fig. 2 — Speed-efficiency of MM on Sunwulf",
-        "rank N",
-        "E_s",
-    );
+    let mut plot = AsciiPlot::new("Fig. 2 — Speed-efficiency of MM on Sunwulf", "rank N", "E_s");
     for &p in &params.mm_ladder {
         let cluster = sunwulf::mm_config(p);
         let sys = MmSystem::new(&cluster, &net);
@@ -83,21 +75,14 @@ mod tests {
         let (f2, _t5, _) = figure2_and_table5(&params);
         // Each column rises with N.
         for col in 1..=params.mm_ladder.len() {
-            let es: Vec<f64> =
-                f2.rows.iter().map(|r| r[col].parse::<f64>().unwrap()).collect();
-            assert!(
-                es.windows(2).all(|w| w[1] >= w[0] - 1e-9),
-                "column {col} not rising: {es:?}"
-            );
+            let es: Vec<f64> = f2.rows.iter().map(|r| r[col].parse::<f64>().unwrap()).collect();
+            assert!(es.windows(2).all(|w| w[1] >= w[0] - 1e-9), "column {col} not rising: {es:?}");
         }
         // At a fixed small N, bigger systems are less efficient (the
         // Fig. 2 family ordering).
         let first = &f2.rows[1];
         let row: Vec<f64> = first[1..].iter().map(|c| c.parse().unwrap()).collect();
-        assert!(
-            row.windows(2).all(|w| w[1] <= w[0] + 1e-9),
-            "family ordering at small N: {row:?}"
-        );
+        assert!(row.windows(2).all(|w| w[1] <= w[0] + 1e-9), "family ordering at small N: {row:?}");
     }
 
     #[test]

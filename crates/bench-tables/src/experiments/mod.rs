@@ -6,8 +6,8 @@ pub mod compare;
 pub mod decomp;
 pub mod ext;
 pub mod f1;
-pub mod noise;
 pub mod f2t5;
+pub mod noise;
 pub mod t1;
 pub mod t2;
 pub mod t3t4;

@@ -69,10 +69,8 @@ pub fn ablate_noise(sizes: &[usize], target: f64, degree: usize, seeds: u64) -> 
                 }
             }
         }
-        let cells: Vec<String> = worst
-            .iter()
-            .map(|&d| if usable == 0 { "-".to_string() } else { fnum(d) })
-            .collect();
+        let cells: Vec<String> =
+            worst.iter().map(|&d| if usable == 0 { "-".to_string() } else { fnum(d) }).collect();
         t.push_row(vec![
             format!("{:.0}%", sigma * 100.0),
             cells[0].clone(),
@@ -109,10 +107,7 @@ mod tests {
         let first = &t.rows[0];
         let nearest: f64 = first[1].parse().unwrap();
         let poly: f64 = first[3].parse().unwrap();
-        assert!(
-            poly < nearest,
-            "poly dev {poly} must undercut nearest-sample dev {nearest}"
-        );
+        assert!(poly < nearest, "poly dev {poly} must undercut nearest-sample dev {nearest}");
     }
 
     #[test]

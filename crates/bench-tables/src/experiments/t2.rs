@@ -13,11 +13,14 @@ pub fn table2(sizes: &[usize]) -> Table {
     let net = sunwulf::sunwulf_network();
     let sys = GeSystem::new(&cluster, &net);
     let mut t = Table::new(
-        format!(
-            "Table 2 — GE on two nodes (C = {:.2} Mflop/s)",
-            cluster.marked_speed_mflops()
-        ),
-        &["Rank N", "Workload W (flop)", "Execution time T (s)", "Achieved speed (Mflop/s)", "Speed-efficiency"],
+        format!("Table 2 — GE on two nodes (C = {:.2} Mflop/s)", cluster.marked_speed_mflops()),
+        &[
+            "Rank N",
+            "Workload W (flop)",
+            "Execution time T (s)",
+            "Achieved speed (Mflop/s)",
+            "Speed-efficiency",
+        ],
     );
     for &n in sizes {
         let m = sys.measure(n);

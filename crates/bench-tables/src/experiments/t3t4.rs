@@ -13,8 +13,7 @@ use scalability::metric::{AlgorithmSystem, ScalabilityLadder};
 pub fn table3_and_4(params: &ExperimentParams) -> (Table, Table, ScalabilityLadder) {
     let net = sunwulf::sunwulf_network();
     let clusters: Vec<_> = params.ge_ladder.iter().map(|&p| sunwulf::ge_config(p)).collect();
-    let systems: Vec<GeSystem<_>> =
-        clusters.iter().map(|c| GeSystem::new(c, &net)).collect();
+    let systems: Vec<GeSystem<_>> = clusters.iter().map(|c| GeSystem::new(c, &net)).collect();
     let dyn_systems: Vec<&dyn AlgorithmSystem> =
         systems.iter().map(|s| s as &dyn AlgorithmSystem).collect();
     let ladder = ScalabilityLadder::measure(
@@ -45,10 +44,7 @@ pub fn table3_and_4(params: &ExperimentParams) -> (Table, Table, ScalabilityLadd
         }
     }
 
-    let mut t4 = Table::new(
-        "Table 4 — Measured scalability of GE on Sunwulf",
-        &["Step", "psi"],
-    );
+    let mut t4 = Table::new("Table 4 — Measured scalability of GE on Sunwulf", &["Step", "psi"]);
     for step in &ladder.steps {
         t4.push_row(vec![format!("psi({}, {})", step.from, step.to), fnum(step.psi)]);
     }
@@ -82,9 +78,6 @@ mod tests {
         let params = ExperimentParams::quick();
         let (_t3, _t4, ladder) = table3_and_4(&params);
         let n2 = ladder.required[0].2;
-        assert!(
-            (200..=450).contains(&n2),
-            "2-node required N = {n2}, paper reads ~310"
-        );
+        assert!((200..=450).contains(&n2), "2-node required N = {n2}, paper reads ~310");
     }
 }

@@ -14,10 +14,7 @@ use scalability::predict::{psi_predicted_corollary2, GePredictor};
 /// Runs the prediction pipeline and returns `(Table 6, Table 7)`.
 /// `measured` is the ladder from the Tables 3/4 experiment, used for the
 /// predicted-vs-measured comparison the paper closes with.
-pub fn table6_and_7(
-    params: &ExperimentParams,
-    measured: &ScalabilityLadder,
-) -> (Table, Table) {
+pub fn table6_and_7(params: &ExperimentParams, measured: &ScalabilityLadder) -> (Table, Table) {
     let net = sunwulf::sunwulf_network();
     let machine = calibrate(&net).expect("calibration micro-benchmarks fit");
 
@@ -33,9 +30,10 @@ pub fn table6_and_7(
     );
     let mut required = Vec::with_capacity(predictors.len());
     for (g, &p) in predictors.iter().zip(&params.ge_ladder) {
-        let n_pred = required_n_for_efficiency(g, params.ge_target, &params.ge_sizes, params.fit_degree)
-            .expect("predicted efficiency reaches the target")
-            .round() as usize;
+        let n_pred =
+            required_n_for_efficiency(g, params.ge_target, &params.ge_sizes, params.fit_degree)
+                .expect("predicted efficiency reaches the target")
+                .round() as usize;
         required.push(n_pred);
         let n_meas = measured
             .required
@@ -52,8 +50,12 @@ pub fn table6_and_7(
         &["Step", "psi (predicted)", "psi (measured)", "rel. error"],
     );
     for (w, step) in measured.steps.iter().enumerate() {
-        let psi_pred =
-            psi_predicted_corollary2(&predictors[w], required[w], &predictors[w + 1], required[w + 1]);
+        let psi_pred = psi_predicted_corollary2(
+            &predictors[w],
+            required[w],
+            &predictors[w + 1],
+            required[w + 1],
+        );
         let err = relative_error(psi_pred, step.psi);
         t7.push_row(vec![
             format!("psi({} -> {} nodes)", params.ge_ladder[w], params.ge_ladder[w + 1]),

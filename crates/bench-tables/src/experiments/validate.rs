@@ -55,18 +55,14 @@ pub fn model_validation(ladder: &[usize], sizes: &[usize]) -> Table {
                 "Stencil",
                 Box::new(move |n| st_pred.predicted_time_secs(n)),
                 Box::new(|n| {
-                    stencil_parallel_timed(&cluster, &net, n, stencil_iters(n))
-                        .makespan
-                        .as_secs()
+                    stencil_parallel_timed(&cluster, &net, n, stencil_iters(n)).makespan.as_secs()
                 }),
             ),
             (
                 "Power",
                 Box::new(move |n| pw_pred.predicted_time_secs(n)),
                 Box::new(|n| {
-                    power_parallel_timed(&cluster, &net, n, power_iters(n))
-                        .makespan
-                        .as_secs()
+                    power_parallel_timed(&cluster, &net, n, power_iters(n)).makespan.as_secs()
                 }),
             ),
         ];
@@ -107,12 +103,7 @@ mod tests {
         assert_eq!(t.rows.len(), 12);
         for row in &t.rows {
             let worst: f64 = row[3].trim_end_matches('%').parse().unwrap();
-            assert!(
-                worst < 25.0,
-                "{} at {} nodes: worst error {worst}%",
-                row[0],
-                row[1]
-            );
+            assert!(worst < 25.0, "{} at {} nodes: worst error {worst}%", row[0], row[1]);
         }
     }
 

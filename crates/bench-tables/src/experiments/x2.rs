@@ -58,8 +58,7 @@ pub fn power_sizes(quick: bool) -> Vec<usize> {
 pub fn power_ladder(params: &ExperimentParams, quick: bool) -> ScalabilityLadder {
     let net = sunwulf::sunwulf_network();
     let clusters: Vec<_> = params.ge_ladder.iter().map(|&p| sunwulf::ge_config(p)).collect();
-    let systems: Vec<PowerSystem<_>> =
-        clusters.iter().map(|c| PowerSystem::new(c, &net)).collect();
+    let systems: Vec<PowerSystem<_>> = clusters.iter().map(|c| PowerSystem::new(c, &net)).collect();
     let dyn_systems: Vec<&dyn AlgorithmSystem> =
         systems.iter().map(|s| s as &dyn AlgorithmSystem).collect();
     ScalabilityLadder::measure(&dyn_systems, 0.3, &power_sizes(quick), params.fit_degree)
@@ -77,8 +76,7 @@ pub fn three_way_comparison(
         "Extension X2 — four combinations on the Sunwulf ladder",
         &["Step", "psi (GE)", "psi (Power)", "psi (MM)", "psi (Stencil)", "T'/T (Stencil)"],
     );
-    for (((g, m), s), w) in ge.steps.iter().zip(&mm.steps).zip(&stencil.steps).zip(&power.steps)
-    {
+    for (((g, m), s), w) in ge.steps.iter().zip(&mm.steps).zip(&stencil.steps).zip(&power.steps) {
         t.push_row(vec![
             format!("{} -> {}", short(&g.from), short(&g.to)),
             fnum(g.psi),
@@ -130,18 +128,9 @@ pub fn psi_ladder_plot(
         "doubling step",
         "psi",
     );
-    for (label, ladder) in [
-        ("GE", ge),
-        ("Power", power),
-        ("MM", mm),
-        ("Stencil", stencil),
-    ] {
-        let pts: Vec<(f64, f64)> = ladder
-            .steps
-            .iter()
-            .enumerate()
-            .map(|(i, s)| ((i + 1) as f64, s.psi))
-            .collect();
+    for (label, ladder) in [("GE", ge), ("Power", power), ("MM", mm), ("Stencil", stencil)] {
+        let pts: Vec<(f64, f64)> =
+            ladder.steps.iter().enumerate().map(|(i, s)| ((i + 1) as f64, s.psi)).collect();
         plot.add_series(label, pts);
     }
     plot.with_hline(1.0, "perfect scalability");

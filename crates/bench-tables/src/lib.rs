@@ -21,17 +21,22 @@
 //! | a2 | ablation — network-model fidelity | [`experiments::ablate::ablate_network`] |
 //! | a3 | ablation — trend-line degree | [`experiments::ablate::ablate_fit_degree`] |
 //! | e1 | extension — multi-parameter marked performance | [`experiments::ext::extension_marked_performance`] |
+//!
+//! Beyond the tables, the binary's `--trace-out DIR` and
+//! `--metrics-out FILE` flags export per-operation traces and a
+//! combined metrics document for the kernels (see [`obs`]).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod experiments;
+pub mod obs;
 pub mod params;
 pub mod plot;
 pub mod systems;
 pub mod table;
 
 pub use params::ExperimentParams;
-pub use systems::{GeSystem, MmSystem, PowerSystem, StencilSystem};
 pub use plot::AsciiPlot;
+pub use systems::{GeSystem, MmSystem, PowerSystem, StencilSystem};
 pub use table::Table;

@@ -1,20 +1,29 @@
 //! `bench-tables` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! bench-tables [--quick] [--csv DIR] [ids...]
+//! bench-tables [--quick] [--csv DIR] [--trace-out DIR] [--metrics-out FILE] [ids...]
 //!   ids: t1 t2 f1 t3 t4 f2 t5 t6 t7 compare x2 decomp ablate-dist
 //!        ablate-net ablate-fit ablate-place ext-mp all      (default: all)
 //! ```
+//!
+//! `--trace-out` writes Chrome-trace JSON plus round-trippable JSONL
+//! traces of one observed run per kernel; `--metrics-out` writes the
+//! combined metrics document (per-kind fractions, activity split,
+//! imbalance, critical path). Both are deterministic: repeated
+//! invocations produce byte-identical files.
 
 use bench_tables::experiments::{
     ablate, baselines, compare, decomp, ext, f1, f2t5, noise, t1, t2, t3t4, t6t7, validate, x2,
 };
-use bench_tables::{ExperimentParams, Table};
+use bench_tables::{obs, ExperimentParams, Table};
 use std::collections::BTreeSet;
+use std::path::Path;
 
 fn main() {
     let mut quick = false;
     let mut csv_dir: Option<String> = None;
+    let mut trace_dir: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut ids: BTreeSet<String> = BTreeSet::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -23,6 +32,14 @@ fn main() {
             "--csv" => {
                 csv_dir = Some(args.next().unwrap_or_else(|| usage("--csv needs a directory")))
             }
+            "--trace-out" => {
+                trace_dir =
+                    Some(args.next().unwrap_or_else(|| usage("--trace-out needs a directory")))
+            }
+            "--metrics-out" => {
+                metrics_path =
+                    Some(args.next().unwrap_or_else(|| usage("--metrics-out needs a file path")))
+            }
             "--help" | "-h" => usage(""),
             id => {
                 ids.insert(id.to_string());
@@ -30,11 +47,32 @@ fn main() {
         }
     }
     if ids.is_empty() || ids.contains("all") {
-        ids = ["t1", "t2", "f1", "t3", "t4", "f2", "t5", "t6", "t7", "compare",
-               "x2", "decomp", "ablate-dist", "ablate-net", "ablate-fit", "ablate-place", "ablate-sched", "ablate-noise", "validate", "baselines", "ext-mp"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        ids = [
+            "t1",
+            "t2",
+            "f1",
+            "t3",
+            "t4",
+            "f2",
+            "t5",
+            "t6",
+            "t7",
+            "compare",
+            "x2",
+            "decomp",
+            "ablate-dist",
+            "ablate-net",
+            "ablate-fit",
+            "ablate-place",
+            "ablate-sched",
+            "ablate-noise",
+            "validate",
+            "baselines",
+            "ext-mp",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
 
     let params = if quick { ExperimentParams::quick() } else { ExperimentParams::full() };
@@ -105,10 +143,7 @@ fn main() {
         println!("{}", x2::psi_ladder_plot(ge, mm, &st, &pw));
     }
     if wants("decomp") {
-        emit(decomp::overhead_decomposition(
-            &params.ge_ladder,
-            if quick { 192 } else { 384 },
-        ));
+        emit(decomp::overhead_decomposition(&params.ge_ladder, if quick { 192 } else { 384 }));
     }
     if wants("ablate-dist") {
         emit(ablate::ablate_distribution(if quick { 128 } else { 256 }));
@@ -144,6 +179,21 @@ fn main() {
         emit(ext::extension_marked_performance());
     }
 
+    if trace_dir.is_some() || metrics_path.is_some() {
+        let runs = obs::observed_runs(quick);
+        if let Some(dir) = &trace_dir {
+            let written =
+                obs::write_trace_dir(Path::new(dir), &runs).expect("write trace directory");
+            for path in written {
+                eprintln!("wrote {path}");
+            }
+        }
+        if let Some(path) = &metrics_path {
+            obs::write_metrics(Path::new(path), &runs).expect("write metrics file");
+            eprintln!("wrote {path}");
+        }
+    }
+
     if let Some(dir) = csv_dir {
         std::fs::create_dir_all(&dir).expect("create csv output directory");
         for table in &emitted {
@@ -166,7 +216,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: bench-tables [--quick] [--csv DIR] [ids...]\n\
+        "usage: bench-tables [--quick] [--csv DIR] [--trace-out DIR] [--metrics-out FILE] [ids...]\n\
          ids: t1 t2 f1 t3 t4 f2 t5 t6 t7 compare x2 decomp ablate-dist ablate-net ablate-fit ablate-place ablate-sched ablate-noise validate baselines ext-mp all"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

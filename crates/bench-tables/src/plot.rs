@@ -146,23 +146,11 @@ impl fmt::Display for AsciiPlot {
             };
             writeln!(f, "{tick:>margin$} |{}|", row.iter().collect::<String>(), margin = margin)?;
         }
-        writeln!(
-            f,
-            "{:>margin$} +{}+",
-            "",
-            "-".repeat(w),
-            margin = margin
-        )?;
+        writeln!(f, "{:>margin$} +{}+", "", "-".repeat(w), margin = margin)?;
         let lo_tick = format!("{x0:.0}");
         let hi_tick = format!("{x1:.0}");
         let pad = w.saturating_sub(lo_tick.len() + hi_tick.len()).max(1);
-        writeln!(
-            f,
-            "{:>margin$}  {lo_tick}{}{hi_tick}",
-            "",
-            " ".repeat(pad),
-            margin = margin
-        )?;
+        writeln!(f, "{:>margin$}  {lo_tick}{}{hi_tick}", "", " ".repeat(pad), margin = margin)?;
         writeln!(f, "{:>margin$}  ({})", "", self.x_label, margin = margin)?;
         for s in &self.series {
             writeln!(f, "   {}  {}", s.glyph, s.label)?;

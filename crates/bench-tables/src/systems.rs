@@ -116,9 +116,7 @@ impl<N: NetworkModel> AlgorithmSystem for StencilSystem<'_, N> {
         stencil_work(n, stencil_iters(n))
     }
     fn execute(&self, n: usize) -> f64 {
-        stencil_parallel_timed(self.cluster, self.network, n, stencil_iters(n))
-            .makespan
-            .as_secs()
+        stencil_parallel_timed(self.cluster, self.network, n, stencil_iters(n)).makespan.as_secs()
     }
 }
 
@@ -149,9 +147,7 @@ impl<N: NetworkModel> AlgorithmSystem for PowerSystem<'_, N> {
         power_work(n, power_iters(n))
     }
     fn execute(&self, n: usize) -> f64 {
-        power_parallel_timed(self.cluster, self.network, n, power_iters(n))
-            .makespan
-            .as_secs()
+        power_parallel_timed(self.cluster, self.network, n, power_iters(n)).makespan.as_secs()
     }
 }
 
@@ -178,10 +174,7 @@ mod tests {
         let net = sunwulf::sunwulf_network();
         let sys = GeSystem::new(&cluster, &net);
         let e310 = sys.measure(310).speed_efficiency();
-        assert!(
-            (0.2..=0.45).contains(&e310),
-            "E_s(310) = {e310}, expected near the paper's 0.312"
-        );
+        assert!((0.2..=0.45).contains(&e310), "E_s(310) = {e310}, expected near the paper's 0.312");
     }
 
     #[test]

@@ -82,12 +82,8 @@ impl fmt::Display for Table {
             }
         }
         writeln!(f, "== {} ==", self.title)?;
-        let header_line: Vec<String> = self
-            .headers
-            .iter()
-            .zip(&widths)
-            .map(|(h, w)| format!("{h:>w$}", w = w))
-            .collect();
+        let header_line: Vec<String> =
+            self.headers.iter().zip(&widths).map(|(h, w)| format!("{h:>w$}", w = w)).collect();
         writeln!(f, "{}", header_line.join("  "))?;
         writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols.max(1) - 1)))?;
         for row in &self.rows {

@@ -29,9 +29,7 @@ fn bench_ge(c: &mut Criterion) {
     let b = a.matvec(&x_true);
 
     let mut group = c.benchmark_group("ge");
-    group.bench_function("sequential", |bench| {
-        bench.iter(|| black_box(ge_sequential(&a, &b)))
-    });
+    group.bench_function("sequential", |bench| bench.iter(|| black_box(ge_sequential(&a, &b))));
     for p in [2usize, 4, 8] {
         let cluster = het_cluster(p);
         group.bench_with_input(BenchmarkId::new("parallel_real", p), &p, |bench, _| {
@@ -50,9 +48,7 @@ fn bench_mm(c: &mut Criterion) {
     let b = Matrix::random(n, n, 2);
 
     let mut group = c.benchmark_group("mm");
-    group.bench_function("sequential", |bench| {
-        bench.iter(|| black_box(mm_sequential(&a, &b)))
-    });
+    group.bench_function("sequential", |bench| bench.iter(|| black_box(mm_sequential(&a, &b))));
     for p in [2usize, 4, 8] {
         let cluster = het_cluster(p);
         group.bench_with_input(BenchmarkId::new("parallel_real", p), &p, |bench, _| {
@@ -68,15 +64,9 @@ fn bench_mm(c: &mut Criterion) {
 fn bench_marked_speed_kernels(c: &mut Criterion) {
     use marked_speed::kernels::{run_kernel, BenchKernel};
     let mut group = c.benchmark_group("marked_speed");
-    group.bench_function("lu_64", |b| {
-        b.iter(|| black_box(run_kernel(BenchKernel::Lu, 64)))
-    });
-    group.bench_function("ft_1024", |b| {
-        b.iter(|| black_box(run_kernel(BenchKernel::Ft, 1024)))
-    });
-    group.bench_function("bt_4096", |b| {
-        b.iter(|| black_box(run_kernel(BenchKernel::Bt, 4096)))
-    });
+    group.bench_function("lu_64", |b| b.iter(|| black_box(run_kernel(BenchKernel::Lu, 64))));
+    group.bench_function("ft_1024", |b| b.iter(|| black_box(run_kernel(BenchKernel::Ft, 1024))));
+    group.bench_function("bt_4096", |b| b.iter(|| black_box(run_kernel(BenchKernel::Bt, 4096))));
     group.finish();
 }
 

@@ -31,9 +31,7 @@ fn bench_inversion(c: &mut Criterion) {
     let fit = polyfit(&xs, &ys, 3).unwrap();
     c.bench_function("invert_required_n", |b| {
         b.iter(|| {
-            black_box(
-                invert_monotone(|x| fit.poly.eval(x), 50.0, 1600.0, 0.3, 1e-6).unwrap(),
-            )
+            black_box(invert_monotone(|x| fit.poly.eval(x), 50.0, 1600.0, 0.3, 1e-6).unwrap())
         })
     });
 }

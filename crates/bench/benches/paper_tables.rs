@@ -44,17 +44,13 @@ fn bench_tables34(c: &mut Criterion) {
 
 fn bench_fig2_table5(c: &mut Criterion) {
     let p = bench_params();
-    c.bench_function("f2_t5_mm_ladder", |b| {
-        b.iter(|| black_box(f2t5::figure2_and_table5(&p)))
-    });
+    c.bench_function("f2_t5_mm_ladder", |b| b.iter(|| black_box(f2t5::figure2_and_table5(&p))));
 }
 
 fn bench_tables67(c: &mut Criterion) {
     let p = bench_params();
     let (_, _, ladder) = t3t4::table3_and_4(&p);
-    c.bench_function("t6_t7_prediction", |b| {
-        b.iter(|| black_box(t6t7::table6_and_7(&p, &ladder)))
-    });
+    c.bench_function("t6_t7_prediction", |b| b.iter(|| black_box(t6t7::table6_and_7(&p, &ladder))));
 }
 
 fn bench_compare(c: &mut Criterion) {
@@ -70,9 +66,7 @@ fn bench_ablations(c: &mut Criterion) {
     c.bench_function("a1_ablate_distribution", |b| {
         b.iter(|| black_box(ablate::ablate_distribution(96)))
     });
-    c.bench_function("a2_ablate_network", |b| {
-        b.iter(|| black_box(ablate::ablate_network(96)))
-    });
+    c.bench_function("a2_ablate_network", |b| b.iter(|| black_box(ablate::ablate_network(96))));
     let sizes = [60usize, 100, 160, 260, 420, 700];
     c.bench_function("a3_ablate_fit_degree", |b| {
         b.iter(|| black_box(ablate::ablate_fit_degree(&sizes, 0.3)))

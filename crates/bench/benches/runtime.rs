@@ -94,9 +94,7 @@ fn bench_shared_medium(c: &mut Criterion) {
             dest: (i + 1) % 8,
         })
         .collect();
-    c.bench_function("netsim_1000_transfers", |b| {
-        b.iter(|| black_box(medium.simulate(&requests)))
-    });
+    c.bench_function("netsim_1000_transfers", |b| b.iter(|| black_box(medium.simulate(&requests))));
 }
 
 criterion_group! {

@@ -56,9 +56,7 @@ fn bench_schedulers(c: &mut Criterion) {
         b.iter(|| black_box(static_schedule(&speeds, &speeds, &chunks)))
     });
     group.bench_function("dynamic_1024_chunks", |b| {
-        b.iter(|| {
-            black_box(dynamic_schedule(&speeds, &chunks, SimTime::from_micros(100.0)))
-        })
+        b.iter(|| black_box(dynamic_schedule(&speeds, &chunks, SimTime::from_micros(100.0))))
     });
     group.finish();
 }

@@ -57,8 +57,7 @@ impl BlockDistribution {
     /// first `n mod p` ranks get one extra row).
     pub fn homogeneous(n: usize, p: usize) -> BlockDistribution {
         assert!(p > 0, "need at least one rank");
-        let counts: Vec<usize> =
-            (0..p).map(|i| n / p + usize::from(i < n % p)).collect();
+        let counts: Vec<usize> = (0..p).map(|i| n / p + usize::from(i < n % p)).collect();
         Self::from_counts(n, &counts)
     }
 

@@ -181,9 +181,9 @@ mod tests {
         let total: f64 = speeds.iter().sum();
         for start in [0usize, 100, 200, 300, 390] {
             let remaining = n - start;
-            for rank in 0..speeds.len() {
+            for (rank, &speed) in speeds.iter().enumerate() {
                 let owned = d.rows_of(rank).iter().filter(|&&r| r >= start).count();
-                let ideal = remaining as f64 * speeds[rank] / total;
+                let ideal = remaining as f64 * speed / total;
                 assert!(
                     (owned as f64 - ideal).abs() <= 2.0 + 1e-9,
                     "suffix {start}, rank {rank}: owned {owned}, ideal {ideal:.1}"

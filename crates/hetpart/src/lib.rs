@@ -102,8 +102,8 @@ pub(crate) mod conformance {
         // Counts consistent.
         let counts = d.counts();
         assert_eq!(counts.iter().sum::<usize>(), n);
-        for rank in 0..p {
-            assert_eq!(counts[rank], d.rows_of(rank).len());
+        for (rank, &count) in counts.iter().enumerate() {
+            assert_eq!(count, d.rows_of(rank).len());
         }
     }
 }

@@ -62,10 +62,7 @@ pub fn proportional_counts_min_one(n: usize, weights: &[f64]) -> Vec<usize> {
     }
     // Reserve one unit per positive weight, apportion the rest, add back.
     let rest = proportional_counts(n - positive, weights);
-    rest.iter()
-        .zip(weights)
-        .map(|(&c, &w)| if w > 0.0 { c + 1 } else { c })
-        .collect()
+    rest.iter().zip(weights).map(|(&c, &w)| if w > 0.0 { c + 1 } else { c }).collect()
 }
 
 #[cfg(test)]
@@ -101,10 +98,7 @@ mod tests {
             let c = proportional_counts(n, &w);
             for (i, &ci) in c.iter().enumerate() {
                 let ideal = n as f64 * w[i] / total;
-                assert!(
-                    (ci as f64 - ideal).abs() < 1.0,
-                    "n={n} i={i}: got {ci}, ideal {ideal}"
-                );
+                assert!((ci as f64 - ideal).abs() < 1.0, "n={n} i={i}: got {ci}, ideal {ideal}");
             }
         }
     }

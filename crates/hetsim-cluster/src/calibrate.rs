@@ -178,10 +178,7 @@ mod tests {
         for n in [100u64, 500, 3000, 20000] {
             let pred = params.p2p_time(n as f64);
             let actual = net.p2p_time(n * 8);
-            assert!(
-                (pred - actual).abs() / actual < 1e-6,
-                "n={n}: pred {pred} vs {actual}"
-            );
+            assert!((pred - actual).abs() / actual < 1e-6, "n={n}: pred {pred} vs {actual}");
         }
     }
 
@@ -205,10 +202,7 @@ mod tests {
         let n = 10_000.0;
         let t32 = params.bcast_time(32, n);
         let actual32 = net.bcast_time(32, 80_000);
-        assert!(
-            (t32 - actual32).abs() / actual32 < 0.2,
-            "pred {t32} vs actual {actual32}"
-        );
+        assert!((t32 - actual32).abs() / actual32 < 0.2, "pred {t32} vs actual {actual32}");
     }
 
     #[test]

@@ -34,9 +34,8 @@ impl ClusterSpec {
     /// check that isospeed-efficiency reduces to classic isospeed.
     pub fn homogeneous(p: usize, marked_speed_mflops: f64) -> ClusterSpec {
         assert!(p > 0, "need at least one node");
-        let nodes = (0..p)
-            .map(|i| NodeSpec::synthetic(format!("homo-{i}"), marked_speed_mflops))
-            .collect();
+        let nodes =
+            (0..p).map(|i| NodeSpec::synthetic(format!("homo-{i}"), marked_speed_mflops)).collect();
         ClusterSpec { nodes, label: format!("homogeneous-{p}x{marked_speed_mflops}") }
     }
 
@@ -77,10 +76,7 @@ impl ClusterSpec {
 
     /// The slowest node's marked speed in Mflop/s.
     pub fn min_node_speed_mflops(&self) -> f64 {
-        self.nodes
-            .iter()
-            .map(|n| n.marked_speed_mflops)
-            .fold(f64::INFINITY, f64::min)
+        self.nodes.iter().map(|n| n.marked_speed_mflops).fold(f64::INFINITY, f64::min)
     }
 
     /// The fastest node's marked speed in Mflop/s.

@@ -36,10 +36,7 @@ impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed for min-heap behaviour inside BinaryHeap (max-heap):
         // earlier time = greater priority; ties broken by insertion order.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -94,12 +91,7 @@ impl<E> Default for Simulator<E> {
 impl<E> Simulator<E> {
     /// An empty simulator at time zero.
     pub fn new() -> Self {
-        Simulator {
-            queue: BinaryHeap::new(),
-            next_seq: 0,
-            now: SimTime::ZERO,
-            processed: 0,
-        }
+        Simulator { queue: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO, processed: 0 }
     }
 
     /// Seeds an initial event at absolute time `at`.

@@ -52,16 +52,15 @@ pub mod engine;
 pub mod memory;
 pub mod netsim;
 pub mod network;
-pub mod selfsched;
 pub mod node;
+pub mod selfsched;
 pub mod sunwulf;
 pub mod time;
 pub mod topology;
 
 pub use cluster::ClusterSpec;
 pub use network::{
-    ConstantLatency, JitteredNetwork, MpichEthernet, NetworkModel, SharedEthernet,
-    SwitchedNetwork,
+    ConstantLatency, JitteredNetwork, MpichEthernet, NetworkModel, SharedEthernet, SwitchedNetwork,
 };
 pub use node::{NodeKind, NodeSpec};
 pub use time::SimTime;

@@ -31,11 +31,7 @@ pub fn ge_bytes_per_node(cluster: &ClusterSpec, n: usize) -> Vec<f64> {
 pub fn mm_bytes_per_node(cluster: &ClusterSpec, n: usize) -> Vec<f64> {
     let nf = n as f64;
     let b_replica = nf * nf * 8.0;
-    cluster
-        .speed_fractions()
-        .iter()
-        .map(|f| 2.0 * f * nf * nf * 8.0 + b_replica)
-        .collect()
+    cluster.speed_fractions().iter().map(|f| 2.0 * f * nf * nf * 8.0 + b_replica).collect()
 }
 
 fn fits(cluster: &ClusterSpec, bytes: &[f64]) -> bool {
@@ -58,7 +54,10 @@ pub fn mm_feasible(cluster: &ClusterSpec, n: usize) -> bool {
 
 /// Largest rank for which `feasible(cluster, n)` holds, up to a search
 /// cap of 10⁶ (returns 0 when even `n = 1` does not fit).
-pub fn max_feasible(cluster: &ClusterSpec, feasible: impl Fn(&ClusterSpec, usize) -> bool) -> usize {
+pub fn max_feasible(
+    cluster: &ClusterSpec,
+    feasible: impl Fn(&ClusterSpec, usize) -> bool,
+) -> usize {
     if !feasible(cluster, 1) {
         return 0;
     }
@@ -131,8 +130,7 @@ mod tests {
         // smaller rank.
         let ladder8 = sunwulf::ge_config(8);
         assert!(ge_feasible(&ladder8, 1241));
-        let one_blade =
-            ClusterSpecFor::single(sunwulf::sunblade_node(1));
+        let one_blade = ClusterSpecFor::single(sunwulf::sunblade_node(1));
         let max_seq = max_feasible(&one_blade, ge_feasible);
         assert!(max_seq < 4000, "one SunBlade caps out at rank {max_seq}");
     }

@@ -102,14 +102,9 @@ impl SharedMedium {
         if p <= 1 {
             return ready;
         }
-        let requests: Vec<TransferRequest> = (1..p)
-            .map(|dest| TransferRequest { ready, bytes, source: 0, dest })
-            .collect();
-        self.simulate(&requests)
-            .into_iter()
-            .map(|o| o.finish)
-            .max()
-            .unwrap_or(ready)
+        let requests: Vec<TransferRequest> =
+            (1..p).map(|dest| TransferRequest { ready, bytes, source: 0, dest }).collect();
+        self.simulate(&requests).into_iter().map(|o| o.finish).max().unwrap_or(ready)
     }
 }
 
@@ -155,7 +150,7 @@ mod tests {
     #[test]
     fn staggered_arrivals_queue_partially() {
         let m = SharedMedium::new(0.0, 1e6); // service = bytes/1e6 s
-        // First occupies [0, 2]; second arrives at 1, waits until 2.
+                                             // First occupies [0, 2]; second arrives at 1, waits until 2.
         let out = m.simulate(&[req(0.0, 2_000_000), req(1.0, 1_000_000)]);
         assert_eq!(out[1].start, SimTime::from_secs(2.0));
         assert_eq!(out[1].finish, SimTime::from_secs(3.0));

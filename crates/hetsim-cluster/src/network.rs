@@ -209,12 +209,8 @@ impl NetworkModel for SwitchedNetwork {
     fn gather_time(&self, sizes: &[u64], root: usize) -> f64 {
         // Root's inbound link is the bottleneck: latency pipelines over a
         // tree, payload serializes on the root link.
-        let total: u64 = sizes
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != root)
-            .map(|(_, &s)| s)
-            .sum();
+        let total: u64 =
+            sizes.iter().enumerate().filter(|(i, _)| *i != root).map(|(_, &s)| s).sum();
         if sizes.len() <= 1 {
             return 0.0;
         }
@@ -272,12 +268,7 @@ impl NetworkModel for SharedEthernet {
         2.0 * (p - 1) as f64 * self.alpha
     }
     fn gather_time(&self, sizes: &[u64], root: usize) -> f64 {
-        sizes
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != root)
-            .map(|(_, &s)| self.transfer(s))
-            .sum()
+        sizes.iter().enumerate().filter(|(i, _)| *i != root).map(|(_, &s)| self.transfer(s)).sum()
     }
     fn label(&self) -> &'static str {
         "shared-ethernet"
@@ -336,12 +327,8 @@ impl NetworkModel for MpichEthernet {
         if sizes.len() <= 1 {
             return 0.0;
         }
-        let total: u64 = sizes
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != root)
-            .map(|(_, &s)| s)
-            .sum();
+        let total: u64 =
+            sizes.iter().enumerate().filter(|(i, _)| *i != root).map(|(_, &s)| s).sum();
         (sizes.len() - 1) as f64 * self.alpha + total as f64 / self.beta
     }
     fn label(&self) -> &'static str {

@@ -77,13 +77,7 @@ impl NodeSpec {
         if cpus == 0 {
             return Err("a node must have at least one CPU enabled".to_string());
         }
-        Ok(NodeSpec {
-            name: name.into(),
-            kind,
-            marked_speed_mflops,
-            cpus,
-            memory_mb,
-        })
+        Ok(NodeSpec { name: name.into(), kind, marked_speed_mflops, cpus, memory_mb })
     }
 
     /// Marked speed in flop/s (SI), the unit used by the cost models.

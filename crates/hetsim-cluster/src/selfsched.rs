@@ -43,10 +43,7 @@ pub fn static_schedule(
         "one true speed per estimate"
     );
     assert!(!estimated_speeds_flops.is_empty(), "need at least one worker");
-    assert!(
-        true_speeds_flops.iter().all(|&s| s > 0.0),
-        "true speeds must be positive"
-    );
+    assert!(true_speeds_flops.iter().all(|&s| s > 0.0), "true speeds must be positive");
     assert!(chunk_flops.iter().all(|&w| w >= 0.0), "chunk work must be ≥ 0");
 
     let total_work: f64 = chunk_flops.iter().sum();
@@ -63,17 +60,10 @@ pub fn static_schedule(
         }
     }
     debug_assert_eq!(cursor, chunk_flops.len());
-    let makespan = work_per_worker
-        .iter()
-        .zip(true_speeds_flops)
-        .map(|(&w, &s)| w / s)
-        .fold(0.0f64, f64::max);
+    let makespan =
+        work_per_worker.iter().zip(true_speeds_flops).map(|(&w, &s)| w / s).fold(0.0f64, f64::max);
     let _ = total_work;
-    ScheduleOutcome {
-        makespan: SimTime::from_secs(makespan),
-        chunks_per_worker,
-        work_per_worker,
-    }
+    ScheduleOutcome { makespan: SimTime::from_secs(makespan), chunks_per_worker, work_per_worker }
 }
 
 /// Largest-remainder apportionment (local copy: `hetpart` sits above
@@ -123,10 +113,7 @@ pub fn dynamic_schedule(
     grant_latency: SimTime,
 ) -> ScheduleOutcome {
     assert!(!true_speeds_flops.is_empty(), "need at least one worker");
-    assert!(
-        true_speeds_flops.iter().all(|&s| s > 0.0),
-        "true speeds must be positive"
-    );
+    assert!(true_speeds_flops.iter().all(|&s| s > 0.0), "true speeds must be positive");
     assert!(grant_latency.as_secs() >= 0.0, "grant latency must be ≥ 0");
 
     let p = true_speeds_flops.len();
@@ -191,11 +178,7 @@ mod tests {
         let out = dynamic_schedule(&true_speeds, &uniform_chunks(100, 1e6), SimTime::ZERO);
         // Work splits ~4:1 by true speed; makespan near the ideal
         // 100e6 / 1.25e8 = 0.8 s.
-        assert!(
-            (out.makespan.as_secs() - 0.8).abs() < 0.05,
-            "makespan {:?}",
-            out.makespan
-        );
+        assert!((out.makespan.as_secs() - 0.8).abs() < 0.05, "makespan {:?}", out.makespan);
         assert!(out.chunks_per_worker[0] > 3 * out.chunks_per_worker[1]);
     }
 

@@ -30,26 +30,14 @@ pub const V210_CPU_MFLOPS: f64 = 110.0;
 /// Panics if `cpus` is 0 or greater than 4.
 pub fn server_node(cpus: u32) -> NodeSpec {
     assert!((1..=4).contains(&cpus), "server node has 4 CPUs");
-    NodeSpec::new(
-        "sunwulf",
-        NodeKind::SunFireServer,
-        SERVER_CPU_MFLOPS * cpus as f64,
-        cpus,
-        4096,
-    )
-    .expect("server node constants are valid")
+    NodeSpec::new("sunwulf", NodeKind::SunFireServer, SERVER_CPU_MFLOPS * cpus as f64, cpus, 4096)
+        .expect("server node constants are valid")
 }
 
 /// SunBlade compute node `hpc-<index>` (1 ≤ index ≤ 64).
 pub fn sunblade_node(index: u32) -> NodeSpec {
-    NodeSpec::new(
-        format!("hpc-{index}"),
-        NodeKind::SunBlade,
-        SUNBLADE_MFLOPS,
-        1,
-        128,
-    )
-    .expect("SunBlade constants are valid")
+    NodeSpec::new(format!("hpc-{index}"), NodeKind::SunBlade, SUNBLADE_MFLOPS, 1, 128)
+        .expect("SunBlade constants are valid")
 }
 
 /// SunFire V210 node `hpc-<index>` (65 ≤ index ≤ 84) with `cpus` ∈ {1, 2}.
@@ -145,10 +133,7 @@ mod tests {
         assert_eq!(c2.size(), 2);
         assert_eq!(c2.count_kind(NodeKind::SunFireServer), 1);
         assert_eq!(c2.count_kind(NodeKind::SunBlade), 1);
-        assert_eq!(
-            c2.marked_speed_mflops(),
-            2.0 * SERVER_CPU_MFLOPS + SUNBLADE_MFLOPS
-        );
+        assert_eq!(c2.marked_speed_mflops(), 2.0 * SERVER_CPU_MFLOPS + SUNBLADE_MFLOPS);
 
         let c32 = ge_config(32);
         assert_eq!(c32.size(), 32);
@@ -196,12 +181,7 @@ mod tests {
         // §4.3: server (1 CPU) + one SunBlade + two 1-CPU V210s. With the
         // reconstructed constants the sum is just Σ Cᵢ; the check here is
         // the composition rule, not the absolute value.
-        let nodes = vec![
-            server_node(1),
-            sunblade_node(1),
-            v210_node(65, 1),
-            v210_node(66, 1),
-        ];
+        let nodes = vec![server_node(1), sunblade_node(1), v210_node(65, 1), v210_node(66, 1)];
         let c = ClusterSpec::new("example", nodes).unwrap();
         assert_eq!(
             c.marked_speed_mflops(),

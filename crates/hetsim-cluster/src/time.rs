@@ -156,10 +156,7 @@ mod tests {
         t += SimTime::from_secs(0.5);
         assert_eq!(t, SimTime::from_secs(1.5));
         assert_eq!(t + SimTime::from_secs(0.5), SimTime::from_secs(2.0));
-        assert_eq!(
-            (SimTime::from_secs(3.0) - SimTime::from_secs(1.0)).as_secs(),
-            2.0
-        );
+        assert_eq!((SimTime::from_secs(3.0) - SimTime::from_secs(1.0)).as_secs(), 2.0);
     }
 
     #[test]
@@ -183,11 +180,7 @@ mod tests {
 
     #[test]
     fn sortable_in_collections() {
-        let mut v = vec![
-            SimTime::from_secs(3.0),
-            SimTime::from_secs(1.0),
-            SimTime::from_secs(2.0),
-        ];
+        let mut v = [SimTime::from_secs(3.0), SimTime::from_secs(1.0), SimTime::from_secs(2.0)];
         v.sort();
         assert_eq!(v[0], SimTime::from_secs(1.0));
         assert_eq!(v[2], SimTime::from_secs(3.0));

@@ -188,11 +188,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "need at least one rank")]
     fn empty_map_rejected() {
-        SegmentedNetwork::new(
-            vec![],
-            MpichEthernet::new(1e-4, 1e8),
-            MpichEthernet::new(1e-3, 1e7),
-        );
+        SegmentedNetwork::new(vec![], MpichEthernet::new(1e-4, 1e8), MpichEthernet::new(1e-3, 1e7));
     }
 
     #[test]

@@ -16,25 +16,10 @@ use std::collections::HashMap;
 /// bug and panics with a diagnostic.
 #[derive(Debug)]
 enum Slot {
-    Barrier {
-        entries: Vec<Option<SimTime>>,
-        result: Option<SimTime>,
-        reads: usize,
-    },
-    Gather {
-        deposits: Vec<Option<(SimTime, Bytes)>>,
-        count: usize,
-    },
-    Bcast {
-        deposit: Option<(SimTime, Bytes)>,
-        reads: usize,
-    },
-    Scatter {
-        departure: SimTime,
-        parts: Vec<Option<Bytes>>,
-        taken: usize,
-        deposited: bool,
-    },
+    Barrier { entries: Vec<Option<SimTime>>, result: Option<SimTime>, reads: usize },
+    Gather { deposits: Vec<Option<(SimTime, Bytes)>>, count: usize },
+    Bcast { deposit: Option<(SimTime, Bytes)>, reads: usize },
+    Scatter { departure: SimTime, parts: Vec<Option<Bytes>>, taken: usize, deposited: bool },
 }
 
 /// Rendezvous point shared by all ranks of one SPMD run.
@@ -57,10 +42,12 @@ impl CollectiveHub {
     }
 
     /// Barrier rendezvous: deposits this rank's entry clock and blocks
-    /// until all `p` ranks have arrived; returns `max(entry clocks) +
-    /// cost`. All ranks must pass the same `cost` (it is a pure function
-    /// of `p` on their shared network model).
-    pub fn barrier(&self, op: u64, rank: usize, entry: SimTime, cost: SimTime) -> SimTime {
+    /// until all `p` ranks have arrived; returns the rendezvous time
+    /// `max(entry clocks)`. The caller adds the barrier's network cost
+    /// itself (a pure function of `p` on the shared network model), so
+    /// the wait-for-stragglers span and the barrier proper stay
+    /// separately attributable.
+    pub fn barrier(&self, op: u64, rank: usize, entry: SimTime) -> SimTime {
         let mut slots = self.slots.lock();
         let slot = slots.entry(op).or_insert_with(|| Slot::Barrier {
             entries: vec![None; self.p],
@@ -74,7 +61,7 @@ impl CollectiveHub {
         entries[rank] = Some(entry);
         if entries.iter().all(|e| e.is_some()) {
             let max_entry = entries.iter().map(|e| e.expect("all present")).max().unwrap();
-            *result = Some(max_entry + cost);
+            *result = Some(max_entry);
             self.cond.notify_all();
         }
         // Wait for the result, then count reads and clean up after the
@@ -98,10 +85,9 @@ impl CollectiveHub {
     /// Deposits one rank's gather contribution (entry clock + payload).
     pub fn gather_deposit(&self, op: u64, rank: usize, entry: SimTime, payload: Bytes) {
         let mut slots = self.slots.lock();
-        let slot = slots.entry(op).or_insert_with(|| Slot::Gather {
-            deposits: vec![None; self.p],
-            count: 0,
-        });
+        let slot = slots
+            .entry(op)
+            .or_insert_with(|| Slot::Gather { deposits: vec![None; self.p], count: 0 });
         let Slot::Gather { deposits, count } = slot else {
             panic!("collective sequence mismatch: op {op} is not a gather");
         };
@@ -134,9 +120,7 @@ impl CollectiveHub {
     /// departure time.
     pub fn bcast_deposit(&self, op: u64, departure: SimTime, payload: Bytes) {
         let mut slots = self.slots.lock();
-        let slot = slots
-            .entry(op)
-            .or_insert_with(|| Slot::Bcast { deposit: None, reads: 0 });
+        let slot = slots.entry(op).or_insert_with(|| Slot::Bcast { deposit: None, reads: 0 });
         let Slot::Bcast { deposit, .. } = slot else {
             panic!("collective sequence mismatch: op {op} is not a bcast");
         };
@@ -232,20 +216,19 @@ mod tests {
     }
 
     #[test]
-    fn barrier_returns_max_entry_plus_cost() {
+    fn barrier_returns_max_entry() {
         let hub = Arc::new(CollectiveHub::new(3));
         let entries = [1.0, 5.0, 3.0];
-        let cost = t(0.5);
         let handles: Vec<_> = entries
             .iter()
             .enumerate()
             .map(|(r, &e)| {
                 let hub = Arc::clone(&hub);
-                std::thread::spawn(move || hub.barrier(0, r, t(e), cost))
+                std::thread::spawn(move || hub.barrier(0, r, t(e)))
             })
             .collect();
         for h in handles {
-            assert_eq!(h.join().unwrap(), t(5.5));
+            assert_eq!(h.join().unwrap(), t(5.0));
         }
         assert_eq!(hub.live_slots(), 0);
     }
@@ -257,16 +240,16 @@ mod tests {
             .map(|r| {
                 let hub = Arc::clone(&hub);
                 std::thread::spawn(move || {
-                    let a = hub.barrier(0, r, t(r as f64), t(0.1));
-                    let b = hub.barrier(1, r, a, t(0.1));
+                    let a = hub.barrier(0, r, t(r as f64));
+                    let b = hub.barrier(1, r, a + t(0.1));
                     (a, b)
                 })
             })
             .collect();
         for h in handles {
             let (a, b) = h.join().unwrap();
-            assert_eq!(a, t(1.1));
-            assert!((b.as_secs() - 1.2).abs() < 1e-12, "b = {b:?}");
+            assert_eq!(a, t(1.0));
+            assert!((b.as_secs() - 1.1).abs() < 1e-12, "b = {b:?}");
         }
         assert_eq!(hub.live_slots(), 0);
     }
@@ -324,8 +307,7 @@ mod tests {
                 std::thread::spawn(move || hub.scatter_take(9, r))
             })
             .collect();
-        let parts: Vec<Bytes> =
-            (0..3).map(|r| encode_f64s(&[r as f64 * 10.0])).collect();
+        let parts: Vec<Bytes> = (0..3).map(|r| encode_f64s(&[r as f64 * 10.0])).collect();
         hub.scatter_deposit(9, t(1.5), parts);
         let mut got: Vec<Vec<f64>> = handles
             .into_iter()
@@ -339,8 +321,8 @@ mod tests {
     #[test]
     fn single_rank_barrier_completes_immediately() {
         let hub = CollectiveHub::new(1);
-        let out = hub.barrier(0, 0, t(3.0), t(0.25));
-        assert_eq!(out, t(3.25));
+        let out = hub.barrier(0, 0, t(3.0));
+        assert_eq!(out, t(3.0));
         assert_eq!(hub.live_slots(), 0);
     }
 
@@ -357,7 +339,7 @@ mod tests {
     fn type_mismatch_panics() {
         let hub = CollectiveHub::new(2);
         hub.bcast_deposit(0, t(0.0), encode_f64s(&[1.0]));
-        let _ = hub.barrier(0, 0, t(0.0), t(0.0));
+        let _ = hub.barrier(0, 0, t(0.0));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use crate::collectives::CollectiveHub;
 use crate::message::{decode_f64s, encode_f64s, Mailbox, Message, Tag};
-use crate::trace::{OpKind, RankTrace, TraceRecord};
+use crate::trace::{OpKind, RankTrace, SpanSink, TraceRecord};
 use bytes::Bytes;
 use hetsim_cluster::cluster::ClusterSpec;
 use hetsim_cluster::network::NetworkModel;
@@ -20,6 +20,9 @@ pub(crate) struct Shared<'a> {
     pub hub: CollectiveHub,
     /// When set, every rank records a [`RankTrace`].
     pub tracing: bool,
+    /// Live span observer (metrics registry); implies nothing about
+    /// `tracing`, but [`crate::run_spmd_observed`] sets both.
+    pub sink: Option<&'a dyn SpanSink>,
 }
 
 /// The handle one SPMD process uses to compute, communicate, and read its
@@ -30,6 +33,7 @@ pub struct Rank<'a> {
     clock: SimTime,
     compute_time: SimTime,
     comm_time: SimTime,
+    wait_time: SimTime,
     collective_seq: u64,
     speed_flops: f64,
     trace: RankTrace,
@@ -44,6 +48,7 @@ impl<'a> Rank<'a> {
             clock: SimTime::ZERO,
             compute_time: SimTime::ZERO,
             comm_time: SimTime::ZERO,
+            wait_time: SimTime::ZERO,
             collective_seq: 0,
             speed_flops,
             trace: RankTrace::default(),
@@ -55,10 +60,28 @@ impl<'a> Rank<'a> {
         std::mem::take(&mut self.trace)
     }
 
-    fn record(&mut self, kind: OpKind, start: hetsim_cluster::time::SimTime, bytes: u64) {
+    /// Appends an explicit span to the trace (and the live sink, when
+    /// one is attached). All trace emission funnels through here.
+    fn push_record(
+        &mut self,
+        kind: OpKind,
+        start: SimTime,
+        end: SimTime,
+        bytes: u64,
+        peer: Option<usize>,
+    ) {
+        let record = TraceRecord { kind, start, end, bytes, peer };
         if self.shared.tracing {
-            self.trace.records.push(TraceRecord { kind, start, end: self.clock, bytes });
+            self.trace.records.push(record);
         }
+        if let Some(sink) = self.shared.sink {
+            sink.record_span(self.id, &record);
+        }
+    }
+
+    fn record(&mut self, kind: OpKind, start: SimTime, bytes: u64, peer: Option<usize>) {
+        let end = self.clock;
+        self.push_record(kind, start, end, bytes, peer);
     }
 
     /// This process's rank id, `0 ≤ rank < size`.
@@ -92,9 +115,17 @@ impl<'a> Rank<'a> {
     }
 
     /// Accumulated communication/synchronization time — this rank's share
-    /// of the total overhead `T_o`.
+    /// of the total overhead `T_o`. Includes [`Rank::wait_time`].
     pub fn comm_time(&self) -> SimTime {
         self.comm_time
+    }
+
+    /// Accumulated idle-wait time: the part of [`Rank::comm_time`] spent
+    /// blocked on peers (stragglers at a barrier, a sender that has not
+    /// started transmitting, late gather contributions) rather than on
+    /// an actual transfer. Pure load-imbalance loss.
+    pub fn wait_time(&self) -> SimTime {
+        self.wait_time
     }
 
     /// Advances the clock by the time to execute `flops` floating-point
@@ -108,7 +139,7 @@ impl<'a> Rank<'a> {
         let dt = SimTime::from_secs(flops / self.speed_flops);
         self.clock += dt;
         self.compute_time += dt;
-        self.record(OpKind::Compute, start, 0);
+        self.record(OpKind::Compute, start, 0, None);
     }
 
     /// Advances the clock by an explicit duration of local work that is
@@ -117,15 +148,41 @@ impl<'a> Rank<'a> {
         let start = self.clock;
         self.clock += dt;
         self.compute_time += dt;
-        self.record(OpKind::Compute, start, 0);
+        self.record(OpKind::Compute, start, 0, None);
     }
 
-    fn charge_comm(&mut self, new_clock: SimTime, kind: OpKind, bytes: u64) {
+    fn charge_comm(&mut self, new_clock: SimTime, kind: OpKind, bytes: u64, peer: Option<usize>) {
         debug_assert!(new_clock >= self.clock, "communication cannot rewind time");
         let start = self.clock;
         self.comm_time += new_clock - self.clock;
         self.clock = new_clock;
-        self.record(kind, start, bytes);
+        self.record(kind, start, bytes, peer);
+    }
+
+    /// Charges a blocking operation whose precondition was met at
+    /// `ready` and which completes at `exit`: the span `[clock, ready)`
+    /// is idle-wait (recorded as [`OpKind::Wait`] when non-empty), the
+    /// span `[max(clock, ready), exit)` is the operation proper. Both
+    /// count toward `comm_time`; only the former counts toward
+    /// `wait_time`.
+    fn charge_comm_waited(
+        &mut self,
+        ready: SimTime,
+        exit: SimTime,
+        kind: OpKind,
+        bytes: u64,
+        peer: Option<usize>,
+    ) {
+        let entry = self.clock;
+        debug_assert!(exit >= entry, "communication cannot rewind time");
+        let wait_end = ready.max(entry).min(exit);
+        if wait_end > entry {
+            self.wait_time += wait_end - entry;
+            self.push_record(OpKind::Wait, entry, wait_end, 0, peer);
+        }
+        self.comm_time += exit - entry;
+        self.clock = exit;
+        self.push_record(kind, wait_end, exit, bytes, peer);
     }
 
     // ---- point-to-point -------------------------------------------------
@@ -141,24 +198,30 @@ impl<'a> Rank<'a> {
         assert!(dest < self.size(), "destination rank {dest} out of range");
         assert_ne!(dest, self.id, "self-send is not supported");
         let bytes = payload.len() as u64;
+        let sent_at = self.clock;
         let cost = SimTime::from_secs(self.shared.network.p2p_time_between(self.id, dest, bytes));
-        self.charge_comm(self.clock + cost, OpKind::Send, bytes);
+        self.charge_comm(self.clock + cost, OpKind::Send, bytes, Some(dest));
         self.shared.mailboxes[dest].push(Message {
             source: self.id,
             tag,
+            sent_at,
             arrival: self.clock,
             payload,
         });
     }
 
     /// Receives bytes from `source` with `tag`, blocking until available.
-    /// The clock advances to the message arrival time if later.
+    /// The clock advances to the message arrival time if later; time
+    /// spent blocked before the sender even started transmitting is
+    /// attributed to [`OpKind::Wait`], the rest of the span to
+    /// [`OpKind::Recv`].
     pub fn recv_bytes(&mut self, source: usize, tag: Tag) -> Bytes {
         assert!(source < self.size(), "source rank {source} out of range");
         assert_ne!(source, self.id, "self-receive is not supported");
         let msg = self.shared.mailboxes[self.id].recv_matching(source, tag);
         let bytes = msg.payload.len() as u64;
-        self.charge_comm(self.clock.max(msg.arrival), OpKind::Recv, bytes);
+        let exit = self.clock.max(msg.arrival);
+        self.charge_comm_waited(msg.sent_at, exit, OpKind::Recv, bytes, Some(source));
         msg.payload
     }
 
@@ -181,12 +244,14 @@ impl<'a> Rank<'a> {
     }
 
     /// Barrier across all ranks: every rank leaves at
-    /// `max(entry clocks) + barrier_time(p)`.
+    /// `max(entry clocks) + barrier_time(p)`. The span spent waiting for
+    /// stragglers is attributed to [`OpKind::Wait`]; the barrier's
+    /// network cost itself to [`OpKind::Barrier`].
     pub fn barrier(&mut self) {
         let op = self.next_op();
         let cost = SimTime::from_secs(self.shared.network.barrier_time(self.size()));
-        let exit = self.shared.hub.barrier(op, self.id, self.clock, cost);
-        self.charge_comm(exit, OpKind::Barrier, 0);
+        let rendezvous = self.shared.hub.barrier(op, self.id, self.clock);
+        self.charge_comm_waited(rendezvous, rendezvous + cost, OpKind::Barrier, 0, None);
     }
 
     /// Broadcast from `root`. The root passes `Some(data)` and gets its
@@ -208,13 +273,13 @@ impl<'a> Rank<'a> {
             let departure = self.clock + cost;
             let bytes = payload.len() as u64;
             self.shared.hub.bcast_deposit(op, departure, payload);
-            self.charge_comm(departure, OpKind::Bcast, bytes);
+            self.charge_comm(departure, OpKind::Bcast, bytes, None);
             data.to_vec()
         } else {
             assert!(data.is_none(), "non-root rank {} passed broadcast data", self.id);
             let (departure, payload) = self.shared.hub.bcast_wait(op);
             let bytes = payload.len() as u64;
-            self.charge_comm(self.clock.max(departure), OpKind::Bcast, bytes);
+            self.charge_comm(self.clock.max(departure), OpKind::Bcast, bytes, Some(root));
             decode_f64s(&payload)
         }
     }
@@ -222,7 +287,9 @@ impl<'a> Rank<'a> {
     /// Gather to `root`: every rank contributes a slice; the root gets
     /// all contributions indexed by rank (including its own), others get
     /// `None`. Contributors leave at `entry + p2p_time(own bytes)`; the
-    /// root leaves at `max(all entries) + gather_time(sizes)`.
+    /// root leaves at `max(all entries) + gather_time(sizes)`, with the
+    /// span spent waiting for late contributors attributed to
+    /// [`OpKind::Wait`].
     pub fn gather_f64s(&mut self, root: usize, contribution: &[f64]) -> Option<Vec<Vec<f64>>> {
         assert!(root < self.size(), "root rank {root} out of range");
         let op = self.next_op();
@@ -235,13 +302,15 @@ impl<'a> Rank<'a> {
                 deposits.iter().map(|(t, _)| *t).max().expect("at least the root deposited");
             let cost = SimTime::from_secs(self.shared.network.gather_time(&sizes, root));
             let total_bytes: u64 = sizes.iter().sum();
-            self.charge_comm(self.clock.max(max_entry) + cost, OpKind::Gather, total_bytes);
+            let ready = self.clock.max(max_entry);
+            self.charge_comm_waited(ready, ready + cost, OpKind::Gather, total_bytes, None);
             Some(deposits.into_iter().map(|(_, b)| decode_f64s(&b)).collect())
         } else {
             let bytes = payload.len() as u64;
             self.shared.hub.gather_deposit(op, self.id, self.clock, payload);
-            let cost = SimTime::from_secs(self.shared.network.p2p_time_between(self.id, root, bytes));
-            self.charge_comm(self.clock + cost, OpKind::Gather, bytes);
+            let cost =
+                SimTime::from_secs(self.shared.network.p2p_time_between(self.id, root, bytes));
+            self.charge_comm(self.clock + cost, OpKind::Gather, bytes, Some(root));
             None
         }
     }
@@ -263,13 +332,13 @@ impl<'a> Rank<'a> {
             let total_bytes: u64 = sizes.iter().sum();
             self.shared.hub.scatter_deposit(op, departure, payloads);
             let (_, own) = self.shared.hub.scatter_take(op, self.id);
-            self.charge_comm(departure, OpKind::Scatter, total_bytes);
+            self.charge_comm(departure, OpKind::Scatter, total_bytes, None);
             decode_f64s(&own)
         } else {
             assert!(parts.is_none(), "non-root rank {} passed scatter parts", self.id);
             let (departure, payload) = self.shared.hub.scatter_take(op, self.id);
             let bytes = payload.len() as u64;
-            self.charge_comm(self.clock.max(departure), OpKind::Scatter, bytes);
+            self.charge_comm(self.clock.max(departure), OpKind::Scatter, bytes, Some(root));
             decode_f64s(&payload)
         }
     }
@@ -303,9 +372,7 @@ impl<'a> Rank<'a> {
         if self.id == 0 {
             let parts = gathered.expect("rank 0 is the gather root");
             // Header: p lengths, then the concatenated payloads.
-            let mut packed = Vec::with_capacity(
-                p + parts.iter().map(|v| v.len()).sum::<usize>(),
-            );
+            let mut packed = Vec::with_capacity(p + parts.iter().map(|v| v.len()).sum::<usize>());
             packed.extend(parts.iter().map(|v| v.len() as f64));
             for v in &parts {
                 packed.extend_from_slice(v);
@@ -338,9 +405,9 @@ impl<'a> Rank<'a> {
         let p = self.size();
         assert_eq!(parts.len(), p, "alltoall needs one part per rank");
         const TAG_A2A: Tag = Tag(0xA2A);
-        for dest in 0..p {
+        for (dest, part) in parts.iter().enumerate() {
             if dest != self.id {
-                self.send_f64s(dest, TAG_A2A, &parts[dest]);
+                self.send_f64s(dest, TAG_A2A, part);
             }
         }
         let mut out: Vec<Vec<f64>> = Vec::with_capacity(p);

@@ -23,9 +23,12 @@
 //!   the message is stamped with its arrival time (the sender's clock
 //!   after the send completes).
 //! * `recv` — blocks until a matching message exists, then clock =
-//!   `max(clock, arrival)`.
+//!   `max(clock, arrival)`. In traces, time spent blocked before the
+//!   sender even started transmitting is split off as an idle-wait span
+//!   ([`OpKind::Wait`]); the clock math is unchanged.
 //! * `barrier` — all ranks leave with clock `max(entry clocks) +
-//!   barrier_time(p)`.
+//!   barrier_time(p)`; time up to the rendezvous (`max(entry clocks)`)
+//!   is traced as idle-wait.
 //! * `broadcast` — the root leaves at `root_entry + bcast_time(p, bytes)`;
 //!   every receiver leaves at `max(own entry, root departure)`.
 //! * `gather`/`reduce` — the root leaves at `max(all entries) +
@@ -66,8 +69,8 @@ pub mod trace;
 
 pub use context::Rank;
 pub use message::Tag;
-pub use runtime::{run_spmd, run_spmd_traced, SpmdOutcome};
-pub use trace::{timeline_text, OpKind, OverheadBreakdown, RankTrace, TraceRecord};
+pub use runtime::{run_spmd, run_spmd_observed, run_spmd_traced, SpmdOutcome};
+pub use trace::{timeline_text, OpKind, OverheadBreakdown, RankTrace, SpanSink, TraceRecord};
 
 // Re-exported for doc links and downstream convenience.
 pub use hetsim_cluster::network::NetworkModel;

@@ -32,6 +32,10 @@ pub struct Message {
     pub source: usize,
     /// Matching tag.
     pub tag: Tag,
+    /// Virtual time at which the sender started occupying the wire.
+    /// A receiver already blocked at this point is idle-waiting (not
+    /// transferring) until then — the trace layer splits the two.
+    pub sent_at: SimTime,
     /// Virtual time at which the last byte arrives at the receiver.
     pub arrival: SimTime,
     /// Payload bytes.
@@ -54,7 +58,7 @@ pub fn encode_f64s(values: &[f64]) -> Bytes {
 /// bug in SPMD code, never a recoverable condition).
 pub fn decode_f64s(bytes: &Bytes) -> Vec<f64> {
     assert!(
-        bytes.len() % 8 == 0,
+        bytes.len().is_multiple_of(8),
         "payload of {} bytes is not a whole number of f64s",
         bytes.len()
     );
@@ -129,6 +133,7 @@ mod tests {
         Message {
             source,
             tag,
+            sent_at: SimTime::from_secs(arrival_s * 0.5),
             arrival: SimTime::from_secs(arrival_s),
             payload: encode_f64s(&[arrival_s]),
         }

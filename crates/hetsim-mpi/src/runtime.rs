@@ -4,7 +4,7 @@
 use crate::collectives::CollectiveHub;
 use crate::context::{Rank, Shared};
 use crate::message::Mailbox;
-use crate::trace::RankTrace;
+use crate::trace::{RankTrace, SpanSink};
 use hetsim_cluster::cluster::ClusterSpec;
 use hetsim_cluster::network::NetworkModel;
 use hetsim_cluster::time::SimTime;
@@ -20,8 +20,12 @@ pub struct SpmdOutcome<R> {
     pub compute_times: Vec<SimTime>,
     /// Per-rank accumulated communication/wait time (`T_o` components).
     pub comm_times: Vec<SimTime>,
+    /// Per-rank idle-wait time: the share of `comm_times` spent blocked
+    /// on peers (stragglers, unstarted senders) rather than on actual
+    /// transfers — the load-imbalance component of `T_o`.
+    pub wait_times: Vec<SimTime>,
     /// Per-rank operation traces; empty unless the run was started with
-    /// [`run_spmd_traced`].
+    /// [`run_spmd_traced`] or [`run_spmd_observed`].
     pub traces: Vec<RankTrace>,
 }
 
@@ -35,20 +39,20 @@ impl<R> SpmdOutcome<R> {
     /// This is the quantity Theorem 1 calls "total overhead spent on
     /// communication, synchronization and other overhead".
     pub fn total_overhead(&self) -> SimTime {
-        self.comm_times
-            .iter()
-            .fold(SimTime::ZERO, |acc, &t| acc + t)
+        self.comm_times.iter().fold(SimTime::ZERO, |acc, &t| acc + t)
+    }
+
+    /// Total idle-wait time across ranks — the load-imbalance share of
+    /// [`SpmdOutcome::total_overhead`].
+    pub fn total_wait(&self) -> SimTime {
+        self.wait_times.iter().fold(SimTime::ZERO, |acc, &t| acc + t)
     }
 
     /// Largest per-rank compute-time imbalance, as `(max − min) / max`;
     /// 0 for a perfectly balanced run.
     pub fn compute_imbalance(&self) -> f64 {
         let max = self.compute_times.iter().map(|t| t.as_secs()).fold(0.0, f64::max);
-        let min = self
-            .compute_times
-            .iter()
-            .map(|t| t.as_secs())
-            .fold(f64::INFINITY, f64::min);
+        let min = self.compute_times.iter().map(|t| t.as_secs()).fold(f64::INFINITY, f64::min);
         if max == 0.0 {
             0.0
         } else {
@@ -72,7 +76,7 @@ where
     F: Fn(&mut Rank) -> R + Sync,
     N: NetworkModel,
 {
-    run_spmd_inner(cluster, network, body, false)
+    run_spmd_inner(cluster, network, body, false, None)
 }
 
 /// [`run_spmd`] with per-rank operation tracing enabled; the outcome's
@@ -83,7 +87,35 @@ where
     F: Fn(&mut Rank) -> R + Sync,
     N: NetworkModel,
 {
-    run_spmd_inner(cluster, network, body, true)
+    run_spmd_inner(cluster, network, body, true, None)
+}
+
+/// [`run_spmd_traced`] that additionally streams every operation span
+/// into `sink` as it is recorded (a metrics registry, say). Spans arrive
+/// sharded by rank; their content is deterministic, their interleaving
+/// across ranks is not — sinks must aggregate per rank.
+pub fn run_spmd_observed<R, F, N>(
+    cluster: &ClusterSpec,
+    network: &N,
+    sink: &dyn SpanSink,
+    body: F,
+) -> SpmdOutcome<R>
+where
+    R: Send,
+    F: Fn(&mut Rank) -> R + Sync,
+    N: NetworkModel,
+{
+    run_spmd_inner(cluster, network, body, true, Some(sink))
+}
+
+/// What one rank thread hands back when it joins.
+struct RankReport<R> {
+    result: R,
+    clock: SimTime,
+    compute_time: SimTime,
+    comm_time: SimTime,
+    wait_time: SimTime,
+    trace: RankTrace,
 }
 
 fn run_spmd_inner<R, F, N>(
@@ -91,6 +123,7 @@ fn run_spmd_inner<R, F, N>(
     network: &N,
     body: F,
     tracing: bool,
+    sink: Option<&dyn SpanSink>,
 ) -> SpmdOutcome<R>
 where
     R: Send,
@@ -104,10 +137,10 @@ where
         mailboxes: (0..p).map(|_| Mailbox::new()).collect(),
         hub: CollectiveHub::new(p),
         tracing,
+        sink,
     };
 
-    let mut slots: Vec<Option<(R, SimTime, SimTime, SimTime, RankTrace)>> =
-        Vec::with_capacity(p);
+    let mut slots: Vec<Option<RankReport<R>>> = Vec::with_capacity(p);
     slots.resize_with(p, || None);
 
     std::thread::scope(|scope| {
@@ -119,12 +152,19 @@ where
                 let mut rank = Rank::new(id, shared_ref);
                 let result = body_ref(&mut rank);
                 let trace = rank.take_trace();
-                (result, rank.clock(), rank.compute_time(), rank.comm_time(), trace)
+                RankReport {
+                    result,
+                    clock: rank.clock(),
+                    compute_time: rank.compute_time(),
+                    comm_time: rank.comm_time(),
+                    wait_time: rank.wait_time(),
+                    trace,
+                }
             }));
         }
         for (id, handle) in handles.into_iter().enumerate() {
             match handle.join() {
-                Ok(tuple) => slots[id] = Some(tuple),
+                Ok(report) => slots[id] = Some(report),
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
@@ -147,16 +187,18 @@ where
     let mut times = Vec::with_capacity(p);
     let mut compute_times = Vec::with_capacity(p);
     let mut comm_times = Vec::with_capacity(p);
+    let mut wait_times = Vec::with_capacity(p);
     let mut traces = Vec::with_capacity(p);
     for slot in slots {
-        let (r, t, tc, to, trace) = slot.expect("every rank joined");
-        results.push(r);
-        times.push(t);
-        compute_times.push(tc);
-        comm_times.push(to);
-        traces.push(trace);
+        let report = slot.expect("every rank joined");
+        results.push(report.result);
+        times.push(report.clock);
+        compute_times.push(report.compute_time);
+        comm_times.push(report.comm_time);
+        wait_times.push(report.wait_time);
+        traces.push(report.trace);
     }
-    SpmdOutcome { results, times, compute_times, comm_times, traces }
+    SpmdOutcome { results, times, compute_times, comm_times, wait_times, traces }
 }
 
 #[cfg(test)]
@@ -303,9 +345,8 @@ mod tests {
     #[test]
     fn allreduce_max_agrees_everywhere() {
         let cluster = ClusterSpec::homogeneous(5, 50.0);
-        let outcome = run_spmd(&cluster, &small_net(), |rank| {
-            rank.allreduce_max(rank.rank() as f64 * 1.5)
-        });
+        let outcome =
+            run_spmd(&cluster, &small_net(), |rank| rank.allreduce_max(rank.rank() as f64 * 1.5));
         assert!(outcome.results.iter().all(|&m| m == 6.0));
     }
 
@@ -346,8 +387,7 @@ mod tests {
         let outcome = run_spmd(&cluster, &small_net(), |rank| {
             let me = rank.rank() as f64;
             // parts[j] = [10·me + j]
-            let parts: Vec<Vec<f64>> =
-                (0..3).map(|j| vec![10.0 * me + j as f64]).collect();
+            let parts: Vec<Vec<f64>> = (0..3).map(|j| vec![10.0 * me + j as f64]).collect();
             rank.alltoall_f64s(&parts)
         });
         for (i, got) in outcome.results.iter().enumerate() {
@@ -361,9 +401,8 @@ mod tests {
     #[test]
     fn alltoall_single_rank_is_identity() {
         let cluster = ClusterSpec::homogeneous(1, 50.0);
-        let outcome = run_spmd(&cluster, &small_net(), |rank| {
-            rank.alltoall_f64s(&[vec![7.0, 8.0]])
-        });
+        let outcome =
+            run_spmd(&cluster, &small_net(), |rank| rank.alltoall_f64s(&[vec![7.0, 8.0]]));
         assert_eq!(outcome.results[0], vec![vec![7.0, 8.0]]);
     }
 

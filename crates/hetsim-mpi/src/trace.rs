@@ -18,8 +18,14 @@ pub enum OpKind {
     Compute,
     /// Occupying the wire to send a point-to-point message.
     Send,
-    /// Waiting for / receiving a point-to-point message.
+    /// Receiving a point-to-point message: the span the transfer is in
+    /// flight and the receiver is engaged with it.
     Recv,
+    /// Idle time blocked on a peer: waiting for a sender to start
+    /// transmitting, for stragglers to reach a barrier, or for gather
+    /// contributions to arrive. Pure load-imbalance time — no wire or
+    /// CPU is occupied.
+    Wait,
     /// Barrier synchronization.
     Barrier,
     /// Broadcast participation (root or receiver).
@@ -32,10 +38,11 @@ pub enum OpKind {
 
 impl OpKind {
     /// All kinds, in display order.
-    pub const ALL: [OpKind; 7] = [
+    pub const ALL: [OpKind; 8] = [
         OpKind::Compute,
         OpKind::Send,
         OpKind::Recv,
+        OpKind::Wait,
         OpKind::Barrier,
         OpKind::Bcast,
         OpKind::Gather,
@@ -48,6 +55,7 @@ impl OpKind {
             OpKind::Compute => "compute",
             OpKind::Send => "send",
             OpKind::Recv => "recv",
+            OpKind::Wait => "wait",
             OpKind::Barrier => "barrier",
             OpKind::Bcast => "bcast",
             OpKind::Gather => "gather",
@@ -55,9 +63,25 @@ impl OpKind {
         }
     }
 
-    /// True for kinds that count toward communication overhead `T_o`.
+    /// True for kinds that count toward communication overhead `T_o`
+    /// (everything except compute; idle-wait is overhead — it is lost
+    /// time the paper's `T_o` absorbs).
     pub fn is_overhead(self) -> bool {
-        self != OpKind::Compute
+        match self {
+            OpKind::Compute => false,
+            OpKind::Send
+            | OpKind::Recv
+            | OpKind::Wait
+            | OpKind::Barrier
+            | OpKind::Bcast
+            | OpKind::Gather
+            | OpKind::Scatter => true,
+        }
+    }
+
+    /// Parses the short label produced by [`OpKind::name`].
+    pub fn from_name(name: &str) -> Option<OpKind> {
+        OpKind::ALL.into_iter().find(|k| k.name() == name)
     }
 }
 
@@ -76,8 +100,15 @@ pub struct TraceRecord {
     pub start: SimTime,
     /// Virtual time the span ended (≥ start).
     pub end: SimTime,
-    /// Payload bytes involved (0 for compute and barrier).
+    /// Payload bytes involved (0 for compute, barrier, and wait).
     pub bytes: u64,
+    /// The other rank involved, when there is exactly one: the
+    /// destination of a send, the source of a receive (and of the wait
+    /// preceding it), the root of a broadcast/scatter seen from a
+    /// receiver or of a gather seen from a contributor. `None` for
+    /// compute, barriers, and root-side collective spans. Critical-path
+    /// extraction follows these edges.
+    pub peer: Option<usize>,
 }
 
 impl TraceRecord {
@@ -106,9 +137,7 @@ impl RankTrace {
 
     /// Total traced time.
     pub fn total(&self) -> SimTime {
-        self.records
-            .iter()
-            .fold(SimTime::ZERO, |acc, r| acc + r.duration())
+        self.records.iter().fold(SimTime::ZERO, |acc, r| acc + r.duration())
     }
 
     /// Total communication-overhead time (everything but compute).
@@ -116,6 +145,14 @@ impl RankTrace {
         self.records
             .iter()
             .filter(|r| r.kind.is_overhead())
+            .fold(SimTime::ZERO, |acc, r| acc + r.duration())
+    }
+
+    /// Total idle-wait time (the [`OpKind::Wait`] share of overhead).
+    pub fn wait(&self) -> SimTime {
+        self.records
+            .iter()
+            .filter(|r| r.kind == OpKind::Wait)
             .fold(SimTime::ZERO, |acc, r| acc + r.duration())
     }
 
@@ -158,11 +195,7 @@ impl OverheadBreakdown {
 
     /// Fraction of total time that is communication overhead.
     pub fn overhead_fraction(&self) -> f64 {
-        OpKind::ALL
-            .iter()
-            .filter(|k| k.is_overhead())
-            .map(|&k| self.fraction(k))
-            .sum()
+        OpKind::ALL.iter().filter(|k| k.is_overhead()).map(|&k| self.fraction(k)).sum()
     }
 }
 
@@ -188,12 +221,26 @@ impl fmt::Display for OverheadBreakdown {
     }
 }
 
+/// Receives every span of a traced run as the ranks record them.
+///
+/// This is how the metrics layer observes a run without the runtime
+/// depending on it: [`crate::run_spmd_observed`] threads a sink through
+/// the ranks, and each rank calls [`SpanSink::record_span`] right after
+/// appending to its own [`RankTrace`]. Implementations must be `Sync`
+/// (ranks call concurrently from their OS threads) and must keep any
+/// aggregation keyed by `rank` so the result is independent of thread
+/// interleaving — each rank's own stream arrives in program order.
+pub trait SpanSink: Sync {
+    /// Called by `rank` immediately after it records `record`.
+    fn record_span(&self, rank: usize, record: &TraceRecord);
+}
+
 /// Renders per-rank traces as a fixed-width text Gantt chart.
 ///
 /// Each rank becomes one row of `width` cells covering `[0, horizon]`;
 /// a cell shows the operation occupying most of its time slice
 /// (`.` compute, `B` bcast, `b` barrier, `s`/`r` point-to-point,
-/// `g` gather, `x` scatter, space for untraced gaps).
+/// `~` idle-wait, `g` gather, `x` scatter, space for untraced gaps).
 pub fn timeline_text(traces: &[RankTrace], width: usize) -> String {
     assert!(width > 0, "timeline needs a positive width");
     let horizon = traces
@@ -207,6 +254,7 @@ pub fn timeline_text(traces: &[RankTrace], width: usize) -> String {
         OpKind::Compute => '.',
         OpKind::Send => 's',
         OpKind::Recv => 'r',
+        OpKind::Wait => '~',
         OpKind::Barrier => 'b',
         OpKind::Bcast => 'B',
         OpKind::Gather => 'g',
@@ -223,8 +271,7 @@ pub fn timeline_text(traces: &[RankTrace], width: usize) -> String {
             let mut best = None;
             let mut best_overlap = 0.0f64;
             for r in &trace.records {
-                let overlap =
-                    (r.end.as_secs().min(hi) - r.start.as_secs().max(lo)).max(0.0);
+                let overlap = (r.end.as_secs().min(hi) - r.start.as_secs().max(lo)).max(0.0);
                 if overlap > best_overlap {
                     best_overlap = overlap;
                     best = Some(r.kind);
@@ -237,7 +284,7 @@ pub fn timeline_text(traces: &[RankTrace], width: usize) -> String {
         out.push_str(&format!("rank {rank:>3} |{}|\n", row.iter().collect::<String>()));
     }
     out.push_str(&format!(
-        "legend: .=compute B=bcast b=barrier s=send r=recv g=gather x=scatter  \
+        "legend: .=compute B=bcast b=barrier s=send r=recv ~=wait g=gather x=scatter  \
          (span {horizon:.4}s)\n"
     ));
     out
@@ -253,6 +300,7 @@ mod tests {
             start: SimTime::from_secs(start),
             end: SimTime::from_secs(end),
             bytes,
+            peer: None,
         }
     }
 
@@ -343,8 +391,30 @@ mod tests {
     #[test]
     fn op_kind_overhead_classification() {
         assert!(!OpKind::Compute.is_overhead());
-        for k in [OpKind::Send, OpKind::Recv, OpKind::Barrier, OpKind::Bcast] {
+        for k in [OpKind::Send, OpKind::Recv, OpKind::Wait, OpKind::Barrier, OpKind::Bcast] {
             assert!(k.is_overhead(), "{k} must count as overhead");
         }
+    }
+
+    #[test]
+    fn op_kind_names_roundtrip() {
+        for k in OpKind::ALL {
+            assert_eq!(OpKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(OpKind::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn wait_sums_only_wait_spans() {
+        let t = RankTrace {
+            records: vec![
+                rec(OpKind::Compute, 0.0, 1.0, 0),
+                rec(OpKind::Wait, 1.0, 1.5, 0),
+                rec(OpKind::Barrier, 1.5, 1.7, 0),
+                rec(OpKind::Wait, 1.7, 1.9, 0),
+            ],
+        };
+        assert!((t.wait().as_secs() - 0.7).abs() < 1e-12);
+        assert!((t.overhead().as_secs() - 0.9).abs() < 1e-12);
     }
 }

@@ -1,0 +1,239 @@
+//! Trace exporters: Chrome-trace JSON and a compact JSONL stream.
+//!
+//! Both formats are byte-stable: field order is fixed (sorted keys),
+//! numbers use shortest round-trip formatting, and events appear in
+//! (rank, program-order) sequence. Exporting the same run twice yields
+//! identical bytes — golden-file tests rely on this.
+//!
+//! The JSONL stream is the archival format: [`parse_trace_jsonl`]
+//! reconstructs the exact [`RankTrace`]s (bit-identical span times), so
+//! traces can be written by `bench-tables` and re-analyzed later without
+//! rerunning the simulation.
+
+use crate::json::Json;
+use hetsim_cluster::time::SimTime;
+use hetsim_mpi::trace::{OpKind, RankTrace, TraceRecord};
+use std::collections::BTreeMap;
+
+fn event_args(record: &TraceRecord) -> Json {
+    let mut args = BTreeMap::new();
+    args.insert("bytes".into(), Json::int(record.bytes));
+    if let Some(peer) = record.peer {
+        args.insert("peer".into(), Json::int(peer as u64));
+    }
+    Json::Obj(args)
+}
+
+/// Renders per-rank traces in the Chrome trace-event format (the JSON
+/// array flavour): open the output in `chrome://tracing` or Perfetto.
+/// Each span becomes one complete (`"ph":"X"`) event; virtual seconds
+/// map to microseconds, the format's native unit. One event per line.
+pub fn chrome_trace_json(traces: &[RankTrace]) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for (rank, trace) in traces.iter().enumerate() {
+        for record in &trace.records {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let mut event = BTreeMap::new();
+            event.insert("args".into(), event_args(record));
+            event.insert("cat".into(), Json::str("virtual"));
+            event.insert("dur".into(), Json::Num(record.duration().as_secs() * 1e6));
+            event.insert("name".into(), Json::str(record.kind.name()));
+            event.insert("ph".into(), Json::str("X"));
+            event.insert("pid".into(), Json::int(0));
+            event.insert("tid".into(), Json::int(rank as u64));
+            event.insert("ts".into(), Json::Num(record.start.as_secs() * 1e6));
+            out.push_str(&Json::Obj(event).to_string());
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Renders per-rank traces as JSON Lines: one object per span, fields
+/// `bytes`, `end`, `kind`, `peer` (omitted when absent), `rank`,
+/// `start`; times in virtual seconds at full precision.
+pub fn trace_jsonl(traces: &[RankTrace]) -> String {
+    let mut out = String::new();
+    for (rank, trace) in traces.iter().enumerate() {
+        for record in &trace.records {
+            let mut line = BTreeMap::new();
+            line.insert("bytes".into(), Json::int(record.bytes));
+            line.insert("end".into(), Json::Num(record.end.as_secs()));
+            line.insert("kind".into(), Json::str(record.kind.name()));
+            if let Some(peer) = record.peer {
+                line.insert("peer".into(), Json::int(peer as u64));
+            }
+            line.insert("rank".into(), Json::int(rank as u64));
+            line.insert("start".into(), Json::Num(record.start.as_secs()));
+            out.push_str(&Json::Obj(line).to_string());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn field<'a>(obj: &'a BTreeMap<String, Json>, key: &str, line: usize) -> Result<&'a Json, String> {
+    obj.get(key).ok_or_else(|| format!("line {line}: missing field '{key}'"))
+}
+
+fn num_field(obj: &BTreeMap<String, Json>, key: &str, line: usize) -> Result<f64, String> {
+    field(obj, key, line)?
+        .as_num()
+        .ok_or_else(|| format!("line {line}: field '{key}' is not a number"))
+}
+
+/// Parses a [`trace_jsonl`] document back into per-rank traces.
+///
+/// The inverse of `trace_jsonl` up to trailing empty traces: span times
+/// come back bit-identical (shortest round-trip float formatting), and
+/// the result has one entry per rank up to the largest rank mentioned.
+pub fn parse_trace_jsonl(text: &str) -> Result<Vec<RankTrace>, String> {
+    let mut traces: Vec<RankTrace> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let value = Json::parse(raw).map_err(|e| format!("line {line_no}: {e}"))?;
+        let obj =
+            value.as_obj().ok_or_else(|| format!("line {line_no}: event is not an object"))?;
+        let kind_name = field(obj, "kind", line_no)?
+            .as_str()
+            .ok_or_else(|| format!("line {line_no}: field 'kind' is not a string"))?;
+        let kind = OpKind::from_name(kind_name)
+            .ok_or_else(|| format!("line {line_no}: unknown op kind '{kind_name}'"))?;
+        let rank = num_field(obj, "rank", line_no)? as usize;
+        let record = TraceRecord {
+            kind,
+            start: SimTime::from_secs(num_field(obj, "start", line_no)?),
+            end: SimTime::from_secs(num_field(obj, "end", line_no)?),
+            bytes: num_field(obj, "bytes", line_no)? as u64,
+            peer: match obj.get("peer") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(
+                    v.as_num()
+                        .ok_or_else(|| format!("line {line_no}: field 'peer' is not a number"))?
+                        as usize,
+                ),
+            },
+        };
+        if rank >= traces.len() {
+            traces.resize_with(rank + 1, RankTrace::default);
+        }
+        traces[rank].records.push(record);
+    }
+    Ok(traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_traces() -> Vec<RankTrace> {
+        let rec = |kind, start: f64, end: f64, bytes, peer| TraceRecord {
+            kind,
+            start: SimTime::from_secs(start),
+            end: SimTime::from_secs(end),
+            bytes,
+            peer,
+        };
+        vec![
+            RankTrace {
+                records: vec![
+                    rec(OpKind::Compute, 0.0, 1.0 / 3.0, 0, None),
+                    rec(OpKind::Send, 1.0 / 3.0, 0.5, 256, Some(1)),
+                ],
+            },
+            RankTrace {
+                records: vec![
+                    rec(OpKind::Wait, 0.0, 1.0 / 3.0, 0, Some(0)),
+                    rec(OpKind::Recv, 1.0 / 3.0, 0.5, 256, Some(0)),
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_is_a_valid_json_array() {
+        let text = chrome_trace_json(&sample_traces());
+        let parsed = Json::parse(&text).expect("valid JSON");
+        let events = parsed.as_arr().expect("array of events");
+        assert_eq!(events.len(), 4);
+        let first = events[0].as_obj().unwrap();
+        assert_eq!(first["ph"].as_str(), Some("X"));
+        assert_eq!(first["name"].as_str(), Some("compute"));
+        assert_eq!(first["tid"].as_num(), Some(0.0));
+        // Times are microseconds.
+        let send = events[1].as_obj().unwrap();
+        assert!((send["ts"].as_num().unwrap() - 1e6 / 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn chrome_trace_records_peer_in_args() {
+        let text = chrome_trace_json(&sample_traces());
+        let parsed = Json::parse(&text).unwrap();
+        let send = parsed.as_arr().unwrap()[1].as_obj().unwrap().clone();
+        let args = send["args"].as_obj().unwrap();
+        assert_eq!(args["peer"].as_num(), Some(1.0));
+        assert_eq!(args["bytes"].as_num(), Some(256.0));
+    }
+
+    #[test]
+    fn exports_are_byte_stable() {
+        let traces = sample_traces();
+        assert_eq!(chrome_trace_json(&traces), chrome_trace_json(&traces));
+        assert_eq!(trace_jsonl(&traces), trace_jsonl(&traces));
+    }
+
+    #[test]
+    fn jsonl_roundtrips_bit_identically() {
+        let traces = sample_traces();
+        let text = trace_jsonl(&traces);
+        let back = parse_trace_jsonl(&text).expect("parses");
+        assert_eq!(back, traces);
+    }
+
+    #[test]
+    fn jsonl_roundtrip_preserves_awkward_floats() {
+        let traces = vec![RankTrace {
+            records: vec![TraceRecord {
+                kind: OpKind::Compute,
+                start: SimTime::from_secs(0.1 + 0.2),
+                end: SimTime::from_secs(std::f64::consts::PI),
+                bytes: 0,
+                peer: None,
+            }],
+        }];
+        let back = parse_trace_jsonl(&trace_jsonl(&traces)).unwrap();
+        assert_eq!(
+            back[0].records[0].start.as_secs().to_bits(),
+            traces[0].records[0].start.as_secs().to_bits()
+        );
+        assert_eq!(
+            back[0].records[0].end.as_secs().to_bits(),
+            traces[0].records[0].end.as_secs().to_bits()
+        );
+    }
+
+    #[test]
+    fn empty_traces_export_cleanly() {
+        assert_eq!(parse_trace_jsonl(&trace_jsonl(&[])).unwrap(), Vec::<RankTrace>::new());
+        let chrome = chrome_trace_json(&[]);
+        assert!(Json::parse(&chrome).unwrap().as_arr().unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_trace_jsonl("not json\n").is_err());
+        assert!(parse_trace_jsonl("{\"kind\":\"recv\"}\n").is_err(), "missing fields");
+        assert!(
+            parse_trace_jsonl("{\"bytes\":0,\"end\":1,\"kind\":\"zap\",\"rank\":0,\"start\":0}\n")
+                .is_err(),
+            "unknown kind"
+        );
+    }
+}

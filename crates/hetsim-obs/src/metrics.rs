@@ -1,0 +1,385 @@
+//! Deterministic metrics registry over virtual time.
+//!
+//! A [`MetricsRegistry`] plugs into [`hetsim_mpi::run_spmd_observed`] as
+//! a [`SpanSink`] and aggregates every recorded span into counters
+//! (span count, bytes moved), gauges (per-rank virtual-clock high-water
+//! mark), and fixed-bucket duration histograms — all keyed by
+//! `(rank, OpKind)`.
+//!
+//! Determinism: all quantities derive from *virtual* time, which the
+//! runtime guarantees is a pure function of marked speeds, payload
+//! sizes, and the network model. The registry keeps one shard per rank
+//! and each rank's spans arrive in its own program order, so aggregation
+//! never depends on how the OS interleaves rank threads. Snapshots read
+//! the shards in rank order, making the snapshot itself reproducible.
+
+use crate::json::Json;
+use hetsim_mpi::trace::{OpKind, SpanSink, TraceRecord};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets (see [`bucket_index`]).
+pub const HISTOGRAM_BUCKETS: usize = 14;
+
+/// Bucket upper bounds in seconds: bucket `i` holds durations `d` with
+/// `EDGES[i-1] <= d < EDGES[i]`; bucket 0 holds `d < 1 ns` (including
+/// zero-length spans) and the last bucket holds `d >= 1000 s`.
+const EDGES: [f64; HISTOGRAM_BUCKETS - 1] =
+    [1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 1e1, 1e2, 1e3];
+
+/// Fixed-edge bucket index for a span duration in seconds.
+pub fn bucket_index(duration_secs: f64) -> usize {
+    EDGES.iter().position(|&e| duration_secs < e).unwrap_or(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Human-readable label for a bucket ("<1e-9s", "[1e-8s,1e-7s)", ...).
+pub fn bucket_label(index: usize) -> String {
+    assert!(index < HISTOGRAM_BUCKETS, "bucket {index} out of range");
+    if index == 0 {
+        format!("<{:e}s", EDGES[0])
+    } else if index == HISTOGRAM_BUCKETS - 1 {
+        format!(">={:e}s", EDGES[index - 1])
+    } else {
+        format!("[{:e}s,{:e}s)", EDGES[index - 1], EDGES[index])
+    }
+}
+
+/// Aggregated statistics for one `(rank, OpKind)` cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KindStats {
+    /// Counter: spans recorded.
+    pub count: u64,
+    /// Counter: payload bytes moved.
+    pub bytes: u64,
+    /// Total virtual seconds spent (sum of span durations, accumulated
+    /// in the rank's program order — a deterministic f64 sum).
+    pub seconds: f64,
+    /// Fixed-bucket histogram of span durations.
+    pub histogram: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl KindStats {
+    const ZERO: KindStats =
+        KindStats { count: 0, bytes: 0, seconds: 0.0, histogram: [0; HISTOGRAM_BUCKETS] };
+}
+
+fn kind_index(kind: OpKind) -> usize {
+    OpKind::ALL.iter().position(|&k| k == kind).expect("OpKind::ALL is exhaustive")
+}
+
+#[derive(Debug, Clone)]
+struct RankCell {
+    per_kind: [KindStats; OpKind::ALL.len()],
+    /// Gauge: the latest span end seen — the rank's virtual-clock
+    /// high-water mark.
+    clock: f64,
+}
+
+impl RankCell {
+    fn new() -> RankCell {
+        RankCell { per_kind: [KindStats::ZERO; OpKind::ALL.len()], clock: 0.0 }
+    }
+}
+
+/// Live metrics collector for one observed run.
+///
+/// Create with the run's rank count, pass to
+/// [`hetsim_mpi::run_spmd_observed`], then call
+/// [`MetricsRegistry::snapshot`] once the run completes.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    shards: Vec<Mutex<RankCell>>,
+}
+
+impl MetricsRegistry {
+    /// A registry for a run with `ranks` ranks.
+    pub fn new(ranks: usize) -> MetricsRegistry {
+        MetricsRegistry { shards: (0..ranks).map(|_| Mutex::new(RankCell::new())).collect() }
+    }
+
+    /// Number of ranks this registry observes.
+    pub fn ranks(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Replays already-captured traces through the registry — the
+    /// offline equivalent of observing the run live. Each rank's records
+    /// are stored in its program order, which is exactly the order a
+    /// live sink sees them, so the resulting snapshot is identical.
+    pub fn from_traces(traces: &[hetsim_mpi::trace::RankTrace]) -> MetricsRegistry {
+        let reg = MetricsRegistry::new(traces.len());
+        for (rank, trace) in traces.iter().enumerate() {
+            for record in &trace.records {
+                reg.record_span(rank, record);
+            }
+        }
+        reg
+    }
+
+    /// A deterministic point-in-time copy of all cells.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let per_rank = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let cell = shard.lock();
+                RankSnapshot { clock: cell.clock, per_kind: cell.per_kind.clone() }
+            })
+            .collect();
+        MetricsSnapshot { per_rank }
+    }
+}
+
+impl SpanSink for MetricsRegistry {
+    fn record_span(&self, rank: usize, record: &TraceRecord) {
+        let mut cell = self.shards[rank].lock();
+        let duration = record.duration().as_secs();
+        let stats = &mut cell.per_kind[kind_index(record.kind)];
+        stats.count += 1;
+        stats.bytes += record.bytes;
+        stats.seconds += duration;
+        stats.histogram[bucket_index(duration)] += 1;
+        cell.clock = cell.clock.max(record.end.as_secs());
+    }
+}
+
+/// Immutable aggregation result of one observed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// One entry per rank, indexed by rank id.
+    pub per_rank: Vec<RankSnapshot>,
+}
+
+/// One rank's aggregated metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankSnapshot {
+    /// Virtual-clock high-water mark (gauge).
+    pub clock: f64,
+    /// Statistics per operation kind, indexed in [`OpKind::ALL`] order.
+    pub per_kind: [KindStats; OpKind::ALL.len()],
+}
+
+impl RankSnapshot {
+    /// Statistics for one kind.
+    pub fn kind(&self, kind: OpKind) -> &KindStats {
+        &self.per_kind[kind_index(kind)]
+    }
+}
+
+impl MetricsSnapshot {
+    /// Total virtual seconds per kind, summed across ranks in rank
+    /// order.
+    pub fn seconds_by_kind(&self) -> BTreeMap<OpKind, f64> {
+        let mut out = BTreeMap::new();
+        for kind in OpKind::ALL {
+            let mut total = 0.0;
+            for rank in &self.per_rank {
+                total += rank.kind(kind).seconds;
+            }
+            out.insert(kind, total);
+        }
+        out
+    }
+
+    /// Fraction of total busy-plus-overhead time per kind. Every kind in
+    /// [`OpKind::ALL`] is present and the fractions sum to 1 (up to f64
+    /// rounding); an empty snapshot attributes everything to compute so
+    /// the invariant holds unconditionally.
+    pub fn fractions(&self) -> BTreeMap<OpKind, f64> {
+        let by_kind = self.seconds_by_kind();
+        let total: f64 = by_kind.values().sum();
+        if total == 0.0 {
+            return OpKind::ALL
+                .into_iter()
+                .map(|k| (k, if k == OpKind::Compute { 1.0 } else { 0.0 }))
+                .collect();
+        }
+        by_kind.into_iter().map(|(k, s)| (k, s / total)).collect()
+    }
+
+    /// Serializes the snapshot as a JSON value with stable field order.
+    pub fn to_json(&self) -> Json {
+        let mut root = BTreeMap::new();
+        root.insert("ranks".into(), Json::int(self.per_rank.len() as u64));
+        root.insert(
+            "fractions".into(),
+            Json::Obj(
+                self.fractions()
+                    .into_iter()
+                    .map(|(k, f)| (k.name().to_string(), Json::Num(f)))
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "seconds_by_kind".into(),
+            Json::Obj(
+                self.seconds_by_kind()
+                    .into_iter()
+                    .map(|(k, s)| (k.name().to_string(), Json::Num(s)))
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "histogram_buckets".into(),
+            Json::Arr((0..HISTOGRAM_BUCKETS).map(|i| Json::str(bucket_label(i))).collect()),
+        );
+        let ranks = self
+            .per_rank
+            .iter()
+            .map(|rank| {
+                let mut obj = BTreeMap::new();
+                obj.insert("clock".into(), Json::Num(rank.clock));
+                let mut kinds = BTreeMap::new();
+                for kind in OpKind::ALL {
+                    let stats = rank.kind(kind);
+                    if stats.count == 0 {
+                        continue;
+                    }
+                    let mut cell = BTreeMap::new();
+                    cell.insert("count".into(), Json::int(stats.count));
+                    cell.insert("bytes".into(), Json::int(stats.bytes));
+                    cell.insert("seconds".into(), Json::Num(stats.seconds));
+                    cell.insert(
+                        "histogram".into(),
+                        Json::Arr(stats.histogram.iter().map(|&c| Json::int(c)).collect()),
+                    );
+                    kinds.insert(kind.name().to_string(), Json::Obj(cell));
+                }
+                obj.insert("by_kind".into(), Json::Obj(kinds));
+                Json::Obj(obj)
+            })
+            .collect();
+        root.insert("per_rank".into(), Json::Arr(ranks));
+        Json::Obj(root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim_cluster::time::SimTime;
+
+    fn span(kind: OpKind, start: f64, end: f64, bytes: u64) -> TraceRecord {
+        TraceRecord {
+            kind,
+            start: SimTime::from_secs(start),
+            end: SimTime::from_secs(end),
+            bytes,
+            peer: None,
+        }
+    }
+
+    #[test]
+    fn bucket_edges_classify_durations() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(5e-10), 0);
+        assert_eq!(bucket_index(1e-9), 1);
+        assert_eq!(bucket_index(0.5), 9); // [1e-1, 1)
+        assert_eq!(bucket_index(1.0), 10); // [1, 1e1)
+        assert_eq!(bucket_index(2e4), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_labels_cover_all_buckets() {
+        let labels: Vec<String> = (0..HISTOGRAM_BUCKETS).map(bucket_label).collect();
+        assert!(labels[0].starts_with('<'));
+        assert!(labels[HISTOGRAM_BUCKETS - 1].starts_with(">="));
+        assert_eq!(labels.len(), HISTOGRAM_BUCKETS);
+    }
+
+    #[test]
+    fn registry_accumulates_counters_and_gauges() {
+        let reg = MetricsRegistry::new(2);
+        reg.record_span(0, &span(OpKind::Compute, 0.0, 1.0, 0));
+        reg.record_span(0, &span(OpKind::Send, 1.0, 1.5, 800));
+        reg.record_span(1, &span(OpKind::Recv, 0.0, 1.5, 800));
+        let snap = reg.snapshot();
+        assert_eq!(snap.per_rank[0].kind(OpKind::Compute).count, 1);
+        assert_eq!(snap.per_rank[0].kind(OpKind::Send).bytes, 800);
+        assert!((snap.per_rank[0].clock - 1.5).abs() < 1e-12);
+        assert!((snap.per_rank[1].kind(OpKind::Recv).seconds - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_counts_span_durations() {
+        let reg = MetricsRegistry::new(1);
+        reg.record_span(0, &span(OpKind::Compute, 0.0, 0.5, 0)); // bucket 9
+        reg.record_span(0, &span(OpKind::Compute, 0.5, 0.9, 0)); // bucket 9
+        reg.record_span(0, &span(OpKind::Compute, 0.9, 0.9, 0)); // bucket 0
+        let snap = reg.snapshot();
+        let h = &snap.per_rank[0].kind(OpKind::Compute).histogram;
+        assert_eq!(h[9], 2);
+        assert_eq!(h[0], 1);
+        assert_eq!(h.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let reg = MetricsRegistry::new(2);
+        reg.record_span(0, &span(OpKind::Compute, 0.0, 3.0, 0));
+        reg.record_span(0, &span(OpKind::Barrier, 3.0, 4.0, 0));
+        reg.record_span(1, &span(OpKind::Wait, 0.0, 2.0, 0));
+        let fractions = reg.snapshot().fractions();
+        assert_eq!(fractions.len(), OpKind::ALL.len());
+        let total: f64 = fractions.values().sum();
+        assert!((total - 1.0).abs() < 1e-9, "sum = {total}");
+        assert!((fractions[&OpKind::Compute] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_snapshot_keeps_fraction_invariant() {
+        let fractions = MetricsRegistry::new(3).snapshot().fractions();
+        let total: f64 = fractions.values().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(fractions[&OpKind::Compute], 1.0);
+    }
+
+    #[test]
+    fn json_serialization_is_stable() {
+        let reg = MetricsRegistry::new(1);
+        reg.record_span(0, &span(OpKind::Compute, 0.0, 1.0, 0));
+        reg.record_span(0, &span(OpKind::Send, 1.0, 1.25, 64));
+        let a = reg.snapshot().to_json().to_string();
+        let b = reg.snapshot().to_json().to_string();
+        assert_eq!(a, b);
+        // Parses back as valid JSON with the expected top-level shape.
+        let parsed = Json::parse(&a).unwrap();
+        let obj = parsed.as_obj().unwrap();
+        assert!(obj.contains_key("fractions"));
+        assert!(obj.contains_key("per_rank"));
+        assert_eq!(obj["ranks"].as_num(), Some(1.0));
+    }
+
+    #[test]
+    fn replaying_traces_matches_live_recording() {
+        use hetsim_mpi::trace::RankTrace;
+        let records = [
+            vec![span(OpKind::Compute, 0.0, 1.0, 0), span(OpKind::Send, 1.0, 1.5, 800)],
+            vec![span(OpKind::Wait, 0.0, 1.0, 0), span(OpKind::Recv, 1.0, 1.5, 800)],
+        ];
+        let live = MetricsRegistry::new(2);
+        for (rank, recs) in records.iter().enumerate() {
+            for r in recs {
+                live.record_span(rank, r);
+            }
+        }
+        let traces: Vec<RankTrace> =
+            records.iter().map(|recs| RankTrace { records: recs.clone() }).collect();
+        assert_eq!(MetricsRegistry::from_traces(&traces).snapshot(), live.snapshot());
+    }
+
+    #[test]
+    fn snapshot_is_independent_of_recording_interleaving() {
+        // Same spans, shard-local order preserved, cross-rank order
+        // swapped: snapshots must be identical.
+        let a = MetricsRegistry::new(2);
+        a.record_span(0, &span(OpKind::Compute, 0.0, 1.0, 0));
+        a.record_span(1, &span(OpKind::Compute, 0.0, 2.0, 0));
+        a.record_span(0, &span(OpKind::Send, 1.0, 1.5, 8));
+        let b = MetricsRegistry::new(2);
+        b.record_span(1, &span(OpKind::Compute, 0.0, 2.0, 0));
+        b.record_span(0, &span(OpKind::Compute, 0.0, 1.0, 0));
+        b.record_span(0, &span(OpKind::Send, 1.0, 1.5, 8));
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+}

@@ -6,7 +6,9 @@ pub mod timed;
 
 pub use parallel::{ge_parallel, GeOutcome};
 pub use seq::ge_sequential;
-pub use timed::{ge_parallel_timed, ge_parallel_timed_traced, ge_parallel_timed_with, TimingOutcome};
+pub use timed::{
+    ge_parallel_timed, ge_parallel_timed_traced, ge_parallel_timed_with, TimingOutcome,
+};
 
 #[cfg(test)]
 mod tests {
@@ -60,12 +62,8 @@ mod tests {
         // doubling the nodes should shorten the run.
         let (a, b) = system(96, 3);
         let net = SharedEthernet::new(1e-6, 1.25e9);
-        let t2 = ge_parallel(&ClusterSpec::homogeneous(2, 5.0), &net, &a, &b)
-            .makespan
-            .as_secs();
-        let t4 = ge_parallel(&ClusterSpec::homogeneous(4, 5.0), &net, &a, &b)
-            .makespan
-            .as_secs();
+        let t2 = ge_parallel(&ClusterSpec::homogeneous(2, 5.0), &net, &a, &b).makespan.as_secs();
+        let t4 = ge_parallel(&ClusterSpec::homogeneous(4, 5.0), &net, &a, &b).makespan.as_secs();
         assert!(t4 < t2, "t4 = {t4}, t2 = {t2}");
     }
 

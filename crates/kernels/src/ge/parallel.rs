@@ -122,10 +122,8 @@ fn ge_rank_body(
         let owner = dist.owner(i);
         // The pivot row slice from the pivot column through the rhs.
         let pivot: Vec<f64> = if me == owner {
-            let (_, row) = my_rows
-                .iter()
-                .find(|(idx, _)| *idx == i)
-                .expect("owner holds its pivot row");
+            let (_, row) =
+                my_rows.iter().find(|(idx, _)| *idx == i).expect("owner holds its pivot row");
             let slice = row[i..=n].to_vec();
             rank.broadcast_f64s(owner, Some(&slice))
         } else {

@@ -174,14 +174,8 @@ mod tests {
             let timed = ge_parallel_timed(&cluster, &net, n);
             assert_eq!(timed.makespan, real.makespan, "makespan mismatch at n = {n}");
             assert_eq!(timed.times, real.times, "per-rank clocks mismatch at n = {n}");
-            assert_eq!(
-                timed.compute_times, real.compute_times,
-                "compute time mismatch at n = {n}"
-            );
-            assert_eq!(
-                timed.total_overhead, real.total_overhead,
-                "overhead mismatch at n = {n}"
-            );
+            assert_eq!(timed.compute_times, real.compute_times, "compute time mismatch at n = {n}");
+            assert_eq!(timed.total_overhead, real.total_overhead, "overhead mismatch at n = {n}");
         }
     }
 
@@ -189,10 +183,7 @@ mod tests {
     fn timed_is_deterministic() {
         let cluster = ClusterSpec::homogeneous(4, 50.0);
         let net = SharedEthernet::new(1e-4, 1.25e7);
-        assert_eq!(
-            ge_parallel_timed(&cluster, &net, 64),
-            ge_parallel_timed(&cluster, &net, 64)
-        );
+        assert_eq!(ge_parallel_timed(&cluster, &net, 64), ge_parallel_timed(&cluster, &net, 64));
     }
 
     #[test]

@@ -63,8 +63,7 @@ impl Matrix {
     pub fn random_diagonally_dominant(n: usize, seed: u64) -> Matrix {
         let mut m = Matrix::random(n, n, seed);
         for i in 0..n {
-            let off_diag: f64 =
-                (0..n).filter(|&j| j != i).map(|j| m[(i, j)].abs()).sum();
+            let off_diag: f64 = (0..n).filter(|&j| j != i).map(|j| m[(i, j)].abs()).sum();
             m[(i, i)] = off_diag + 1.0;
         }
         m
@@ -124,9 +123,7 @@ impl Matrix {
     /// Panics when `x.len() != cols`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "vector length must equal cols");
-        (0..self.rows)
-            .map(|i| self.row(i).iter().zip(x).map(|(&a, &b)| a * b).sum())
-            .collect()
+        (0..self.rows).map(|i| self.row(i).iter().zip(x).map(|(&a, &b)| a * b).sum()).collect()
     }
 
     /// Max-norm distance to another matrix; `f64::INFINITY` when shapes
@@ -135,11 +132,7 @@ impl Matrix {
         if self.rows != other.rows || self.cols != other.cols {
             return f64::INFINITY;
         }
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 }
 
@@ -160,10 +153,7 @@ impl std::ops::IndexMut<(usize, usize)> for Matrix {
 /// check for the GE kernels.
 pub fn residual_inf_norm(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
     let ax = a.matvec(x);
-    ax.iter()
-        .zip(b)
-        .map(|(&l, &r)| (l - r).abs())
-        .fold(0.0, f64::max)
+    ax.iter().zip(b).map(|(&l, &r)| (l - r).abs()).fold(0.0, f64::max)
 }
 
 #[cfg(test)]
@@ -230,8 +220,7 @@ mod tests {
     fn matvec_matches_multiply() {
         let a = Matrix::random(3, 3, 7);
         let x = vec![1.0, -2.0, 0.5];
-        let via_mat =
-            a.multiply(&Matrix::from_vec(3, 1, x.clone()));
+        let via_mat = a.multiply(&Matrix::from_vec(3, 1, x.clone()));
         let via_vec = a.matvec(&x);
         for i in 0..3 {
             assert!((via_mat[(i, 0)] - via_vec[i]).abs() < 1e-14);

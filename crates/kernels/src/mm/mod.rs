@@ -6,7 +6,7 @@ pub mod timed;
 
 pub use parallel::{mm_parallel, MmOutcome};
 pub use seq::mm_sequential;
-pub use timed::{mm_parallel_timed, mm_parallel_timed_with};
+pub use timed::{mm_parallel_timed, mm_parallel_timed_traced, mm_parallel_timed_with};
 
 #[cfg(test)]
 mod tests {
@@ -41,12 +41,8 @@ mod tests {
     fn single_node_has_no_overhead() {
         let a = Matrix::random(8, 8, 3);
         let b = Matrix::random(8, 8, 4);
-        let out = mm_parallel(
-            &ClusterSpec::homogeneous(1, 50.0),
-            &ConstantLatency::new(1e-3),
-            &a,
-            &b,
-        );
+        let out =
+            mm_parallel(&ClusterSpec::homogeneous(1, 50.0), &ConstantLatency::new(1e-3), &a, &b);
         assert_eq!(out.total_overhead.as_secs(), 0.0);
         assert!(out.c.max_diff(&mm_sequential(&a, &b)) < 1e-12);
     }

@@ -91,11 +91,8 @@ fn mm_rank_body(
     };
 
     // ---- distribution of B (full matrix to every node) ------------------
-    let b_local: Vec<f64> = if me == 0 {
-        rank.broadcast_f64s(0, Some(b.data()))
-    } else {
-        rank.broadcast_f64s(0, None)
-    };
+    let b_local: Vec<f64> =
+        if me == 0 { rank.broadcast_f64s(0, Some(b.data())) } else { rank.broadcast_f64s(0, None) };
     assert_eq!(b_local.len(), n * n, "B size mismatch");
 
     // ---- local block multiply -------------------------------------------

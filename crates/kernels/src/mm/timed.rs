@@ -6,7 +6,8 @@ use crate::ge::TimingOutcome;
 use hetpart::{BlockDistribution, Distribution};
 use hetsim_cluster::cluster::ClusterSpec;
 use hetsim_cluster::network::NetworkModel;
-use hetsim_mpi::{run_spmd, Tag};
+use hetsim_mpi::trace::RankTrace;
+use hetsim_mpi::{run_spmd, run_spmd_traced, Rank, Tag};
 
 /// Runs the MM communication/computation skeleton at problem size `n`
 /// with the standard speed-proportional block distribution.
@@ -36,46 +37,69 @@ pub fn mm_parallel_timed_with<N: NetworkModel>(
     assert_eq!(dist.n(), n, "distribution covers a different problem size");
     assert_eq!(dist.p(), cluster.size(), "distribution has a different rank count");
 
-    let outcome = run_spmd(cluster, network, |rank| {
-        let me = rank.rank();
-        let p = rank.size();
-        let my_range = dist.range_of(me);
-
-        // A-block distribution.
-        if me == 0 {
-            for peer in 1..p {
-                let r = dist.range_of(peer);
-                rank.send_f64s(peer, Tag::DATA, &vec![0.0; r.len() * n]);
-            }
-        } else {
-            let block = rank.recv_f64s(0, Tag::DATA);
-            assert_eq!(block.len(), my_range.len() * n);
-        }
-
-        // B broadcast.
-        if me == 0 {
-            rank.broadcast_f64s(0, Some(&vec![0.0; n * n]));
-        } else {
-            rank.broadcast_f64s(0, None);
-        }
-
-        // Local multiply: charged, not executed.
-        let rows = my_range.len();
-        let flops = (2 * rows * n * n).saturating_sub(rows * n) as f64;
-        rank.compute_flops(flops);
-
-        // C collection.
-        let gathered = rank.gather_f64s(0, &vec![0.0; rows * n]);
-        if me == 0 {
-            let _ = gathered.expect("rank 0 is the gather root");
-        }
-    });
+    let outcome = run_spmd(cluster, network, |rank| mm_timed_body(rank, dist, n));
 
     TimingOutcome {
         makespan: outcome.makespan(),
         total_overhead: outcome.total_overhead(),
         times: outcome.times.clone(),
         compute_times: outcome.compute_times.clone(),
+    }
+}
+
+/// [`mm_parallel_timed`] with per-rank operation tracing, for the
+/// overhead-decomposition and observability passes.
+pub fn mm_parallel_timed_traced<N: NetworkModel>(
+    cluster: &ClusterSpec,
+    network: &N,
+    n: usize,
+) -> (TimingOutcome, Vec<RankTrace>) {
+    let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
+    let dist = BlockDistribution::proportional(n, &speeds);
+    let outcome = run_spmd_traced(cluster, network, |rank| mm_timed_body(rank, &dist, n));
+    (
+        TimingOutcome {
+            makespan: outcome.makespan(),
+            total_overhead: outcome.total_overhead(),
+            times: outcome.times.clone(),
+            compute_times: outcome.compute_times.clone(),
+        },
+        outcome.traces,
+    )
+}
+
+fn mm_timed_body(rank: &mut Rank, dist: &BlockDistribution, n: usize) {
+    let me = rank.rank();
+    let p = rank.size();
+    let my_range = dist.range_of(me);
+
+    // A-block distribution.
+    if me == 0 {
+        for peer in 1..p {
+            let r = dist.range_of(peer);
+            rank.send_f64s(peer, Tag::DATA, &vec![0.0; r.len() * n]);
+        }
+    } else {
+        let block = rank.recv_f64s(0, Tag::DATA);
+        assert_eq!(block.len(), my_range.len() * n);
+    }
+
+    // B broadcast.
+    if me == 0 {
+        rank.broadcast_f64s(0, Some(&vec![0.0; n * n]));
+    } else {
+        rank.broadcast_f64s(0, None);
+    }
+
+    // Local multiply: charged, not executed.
+    let rows = my_range.len();
+    let flops = (2 * rows * n * n).saturating_sub(rows * n) as f64;
+    rank.compute_flops(flops);
+
+    // C collection.
+    let gathered = rank.gather_f64s(0, &vec![0.0; rows * n]);
+    if me == 0 {
+        let _ = gathered.expect("rank 0 is the gather root");
     }
 }
 
@@ -106,14 +130,8 @@ mod tests {
             let timed = mm_parallel_timed(&cluster, &net, n);
             assert_eq!(timed.makespan, real.makespan, "makespan mismatch at n = {n}");
             assert_eq!(timed.times, real.times, "per-rank clocks mismatch at n = {n}");
-            assert_eq!(
-                timed.compute_times, real.compute_times,
-                "compute time mismatch at n = {n}"
-            );
-            assert_eq!(
-                timed.total_overhead, real.total_overhead,
-                "overhead mismatch at n = {n}"
-            );
+            assert_eq!(timed.compute_times, real.compute_times, "compute time mismatch at n = {n}");
+            assert_eq!(timed.total_overhead, real.total_overhead, "overhead mismatch at n = {n}");
         }
     }
 
@@ -121,9 +139,6 @@ mod tests {
     fn timed_is_deterministic() {
         let cluster = ClusterSpec::homogeneous(3, 50.0);
         let net = SharedEthernet::new(1e-4, 1.25e7);
-        assert_eq!(
-            mm_parallel_timed(&cluster, &net, 48),
-            mm_parallel_timed(&cluster, &net, 48)
-        );
+        assert_eq!(mm_parallel_timed(&cluster, &net, 48), mm_parallel_timed(&cluster, &net, 48));
     }
 }

@@ -18,7 +18,7 @@ mod timed;
 
 pub use parallel::{power_parallel, PowerOutcome};
 pub use seq::power_sequential;
-pub use timed::power_parallel_timed;
+pub use timed::{power_parallel_timed, power_parallel_timed_traced};
 
 /// Work model: `iters` sweeps of an `n × n` matvec (`2n²` flops) plus
 /// the infinity-norm and renormalization passes (`2n` flops).
@@ -98,11 +98,7 @@ mod tests {
             .zip(&out.eigenvector)
             .map(|(&l, &r)| (l - out.eigenvalue * r).abs())
             .fold(0.0f64, f64::max);
-        assert!(
-            resid / out.eigenvalue < 1e-6,
-            "residual {resid} vs lambda {}",
-            out.eigenvalue
-        );
+        assert!(resid / out.eigenvalue < 1e-6, "residual {resid} vs lambda {}", out.eigenvalue);
     }
 
     #[test]
@@ -144,10 +140,7 @@ mod tests {
             let a = test_matrix(n, (p + n) as u64);
             let (seq_val, _) = power_sequential(&a, 9);
             let out = power_parallel(&cluster, &net(), &a, 9);
-            assert!(
-                (out.eigenvalue - seq_val).abs() < 1e-12,
-                "p = {p}, n = {n}"
-            );
+            assert!((out.eigenvalue - seq_val).abs() < 1e-12, "p = {p}, n = {n}");
         }
     }
 }

@@ -48,9 +48,7 @@ pub fn power_parallel<N: NetworkModel>(
     let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
     let dist = BlockDistribution::proportional(n, &speeds);
 
-    let outcome = run_spmd(cluster, network, |rank| {
-        power_rank_body(rank, &dist, a, n, iters)
-    });
+    let outcome = run_spmd(cluster, network, |rank| power_rank_body(rank, &dist, a, n, iters));
 
     let (eigenvalue, eigenvector) = outcome.results[0].clone();
     PowerOutcome {

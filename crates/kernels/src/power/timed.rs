@@ -6,7 +6,8 @@ use crate::ge::TimingOutcome;
 use hetpart::BlockDistribution;
 use hetsim_cluster::cluster::ClusterSpec;
 use hetsim_cluster::network::NetworkModel;
-use hetsim_mpi::{run_spmd, Tag};
+use hetsim_mpi::trace::RankTrace;
+use hetsim_mpi::{run_spmd, run_spmd_traced, Rank, Tag};
 
 /// Runs the power-method protocol skeleton: `iters` sweeps at size `n`.
 pub fn power_parallel_timed<N: NetworkModel>(
@@ -18,34 +19,58 @@ pub fn power_parallel_timed<N: NetworkModel>(
     let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
     let dist = BlockDistribution::proportional(n, &speeds);
 
-    let outcome = run_spmd(cluster, network, |rank| {
-        let me = rank.rank();
-        let p = rank.size();
-        let rows = dist.range_of(me).len();
-
-        if me == 0 {
-            for peer in 1..p {
-                let r = dist.range_of(peer);
-                rank.send_f64s(peer, Tag::DATA, &vec![0.0; r.len() * n]);
-            }
-        } else {
-            let block = rank.recv_f64s(0, Tag::DATA);
-            assert_eq!(block.len(), rows * n);
-        }
-
-        let y_local = vec![0.0f64; rows];
-        for _sweep in 0..iters {
-            rank.compute_flops(2.0 * (rows * n) as f64);
-            let _ = rank.allgather_f64s(&y_local);
-            rank.compute_flops(2.0 * n as f64);
-        }
-    });
+    let outcome = run_spmd(cluster, network, |rank| power_timed_body(rank, &dist, n, iters));
 
     TimingOutcome {
         makespan: outcome.makespan(),
         total_overhead: outcome.total_overhead(),
         times: outcome.times.clone(),
         compute_times: outcome.compute_times.clone(),
+    }
+}
+
+/// [`power_parallel_timed`] with per-rank operation tracing, for the
+/// overhead-decomposition and observability passes.
+pub fn power_parallel_timed_traced<N: NetworkModel>(
+    cluster: &ClusterSpec,
+    network: &N,
+    n: usize,
+    iters: usize,
+) -> (TimingOutcome, Vec<RankTrace>) {
+    let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
+    let dist = BlockDistribution::proportional(n, &speeds);
+    let outcome = run_spmd_traced(cluster, network, |rank| power_timed_body(rank, &dist, n, iters));
+    (
+        TimingOutcome {
+            makespan: outcome.makespan(),
+            total_overhead: outcome.total_overhead(),
+            times: outcome.times.clone(),
+            compute_times: outcome.compute_times.clone(),
+        },
+        outcome.traces,
+    )
+}
+
+fn power_timed_body(rank: &mut Rank, dist: &BlockDistribution, n: usize, iters: usize) {
+    let me = rank.rank();
+    let p = rank.size();
+    let rows = dist.range_of(me).len();
+
+    if me == 0 {
+        for peer in 1..p {
+            let r = dist.range_of(peer);
+            rank.send_f64s(peer, Tag::DATA, &vec![0.0; r.len() * n]);
+        }
+    } else {
+        let block = rank.recv_f64s(0, Tag::DATA);
+        assert_eq!(block.len(), rows * n);
+    }
+
+    let y_local = vec![0.0f64; rows];
+    for _sweep in 0..iters {
+        rank.compute_flops(2.0 * (rows * n) as f64);
+        let _ = rank.allgather_f64s(&y_local);
+        rank.compute_flops(2.0 * n as f64);
     }
 }
 

@@ -16,7 +16,7 @@ mod timed;
 
 pub use parallel::{stencil_parallel, StencilOutcome};
 pub use seq::jacobi_sequential;
-pub use timed::stencil_parallel_timed;
+pub use timed::{stencil_parallel_timed, stencil_parallel_timed_traced};
 
 /// Work model: `iters` Jacobi sweeps over the interior of an `n × n`
 /// grid, 4 flops per point (three adds and one multiply).
@@ -88,10 +88,7 @@ mod tests {
             let u0 = grid(n, (p * n) as u64);
             let expected = jacobi_sequential(&u0, 3);
             let out = stencil_parallel(&cluster, &net(), &u0, 3);
-            assert!(
-                out.grid.max_diff(&expected) < 1e-12,
-                "p = {p}, n = {n}"
-            );
+            assert!(out.grid.max_diff(&expected) < 1e-12, "p = {p}, n = {n}");
         }
     }
 

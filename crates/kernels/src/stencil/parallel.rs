@@ -57,9 +57,7 @@ pub fn stencil_parallel<N: NetworkModel>(
     let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
     let dist = BlockDistribution::proportional(n, &speeds);
 
-    let outcome = run_spmd(cluster, network, |rank| {
-        stencil_rank_body(rank, &dist, u0, n, iters)
-    });
+    let outcome = run_spmd(cluster, network, |rank| stencil_rank_body(rank, &dist, u0, n, iters));
 
     let grid = outcome.results[0].clone().expect("rank 0 assembles the grid");
     StencilOutcome {
@@ -130,11 +128,8 @@ fn stencil_rank_body(
                         .copy_from_slice(&block[local * n..(local + 1) * n]);
                     continue;
                 }
-                let above: &[f64] = if local == 0 {
-                    &halo_above
-                } else {
-                    &block[(local - 1) * n..local * n]
-                };
+                let above: &[f64] =
+                    if local == 0 { &halo_above } else { &block[(local - 1) * n..local * n] };
                 let below_start = (local + 1) * n;
                 // Split borrows: copy the below row when it lives in
                 // `block` too (cheap relative to the update itself).

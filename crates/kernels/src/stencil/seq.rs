@@ -16,8 +16,8 @@ pub fn jacobi_sequential(u0: &Matrix, iters: usize) -> Matrix {
     for _ in 0..iters {
         for i in 1..n - 1 {
             for j in 1..n - 1 {
-                next[(i, j)] = 0.25
-                    * (cur[(i - 1, j)] + cur[(i + 1, j)] + cur[(i, j - 1)] + cur[(i, j + 1)]);
+                next[(i, j)] =
+                    0.25 * (cur[(i - 1, j)] + cur[(i + 1, j)] + cur[(i, j - 1)] + cur[(i, j + 1)]);
             }
         }
         std::mem::swap(&mut cur, &mut next);

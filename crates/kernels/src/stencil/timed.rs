@@ -7,7 +7,8 @@ use crate::ge::TimingOutcome;
 use hetpart::BlockDistribution;
 use hetsim_cluster::cluster::ClusterSpec;
 use hetsim_cluster::network::NetworkModel;
-use hetsim_mpi::{run_spmd, Tag};
+use hetsim_mpi::trace::RankTrace;
+use hetsim_mpi::{run_spmd, run_spmd_traced, Rank, Tag};
 
 const TAG_DOWN: Tag = Tag(10);
 const TAG_UP: Tag = Tag(11);
@@ -23,58 +24,83 @@ pub fn stencil_parallel_timed<N: NetworkModel>(
     let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
     let dist = BlockDistribution::proportional(n, &speeds);
 
-    let outcome = run_spmd(cluster, network, |rank| {
-        let me = rank.rank();
-        let p = rank.size();
-        let my_range = dist.range_of(me);
-        let rows = my_range.len();
-
-        // Distribution.
-        if me == 0 {
-            for peer in 1..p {
-                let r = dist.range_of(peer);
-                rank.send_f64s(peer, Tag::DATA, &vec![0.0; r.len() * n]);
-            }
-        } else {
-            let data = rank.recv_f64s(0, Tag::DATA);
-            assert_eq!(data.len(), rows * n);
-        }
-
-        // Sweeps: identical message pattern and charged flops.
-        let prev = (0..me).rev().find(|&r| !dist.range_of(r).is_empty());
-        let next = (me + 1..p).find(|&r| !dist.range_of(r).is_empty());
-        if rows > 0 && n >= 3 && iters > 0 {
-            let halo = vec![0.0f64; n];
-            let interior_rows = (my_range.start.max(1)..my_range.end.min(n - 1)).count();
-            for _sweep in 0..iters {
-                if let Some(prv) = prev {
-                    rank.send_f64s(prv, TAG_UP, &halo);
-                }
-                if let Some(nxt) = next {
-                    rank.send_f64s(nxt, TAG_DOWN, &halo);
-                }
-                if let Some(prv) = prev {
-                    let _ = rank.recv_f64s(prv, TAG_DOWN);
-                }
-                if let Some(nxt) = next {
-                    let _ = rank.recv_f64s(nxt, TAG_UP);
-                }
-                rank.compute_flops(4.0 * (interior_rows * (n - 2)) as f64);
-            }
-        }
-
-        // Collection.
-        let gathered = rank.gather_f64s(0, &vec![0.0; rows * n]);
-        if me == 0 {
-            let _ = gathered.expect("rank 0 is the gather root");
-        }
-    });
+    let outcome = run_spmd(cluster, network, |rank| stencil_timed_body(rank, &dist, n, iters));
 
     TimingOutcome {
         makespan: outcome.makespan(),
         total_overhead: outcome.total_overhead(),
         times: outcome.times.clone(),
         compute_times: outcome.compute_times.clone(),
+    }
+}
+
+/// [`stencil_parallel_timed`] with per-rank operation tracing, for the
+/// overhead-decomposition and observability passes.
+pub fn stencil_parallel_timed_traced<N: NetworkModel>(
+    cluster: &ClusterSpec,
+    network: &N,
+    n: usize,
+    iters: usize,
+) -> (TimingOutcome, Vec<RankTrace>) {
+    let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
+    let dist = BlockDistribution::proportional(n, &speeds);
+    let outcome =
+        run_spmd_traced(cluster, network, |rank| stencil_timed_body(rank, &dist, n, iters));
+    (
+        TimingOutcome {
+            makespan: outcome.makespan(),
+            total_overhead: outcome.total_overhead(),
+            times: outcome.times.clone(),
+            compute_times: outcome.compute_times.clone(),
+        },
+        outcome.traces,
+    )
+}
+
+fn stencil_timed_body(rank: &mut Rank, dist: &BlockDistribution, n: usize, iters: usize) {
+    let me = rank.rank();
+    let p = rank.size();
+    let my_range = dist.range_of(me);
+    let rows = my_range.len();
+
+    // Distribution.
+    if me == 0 {
+        for peer in 1..p {
+            let r = dist.range_of(peer);
+            rank.send_f64s(peer, Tag::DATA, &vec![0.0; r.len() * n]);
+        }
+    } else {
+        let data = rank.recv_f64s(0, Tag::DATA);
+        assert_eq!(data.len(), rows * n);
+    }
+
+    // Sweeps: identical message pattern and charged flops.
+    let prev = (0..me).rev().find(|&r| !dist.range_of(r).is_empty());
+    let next = (me + 1..p).find(|&r| !dist.range_of(r).is_empty());
+    if rows > 0 && n >= 3 && iters > 0 {
+        let halo = vec![0.0f64; n];
+        let interior_rows = (my_range.start.max(1)..my_range.end.min(n - 1)).count();
+        for _sweep in 0..iters {
+            if let Some(prv) = prev {
+                rank.send_f64s(prv, TAG_UP, &halo);
+            }
+            if let Some(nxt) = next {
+                rank.send_f64s(nxt, TAG_DOWN, &halo);
+            }
+            if let Some(prv) = prev {
+                let _ = rank.recv_f64s(prv, TAG_DOWN);
+            }
+            if let Some(nxt) = next {
+                let _ = rank.recv_f64s(nxt, TAG_UP);
+            }
+            rank.compute_flops(4.0 * (interior_rows * (n - 2)) as f64);
+        }
+    }
+
+    // Collection.
+    let gathered = rank.gather_f64s(0, &vec![0.0; rows * n]);
+    if me == 0 {
+        let _ = gathered.expect("rank 0 is the gather root");
     }
 }
 

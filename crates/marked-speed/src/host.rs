@@ -63,10 +63,8 @@ pub fn measure_kernel(kernel: BenchKernel, size: usize, reps: usize) -> KernelRa
 
 /// Rates this host with the full suite at default sizes.
 pub fn rate_host(reps: usize) -> HostRating {
-    let per_kernel: Vec<KernelRating> = BenchKernel::ALL
-        .iter()
-        .map(|&k| measure_kernel(k, default_size(k), reps))
-        .collect();
+    let per_kernel: Vec<KernelRating> =
+        BenchKernel::ALL.iter().map(|&k| measure_kernel(k, default_size(k), reps)).collect();
     let marked_speed_mflops =
         per_kernel.iter().map(|r| r.mflops).sum::<f64>() / per_kernel.len() as f64;
     HostRating { per_kernel, marked_speed_mflops }

@@ -111,7 +111,7 @@ pub fn ft_kernel(n: usize) -> KernelRun {
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
-        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
+        let j = i.reverse_bits() >> (usize::BITS - bits);
         if j > i {
             re.swap(i, j);
             im.swap(i, j);
@@ -249,10 +249,7 @@ mod tests {
         }
         let direct_sum: f64 = dre.iter().sum::<f64>() + dim.iter().sum::<f64>();
         let fft_sum = ft_kernel(n).checksum;
-        assert!(
-            (direct_sum - fft_sum).abs() < 1e-9,
-            "direct {direct_sum} vs fft {fft_sum}"
-        );
+        assert!((direct_sum - fft_sum).abs() < 1e-9, "direct {direct_sum} vs fft {fft_sum}");
     }
 
     #[test]

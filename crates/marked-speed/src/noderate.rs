@@ -82,8 +82,7 @@ mod tests {
 
     #[test]
     fn efficiencies_average_to_one() {
-        let avg: f64 =
-            BenchKernel::ALL.iter().map(|&k| kernel_efficiency(k)).sum::<f64>() / 3.0;
+        let avg: f64 = BenchKernel::ALL.iter().map(|&k| kernel_efficiency(k)).sum::<f64>() / 3.0;
         assert!((avg - 1.0).abs() < 1e-12, "avg = {avg}");
     }
 

@@ -98,9 +98,6 @@ mod tests {
     #[test]
     fn errors_compare_equal() {
         assert_eq!(FitError::SingularSystem, FitError::SingularSystem);
-        assert_ne!(
-            FitError::SingularSystem,
-            FitError::NonFinite,
-        );
+        assert_ne!(FitError::SingularSystem, FitError::NonFinite,);
     }
 }

@@ -165,10 +165,8 @@ mod tests {
     fn recovers_exact_cubic_with_large_abscissae() {
         // Problem sizes like the paper's N ∈ [100, 600]: conditioning test.
         let x: Vec<f64> = (1..=20).map(|i| 100.0 + 25.0 * i as f64).collect();
-        let y: Vec<f64> = x
-            .iter()
-            .map(|&v| 1e-6 * v * v * v - 0.004 * v * v + 2.0 * v + 17.0)
-            .collect();
+        let y: Vec<f64> =
+            x.iter().map(|&v| 1e-6 * v * v * v - 0.004 * v * v + 2.0 * v + 17.0).collect();
         let fit = polyfit(&x, &y, 3).unwrap();
         for (&xi, &yi) in x.iter().zip(y.iter()) {
             let rel = (fit.poly.eval(xi) - yi).abs() / yi.abs().max(1.0);

@@ -77,13 +77,7 @@ impl Polynomial {
         if self.coeffs.len() <= 1 {
             return Polynomial::zero();
         }
-        let coeffs = self
-            .coeffs
-            .iter()
-            .enumerate()
-            .skip(1)
-            .map(|(k, &c)| c * k as f64)
-            .collect();
+        let coeffs = self.coeffs.iter().enumerate().skip(1).map(|(k, &c)| c * k as f64).collect();
         Polynomial::new(coeffs)
     }
 

@@ -134,11 +134,7 @@ impl Series {
                 return Ok(self.xs[w] + t * (self.xs[w + 1] - self.xs[w]));
             }
         }
-        Err(FitError::NoBracket {
-            lo: self.xs[0],
-            hi: *self.xs.last().unwrap(),
-            target,
-        })
+        Err(FitError::NoBracket { lo: self.xs[0], hi: *self.xs.last().unwrap(), target })
     }
 
     /// Fits a polynomial trend line through the series — the "Poly." trend

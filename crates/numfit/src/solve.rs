@@ -109,8 +109,8 @@ pub fn residual_inf_norm(system: &DenseSystem, x: &[f64]) -> f64 {
     let mut worst = 0.0f64;
     for i in 0..n {
         let mut acc = 0.0;
-        for j in 0..n {
-            acc += system.a[i * n + j] * x[j];
+        for (j, &xj) in x.iter().enumerate() {
+            acc += system.a[i * n + j] * xj;
         }
         worst = worst.max((acc - system.b[i]).abs());
     }
@@ -162,10 +162,7 @@ mod tests {
 
     #[test]
     fn rejects_nan_input() {
-        assert_eq!(
-            DenseSystem::new(vec![f64::NAN], vec![1.0]).unwrap_err(),
-            FitError::NonFinite
-        );
+        assert_eq!(DenseSystem::new(vec![f64::NAN], vec![1.0]).unwrap_err(), FitError::NonFinite);
     }
 
     #[test]

@@ -48,8 +48,7 @@ pub fn isoefficiency_required_work(
     t_par: impl Fn(usize) -> f64,
 ) -> Result<f64, FitError> {
     let xs: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
-    let ys: Vec<f64> =
-        ns.iter().map(|&n| parallel_efficiency(t_seq(n), t_par(n), p)).collect();
+    let ys: Vec<f64> = ns.iter().map(|&n| parallel_efficiency(t_seq(n), t_par(n), p)).collect();
     let series = numfit::series::Series::from_samples(&xs, &ys)?;
     let n_req = series.invert_linear(target)?;
     Ok(work(n_req.round() as usize))
@@ -87,10 +86,8 @@ mod tests {
         let t_seq = move |n: usize| work(n) / s;
         let t_par = move |n: usize| work(n) / (p as f64 * s) + k;
         let ns: Vec<usize> = (1..=30).map(|i| i * 20).collect();
-        let w_low =
-            isoefficiency_required_work(p, 0.5, &ns, work, t_seq, t_par).unwrap();
-        let w_high =
-            isoefficiency_required_work(p, 0.8, &ns, work, t_seq, t_par).unwrap();
+        let w_low = isoefficiency_required_work(p, 0.5, &ns, work, t_seq, t_par).unwrap();
+        let w_high = isoefficiency_required_work(p, 0.8, &ns, work, t_seq, t_par).unwrap();
         assert!(w_high > w_low, "higher efficiency needs more work");
     }
 

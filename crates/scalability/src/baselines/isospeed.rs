@@ -46,8 +46,7 @@ pub fn required_work_for_unit_speed(
     time: impl Fn(usize) -> f64,
 ) -> Result<f64, FitError> {
     let xs: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
-    let ys: Vec<f64> =
-        ns.iter().map(|&n| average_unit_speed(work(n), time(n), p)).collect();
+    let ys: Vec<f64> = ns.iter().map(|&n| average_unit_speed(work(n), time(n), p)).collect();
     let series = numfit::series::Series::from_samples(&xs, &ys)?;
     let n_req = series.invert_linear(target_unit_speed)?;
     Ok(work(n_req.round() as usize))

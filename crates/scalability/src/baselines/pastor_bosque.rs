@@ -31,12 +31,7 @@ pub fn heterogeneous_speedup(t_seq_ref: f64, t_par: f64) -> f64 {
 ///
 /// # Panics
 /// Panics on non-positive speeds or times.
-pub fn heterogeneous_efficiency(
-    t_seq_ref: f64,
-    t_par: f64,
-    c_flops: f64,
-    c_ref_flops: f64,
-) -> f64 {
+pub fn heterogeneous_efficiency(t_seq_ref: f64, t_par: f64, c_flops: f64, c_ref_flops: f64) -> f64 {
     assert!(c_flops > 0.0 && c_ref_flops > 0.0, "speeds must be positive");
     heterogeneous_speedup(t_seq_ref, t_par) * c_ref_flops / c_flops
 }

@@ -31,10 +31,7 @@ impl ProductivityModel {
     /// The value per response, `f(t) = 1 / (1 + t / t_half)` — 1 for
     /// instant responses, ½ at the knee, → 0 as responses crawl.
     pub fn value_per_response(&self) -> f64 {
-        assert!(
-            self.half_value_response > 0.0,
-            "half-value response time must be positive"
-        );
+        assert!(self.half_value_response > 0.0, "half-value response time must be positive");
         1.0 / (1.0 + self.response_time / self.half_value_response)
     }
 

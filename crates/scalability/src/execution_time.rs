@@ -31,10 +31,7 @@ pub fn execution_time_ratio(psi: f64) -> f64 {
 /// # Panics
 /// Panics on invalid ψ or non-positive base time.
 pub fn scaled_execution_time(base_time_secs: f64, psi: f64) -> f64 {
-    assert!(
-        base_time_secs.is_finite() && base_time_secs > 0.0,
-        "base time must be positive"
-    );
+    assert!(base_time_secs.is_finite() && base_time_secs > 0.0, "base time must be positive");
     base_time_secs * execution_time_ratio(psi)
 }
 

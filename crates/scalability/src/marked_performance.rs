@@ -30,11 +30,9 @@ impl MarkedPerformance {
     /// # Errors
     /// All three axes must be positive and finite.
     pub fn new(compute_mflops: f64, memory_mbs: f64, network_mbs: f64) -> Result<Self, String> {
-        for (name, v) in [
-            ("compute", compute_mflops),
-            ("memory", memory_mbs),
-            ("network", network_mbs),
-        ] {
+        for (name, v) in
+            [("compute", compute_mflops), ("memory", memory_mbs), ("network", network_mbs)]
+        {
             if !v.is_finite() || v <= 0.0 {
                 return Err(format!("{name} rating must be positive and finite, got {v}"));
             }
@@ -143,12 +141,8 @@ mod tests {
         let streamer = MarkedPerformance::new(150.0, 4000.0, 50.0).unwrap();
         let cb = ResourceProfile::compute_bound();
         let mb = ResourceProfile::memory_bound();
-        assert!(
-            effective_marked_speed(&cruncher, &cb) > effective_marked_speed(&streamer, &cb)
-        );
-        assert!(
-            effective_marked_speed(&cruncher, &mb) < effective_marked_speed(&streamer, &mb)
-        );
+        assert!(effective_marked_speed(&cruncher, &cb) > effective_marked_speed(&streamer, &cb));
+        assert!(effective_marked_speed(&cruncher, &mb) < effective_marked_speed(&streamer, &mb));
     }
 
     #[test]

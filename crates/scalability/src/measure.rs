@@ -32,10 +32,7 @@ pub fn achieved_speed(work_flops: f64, time_secs: f64) -> f64 {
 /// Panics on invalid work/time (see [`achieved_speed`]) or non-positive
 /// marked speed.
 pub fn speed_efficiency(work_flops: f64, time_secs: f64, marked_speed_flops: f64) -> f64 {
-    assert!(
-        marked_speed_flops.is_finite() && marked_speed_flops > 0.0,
-        "marked speed must be > 0"
-    );
+    assert!(marked_speed_flops.is_finite() && marked_speed_flops > 0.0, "marked speed must be > 0");
     achieved_speed(work_flops, time_secs) / marked_speed_flops
 }
 
@@ -100,12 +97,7 @@ mod tests {
 
     #[test]
     fn measurement_struct_is_consistent() {
-        let m = Measurement {
-            n: 310,
-            work_flops: 2e7,
-            time_secs: 0.5,
-            marked_speed_flops: 1.4e8,
-        };
+        let m = Measurement { n: 310, work_flops: 2e7, time_secs: 0.5, marked_speed_flops: 1.4e8 };
         assert_eq!(m.achieved_speed(), 4e7);
         assert_eq!(m.achieved_speed_mflops(), 40.0);
         assert!((m.speed_efficiency() - 4e7 / 1.4e8).abs() < 1e-15);

@@ -162,10 +162,8 @@ impl EfficiencyCurve {
     /// the polynomial cannot bracket the target (e.g. fit wiggle at the
     /// range edges).
     pub fn required_n(&self, target: f64, degree: usize) -> Result<f64, FitError> {
-        let (lo, hi) = self
-            .series
-            .x_range()
-            .ok_or(FitError::InsufficientData { got: 0, need: 2 })?;
+        let (lo, hi) =
+            self.series.x_range().ok_or(FitError::InsufficientData { got: 0, need: 2 })?;
         if let Ok(fit) = self.fit(degree) {
             if let Ok(n) = invert_monotone(|x| fit.poly.eval(x), lo, hi, target, 1e-6) {
                 return Ok(n);
@@ -347,8 +345,7 @@ mod tests {
         // overhead coefficient — the normal situation.
         let base = analytic_system(1.4e8, 1e-3, "2 nodes");
         let scaled = analytic_system(2.4e8, 3e-3, "4 nodes");
-        let ladder =
-            ScalabilityLadder::measure(&[&base, &scaled], 0.3, &sizes(), 3).unwrap();
+        let ladder = ScalabilityLadder::measure(&[&base, &scaled], 0.3, &sizes(), 3).unwrap();
         assert_eq!(ladder.steps.len(), 1);
         let step = &ladder.steps[0];
         assert!(step.psi > 0.0 && step.psi < 1.0, "psi = {}", step.psi);

@@ -416,9 +416,7 @@ mod tests {
         let ns: Vec<usize> = (1..=30).map(|i| i * 80).collect();
         let mut required = Vec::new();
         for g in &preds {
-            required.push(
-                required_n_for_efficiency(g, 0.3, &ns, 3).unwrap().round() as usize
-            );
+            required.push(required_n_for_efficiency(g, 0.3, &ns, 3).unwrap().round() as usize);
         }
         for w in 0..preds.len() - 1 {
             let psi =
@@ -447,21 +445,18 @@ mod tests {
         let st = StencilPredictor::new(&cluster, p, |n| n / 8);
         let pw = PowerPredictor::new(&cluster, p, |n| n / 4);
         // Efficiency rises with n for both.
-        let eff = |t: &dyn AlgorithmSystem, n: usize| {
-            t.work(n) / (t.execute(n) * t.marked_speed_flops())
-        };
+        let eff =
+            |t: &dyn AlgorithmSystem, n: usize| t.work(n) / (t.execute(n) * t.marked_speed_flops());
         assert!(eff(&st, 400) > eff(&st, 100));
         assert!(eff(&pw, 400) > eff(&pw, 100));
         // Stencil overhead is p-independent per sweep: an 8-node
         // predictor's per-sweep term equals the 4-node one's.
         let st8 = StencilPredictor::new(&sunwulf::ge_config(8), p, |n| n / 8);
         let sweeps = (400 / 8) as f64;
-        let per_sweep_4 = (st.overhead_secs(400)
-            - 2.0 * 3.0 * p.p2p_time(400.0 * 400.0 / 4.0))
-            / sweeps;
-        let per_sweep_8 = (st8.overhead_secs(400)
-            - 2.0 * 7.0 * p.p2p_time(400.0 * 400.0 / 8.0))
-            / sweeps;
+        let per_sweep_4 =
+            (st.overhead_secs(400) - 2.0 * 3.0 * p.p2p_time(400.0 * 400.0 / 4.0)) / sweeps;
+        let per_sweep_8 =
+            (st8.overhead_secs(400) - 2.0 * 7.0 * p.p2p_time(400.0 * 400.0 / 8.0)) / sweeps;
         assert!((per_sweep_4 - per_sweep_8).abs() < 1e-12);
     }
 

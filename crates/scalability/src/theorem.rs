@@ -41,7 +41,10 @@ pub fn psi_theorem1(t0: f64, t_o: f64, t0_prime: f64, t_o_prime: f64) -> f64 {
     }
     let base = t0 + t_o;
     let scaled = t0_prime + t_o_prime;
-    assert!(base > 0.0 && scaled > 0.0, "overhead sums must be positive (Corollary 1 handles the all-zero case: ψ = 1)");
+    assert!(
+        base > 0.0 && scaled > 0.0,
+        "overhead sums must be positive (Corollary 1 handles the all-zero case: ψ = 1)"
+    );
     base / scaled
 }
 

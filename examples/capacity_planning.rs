@@ -19,8 +19,7 @@ fn main() {
     let net = sunwulf::sunwulf_network();
     let configs = [2usize, 4, 8, 16];
     let clusters: Vec<_> = configs.iter().map(|&p| sunwulf::ge_config(p)).collect();
-    let systems: Vec<_> =
-        clusters.iter().map(|c| bench_tables::GeSystem::new(c, &net)).collect();
+    let systems: Vec<_> = clusters.iter().map(|c| bench_tables::GeSystem::new(c, &net)).collect();
     let dyn_systems: Vec<&dyn AlgorithmSystem> =
         systems.iter().map(|s| s as &dyn AlgorithmSystem).collect();
 

@@ -17,33 +17,27 @@ fn main() {
     let net = sunwulf::sunwulf_network();
 
     // Base: server (1 CPU) + one SunBlade + one 1-CPU V210 = 205 Mflop/s.
-    let base = ClusterSpec::new(
-        "base",
-        vec![server_node(1), sunblade_node(1), v210_node(65, 1)],
-    )
-    .expect("non-empty");
+    let base = ClusterSpec::new("base", vec![server_node(1), sunblade_node(1), v210_node(65, 1)])
+        .expect("non-empty");
     println!("base: {base}");
 
     // Growth path A — add nodes: + two more SunBlades and one V210.
-    let add_nodes = base
-        .with_node(sunblade_node(2))
-        .with_node(sunblade_node(3))
-        .with_node(v210_node(66, 1));
+    let add_nodes =
+        base.with_node(sunblade_node(2)).with_node(sunblade_node(3)).with_node(v210_node(66, 1));
     // Growth path B — more CPUs: server 1→4 CPUs, V210 1→2 CPUs.
-    let more_cpus = ClusterSpec::new(
-        "more-cpus",
-        vec![server_node(4), sunblade_node(1), v210_node(65, 2)],
-    )
-    .expect("non-empty");
+    let more_cpus =
+        ClusterSpec::new("more-cpus", vec![server_node(4), sunblade_node(1), v210_node(65, 2)])
+            .expect("non-empty");
     // Growth path C — upgrade nodes: SunBlade replaced by a 2-CPU V210.
-    let upgrade = ClusterSpec::new(
-        "upgraded",
-        vec![server_node(1), v210_node(67, 2), v210_node(65, 1)],
-    )
-    .expect("non-empty");
+    let upgrade =
+        ClusterSpec::new("upgraded", vec![server_node(1), v210_node(67, 2), v210_node(65, 1)])
+            .expect("non-empty");
 
     let sizes: Vec<usize> = vec![60, 100, 160, 260, 420, 700, 1100, 1700];
-    println!("\n{:<12} {:>6} {:>14} {:>10} {:>8}", "growth path", "nodes", "C (Mflop/s)", "req. N", "psi");
+    println!(
+        "\n{:<12} {:>6} {:>14} {:>10} {:>8}",
+        "growth path", "nodes", "C (Mflop/s)", "req. N", "psi"
+    );
     for scaled in [&add_nodes, &more_cpus, &upgrade] {
         let base_sys = bench_tables::GeSystem::new(&base, &net);
         let scaled_sys = bench_tables::GeSystem::new(scaled, &net);

@@ -13,9 +13,7 @@ use hetscale::kernels::workload::ge_work;
 use hetscale::scalability::baselines::isoefficiency::parallel_efficiency;
 use hetscale::scalability::baselines::isospeed::{average_unit_speed, isospeed_psi};
 use hetscale::scalability::baselines::pastor_bosque::heterogeneous_efficiency;
-use hetscale::scalability::baselines::productivity::{
-    productivity_scalability, ProductivityModel,
-};
+use hetscale::scalability::baselines::productivity::{productivity_scalability, ProductivityModel};
 use hetscale::scalability::function::isospeed_efficiency_scalability;
 use hetscale::scalability::metric::required_n_for_efficiency;
 

@@ -7,8 +7,8 @@
 //! ```
 
 use hetscale::hetsim_cluster::sunwulf;
-use hetscale::hetsim_mpi::trace::OverheadBreakdown;
 use hetscale::hetsim_mpi::timeline_text;
+use hetscale::hetsim_mpi::trace::OverheadBreakdown;
 use hetscale::kernels::ge::ge_parallel_timed_traced;
 
 fn main() {

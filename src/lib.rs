@@ -10,6 +10,8 @@
 //! * [`hetsim_cluster`] — heterogeneous cluster models and the
 //!   discrete-event network simulator.
 //! * [`hetsim_mpi`] — SPMD message-passing runtime with virtual time.
+//! * [`hetsim_obs`] — observability: deterministic metrics registry,
+//!   Chrome-trace/JSONL export, critical-path and imbalance analysis.
 //! * [`hetpart`] — heterogeneous data-distribution strategies.
 //! * [`kernels`] — Gaussian elimination and matrix multiplication,
 //!   sequential and parallel.
@@ -19,6 +21,7 @@
 pub use hetpart;
 pub use hetsim_cluster;
 pub use hetsim_mpi;
+pub use hetsim_obs;
 pub use kernels;
 pub use marked_speed;
 pub use numfit;

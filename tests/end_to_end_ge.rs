@@ -22,10 +22,7 @@ fn ge_solves_correctly_on_every_ladder_rung() {
     for p in [2usize, 4, 8] {
         let cluster = sunwulf::ge_config(p);
         let out = ge_parallel(&cluster, &net, &a, &b);
-        assert!(
-            residual_inf_norm(&a, &out.x, &b) < 1e-8,
-            "residual too large at p = {p}"
-        );
+        assert!(residual_inf_norm(&a, &out.x, &b) < 1e-8, "residual too large at p = {p}");
         for (pv, sv) in out.x.iter().zip(&seq) {
             assert!((pv - sv).abs() < 1e-8, "p = {p}: {pv} vs {sv}");
         }

@@ -12,7 +12,9 @@ use hetscale::hetsim_cluster::ClusterSpec;
 use hetscale::hetsim_mpi::run_spmd;
 use hetscale::scalability::baselines::isospeed::isospeed_psi;
 use hetscale::scalability::function::isospeed_efficiency_scalability;
-use hetscale::scalability::metric::{required_n_for_efficiency, AlgorithmSystem, EfficiencyCurve, FnAlgorithm};
+use hetscale::scalability::metric::{
+    required_n_for_efficiency, AlgorithmSystem, EfficiencyCurve, FnAlgorithm,
+};
 
 /// A perfectly parallel synthetic workload on a cluster: every rank gets
 /// exactly `W/p` flops, then one barrier. Returns the measured makespan.
@@ -22,27 +24,17 @@ fn perfectly_parallel_time(cluster: &ClusterSpec, net: &ConstantLatency, work: f
         rank.compute_flops(work / p);
         rank.barrier();
     });
-    outcome
-        .times
-        .iter()
-        .map(|t| t.as_secs())
-        .fold(0.0, f64::max)
+    outcome.times.iter().map(|t| t.as_secs()).fold(0.0, f64::max)
 }
 
-fn synthetic_system(
-    p: usize,
-    speed: f64,
-    net: ConstantLatency,
-) -> impl AlgorithmSystem {
+fn synthetic_system(p: usize, speed: f64, net: ConstantLatency) -> impl AlgorithmSystem {
     let cluster = ClusterSpec::homogeneous(p, speed);
     let c = cluster.marked_speed_flops();
     FnAlgorithm {
         label: format!("synthetic-{p}"),
         marked_speed_flops: c,
         work_fn: |n: usize| (n as f64).powi(3),
-        time_fn: move |n: usize| {
-            perfectly_parallel_time(&cluster, &net, (n as f64).powi(3))
-        },
+        time_fn: move |n: usize| perfectly_parallel_time(&cluster, &net, (n as f64).powi(3)),
     }
 }
 
@@ -59,16 +51,10 @@ fn corollary1_constant_overhead_gives_psi_one() {
     let target = 0.5;
     // Piecewise-linear inversion of the dense sample grid: avoids the
     // polynomial's wiggle so the check isolates the metric itself.
-    let n1 = EfficiencyCurve::measure(&base, &ns)
-        .series
-        .invert_linear(target)
-        .unwrap()
-        .round() as usize;
-    let n2 = EfficiencyCurve::measure(&scaled, &ns)
-        .series
-        .invert_linear(target)
-        .unwrap()
-        .round() as usize;
+    let n1 =
+        EfficiencyCurve::measure(&base, &ns).series.invert_linear(target).unwrap().round() as usize;
+    let n2 = EfficiencyCurve::measure(&scaled, &ns).series.invert_linear(target).unwrap().round()
+        as usize;
     let psi = isospeed_efficiency_scalability(
         base.marked_speed_flops(),
         base.work(n1),

@@ -1,9 +1,7 @@
 //! Property-based tests (proptest) on the metric's invariants, the
 //! distribution layer, and the runtime's determinism.
 
-use hetscale::hetpart::{
-    proportional_counts, BlockDistribution, CyclicDistribution, Distribution,
-};
+use hetscale::hetpart::{proportional_counts, BlockDistribution, CyclicDistribution, Distribution};
 use hetscale::hetsim_cluster::network::ConstantLatency;
 use hetscale::hetsim_cluster::ClusterSpec;
 use hetscale::hetsim_mpi::run_spmd;

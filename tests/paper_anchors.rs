@@ -16,20 +16,10 @@ fn anchor_two_node_required_rank_and_verification() {
     // E_s(310) = 0.312.
     let p = params();
     let table = f1::figure1(&p.ge_sizes, p.ge_target, p.fit_degree);
-    let req_note = table
-        .notes
-        .iter()
-        .find(|n| n.contains("required N"))
-        .expect("required-N note present");
-    let n: f64 = req_note
-        .split(": ")
-        .nth(1)
-        .unwrap()
-        .split_whitespace()
-        .next()
-        .unwrap()
-        .parse()
-        .unwrap();
+    let req_note =
+        table.notes.iter().find(|n| n.contains("required N")).expect("required-N note present");
+    let n: f64 =
+        req_note.split(": ").nth(1).unwrap().split_whitespace().next().unwrap().parse().unwrap();
     assert!((250.0..=360.0).contains(&n), "required N = {n}, paper ~310");
 
     let verify_note = table
@@ -37,15 +27,8 @@ fn anchor_two_node_required_rank_and_verification() {
         .iter()
         .find(|note| note.contains("verification"))
         .expect("verification note present");
-    let e: f64 = verify_note
-        .split("= ")
-        .nth(1)
-        .unwrap()
-        .split_whitespace()
-        .next()
-        .unwrap()
-        .parse()
-        .unwrap();
+    let e: f64 =
+        verify_note.split("= ").nth(1).unwrap().split_whitespace().next().unwrap().parse().unwrap();
     assert!((e - 0.3).abs() < 0.05, "verified E_s = {e}, paper 0.312");
 }
 

@@ -68,9 +68,7 @@ fn predicted_psi_close_to_measured_psi() {
         let cluster = sunwulf::ge_config(p);
         // Measured required N from the simulated kernel.
         let sys = bench_tables::GeSystem::new(&cluster, &net);
-        let n = required_n_for_efficiency(&sys, target, &sizes(), 3)
-            .unwrap()
-            .round() as usize;
+        let n = required_n_for_efficiency(&sys, target, &sizes(), 3).unwrap().round() as usize;
         measured_n.push(n);
         predictors.push(GePredictor::new(&cluster, machine));
     }

@@ -12,10 +12,7 @@ fn net() -> MpichEthernet {
 }
 
 fn payloads(p: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(
-        prop::collection::vec(-1e6f64..1e6, 0..24),
-        p..=p,
-    )
+    prop::collection::vec(prop::collection::vec(-1e6f64..1e6, 0..24), p..=p)
 }
 
 proptest! {

@@ -183,11 +183,7 @@ mod token_format {
             self.tokens.push(Token::Seq(len));
             Ok(self)
         }
-        fn serialize_tuple_struct(
-            self,
-            name: &'static str,
-            _len: usize,
-        ) -> Result<Self, Error> {
+        fn serialize_tuple_struct(self, name: &'static str, _len: usize) -> Result<Self, Error> {
             self.tokens.push(Token::StructStart(name));
             Ok(self)
         }
@@ -321,11 +317,7 @@ fn assert_stable_serialization<T: Serialize + Clone + PartialEq + std::fmt::Debu
     let b = token_format::tokens(value);
     assert_eq!(a, b, "serialization must be deterministic");
     let clone = value.clone();
-    assert_eq!(
-        token_format::tokens(&clone),
-        a,
-        "clone must serialize identically"
-    );
+    assert_eq!(token_format::tokens(&clone), a, "clone must serialize identically");
     assert!(!a.is_empty(), "serialization must produce tokens");
 }
 
@@ -345,12 +337,7 @@ fn cluster_and_node_specs_serialize_stably() {
 
 #[test]
 fn measurements_and_times_serialize_stably() {
-    let m = Measurement {
-        n: 310,
-        work_flops: 1.83e7,
-        time_secs: 0.43,
-        marked_speed_flops: 1.4e8,
-    };
+    let m = Measurement { n: 310, work_flops: 1.83e7, time_secs: 0.43, marked_speed_flops: 1.4e8 };
     assert_stable_serialization(&m);
     assert_stable_serialization(&SimTime::from_millis(1.5));
     assert_deserializable::<Measurement>();
@@ -378,8 +365,8 @@ fn struct_field_names_appear_in_the_token_stream() {
     // Guard against accidentally switching a public type to a tuple
     // serialization (breaking named-field formats downstream).
     let tokens = token_format::tokens(&sunwulf::sunblade_node(1));
-    let has_field = tokens.iter().any(|t| {
-        matches!(t, token_format::Token::Field(name) if *name == "marked_speed_mflops")
-    });
+    let has_field = tokens
+        .iter()
+        .any(|t| matches!(t, token_format::Token::Field(name) if *name == "marked_speed_mflops"));
     assert!(has_field, "NodeSpec must serialize with named fields: {tokens:?}");
 }

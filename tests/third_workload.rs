@@ -45,11 +45,8 @@ fn stencil_efficiency_beats_ge_at_matched_size() {
         stencil_parallel_timed(&cluster, &net, n, iters).makespan.as_secs(),
         c,
     );
-    let e_ge = speed_efficiency(
-        ge_work(n),
-        ge_parallel_timed(&cluster, &net, n).makespan.as_secs(),
-        c,
-    );
+    let e_ge =
+        speed_efficiency(ge_work(n), ge_parallel_timed(&cluster, &net, n).makespan.as_secs(), c);
     assert!(e_st > e_ge, "stencil {e_st} vs GE {e_ge}");
 }
 

@@ -59,8 +59,7 @@ fn trace_sums_match_runtime_accounting() {
     for (rank, trace) in outcome.traces.iter().enumerate() {
         let (compute, comm) = outcome.results[rank];
         let by_kind = trace.by_kind();
-        let traced_compute =
-            by_kind.get(&OpKind::Compute).map(|t| t.as_secs()).unwrap_or(0.0);
+        let traced_compute = by_kind.get(&OpKind::Compute).map(|t| t.as_secs()).unwrap_or(0.0);
         assert!(
             (traced_compute - compute.as_secs()).abs() < 1e-12,
             "rank {rank}: compute {traced_compute} vs {}",
