@@ -9,3 +9,4 @@ set -eux
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace --release
+cargo run --release -p bench-tables -- --quick --faults

@@ -7,6 +7,7 @@ pub mod decomp;
 pub mod ext;
 pub mod f1;
 pub mod f2t5;
+pub mod faults;
 pub mod noise;
 pub mod t1;
 pub mod t2;

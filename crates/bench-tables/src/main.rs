@@ -1,10 +1,15 @@
 //! `bench-tables` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! bench-tables [--quick] [--csv DIR] [--trace-out DIR] [--metrics-out FILE] [ids...]
+//! bench-tables [--quick] [--faults] [--csv DIR] [--trace-out DIR] [--metrics-out FILE] [ids...]
 //!   ids: t1 t2 f1 t3 t4 f2 t5 t6 t7 compare x2 decomp ablate-dist
-//!        ablate-net ablate-fit ablate-place ext-mp all      (default: all)
+//!        ablate-net ablate-fit ablate-place ext-mp faults all   (default: all)
 //! ```
+//!
+//! `faults` (or the `--faults` shorthand) runs the deterministic
+//! fault-injection sweep — degraded nodes, lossy links with
+//! retry/timeout/backoff, and a declared node death — and reports
+//! scalability under each severity. It is opt-in: `all` excludes it.
 //!
 //! `--trace-out` writes Chrome-trace JSON plus round-trippable JSONL
 //! traces of one observed run per kernel; `--metrics-out` writes the
@@ -13,11 +18,40 @@
 //! invocations produce byte-identical files.
 
 use bench_tables::experiments::{
-    ablate, baselines, compare, decomp, ext, f1, f2t5, noise, t1, t2, t3t4, t6t7, validate, x2,
+    ablate, baselines, compare, decomp, ext, f1, f2t5, faults, noise, t1, t2, t3t4, t6t7, validate,
+    x2,
 };
 use bench_tables::{obs, ExperimentParams, Table};
 use std::collections::BTreeSet;
 use std::path::Path;
+
+/// Every experiment id the CLI accepts. `faults` is opt-in (via the id
+/// or `--faults`): it is not part of `all`.
+const KNOWN_IDS: &[&str] = &[
+    "t1",
+    "t2",
+    "f1",
+    "t3",
+    "t4",
+    "f2",
+    "t5",
+    "t6",
+    "t7",
+    "compare",
+    "x2",
+    "decomp",
+    "ablate-dist",
+    "ablate-net",
+    "ablate-fit",
+    "ablate-place",
+    "ablate-sched",
+    "ablate-noise",
+    "validate",
+    "baselines",
+    "ext-mp",
+    "faults",
+    "all",
+];
 
 fn main() {
     let mut quick = false;
@@ -29,6 +63,9 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--faults" => {
+                ids.insert("faults".to_string());
+            }
             "--csv" => {
                 csv_dir = Some(args.next().unwrap_or_else(|| usage("--csv needs a directory")))
             }
@@ -41,11 +78,14 @@ fn main() {
                     Some(args.next().unwrap_or_else(|| usage("--metrics-out needs a file path")))
             }
             "--help" | "-h" => usage(""),
+            flag if flag.starts_with('-') => usage(&format!("unknown flag {flag}")),
+            id if !KNOWN_IDS.contains(&id) => usage(&format!("unknown experiment id {id}")),
             id => {
                 ids.insert(id.to_string());
             }
         }
     }
+    let faults_requested = ids.contains("faults");
     if ids.is_empty() || ids.contains("all") {
         ids = [
             "t1",
@@ -178,24 +218,34 @@ fn main() {
     if wants("ext-mp") {
         emit(ext::extension_marked_performance());
     }
+    if faults_requested {
+        let (table, report) = faults::scalability_under_faults(&params, quick);
+        emit(table);
+        println!("{report}");
+    }
 
     if trace_dir.is_some() || metrics_path.is_some() {
-        let runs = obs::observed_runs(quick);
+        let mut runs = obs::observed_runs(quick);
+        if faults_requested {
+            runs.extend(obs::observed_runs_faulted(quick));
+        }
         if let Some(dir) = &trace_dir {
-            let written =
-                obs::write_trace_dir(Path::new(dir), &runs).expect("write trace directory");
+            let written = obs::write_trace_dir(Path::new(dir), &runs)
+                .unwrap_or_else(|e| fail(&format!("cannot write trace directory {dir}: {e}")));
             for path in written {
                 eprintln!("wrote {path}");
             }
         }
         if let Some(path) = &metrics_path {
-            obs::write_metrics(Path::new(path), &runs).expect("write metrics file");
+            obs::write_metrics(Path::new(path), &runs)
+                .unwrap_or_else(|e| fail(&format!("cannot write metrics file {path}: {e}")));
             eprintln!("wrote {path}");
         }
     }
 
     if let Some(dir) = csv_dir {
-        std::fs::create_dir_all(&dir).expect("create csv output directory");
+        std::fs::create_dir_all(&dir)
+            .unwrap_or_else(|e| fail(&format!("cannot create csv directory {dir}: {e}")));
         for table in &emitted {
             let slug: String = table
                 .title
@@ -205,10 +255,16 @@ fn main() {
                 .collect::<String>()
                 .to_lowercase();
             let path = format!("{dir}/{slug}.csv");
-            std::fs::write(&path, table.to_csv()).expect("write csv");
+            std::fs::write(&path, table.to_csv())
+                .unwrap_or_else(|e| fail(&format!("cannot write csv file {path}: {e}")));
             eprintln!("wrote {path}");
         }
     }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
 }
 
 fn usage(err: &str) -> ! {
@@ -216,8 +272,9 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: bench-tables [--quick] [--csv DIR] [--trace-out DIR] [--metrics-out FILE] [ids...]\n\
-         ids: t1 t2 f1 t3 t4 f2 t5 t6 t7 compare x2 decomp ablate-dist ablate-net ablate-fit ablate-place ablate-sched ablate-noise validate baselines ext-mp all"
+        "usage: bench-tables [--quick] [--faults] [--csv DIR] [--trace-out DIR] [--metrics-out FILE] [ids...]\n\
+         ids: t1 t2 f1 t3 t4 f2 t5 t6 t7 compare x2 decomp ablate-dist ablate-net ablate-fit ablate-place ablate-sched ablate-noise validate baselines ext-mp faults all\n\
+         `faults` (or --faults) runs the fault-injection sweep; it is opt-in and not part of `all`."
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

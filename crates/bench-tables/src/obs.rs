@@ -84,6 +84,34 @@ pub fn observed_runs(quick: bool) -> Vec<ObservedRun> {
     ]
 }
 
+/// Traced GE and MM runs under the fault sweep's straggler+drops plan,
+/// appended to [`observed_runs`] when the `faults` experiment is
+/// requested. The `-faulted` suffix keeps the slugs (and therefore the
+/// output files) disjoint from the clean runs; the plan is seeded, so
+/// these exports share the byte-stability guarantee.
+pub fn observed_runs_faulted(quick: bool) -> Vec<ObservedRun> {
+    use crate::experiments::faults::Severity;
+    use kernels::ge::ge_parallel_timed_faulted_traced;
+    use kernels::mm::mm_parallel_timed_faulted_traced;
+    let net = sunwulf::sunwulf_network();
+    let p = if quick { 8 } else { 16 };
+    let ge_n = if quick { 192 } else { 384 };
+    let mm_n = if quick { 128 } else { 256 };
+    let plan = Severity::StragglerDrops.plan(p);
+    let ge_cluster = sunwulf::ge_config(p);
+    let mm_cluster = sunwulf::mm_config(p);
+    vec![
+        ObservedRun {
+            name: format!("ge-p{p}-n{ge_n}-faulted"),
+            traces: ge_parallel_timed_faulted_traced(&ge_cluster, &net, &plan, ge_n).1,
+        },
+        ObservedRun {
+            name: format!("mm-p{p}-n{mm_n}-faulted"),
+            traces: mm_parallel_timed_faulted_traced(&mm_cluster, &net, &plan, mm_n).1,
+        },
+    ]
+}
+
 /// Writes the two trace files per run into `dir` (created if missing)
 /// and returns the paths written.
 pub fn write_trace_dir(dir: &Path, runs: &[ObservedRun]) -> io::Result<Vec<String>> {
@@ -201,6 +229,25 @@ mod tests {
         assert_eq!(a, b);
         // And parses back as valid JSON.
         Json::parse(&a).unwrap();
+    }
+
+    #[test]
+    fn faulted_runs_carry_retry_spans_and_stay_byte_stable() {
+        let runs = observed_runs_faulted(true);
+        assert_eq!(runs.len(), 2);
+        for run in &runs {
+            assert!(run.name.ends_with("-faulted"), "slug {} misses suffix", run.name);
+        }
+        let retries: usize = runs
+            .iter()
+            .flat_map(|r| r.traces.iter())
+            .flat_map(|t| t.records.iter())
+            .filter(|rec| rec.kind == OpKind::Retry)
+            .count();
+        assert!(retries > 0, "straggler+drops plan must charge retry spans");
+        let a = metrics_json(&runs).to_string();
+        let b = metrics_json(&observed_runs_faulted(true)).to_string();
+        assert_eq!(a, b, "faulted metrics export must be byte-stable");
     }
 
     #[test]

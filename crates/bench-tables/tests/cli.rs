@@ -1,0 +1,81 @@
+//! Exit-code contract of the `bench-tables` binary.
+//!
+//! The CLI must fail loudly — unknown flags or experiment ids and
+//! unwritable output paths exit non-zero with a one-line error on
+//! stderr — so scripted pipelines (ci.sh, the paper-table refresh)
+//! cannot silently run the wrong experiment set.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bench-tables"))
+        .args(args)
+        .output()
+        .expect("spawn bench-tables")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn help_exits_zero_and_prints_usage() {
+    let out = run(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let err = stderr(&out);
+    assert!(err.contains("usage: bench-tables"), "missing usage: {err}");
+    assert!(err.contains("--faults"), "usage must mention --faults: {err}");
+}
+
+#[test]
+fn unknown_flag_exits_two_with_one_line_error() {
+    let out = run(&["--quick", "--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("error: unknown flag --no-such-flag"), "got: {err}");
+}
+
+#[test]
+fn unknown_experiment_id_exits_two() {
+    let out = run(&["--quick", "t1", "no-such-table"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("error: unknown experiment id no-such-table"), "got: {err}");
+}
+
+#[test]
+fn missing_flag_argument_exits_two() {
+    let out = run(&["--metrics-out"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--metrics-out needs a file path"));
+}
+
+#[test]
+fn unwritable_metrics_path_exits_one() {
+    // /proc/nonexistent is not creatable on Linux; the CLI must report
+    // the failure instead of panicking.
+    let out = run(&["--quick", "t1", "--metrics-out", "/proc/nonexistent/metrics.json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("error: cannot write metrics file"), "got: {err}");
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+}
+
+#[test]
+fn unwritable_trace_dir_exits_one() {
+    let out = run(&["--quick", "t1", "--trace-out", "/proc/nonexistent/traces"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("error: cannot write trace directory"), "got: {err}");
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+}
+
+#[test]
+fn faults_flag_emits_the_fault_sweep_table() {
+    let out = run(&["--quick", "--faults"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("scalability under injected faults"), "missing table: {stdout}");
+    assert!(stdout.contains("straggler+drops"), "missing severity rows: {stdout}");
+    assert!(stdout.contains("under faults: psi retention"), "missing annex line: {stdout}");
+}

@@ -42,11 +42,13 @@ pub mod balance;
 pub mod block;
 pub mod cyclic;
 pub mod proportion;
+pub mod rebalance;
 
 pub use balance::{imbalance, parallel_time_estimate};
 pub use block::{BlockDistribution, RowRange};
 pub use cyclic::CyclicDistribution;
 pub use proportion::proportional_counts;
+pub use rebalance::{repartition_after_deaths, Repartition};
 
 /// A mapping of `n` matrix rows onto `p` ranks.
 ///

@@ -1,0 +1,126 @@
+//! Repartitioning after node deaths: graceful degradation.
+//!
+//! When a fault plan declares nodes dead, the run restarts on the
+//! survivors with the data redistributed by surviving marked-speed
+//! proportion. This module computes that redistribution and its cost
+//! inputs: which rows move, and how many bytes cross the wire. The
+//! result is deterministic — a pure function of `(n, speeds, dead)` —
+//! so repartition costs stay byte-stable in reports.
+
+use crate::block::BlockDistribution;
+use crate::Distribution;
+
+/// The outcome of repartitioning `n` rows after removing dead ranks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Repartition {
+    /// Original rank ids that survive, ascending.
+    pub survivors: Vec<usize>,
+    /// Rows per survivor (indexed like `survivors`) after rebalancing
+    /// by surviving marked-speed proportion.
+    pub counts: Vec<usize>,
+    /// Number of rows whose owner changed (old owner dead or shifted).
+    pub moved_rows: usize,
+    /// Total bytes that must cross the network: `moved_rows × row_bytes`.
+    pub moved_bytes: u64,
+}
+
+/// Computes the proportional block repartition of `n` rows after the
+/// ranks in `dead` are removed from a `speeds`-rated cluster.
+///
+/// The "before" layout is the proportional block distribution over all
+/// `speeds`; the "after" layout is the proportional block distribution
+/// over the survivors' speeds, mapped back to original rank ids. A row
+/// counts as moved when its owner differs between the two layouts —
+/// including rows that stay on a surviving node but shift position as
+/// blocks close ranks. `row_bytes` prices each moved row (e.g. `8·n`
+/// for an `f64` matrix row).
+///
+/// # Panics
+/// Panics if `dead` names an out-of-range rank or kills every node.
+pub fn repartition_after_deaths(
+    n: usize,
+    speeds: &[f64],
+    dead: &[usize],
+    row_bytes: u64,
+) -> Repartition {
+    let p = speeds.len();
+    for &d in dead {
+        assert!(d < p, "dead rank {d} out of range for p = {p}");
+    }
+    let survivors: Vec<usize> = (0..p).filter(|r| !dead.contains(r)).collect();
+    assert!(!survivors.is_empty(), "cannot repartition: every rank is dead");
+
+    let before = BlockDistribution::proportional(n, speeds);
+    let surviving_speeds: Vec<f64> = survivors.iter().map(|&r| speeds[r]).collect();
+    let after = BlockDistribution::proportional(n, &surviving_speeds);
+
+    let mut moved_rows = 0usize;
+    for row in 0..n {
+        let old_owner = before.owner(row);
+        let new_owner = survivors[after.owner(row)];
+        if old_owner != new_owner {
+            moved_rows += 1;
+        }
+    }
+    Repartition {
+        survivors,
+        counts: after.counts(),
+        moved_rows,
+        moved_bytes: moved_rows as u64 * row_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_deaths_moves_nothing() {
+        let r = repartition_after_deaths(100, &[90.0, 50.0, 110.0], &[], 800);
+        assert_eq!(r.survivors, vec![0, 1, 2]);
+        assert_eq!(r.counts, vec![36, 20, 44]);
+        assert_eq!(r.moved_rows, 0);
+        assert_eq!(r.moved_bytes, 0);
+    }
+
+    #[test]
+    fn killing_a_node_moves_its_rows_at_least() {
+        let speeds = [90.0, 50.0, 110.0];
+        let r = repartition_after_deaths(100, &speeds, &[1], 800);
+        assert_eq!(r.survivors, vec![0, 2]);
+        // Survivors reabsorb all 100 rows by speed proportion 90:110.
+        assert_eq!(r.counts.iter().sum::<usize>(), 100);
+        assert_eq!(r.counts, vec![45, 55]);
+        // At minimum the dead node's 20 rows move.
+        assert!(r.moved_rows >= 20, "moved {} rows", r.moved_rows);
+        assert_eq!(r.moved_bytes, r.moved_rows as u64 * 800);
+    }
+
+    #[test]
+    fn repartition_is_deterministic() {
+        let speeds = [70.0, 70.0, 140.0, 35.0];
+        let a = repartition_after_deaths(513, &speeds, &[2], 4104);
+        let b = repartition_after_deaths(513, &speeds, &[2], 4104);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn surviving_counts_are_proportional() {
+        let speeds = [100.0, 100.0, 100.0, 100.0];
+        let r = repartition_after_deaths(80, &speeds, &[0, 3], 8);
+        assert_eq!(r.survivors, vec![1, 2]);
+        assert_eq!(r.counts, vec![40, 40]);
+    }
+
+    #[test]
+    #[should_panic(expected = "every rank is dead")]
+    fn killing_everyone_panics() {
+        repartition_after_deaths(10, &[1.0, 1.0], &[0, 1], 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_dead_rank_panics() {
+        repartition_after_deaths(10, &[1.0, 1.0], &[5], 8);
+    }
+}

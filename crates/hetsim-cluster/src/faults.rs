@@ -1,0 +1,682 @@
+//! Deterministic fault injection: degraded nodes, lossy links, deaths.
+//!
+//! The isospeed-efficiency metric assumes every node delivers its marked
+//! speed `Cᵢ` and every message arrives. Real heterogeneous clusters do
+//! not cooperate: nodes throttle, links drop packets, machines die
+//! mid-job. A [`FaultPlan`] describes such a degraded regime *ahead of
+//! time*, as data, so a run under faults stays a pure function of
+//! (marked speeds, payload sizes, network model, fault plan) — the
+//! simulator's core determinism invariant survives intact. Three fault
+//! families are modeled:
+//!
+//! * **Node degradation** — per-rank [`SpeedWindow`]s multiply the
+//!   node's marked speed over virtual-time intervals (a straggler is an
+//!   open-ended window, a brown-out a bounded one). Compute spans that
+//!   cross window boundaries are integrated piecewise.
+//! * **Lossy links** — every point-to-point send consults a seeded drop
+//!   schedule; each dropped attempt costs `timeout + backoff` of virtual
+//!   time (exponential backoff, capped), charged by the runtime as
+//!   `OpKind::Retry` spans. Whether attempt `a` of message `k` on link
+//!   `(s, d)` drops is a hash of `(seed, s, d, k, a)` — deterministic,
+//!   schedule-independent, and independent across links and messages.
+//! * **Declared deaths** — a rank marked dead never joins the run; the
+//!   blocking SPMD runtime cannot lose a member mid-collective, so
+//!   deaths are resolved *before* launch: [`FaultPlan::surviving_cluster`]
+//!   shrinks the machine, `hetpart` repartitions the survivors by marked
+//!   speed, and the run completes with honestly reduced `C`.
+//!
+//! Retry exhaustion (more consecutive drops than the policy allows)
+//! surfaces as the typed [`FaultError`] from
+//! [`FaultPlan::send_retry_charge`], never as arithmetic corruption.
+
+use crate::cluster::ClusterSpec;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One interval of degraded marked speed for one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedWindow {
+    /// Virtual time the degradation begins.
+    pub start: SimTime,
+    /// Virtual time it ends; `None` means it never recovers.
+    pub end: Option<SimTime>,
+    /// Factor applied to the node's marked speed inside the window.
+    /// Must be finite and `> 0` (a truly dead node is a death, not a
+    /// multiplier — zero would stall virtual time forever).
+    pub multiplier: f64,
+}
+
+impl SpeedWindow {
+    fn validate(&self) {
+        assert!(
+            self.multiplier.is_finite() && self.multiplier > 0.0,
+            "speed multiplier must be finite and > 0 (got {})",
+            self.multiplier
+        );
+        if let Some(end) = self.end {
+            assert!(end > self.start, "speed window must end after it starts");
+        }
+    }
+
+    fn end_secs(&self) -> f64 {
+        self.end.map_or(f64::INFINITY, SimTime::as_secs)
+    }
+}
+
+/// Retry/timeout/backoff semantics for lossy links.
+///
+/// A dropped attempt `i` (0-based) costs `timeout + min(backoff_base ·
+/// 2ⁱ, backoff_max)` of the sender's virtual time before the next
+/// attempt; the successful attempt then pays the normal network cost.
+/// The total charge for `d` drops is therefore monotone in `d` and never
+/// exceeds `d · (timeout + backoff_max)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Retransmissions allowed after the first attempt; a message whose
+    /// drop schedule exceeds this count exhausts its retries.
+    pub max_retries: u32,
+    /// Virtual time lost detecting each dropped attempt.
+    pub timeout: SimTime,
+    /// Backoff before the first retransmission; doubles per attempt.
+    pub backoff_base: SimTime,
+    /// Cap on the exponential backoff.
+    pub backoff_max: SimTime,
+}
+
+impl Default for RetryPolicy {
+    /// Generous defaults scaled to the Sunwulf interconnect (0.3 ms
+    /// latency): exhaustion never occurs below ~99.9% drop rates.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 8,
+            timeout: SimTime::from_millis(5.0),
+            backoff_base: SimTime::from_millis(1.0),
+            backoff_max: SimTime::from_millis(20.0),
+        }
+    }
+}
+
+impl RetryPolicy {
+    fn validate(&self) {
+        for (what, t) in [
+            ("timeout", self.timeout),
+            ("backoff_base", self.backoff_base),
+            ("backoff_max", self.backoff_max),
+        ] {
+            assert!(t.is_finite() && t.as_secs() >= 0.0, "{what} must be finite and ≥ 0");
+        }
+    }
+
+    /// Total virtual time charged for `failed_attempts` consecutive
+    /// drops (not including the eventual successful transfer).
+    pub fn charge_for(&self, failed_attempts: u32) -> SimTime {
+        let mut total = SimTime::ZERO;
+        let mut backoff = self.backoff_base;
+        for _ in 0..failed_attempts {
+            total += self.timeout + backoff.min(self.backoff_max);
+            backoff = backoff + backoff;
+        }
+        total
+    }
+}
+
+/// Typed fault-model failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultError {
+    /// A message's drop schedule outlasted the retry policy.
+    RetriesExhausted {
+        /// Sending rank.
+        source: usize,
+        /// Destination rank.
+        dest: usize,
+        /// Per-link message index (0-based).
+        msg_index: u64,
+        /// Attempts made (`max_retries + 1`), all dropped.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::RetriesExhausted { source, dest, msg_index, attempts } => write!(
+                f,
+                "retries exhausted: message {msg_index} on link {source}->{dest} \
+                 dropped on all {attempts} attempts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// The virtual-time cost of a send's failed attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryCharge {
+    /// Consecutive dropped attempts before the success.
+    pub failed_attempts: u32,
+    /// Total timeout + backoff time charged for them.
+    pub total: SimTime,
+}
+
+/// A complete, seed-driven description of one faulty regime.
+///
+/// Plans are plain data: two runs with the same plan (and the same
+/// program, cluster, and network model) produce bit-identical virtual
+/// times, traces, and metrics. An empty plan (no degradations, zero
+/// drop rate, no deaths) leaves every existing code path bit-equal to a
+/// fault-free run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    seed: u64,
+    degradations: BTreeMap<usize, Vec<SpeedWindow>>,
+    drop_per_mille: u16,
+    retry: RetryPolicy,
+    deaths: BTreeMap<usize, SimTime>,
+}
+
+impl FaultPlan {
+    /// An empty plan: nothing degraded, nothing dropped, nobody dead.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            degradations: BTreeMap::new(),
+            drop_per_mille: 0,
+            retry: RetryPolicy::default(),
+            deaths: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a degradation window for `rank`.
+    ///
+    /// # Panics
+    /// Panics on an invalid window or one overlapping an existing
+    /// window of the same rank.
+    pub fn with_degradation(mut self, rank: usize, window: SpeedWindow) -> FaultPlan {
+        window.validate();
+        let windows = self.degradations.entry(rank).or_default();
+        windows.push(window);
+        windows.sort_by_key(|w| w.start);
+        for pair in windows.windows(2) {
+            assert!(
+                pair[1].start.as_secs() >= pair[0].end_secs(),
+                "overlapping speed windows for rank {rank}"
+            );
+        }
+        self
+    }
+
+    /// Permanent straggler: `rank` runs at `multiplier × ` marked speed
+    /// from time zero, forever.
+    pub fn with_straggler(self, rank: usize, multiplier: f64) -> FaultPlan {
+        self.with_degradation(rank, SpeedWindow { start: SimTime::ZERO, end: None, multiplier })
+    }
+
+    /// Brown-out: `rank` runs at `multiplier × ` marked speed over
+    /// `[start, end)`.
+    pub fn with_brownout(
+        self,
+        rank: usize,
+        start: SimTime,
+        end: SimTime,
+        multiplier: f64,
+    ) -> FaultPlan {
+        self.with_degradation(rank, SpeedWindow { start, end: Some(end), multiplier })
+    }
+
+    /// Makes every point-to-point link drop each attempt with
+    /// probability `per_mille / 1000` (independently, per the seeded
+    /// schedule).
+    ///
+    /// # Panics
+    /// Panics when `per_mille ≥ 1000` (a link that never delivers can
+    /// never finish).
+    pub fn with_link_drops(mut self, per_mille: u16) -> FaultPlan {
+        assert!(per_mille < 1000, "drop rate must be < 1000 per mille");
+        self.drop_per_mille = per_mille;
+        self
+    }
+
+    /// Replaces the retry policy.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> FaultPlan {
+        policy.validate();
+        self.retry = policy;
+        self
+    }
+
+    /// Declares `rank` dead as of virtual time `at`. Deaths are resolved
+    /// before launch (see the module docs): the dead rank is excluded by
+    /// [`FaultPlan::surviving_cluster`] and its work repartitioned.
+    pub fn with_death(mut self, rank: usize, at: SimTime) -> FaultPlan {
+        self.deaths.insert(rank, at);
+        self
+    }
+
+    /// The seed driving the drop schedule.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Link drop probability in per-mille.
+    pub fn drop_per_mille(&self) -> u16 {
+        self.drop_per_mille
+    }
+
+    /// The retry policy in force.
+    pub fn retry(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// Declared deaths: rank → death time.
+    pub fn deaths(&self) -> &BTreeMap<usize, SimTime> {
+        &self.deaths
+    }
+
+    /// True when the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.degradations.values().all(Vec::is_empty)
+            && self.drop_per_mille == 0
+            && self.deaths.is_empty()
+    }
+
+    /// The degradation windows of `rank`, sorted by start; `None` when
+    /// the rank is undegraded (callers use this to keep the fault-free
+    /// arithmetic path untouched).
+    pub fn windows_for(&self, rank: usize) -> Option<&[SpeedWindow]> {
+        match self.degradations.get(&rank) {
+            Some(w) if !w.is_empty() => Some(w),
+            _ => None,
+        }
+    }
+
+    /// End of a compute span of `flops` starting at `start` on a node of
+    /// nominal speed `speed_flops`, integrating the rank's degradation
+    /// windows piecewise. Without windows this is exactly
+    /// `start + flops / speed_flops`.
+    pub fn degraded_compute_end(
+        &self,
+        rank: usize,
+        start: SimTime,
+        flops: f64,
+        speed_flops: f64,
+    ) -> SimTime {
+        match self.windows_for(rank) {
+            Some(windows) => degraded_end(windows, start, flops, speed_flops),
+            None => start + SimTime::from_secs(flops / speed_flops),
+        }
+    }
+
+    /// Number of consecutive dropped attempts the schedule assigns to
+    /// message `msg_index` on link `source → dest`, capped at
+    /// `max_retries + 1` (the exhaustion threshold).
+    pub fn planned_drops(&self, source: usize, dest: usize, msg_index: u64) -> u32 {
+        if self.drop_per_mille == 0 {
+            return 0;
+        }
+        let threshold = self.drop_per_mille as u64;
+        let cap = self.retry.max_retries + 1;
+        let mut drops = 0u32;
+        while drops < cap
+            && attempt_roll(self.seed, source, dest, msg_index, drops) % 1000 < threshold
+        {
+            drops += 1;
+        }
+        drops
+    }
+
+    /// The virtual-time retry charge for one send, or the typed error
+    /// when the drop schedule exhausts the retry budget.
+    pub fn send_retry_charge(
+        &self,
+        source: usize,
+        dest: usize,
+        msg_index: u64,
+    ) -> Result<RetryCharge, FaultError> {
+        let drops = self.planned_drops(source, dest, msg_index);
+        if drops > self.retry.max_retries {
+            return Err(FaultError::RetriesExhausted { source, dest, msg_index, attempts: drops });
+        }
+        Ok(RetryCharge { failed_attempts: drops, total: self.retry.charge_for(drops) })
+    }
+
+    /// Original rank indices still alive out of `p` ranks.
+    pub fn survivors(&self, p: usize) -> Vec<usize> {
+        (0..p).filter(|r| !self.deaths.contains_key(r)).collect()
+    }
+
+    /// The cluster with every declared-dead rank removed. Returns the
+    /// cluster unchanged when nobody died.
+    ///
+    /// # Errors
+    /// Errors when the plan kills every node.
+    pub fn surviving_cluster(&self, cluster: &ClusterSpec) -> Result<ClusterSpec, String> {
+        let keep = self.survivors(cluster.size());
+        if keep.len() == cluster.size() {
+            return Ok(cluster.clone());
+        }
+        if keep.is_empty() {
+            return Err("fault plan kills every node".to_string());
+        }
+        ClusterSpec::new(
+            format!("{}-survivors", cluster.label),
+            keep.iter().map(|&i| cluster.nodes()[i].clone()).collect(),
+        )
+    }
+
+    /// The plan re-expressed for the surviving ranks: deaths cleared,
+    /// degradation windows re-keyed to the survivors' compacted rank
+    /// ids (entries for dead ranks dropped). Use together with
+    /// [`FaultPlan::surviving_cluster`] before launching the degraded
+    /// run.
+    pub fn for_survivors(&self, p: usize) -> FaultPlan {
+        let keep = self.survivors(p);
+        let degradations = keep
+            .iter()
+            .enumerate()
+            .filter_map(|(new_id, &old_id)| {
+                self.degradations
+                    .get(&old_id)
+                    .filter(|w| !w.is_empty())
+                    .map(|w| (new_id, w.clone()))
+            })
+            .collect();
+        FaultPlan {
+            seed: self.seed,
+            degradations,
+            drop_per_mille: self.drop_per_mille,
+            retry: self.retry,
+            deaths: BTreeMap::new(),
+        }
+    }
+}
+
+/// Piecewise integration of `flops` of work starting at `start` against
+/// sorted, non-overlapping degradation `windows` over a nominal speed.
+/// Outside every window the multiplier is 1. Used by the runtime's
+/// fault-aware compute path (`hetsim-mpi`), taking the window slice from
+/// [`FaultPlan::windows_for`].
+pub fn degraded_end(
+    windows: &[SpeedWindow],
+    start: SimTime,
+    flops: f64,
+    speed_flops: f64,
+) -> SimTime {
+    let mut t = start.as_secs();
+    let mut remaining = flops;
+    loop {
+        // Active multiplier at t, and the next boundary after t.
+        let mut multiplier = 1.0;
+        let mut next = f64::INFINITY;
+        for w in windows {
+            let ws = w.start.as_secs();
+            let we = w.end_secs();
+            if t >= ws && t < we {
+                multiplier = w.multiplier;
+                next = next.min(we);
+            } else if ws > t {
+                next = next.min(ws);
+            }
+        }
+        let speed = speed_flops * multiplier;
+        if next.is_infinite() {
+            t += remaining / speed;
+            break;
+        }
+        let capacity = speed * (next - t);
+        if remaining <= capacity {
+            t += remaining / speed;
+            break;
+        }
+        remaining -= capacity;
+        t = next;
+    }
+    SimTime::from_secs(t)
+}
+
+/// Stateless 64-bit mix (Murmur3 finalizer) keyed on the full attempt
+/// identity — the drop schedule's only source of "randomness".
+fn attempt_roll(seed: u64, source: usize, dest: usize, msg_index: u64, attempt: u32) -> u64 {
+    fn mix(mut z: u64) -> u64 {
+        z ^= z >> 33;
+        z = z.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        z ^= z >> 33;
+        z = z.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        z ^= z >> 33;
+        z
+    }
+    let mut h = seed ^ 0x9e37_79b9_7f4a_7c15;
+    for v in [source as u64, dest as u64, msg_index, attempt as u64] {
+        h = mix(h ^ v.wrapping_add(0x2545_f491_4f6c_dd1d));
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty_and_charges_nothing() {
+        let plan = FaultPlan::new(7);
+        assert!(plan.is_empty());
+        assert_eq!(plan.planned_drops(0, 1, 0), 0);
+        let charge = plan.send_retry_charge(0, 1, 0).unwrap();
+        assert_eq!(charge.failed_attempts, 0);
+        assert_eq!(charge.total, SimTime::ZERO);
+        assert!(plan.windows_for(0).is_none());
+    }
+
+    #[test]
+    fn undegraded_rank_end_is_exactly_nominal() {
+        // Bit-equality, not approximate equality: the fault-free path
+        // must reproduce the baseline arithmetic operation-for-operation.
+        let plan = FaultPlan::new(1).with_straggler(2, 0.5);
+        let start = SimTime::from_secs(0.1);
+        let end = plan.degraded_compute_end(0, start, 1e8, 7e7);
+        assert_eq!(end, start + SimTime::from_secs(1e8 / 7e7));
+    }
+
+    #[test]
+    fn straggler_halves_speed_forever() {
+        let plan = FaultPlan::new(1).with_straggler(0, 0.5);
+        // 1e8 flop at 1e8 flop/s nominal = 1 s; at half speed 2 s.
+        let end = plan.degraded_compute_end(0, SimTime::ZERO, 1e8, 1e8);
+        assert!((end.as_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brownout_integrates_piecewise() {
+        // Half speed over [1, 2): 1 s of work before the window, 0.5 s
+        // of work inside costs 1 s, remaining 0.5 s after → ends at 3.0
+        // for 2 s of nominal work starting at 0.5.
+        let plan = FaultPlan::new(1).with_brownout(
+            0,
+            SimTime::from_secs(1.0),
+            SimTime::from_secs(2.0),
+            0.5,
+        );
+        let end = plan.degraded_compute_end(0, SimTime::from_secs(0.5), 2e8, 1e8);
+        assert!((end.as_secs() - 3.0).abs() < 1e-12, "end = {}", end.as_secs());
+    }
+
+    #[test]
+    fn compute_entirely_after_brownout_is_nominal_speed() {
+        let plan = FaultPlan::new(1).with_brownout(
+            0,
+            SimTime::from_secs(1.0),
+            SimTime::from_secs(2.0),
+            0.5,
+        );
+        let end = plan.degraded_compute_end(0, SimTime::from_secs(5.0), 1e8, 1e8);
+        assert!((end.as_secs() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windows_merge_sorted_and_reject_overlap() {
+        let plan = FaultPlan::new(1)
+            .with_brownout(0, SimTime::from_secs(2.0), SimTime::from_secs(3.0), 0.5)
+            .with_brownout(0, SimTime::from_secs(0.0), SimTime::from_secs(1.0), 0.25);
+        let windows = plan.windows_for(0).unwrap();
+        assert_eq!(windows.len(), 2);
+        assert!(windows[0].start < windows[1].start);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlapping_windows_panic() {
+        let _ = FaultPlan::new(1)
+            .with_brownout(0, SimTime::from_secs(0.0), SimTime::from_secs(2.0), 0.5)
+            .with_brownout(0, SimTime::from_secs(1.0), SimTime::from_secs(3.0), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplier")]
+    fn zero_multiplier_is_rejected() {
+        let _ = FaultPlan::new(1).with_straggler(0, 0.0);
+    }
+
+    #[test]
+    fn drop_schedule_is_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::new(42).with_link_drops(500);
+        let b = FaultPlan::new(42).with_link_drops(500);
+        let c = FaultPlan::new(43).with_link_drops(500);
+        let schedule =
+            |p: &FaultPlan| (0..64).map(|k| p.planned_drops(0, 1, k)).collect::<Vec<_>>();
+        assert_eq!(schedule(&a), schedule(&b));
+        assert_ne!(schedule(&a), schedule(&c), "different seeds should differ somewhere");
+        // At 50% some messages must drop and some must not.
+        assert!(schedule(&a).iter().any(|&d| d > 0));
+        assert!(schedule(&a).contains(&0));
+    }
+
+    #[test]
+    fn drop_rate_scales_with_per_mille() {
+        let count = |per_mille: u16| {
+            let plan = FaultPlan::new(9).with_link_drops(per_mille);
+            (0..1000).filter(|&k| plan.planned_drops(0, 1, k) > 0).count()
+        };
+        let light = count(50);
+        let heavy = count(500);
+        assert!(light < heavy, "light {light} vs heavy {heavy}");
+        assert!((400..600).contains(&heavy), "≈50% expected, got {heavy}/1000");
+    }
+
+    #[test]
+    fn exhaustion_surfaces_typed_error() {
+        let plan = FaultPlan::new(3)
+            .with_link_drops(999)
+            .with_retry_policy(RetryPolicy { max_retries: 0, ..RetryPolicy::default() });
+        // With a 99.9% drop rate and zero retries, some message on the
+        // link must exhaust.
+        let err = (0..64)
+            .find_map(|k| plan.send_retry_charge(0, 1, k).err())
+            .expect("an exhausted message");
+        let FaultError::RetriesExhausted { source, dest, attempts, .. } = err;
+        assert_eq!((source, dest), (0, 1));
+        assert_eq!(attempts, 1);
+        assert!(err.to_string().contains("retries exhausted"));
+    }
+
+    #[test]
+    fn survivors_and_surviving_cluster() {
+        let plan = FaultPlan::new(1).with_death(1, SimTime::ZERO);
+        let cluster = ClusterSpec::homogeneous(3, 50.0);
+        assert_eq!(plan.survivors(3), vec![0, 2]);
+        let surv = plan.surviving_cluster(&cluster).unwrap();
+        assert_eq!(surv.size(), 2);
+        assert_eq!(surv.marked_speed_mflops(), 100.0);
+        // Killing everyone is an error.
+        let all_dead = FaultPlan::new(1)
+            .with_death(0, SimTime::ZERO)
+            .with_death(1, SimTime::ZERO)
+            .with_death(2, SimTime::ZERO);
+        assert!(all_dead.surviving_cluster(&cluster).is_err());
+    }
+
+    #[test]
+    fn for_survivors_rekeys_degradations() {
+        let plan = FaultPlan::new(1)
+            .with_death(0, SimTime::ZERO)
+            .with_straggler(2, 0.5)
+            .with_link_drops(100);
+        let remapped = plan.for_survivors(3);
+        assert!(remapped.deaths().is_empty());
+        // Old rank 2 is new rank 1 (survivors are [1, 2]).
+        assert!(remapped.windows_for(1).is_some());
+        assert!(remapped.windows_for(0).is_none());
+        assert_eq!(remapped.drop_per_mille(), 100);
+    }
+
+    // Deterministic grid versions of the retry-math bounds; the
+    // randomized (proptest) counterparts live in tests/fault_properties.rs.
+    #[test]
+    fn retry_charge_is_monotone_and_bounded_on_a_grid() {
+        for (timeout_ms, base_ms, max_ms) in
+            [(0.0, 0.0, 0.0), (5.0, 1.0, 20.0), (2.0, 10.0, 4.0), (7.5, 0.0, 100.0)]
+        {
+            let policy = RetryPolicy {
+                max_retries: 32,
+                timeout: SimTime::from_millis(timeout_ms),
+                backoff_base: SimTime::from_millis(base_ms),
+                backoff_max: SimTime::from_millis(max_ms),
+            };
+            let mut prev = SimTime::ZERO;
+            for drops in 0u32..32 {
+                let charge = policy.charge_for(drops);
+                assert!(charge >= prev, "charge must be monotone in drop count");
+                let bound = drops as f64 * (policy.timeout + policy.backoff_max).as_secs();
+                assert!(
+                    charge.as_secs() <= bound + 1e-12,
+                    "charge {} exceeds bound {bound}",
+                    charge.as_secs()
+                );
+                prev = charge;
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let policy = RetryPolicy {
+            max_retries: 8,
+            timeout: SimTime::ZERO,
+            backoff_base: SimTime::from_millis(1.0),
+            backoff_max: SimTime::from_millis(4.0),
+        };
+        // Backoffs: 1, 2, 4, 4, 4 ms → cumulative 1, 3, 7, 11, 15 ms.
+        let expected = [0.0, 1.0, 3.0, 7.0, 11.0, 15.0];
+        for (drops, ms) in expected.iter().enumerate() {
+            assert!(
+                (policy.charge_for(drops as u32).as_millis() - ms).abs() < 1e-12,
+                "drops = {drops}"
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_end_composes_across_a_split() {
+        // Splitting a compute span at any point lands at the same end
+        // time: the integrator conserves work.
+        let plan = FaultPlan::new(1).with_brownout(
+            0,
+            SimTime::from_secs(0.5),
+            SimTime::from_secs(1.5),
+            0.3,
+        );
+        let speed = 1e8;
+        for split in [0.0, 0.1, 0.37, 0.5, 0.93, 1.0] {
+            let flops = 2.4e8;
+            let whole = plan.degraded_compute_end(0, SimTime::ZERO, flops, speed);
+            let first = plan.degraded_compute_end(0, SimTime::ZERO, flops * split, speed);
+            let both = plan.degraded_compute_end(0, first, flops * (1.0 - split), speed);
+            assert!(
+                (whole.as_secs() - both.as_secs()).abs() < 1e-9,
+                "split {split}: whole {} vs split {}",
+                whole.as_secs(),
+                both.as_secs()
+            );
+        }
+    }
+}

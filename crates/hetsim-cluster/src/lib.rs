@@ -24,6 +24,9 @@
 //! * [`engine`] / [`netsim`] — a classic discrete-event simulation core
 //!   plus a message-level shared-link simulator used to validate the
 //!   analytic models and to study contention (the `ablate-net` study).
+//! * [`faults`] — deterministic, seed-driven fault plans: degraded-node
+//!   speed windows, lossy links with retry/timeout/backoff charges, and
+//!   declared deaths resolved into a surviving cluster before launch.
 //!
 //! ## Determinism
 //!
@@ -49,6 +52,7 @@
 pub mod calibrate;
 pub mod cluster;
 pub mod engine;
+pub mod faults;
 pub mod memory;
 pub mod netsim;
 pub mod network;
@@ -59,6 +63,7 @@ pub mod time;
 pub mod topology;
 
 pub use cluster::ClusterSpec;
+pub use faults::{FaultError, FaultPlan, RetryCharge, RetryPolicy, SpeedWindow};
 pub use network::{
     ConstantLatency, JitteredNetwork, MpichEthernet, NetworkModel, SharedEthernet, SwitchedNetwork,
 };

@@ -8,6 +8,7 @@ use crate::message::{decode_f64s, encode_f64s, Mailbox, Message, Tag};
 use crate::trace::{OpKind, RankTrace, SpanSink, TraceRecord};
 use bytes::Bytes;
 use hetsim_cluster::cluster::ClusterSpec;
+use hetsim_cluster::faults::FaultPlan;
 use hetsim_cluster::network::NetworkModel;
 use hetsim_cluster::node::NodeSpec;
 use hetsim_cluster::time::SimTime;
@@ -23,6 +24,9 @@ pub(crate) struct Shared<'a> {
     /// Live span observer (metrics registry); implies nothing about
     /// `tracing`, but [`crate::run_spmd_observed`] sets both.
     pub sink: Option<&'a dyn SpanSink>,
+    /// Deterministic fault plan (degraded speeds, lossy links). `None`
+    /// keeps every code path bit-identical to the fault-free runtime.
+    pub faults: Option<&'a FaultPlan>,
 }
 
 /// The handle one SPMD process uses to compute, communicate, and read its
@@ -37,11 +41,16 @@ pub struct Rank<'a> {
     collective_seq: u64,
     speed_flops: f64,
     trace: RankTrace,
+    /// Per-destination send counter: the message index fed to the fault
+    /// plan's seeded drop schedule. Advances deterministically with the
+    /// program order of sends on this rank, never with wall time.
+    send_seq: Vec<u64>,
 }
 
 impl<'a> Rank<'a> {
     pub(crate) fn new(id: usize, shared: &'a Shared<'a>) -> Self {
         let speed_flops = shared.cluster.nodes()[id].marked_speed_flops();
+        let size = shared.cluster.size();
         Rank {
             id,
             shared,
@@ -52,6 +61,7 @@ impl<'a> Rank<'a> {
             collective_seq: 0,
             speed_flops,
             trace: RankTrace::default(),
+            send_seq: vec![0; size],
         }
     }
 
@@ -136,9 +146,24 @@ impl<'a> Rank<'a> {
     pub fn compute_flops(&mut self, flops: f64) {
         assert!(flops.is_finite() && flops >= 0.0, "flops must be finite and ≥ 0");
         let start = self.clock;
-        let dt = SimTime::from_secs(flops / self.speed_flops);
-        self.clock += dt;
-        self.compute_time += dt;
+        match self.shared.faults.and_then(|p| p.windows_for(self.id)) {
+            Some(windows) => {
+                // Degraded rank: integrate the effective speed piecewise
+                // over the plan's multiplier windows.
+                let end =
+                    hetsim_cluster::faults::degraded_end(windows, start, flops, self.speed_flops);
+                self.compute_time += end - start;
+                self.clock = end;
+            }
+            None => {
+                // Fault-free path: this exact float-op sequence must stay
+                // unchanged so undegraded runs remain bit-identical
+                // (`(start + dt) - start` need not equal `dt` in IEEE754).
+                let dt = SimTime::from_secs(flops / self.speed_flops);
+                self.clock += dt;
+                self.compute_time += dt;
+            }
+        }
         self.record(OpKind::Compute, start, 0, None);
     }
 
@@ -149,6 +174,35 @@ impl<'a> Rank<'a> {
         self.clock += dt;
         self.compute_time += dt;
         self.record(OpKind::Compute, start, 0, None);
+    }
+
+    /// Charges retry/timeout/backoff time for one logical message to
+    /// `dest` when a lossy-link fault plan is active; no-op (and no
+    /// counter advance) otherwise, keeping fault-free runs bit-identical.
+    /// Point-to-point sends and the transmitting side of collectives
+    /// (broadcast/scatter roots, gather contributors) all funnel through
+    /// here, so the drop schedule covers every wire crossing.
+    ///
+    /// # Panics
+    /// Panics with the typed [`hetsim_cluster::faults::FaultError`]
+    /// message when the plan's retry budget is exhausted.
+    fn charge_link_retries(&mut self, dest: usize, bytes: u64) {
+        let Some(plan) = self.shared.faults else { return };
+        if plan.drop_per_mille() == 0 {
+            return;
+        }
+        let msg_index = self.send_seq[dest];
+        self.send_seq[dest] += 1;
+        match plan.send_retry_charge(self.id, dest, msg_index) {
+            Ok(charge) if charge.failed_attempts > 0 => {
+                let start = self.clock;
+                self.comm_time += charge.total;
+                self.clock += charge.total;
+                self.record(OpKind::Retry, start, bytes, Some(dest));
+            }
+            Ok(_) => {}
+            Err(e) => panic!("{e}"),
+        }
     }
 
     fn charge_comm(&mut self, new_clock: SimTime, kind: OpKind, bytes: u64, peer: Option<usize>) {
@@ -194,10 +248,17 @@ impl<'a> Rank<'a> {
     /// Panics when `dest` is out of range or equals this rank (self-sends
     /// are a deadlock in this blocking-receive runtime, so they are
     /// rejected eagerly).
+    ///
+    /// Under a lossy-link fault plan, dropped attempts are charged first
+    /// as an [`OpKind::Retry`] span (timeout + exponential backoff per
+    /// drop); the message then goes out at the post-retry clock. A plan
+    /// that exhausts its retry budget aborts the run with the typed
+    /// [`hetsim_cluster::faults::FaultError`] message.
     pub fn send_bytes(&mut self, dest: usize, tag: Tag, payload: Bytes) {
         assert!(dest < self.size(), "destination rank {dest} out of range");
         assert_ne!(dest, self.id, "self-send is not supported");
         let bytes = payload.len() as u64;
+        self.charge_link_retries(dest, bytes);
         let sent_at = self.clock;
         let cost = SimTime::from_secs(self.shared.network.p2p_time_between(self.id, dest, bytes));
         self.charge_comm(self.clock + cost, OpKind::Send, bytes, Some(dest));
@@ -267,6 +328,14 @@ impl<'a> Rank<'a> {
         if self.id == root {
             let data = data.expect("root must supply broadcast data");
             let payload = encode_f64s(data);
+            // Under a lossy plan the root retries each peer's logical
+            // message before the broadcast proper; receivers then wait
+            // for the (later) departure.
+            for peer in 0..self.size() {
+                if peer != self.id {
+                    self.charge_link_retries(peer, payload.len() as u64);
+                }
+            }
             let cost = SimTime::from_secs(
                 self.shared.network.bcast_time(self.size(), payload.len() as u64),
             );
@@ -307,6 +376,9 @@ impl<'a> Rank<'a> {
             Some(deposits.into_iter().map(|(_, b)| decode_f64s(&b)).collect())
         } else {
             let bytes = payload.len() as u64;
+            // Retries delay this contributor's deposit, so the root's
+            // rendezvous honestly reflects the lossy link.
+            self.charge_link_retries(root, bytes);
             self.shared.hub.gather_deposit(op, self.id, self.clock, payload);
             let cost =
                 SimTime::from_secs(self.shared.network.p2p_time_between(self.id, root, bytes));
@@ -327,6 +399,11 @@ impl<'a> Rank<'a> {
             assert_eq!(parts.len(), self.size(), "scatter needs one part per rank");
             let payloads: Vec<Bytes> = parts.iter().map(|p| encode_f64s(p)).collect();
             let sizes: Vec<u64> = payloads.iter().map(|b| b.len() as u64).collect();
+            for (peer, &size) in sizes.iter().enumerate() {
+                if peer != self.id {
+                    self.charge_link_retries(peer, size);
+                }
+            }
             let cost = SimTime::from_secs(self.shared.network.scatter_time(&sizes, root));
             let departure = self.clock + cost;
             let total_bytes: u64 = sizes.iter().sum();

@@ -40,6 +40,17 @@
 //! paper calibrates on Sunwulf (§4.5); see
 //! [`hetsim_cluster::network`] for the concrete models.
 //!
+//! ## Faults
+//!
+//! [`run_spmd_faulted`] / [`run_spmd_faulted_traced`] accept a
+//! deterministic [`hetsim_cluster::faults::FaultPlan`]: degraded-speed
+//! windows stretch `compute` piecewise, and a seeded lossy-link schedule
+//! charges retry/timeout/backoff time before affected sends (traced as
+//! [`OpKind::Retry`]). Virtual times stay pure functions of (cluster,
+//! network, plan) — an empty plan is bit-identical to [`run_spmd`], and
+//! declared node deaths must be resolved into a surviving cluster before
+//! launch ([`hetsim_cluster::faults::FaultPlan::surviving_cluster`]).
+//!
 //! ## Example
 //!
 //! ```
@@ -69,7 +80,10 @@ pub mod trace;
 
 pub use context::Rank;
 pub use message::Tag;
-pub use runtime::{run_spmd, run_spmd_observed, run_spmd_traced, SpmdOutcome};
+pub use runtime::{
+    run_spmd, run_spmd_faulted, run_spmd_faulted_traced, run_spmd_observed, run_spmd_traced,
+    SpmdOutcome,
+};
 pub use trace::{timeline_text, OpKind, OverheadBreakdown, RankTrace, SpanSink, TraceRecord};
 
 // Re-exported for doc links and downstream convenience.

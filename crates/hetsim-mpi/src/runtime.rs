@@ -6,6 +6,7 @@ use crate::context::{Rank, Shared};
 use crate::message::Mailbox;
 use crate::trace::{RankTrace, SpanSink};
 use hetsim_cluster::cluster::ClusterSpec;
+use hetsim_cluster::faults::FaultPlan;
 use hetsim_cluster::network::NetworkModel;
 use hetsim_cluster::time::SimTime;
 
@@ -76,7 +77,7 @@ where
     F: Fn(&mut Rank) -> R + Sync,
     N: NetworkModel,
 {
-    run_spmd_inner(cluster, network, body, false, None)
+    run_spmd_inner(cluster, network, body, false, None, None)
 }
 
 /// [`run_spmd`] with per-rank operation tracing enabled; the outcome's
@@ -87,7 +88,61 @@ where
     F: Fn(&mut Rank) -> R + Sync,
     N: NetworkModel,
 {
-    run_spmd_inner(cluster, network, body, true, None)
+    run_spmd_inner(cluster, network, body, true, None, None)
+}
+
+/// [`run_spmd`] under a deterministic [`FaultPlan`]: degraded-speed
+/// windows stretch each affected rank's compute spans, and a non-zero
+/// link-drop rate charges retry/timeout/backoff time before each send
+/// (visible as [`crate::OpKind::Retry`] in traced variants).
+///
+/// Virtual times remain pure functions of (cluster, network, plan seed):
+/// two runs with the same plan are bit-identical, and an empty plan is
+/// bit-identical to [`run_spmd`].
+///
+/// # Panics
+/// Panics if `plan` declares node deaths — deaths must be resolved
+/// *before* launch via [`FaultPlan::surviving_cluster`] /
+/// [`FaultPlan::for_survivors`], because this blocking runtime cannot
+/// lose a rank mid-collective. Also panics (with the typed
+/// [`hetsim_cluster::faults::FaultError`] message) when a send exhausts
+/// its retry budget.
+pub fn run_spmd_faulted<R, F, N>(
+    cluster: &ClusterSpec,
+    network: &N,
+    plan: &FaultPlan,
+    body: F,
+) -> SpmdOutcome<R>
+where
+    R: Send,
+    F: Fn(&mut Rank) -> R + Sync,
+    N: NetworkModel,
+{
+    assert!(
+        plan.deaths().is_empty(),
+        "node deaths must be resolved before launch (surviving_cluster/for_survivors)"
+    );
+    run_spmd_inner(cluster, network, body, false, None, Some(plan))
+}
+
+/// [`run_spmd_faulted`] with per-rank operation tracing enabled; retry
+/// charges appear as [`crate::OpKind::Retry`] spans.
+pub fn run_spmd_faulted_traced<R, F, N>(
+    cluster: &ClusterSpec,
+    network: &N,
+    plan: &FaultPlan,
+    body: F,
+) -> SpmdOutcome<R>
+where
+    R: Send,
+    F: Fn(&mut Rank) -> R + Sync,
+    N: NetworkModel,
+{
+    assert!(
+        plan.deaths().is_empty(),
+        "node deaths must be resolved before launch (surviving_cluster/for_survivors)"
+    );
+    run_spmd_inner(cluster, network, body, true, None, Some(plan))
 }
 
 /// [`run_spmd_traced`] that additionally streams every operation span
@@ -105,7 +160,7 @@ where
     F: Fn(&mut Rank) -> R + Sync,
     N: NetworkModel,
 {
-    run_spmd_inner(cluster, network, body, true, Some(sink))
+    run_spmd_inner(cluster, network, body, true, Some(sink), None)
 }
 
 /// What one rank thread hands back when it joins.
@@ -124,6 +179,7 @@ fn run_spmd_inner<R, F, N>(
     body: F,
     tracing: bool,
     sink: Option<&dyn SpanSink>,
+    faults: Option<&FaultPlan>,
 ) -> SpmdOutcome<R>
 where
     R: Send,
@@ -138,6 +194,7 @@ where
         hub: CollectiveHub::new(p),
         tracing,
         sink,
+        faults,
     };
 
     let mut slots: Vec<Option<RankReport<R>>> = Vec::with_capacity(p);
@@ -483,6 +540,90 @@ mod tests {
                 rank.send_f64s(0, Tag::DATA, &[1.0]);
             }
         });
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_baseline() {
+        let cluster = het2();
+        let net = small_net();
+        let plan = FaultPlan::new(42);
+        let body = |rank: &mut Rank| {
+            for i in 0..8 {
+                rank.compute_flops(3.7e6 * (rank.rank() + 1) as f64);
+                if rank.rank() == 0 {
+                    rank.send_f64s(1, Tag(i), &[i as f64, 0.5]);
+                } else {
+                    let _ = rank.recv_f64s(0, Tag(i));
+                }
+                rank.barrier();
+            }
+            rank.clock()
+        };
+        let base = run_spmd(&cluster, &net, body);
+        let faulted = run_spmd_faulted(&cluster, &net, &plan, body);
+        assert_eq!(base.results, faulted.results);
+        assert_eq!(base.times, faulted.times);
+        assert_eq!(base.compute_times, faulted.compute_times);
+        assert_eq!(base.comm_times, faulted.comm_times);
+    }
+
+    #[test]
+    fn straggler_window_stretches_compute() {
+        let cluster = ClusterSpec::homogeneous(2, 100.0);
+        let plan = FaultPlan::new(1).with_straggler(1, 0.5);
+        let outcome = run_spmd_faulted(&cluster, &small_net(), &plan, |rank| {
+            rank.compute_flops(1e8); // 1 s nominal
+            rank.clock().as_secs()
+        });
+        assert!((outcome.results[0] - 1.0).abs() < 1e-12);
+        assert!((outcome.results[1] - 2.0).abs() < 1e-12, "straggler at half speed");
+    }
+
+    #[test]
+    fn link_drops_charge_retry_spans_deterministically() {
+        let cluster = ClusterSpec::homogeneous(2, 100.0);
+        let net = small_net();
+        let plan = FaultPlan::new(7).with_link_drops(400);
+        let run = || {
+            run_spmd_faulted_traced(&cluster, &net, &plan, |rank| {
+                for i in 0..20 {
+                    if rank.rank() == 0 {
+                        rank.send_f64s(1, Tag(i), &[i as f64]);
+                    } else {
+                        let _ = rank.recv_f64s(0, Tag(i));
+                    }
+                    rank.barrier();
+                }
+                rank.clock()
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.times, b.times, "same plan ⇒ bit-identical clocks");
+        let retries: usize =
+            a.traces[0].records.iter().filter(|r| r.kind == crate::trace::OpKind::Retry).count();
+        assert!(retries > 0, "40% drop rate over 20 sends must hit at least once");
+        // Faulted run is strictly slower than fault-free.
+        let base = run_spmd(&cluster, &net, |rank| {
+            for i in 0..20 {
+                if rank.rank() == 0 {
+                    rank.send_f64s(1, Tag(i), &[i as f64]);
+                } else {
+                    let _ = rank.recv_f64s(0, Tag(i));
+                }
+                rank.barrier();
+            }
+            rank.clock()
+        });
+        assert!(a.makespan() > base.makespan());
+    }
+
+    #[test]
+    #[should_panic(expected = "deaths must be resolved before launch")]
+    fn unresolved_deaths_are_rejected() {
+        let cluster = ClusterSpec::homogeneous(2, 100.0);
+        let plan = FaultPlan::new(0).with_death(1, SimTime::ZERO);
+        run_spmd_faulted(&cluster, &small_net(), &plan, |_rank| {});
     }
 
     #[test]

@@ -34,11 +34,15 @@ pub enum OpKind {
     Gather,
     /// Scatter participation.
     Scatter,
+    /// Timeout + backoff time lost to dropped send attempts under a
+    /// fault plan's lossy-link model (see `hetsim_cluster::faults`).
+    /// Pure overhead: the wire carries nothing useful during it.
+    Retry,
 }
 
 impl OpKind {
     /// All kinds, in display order.
-    pub const ALL: [OpKind; 8] = [
+    pub const ALL: [OpKind; 9] = [
         OpKind::Compute,
         OpKind::Send,
         OpKind::Recv,
@@ -47,6 +51,7 @@ impl OpKind {
         OpKind::Bcast,
         OpKind::Gather,
         OpKind::Scatter,
+        OpKind::Retry,
     ];
 
     /// Short label.
@@ -60,6 +65,7 @@ impl OpKind {
             OpKind::Bcast => "bcast",
             OpKind::Gather => "gather",
             OpKind::Scatter => "scatter",
+            OpKind::Retry => "retry",
         }
     }
 
@@ -75,7 +81,8 @@ impl OpKind {
             | OpKind::Barrier
             | OpKind::Bcast
             | OpKind::Gather
-            | OpKind::Scatter => true,
+            | OpKind::Scatter
+            | OpKind::Retry => true,
         }
     }
 
@@ -240,7 +247,8 @@ pub trait SpanSink: Sync {
 /// Each rank becomes one row of `width` cells covering `[0, horizon]`;
 /// a cell shows the operation occupying most of its time slice
 /// (`.` compute, `B` bcast, `b` barrier, `s`/`r` point-to-point,
-/// `~` idle-wait, `g` gather, `x` scatter, space for untraced gaps).
+/// `~` idle-wait, `g` gather, `x` scatter, `!` retry, space for
+/// untraced gaps).
 pub fn timeline_text(traces: &[RankTrace], width: usize) -> String {
     assert!(width > 0, "timeline needs a positive width");
     let horizon = traces
@@ -259,6 +267,7 @@ pub fn timeline_text(traces: &[RankTrace], width: usize) -> String {
         OpKind::Bcast => 'B',
         OpKind::Gather => 'g',
         OpKind::Scatter => 'x',
+        OpKind::Retry => '!',
     };
     let cell_dt = horizon / width as f64;
     let mut out = String::new();
@@ -284,7 +293,7 @@ pub fn timeline_text(traces: &[RankTrace], width: usize) -> String {
         out.push_str(&format!("rank {rank:>3} |{}|\n", row.iter().collect::<String>()));
     }
     out.push_str(&format!(
-        "legend: .=compute B=bcast b=barrier s=send r=recv ~=wait g=gather x=scatter  \
+        "legend: .=compute B=bcast b=barrier s=send r=recv ~=wait g=gather x=scatter !=retry  \
          (span {horizon:.4}s)\n"
     ));
     out
@@ -391,7 +400,14 @@ mod tests {
     #[test]
     fn op_kind_overhead_classification() {
         assert!(!OpKind::Compute.is_overhead());
-        for k in [OpKind::Send, OpKind::Recv, OpKind::Wait, OpKind::Barrier, OpKind::Bcast] {
+        for k in [
+            OpKind::Send,
+            OpKind::Recv,
+            OpKind::Wait,
+            OpKind::Barrier,
+            OpKind::Bcast,
+            OpKind::Retry,
+        ] {
             assert!(k.is_overhead(), "{k} must count as overhead");
         }
     }

@@ -13,10 +13,11 @@
 
 use hetpart::{CyclicDistribution, Distribution};
 use hetsim_cluster::cluster::ClusterSpec;
+use hetsim_cluster::faults::FaultPlan;
 use hetsim_cluster::network::NetworkModel;
 use hetsim_cluster::time::SimTime;
 use hetsim_mpi::trace::RankTrace;
-use hetsim_mpi::{run_spmd, run_spmd_traced, Rank, Tag};
+use hetsim_mpi::{run_spmd, run_spmd_faulted, run_spmd_faulted_traced, run_spmd_traced, Rank, Tag};
 
 /// Timing result of a protocol-skeleton run.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,6 +86,49 @@ pub fn ge_parallel_timed_traced<N: NetworkModel>(
     let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
     let dist = CyclicDistribution::fine(n, &speeds);
     let outcome = run_spmd_traced(cluster, network, |rank| ge_timed_body(rank, &dist, n));
+    (
+        TimingOutcome {
+            makespan: outcome.makespan(),
+            total_overhead: outcome.total_overhead(),
+            times: outcome.times.clone(),
+            compute_times: outcome.compute_times.clone(),
+        },
+        outcome.traces,
+    )
+}
+
+/// [`ge_parallel_timed`] under a deterministic [`FaultPlan`]: degraded
+/// speeds stretch elimination compute, link drops charge retry time.
+/// Deaths must already be resolved (run on the surviving cluster).
+pub fn ge_parallel_timed_faulted<N: NetworkModel>(
+    cluster: &ClusterSpec,
+    network: &N,
+    plan: &FaultPlan,
+    n: usize,
+) -> TimingOutcome {
+    let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
+    let dist = CyclicDistribution::fine(n, &speeds);
+    let outcome = run_spmd_faulted(cluster, network, plan, |rank| ge_timed_body(rank, &dist, n));
+    TimingOutcome {
+        makespan: outcome.makespan(),
+        total_overhead: outcome.total_overhead(),
+        times: outcome.times.clone(),
+        compute_times: outcome.compute_times.clone(),
+    }
+}
+
+/// [`ge_parallel_timed_faulted`] with per-rank tracing (retry charges
+/// appear as `OpKind::Retry` spans).
+pub fn ge_parallel_timed_faulted_traced<N: NetworkModel>(
+    cluster: &ClusterSpec,
+    network: &N,
+    plan: &FaultPlan,
+    n: usize,
+) -> (TimingOutcome, Vec<RankTrace>) {
+    let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
+    let dist = CyclicDistribution::fine(n, &speeds);
+    let outcome =
+        run_spmd_faulted_traced(cluster, network, plan, |rank| ge_timed_body(rank, &dist, n));
     (
         TimingOutcome {
             makespan: outcome.makespan(),
@@ -184,6 +228,26 @@ mod tests {
         let cluster = ClusterSpec::homogeneous(4, 50.0);
         let net = SharedEthernet::new(1e-4, 1.25e7);
         assert_eq!(ge_parallel_timed(&cluster, &net, 64), ge_parallel_timed(&cluster, &net, 64));
+    }
+
+    #[test]
+    fn faulted_with_empty_plan_is_bit_equal_to_baseline() {
+        let cluster = ClusterSpec::homogeneous(3, 70.0);
+        let net = SharedEthernet::new(1e-4, 1.25e7);
+        let plan = FaultPlan::new(99);
+        let base = ge_parallel_timed(&cluster, &net, 48);
+        let faulted = ge_parallel_timed_faulted(&cluster, &net, &plan, 48);
+        assert_eq!(base, faulted);
+    }
+
+    #[test]
+    fn straggler_slows_ge_makespan() {
+        let cluster = ClusterSpec::homogeneous(3, 70.0);
+        let net = SharedEthernet::new(1e-4, 1.25e7);
+        let plan = FaultPlan::new(3).with_straggler(1, 0.25);
+        let base = ge_parallel_timed(&cluster, &net, 48);
+        let faulted = ge_parallel_timed_faulted(&cluster, &net, &plan, 48);
+        assert!(faulted.makespan > base.makespan);
     }
 
     #[test]

@@ -6,7 +6,10 @@ pub mod timed;
 
 pub use parallel::{mm_parallel, MmOutcome};
 pub use seq::mm_sequential;
-pub use timed::{mm_parallel_timed, mm_parallel_timed_traced, mm_parallel_timed_with};
+pub use timed::{
+    mm_parallel_timed, mm_parallel_timed_faulted, mm_parallel_timed_faulted_traced,
+    mm_parallel_timed_traced, mm_parallel_timed_with,
+};
 
 #[cfg(test)]
 mod tests {

@@ -5,9 +5,10 @@
 use crate::ge::TimingOutcome;
 use hetpart::{BlockDistribution, Distribution};
 use hetsim_cluster::cluster::ClusterSpec;
+use hetsim_cluster::faults::FaultPlan;
 use hetsim_cluster::network::NetworkModel;
 use hetsim_mpi::trace::RankTrace;
-use hetsim_mpi::{run_spmd, run_spmd_traced, Rank, Tag};
+use hetsim_mpi::{run_spmd, run_spmd_faulted, run_spmd_faulted_traced, run_spmd_traced, Rank, Tag};
 
 /// Runs the MM communication/computation skeleton at problem size `n`
 /// with the standard speed-proportional block distribution.
@@ -57,6 +58,47 @@ pub fn mm_parallel_timed_traced<N: NetworkModel>(
     let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
     let dist = BlockDistribution::proportional(n, &speeds);
     let outcome = run_spmd_traced(cluster, network, |rank| mm_timed_body(rank, &dist, n));
+    (
+        TimingOutcome {
+            makespan: outcome.makespan(),
+            total_overhead: outcome.total_overhead(),
+            times: outcome.times.clone(),
+            compute_times: outcome.compute_times.clone(),
+        },
+        outcome.traces,
+    )
+}
+
+/// [`mm_parallel_timed`] under a deterministic [`FaultPlan`] (see
+/// [`crate::ge::ge_parallel_timed_faulted`] for semantics).
+pub fn mm_parallel_timed_faulted<N: NetworkModel>(
+    cluster: &ClusterSpec,
+    network: &N,
+    plan: &FaultPlan,
+    n: usize,
+) -> TimingOutcome {
+    let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
+    let dist = BlockDistribution::proportional(n, &speeds);
+    let outcome = run_spmd_faulted(cluster, network, plan, |rank| mm_timed_body(rank, &dist, n));
+    TimingOutcome {
+        makespan: outcome.makespan(),
+        total_overhead: outcome.total_overhead(),
+        times: outcome.times.clone(),
+        compute_times: outcome.compute_times.clone(),
+    }
+}
+
+/// [`mm_parallel_timed_faulted`] with per-rank tracing.
+pub fn mm_parallel_timed_faulted_traced<N: NetworkModel>(
+    cluster: &ClusterSpec,
+    network: &N,
+    plan: &FaultPlan,
+    n: usize,
+) -> (TimingOutcome, Vec<RankTrace>) {
+    let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
+    let dist = BlockDistribution::proportional(n, &speeds);
+    let outcome =
+        run_spmd_faulted_traced(cluster, network, plan, |rank| mm_timed_body(rank, &dist, n));
     (
         TimingOutcome {
             makespan: outcome.makespan(),
@@ -140,5 +182,33 @@ mod tests {
         let cluster = ClusterSpec::homogeneous(3, 50.0);
         let net = SharedEthernet::new(1e-4, 1.25e7);
         assert_eq!(mm_parallel_timed(&cluster, &net, 48), mm_parallel_timed(&cluster, &net, 48));
+    }
+
+    #[test]
+    fn faulted_with_empty_plan_is_bit_equal_to_baseline() {
+        let cluster = ClusterSpec::homogeneous(3, 50.0);
+        let net = SharedEthernet::new(1e-4, 1.25e7);
+        let plan = FaultPlan::new(5);
+        assert_eq!(
+            mm_parallel_timed(&cluster, &net, 48),
+            mm_parallel_timed_faulted(&cluster, &net, &plan, 48)
+        );
+    }
+
+    #[test]
+    fn drops_slow_mm_makespan_and_trace_retries() {
+        use hetsim_mpi::trace::OpKind;
+        let cluster = ClusterSpec::homogeneous(3, 50.0);
+        let net = SharedEthernet::new(1e-4, 1.25e7);
+        let plan = FaultPlan::new(21).with_link_drops(500);
+        let base = mm_parallel_timed(&cluster, &net, 48);
+        let (faulted, traces) = mm_parallel_timed_faulted_traced(&cluster, &net, &plan, 48);
+        assert!(faulted.makespan > base.makespan);
+        let retries: usize = traces
+            .iter()
+            .flat_map(|t| t.records.iter())
+            .filter(|r| r.kind == OpKind::Retry)
+            .count();
+        assert!(retries > 0, "50% drop rate must charge retries");
     }
 }

@@ -136,6 +136,66 @@ impl fmt::Display for ObservabilityAnnex {
     }
 }
 
+/// How a faulted run compares to its fault-free baseline — the
+/// robustness annex printed next to the ψ table. ψ retention is the
+/// headline: the fraction of fault-free scalability the system keeps
+/// under the injected fault plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessAnnex {
+    /// `ψ_faulted / ψ_baseline` (geometric means): 1 means the faults
+    /// cost no scalability, < 1 quantifies the loss.
+    pub psi_retention: f64,
+    /// Fraction of total traced time spent in [`OpKind::Retry`] spans —
+    /// the lossy-link share of Theorem 1's `T_o`.
+    pub retry_overhead_fraction: f64,
+    /// Virtual-time cost of redistributing data to the survivors after
+    /// declared node deaths (0 when nobody died).
+    pub repartition_cost_secs: f64,
+    /// Original rank ids declared dead by the fault plan, ascending.
+    pub dead_ranks: Vec<usize>,
+}
+
+impl RobustnessAnnex {
+    /// Builds the annex from the two geometric-mean ψ values, the
+    /// faulted run's traces (for the retry fraction), and the death
+    /// outcome.
+    pub fn from_comparison(
+        psi_baseline: f64,
+        psi_faulted: f64,
+        traces: &[RankTrace],
+        repartition_cost_secs: f64,
+        dead_ranks: Vec<usize>,
+    ) -> RobustnessAnnex {
+        let breakdown = OverheadBreakdown::from_traces(traces);
+        RobustnessAnnex {
+            psi_retention: if psi_baseline == 0.0 { 0.0 } else { psi_faulted / psi_baseline },
+            retry_overhead_fraction: breakdown.fraction(OpKind::Retry),
+            repartition_cost_secs,
+            dead_ranks,
+        }
+    }
+}
+
+impl fmt::Display for RobustnessAnnex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "  under faults: psi retention = {:.3}   retry share of time = {:.1}%",
+            self.psi_retention,
+            self.retry_overhead_fraction * 100.0
+        )?;
+        if self.dead_ranks.is_empty() {
+            writeln!(f)
+        } else {
+            writeln!(
+                f,
+                "   dead ranks {:?} repartitioned in {:.4}s",
+                self.dead_ranks, self.repartition_cost_secs
+            )
+        }
+    }
+}
+
 /// The full analysis of one measured ladder.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScalabilityReport {
@@ -148,6 +208,9 @@ pub struct ScalabilityReport {
     /// Optional traced-run breakdown (see
     /// [`ScalabilityReport::with_observability`]).
     pub observability: Option<ObservabilityAnnex>,
+    /// Optional faulted-vs-baseline comparison (see
+    /// [`ScalabilityReport::with_robustness`]).
+    pub robustness: Option<RobustnessAnnex>,
 }
 
 impl ScalabilityReport {
@@ -155,6 +218,13 @@ impl ScalabilityReport {
     /// workload (usually at the ladder's largest configuration).
     pub fn with_observability(mut self, traces: &[RankTrace]) -> ScalabilityReport {
         self.observability = Some(ObservabilityAnnex::from_traces(traces));
+        self
+    }
+
+    /// Attaches a robustness annex comparing this (faulted) ladder to a
+    /// fault-free baseline.
+    pub fn with_robustness(mut self, annex: RobustnessAnnex) -> ScalabilityReport {
+        self.robustness = Some(annex);
         self
     }
 }
@@ -184,6 +254,7 @@ pub fn analyze(ladder: &ScalabilityLadder) -> ScalabilityReport {
         steps,
         geometric_mean_psi: ladder.geometric_mean_psi(),
         observability: None,
+        robustness: None,
     }
 }
 
@@ -209,6 +280,9 @@ impl fmt::Display for ScalabilityReport {
         }
         writeln!(f, "  geometric mean psi = {:.4}", self.geometric_mean_psi)?;
         if let Some(annex) = &self.observability {
+            write!(f, "{annex}")?;
+        }
+        if let Some(annex) = &self.robustness {
             write!(f, "{annex}")?;
         }
         Ok(())
@@ -309,6 +383,55 @@ mod tests {
         // Equal flops at 4x speed ratio: compute times 1 s vs 4 s.
         assert!((annex.compute_imbalance - 1.6).abs() < 1e-9, "{}", annex.compute_imbalance);
         assert!(annex.critical_path_overhead_fraction < 0.5);
+    }
+
+    #[test]
+    fn robustness_annex_reports_retention_and_retries() {
+        use hetsim_cluster::cluster::ClusterSpec;
+        use hetsim_cluster::faults::FaultPlan;
+        use hetsim_cluster::network::SharedEthernet;
+        use hetsim_mpi::Tag;
+        let cluster = ClusterSpec::homogeneous(2, 100.0);
+        let net = SharedEthernet::new(1e-3, 1e6);
+        let plan = FaultPlan::new(11).with_link_drops(500);
+        let traces = hetsim_mpi::run_spmd_faulted_traced(&cluster, &net, &plan, |rank| {
+            for i in 0..16 {
+                if rank.rank() == 0 {
+                    rank.send_f64s(1, Tag(i), &[1.0]);
+                } else {
+                    let _ = rank.recv_f64s(0, Tag(i));
+                }
+                rank.barrier();
+            }
+        })
+        .traces;
+        let annex = RobustnessAnnex::from_comparison(0.8, 0.6, &traces, 0.0, vec![]);
+        assert!((annex.psi_retention - 0.75).abs() < 1e-12);
+        assert!(annex.retry_overhead_fraction > 0.0, "50% drops must surface retries");
+        assert!(annex.retry_overhead_fraction < 1.0);
+        let text = format!("{annex}");
+        assert!(text.contains("psi retention = 0.750"));
+        assert!(!text.contains("dead ranks"));
+
+        let with_deaths = RobustnessAnnex::from_comparison(0.8, 0.4, &traces, 0.25, vec![1, 3]);
+        let text = format!("{with_deaths}");
+        assert!(text.contains("dead ranks [1, 3]"));
+        assert!(text.contains("0.2500s"));
+    }
+
+    #[test]
+    fn report_display_includes_robustness_when_attached() {
+        let annex = RobustnessAnnex {
+            psi_retention: 0.9,
+            retry_overhead_fraction: 0.05,
+            repartition_cost_secs: 0.0,
+            dead_ranks: vec![],
+        };
+        let report = analyze(&ladder_with(&[0.5])).with_robustness(annex);
+        let text = format!("{report}");
+        assert!(text.contains("under faults"));
+        let bare = format!("{}", analyze(&ladder_with(&[0.5])));
+        assert!(!bare.contains("under faults"));
     }
 
     #[test]

@@ -361,6 +361,47 @@ fn network_models_serialize_stably() {
 }
 
 #[test]
+fn fault_plans_serialize_stably() {
+    use hetscale::hetsim_cluster::faults::{FaultPlan, RetryCharge, RetryPolicy, SpeedWindow};
+    let plan = FaultPlan::new(42)
+        .with_straggler(1, 0.5)
+        .with_brownout(2, SimTime::from_secs(0.5), SimTime::from_secs(2.0), 0.25)
+        .with_link_drops(20)
+        .with_death(3, SimTime::ZERO);
+    assert_stable_serialization(&plan);
+    assert_stable_serialization(&RetryPolicy::default());
+    assert_stable_serialization(&SpeedWindow {
+        start: SimTime::ZERO,
+        end: Some(SimTime::from_secs(1.0)),
+        multiplier: 0.5,
+    });
+    assert_stable_serialization(&plan.send_retry_charge(0, 1, 0).unwrap());
+    assert_deserializable::<FaultPlan>();
+    assert_deserializable::<RetryPolicy>();
+    assert_deserializable::<SpeedWindow>();
+    assert_deserializable::<RetryCharge>();
+}
+
+#[test]
+fn robustness_annex_serializes_stably() {
+    use hetscale::scalability::report::RobustnessAnnex;
+    let annex = RobustnessAnnex {
+        psi_retention: 0.45,
+        retry_overhead_fraction: 0.024,
+        repartition_cost_secs: 1.77e-3,
+        dead_ranks: vec![7],
+    };
+    assert_stable_serialization(&annex);
+    assert_deserializable::<RobustnessAnnex>();
+    // Named fields survive, so downstream formats keep the annex keys.
+    let tokens = token_format::tokens(&annex);
+    let has_field = tokens
+        .iter()
+        .any(|t| matches!(t, token_format::Token::Field(name) if *name == "psi_retention"));
+    assert!(has_field, "RobustnessAnnex must serialize with named fields: {tokens:?}");
+}
+
+#[test]
 fn struct_field_names_appear_in_the_token_stream() {
     // Guard against accidentally switching a public type to a tuple
     // serialization (breaking named-field formats downstream).
