@@ -9,4 +9,16 @@ set -eux
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace --release
+
+# Perf gate: the quick experiment sweep must stay on the fast timing
+# engine. A generous 60 s budget (vs ~0.1 s measured — see
+# BENCH_FASTPATH.json) only trips on order-of-magnitude regressions,
+# e.g. kernels silently falling back to the thread-per-rank oracle.
+BUDGET_SECS=60
+start=$(date +%s)
 cargo run --release -p bench-tables -- --quick --faults
+elapsed=$(( $(date +%s) - start ))
+test "$elapsed" -le "$BUDGET_SECS" || {
+    echo "bench-tables --quick --faults took ${elapsed}s (budget ${BUDGET_SECS}s)" >&2
+    exit 1
+}

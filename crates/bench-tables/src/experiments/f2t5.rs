@@ -4,6 +4,7 @@
 
 use crate::params::ExperimentParams;
 use crate::plot::AsciiPlot;
+use crate::pool;
 use crate::systems::MmSystem;
 use crate::table::{fnum, Table};
 use hetsim_cluster::sunwulf;
@@ -21,8 +22,10 @@ pub fn figure2_and_table5(params: &ExperimentParams) -> (Table, Table, Scalabili
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     let mut f2 = Table::new("Fig. 2 — Speed-efficiency of MM on Sunwulf", &header_refs);
 
+    // Each configuration's curve is an independent cell; measure them on
+    // the pool, then reuse the same curves for the ladder read-off.
     let curves: Vec<EfficiencyCurve> =
-        systems.iter().map(|s| EfficiencyCurve::measure(s, &params.mm_sizes)).collect();
+        pool::run_indexed(&systems, |_, s| EfficiencyCurve::measure(s, &params.mm_sizes));
     for (i, &n) in params.mm_sizes.iter().enumerate() {
         let mut row = vec![n.to_string()];
         for curve in &curves {
@@ -33,13 +36,9 @@ pub fn figure2_and_table5(params: &ExperimentParams) -> (Table, Table, Scalabili
 
     let dyn_systems: Vec<&dyn AlgorithmSystem> =
         systems.iter().map(|s| s as &dyn AlgorithmSystem).collect();
-    let ladder = ScalabilityLadder::measure(
-        &dyn_systems,
-        params.mm_target,
-        &params.mm_sizes,
-        params.fit_degree,
-    )
-    .expect("every MM rung reaches the target efficiency");
+    let ladder =
+        ScalabilityLadder::from_curves(&dyn_systems, &curves, params.mm_target, params.fit_degree)
+            .expect("every MM rung reaches the target efficiency");
 
     let mut t5 = Table::new("Table 5 — Measured scalability of MM on Sunwulf", &["Step", "psi"]);
     for step in &ladder.steps {
@@ -54,11 +53,11 @@ pub fn figure2_and_table5(params: &ExperimentParams) -> (Table, Table, Scalabili
 /// the target-efficiency line the ψ ladder reads from.
 pub fn figure2_plot(params: &ExperimentParams) -> AsciiPlot {
     let net = sunwulf::sunwulf_network();
+    let clusters: Vec<_> = params.mm_ladder.iter().map(|&p| sunwulf::mm_config(p)).collect();
+    let systems: Vec<MmSystem<_>> = clusters.iter().map(|c| MmSystem::new(c, &net)).collect();
+    let curves = pool::run_indexed(&systems, |_, s| EfficiencyCurve::measure(s, &params.mm_sizes));
     let mut plot = AsciiPlot::new("Fig. 2 — Speed-efficiency of MM on Sunwulf", "rank N", "E_s");
-    for &p in &params.mm_ladder {
-        let cluster = sunwulf::mm_config(p);
-        let sys = MmSystem::new(&cluster, &net);
-        let curve = EfficiencyCurve::measure(&sys, &params.mm_sizes);
+    for (&p, curve) in params.mm_ladder.iter().zip(&curves) {
         plot.add_series(format!("{p} nodes"), curve.series.iter().collect());
     }
     plot.with_hline(params.mm_target, "target efficiency");

@@ -18,6 +18,7 @@
 //! inversion amplifies single-sample noise locally; the paper's global
 //! fit smooths both.
 
+use crate::pool;
 use crate::systems::GeSystem;
 use crate::table::{fnum, Table};
 use hetsim_cluster::network::JitteredNetwork;
@@ -56,17 +57,25 @@ pub fn ablate_noise(sizes: &[usize], target: f64, degree: usize, seeds: u64) -> 
     let clean_curve = EfficiencyCurve::measure(&GeSystem::new(&cluster, &clean_net), sizes);
     let reference = read_offs(&clean_curve, target, degree).expect("clean curve inverts")[2];
 
-    for &sigma in &[0.02f64, 0.05, 0.10, 0.15] {
+    // Every (σ, seed) campaign is an independent cell: run them all on
+    // the pool, then fold per σ in cell order so the table is identical
+    // to the sequential sweep.
+    const SIGMAS: [f64; 4] = [0.02, 0.05, 0.10, 0.15];
+    let cells: Vec<(f64, u64)> =
+        SIGMAS.iter().flat_map(|&sigma| (0..seeds).map(move |seed| (sigma, seed))).collect();
+    let campaigns: Vec<Option<[f64; 3]>> = pool::run_indexed(&cells, |_, &(sigma, seed)| {
+        let net = JitteredNetwork::new(sunwulf::sunwulf_network(), sigma, seed + 1);
+        let curve = EfficiencyCurve::measure(&GeSystem::new(&cluster, &net), sizes);
+        read_offs(&curve, target, degree)
+    });
+
+    for (row, &sigma) in SIGMAS.iter().enumerate() {
         let mut worst = [0.0f64; 3];
         let mut usable = 0u64;
-        for seed in 0..seeds {
-            let net = JitteredNetwork::new(sunwulf::sunwulf_network(), sigma, seed + 1);
-            let curve = EfficiencyCurve::measure(&GeSystem::new(&cluster, &net), sizes);
-            if let Some(values) = read_offs(&curve, target, degree) {
-                usable += 1;
-                for (slot, v) in worst.iter_mut().zip(values) {
-                    *slot = slot.max((v - reference).abs());
-                }
+        for values in campaigns[row * seeds as usize..(row + 1) * seeds as usize].iter().flatten() {
+            usable += 1;
+            for (slot, &v) in worst.iter_mut().zip(values) {
+                *slot = slot.max((v - reference).abs());
             }
         }
         let cells: Vec<String> =

@@ -3,26 +3,25 @@
 //! scalability between consecutive configurations (Table 4).
 
 use crate::params::ExperimentParams;
+use crate::pool;
 use crate::systems::GeSystem;
 use crate::table::{fnum, Table};
 use hetsim_cluster::memory::{ge_feasible, max_feasible};
 use hetsim_cluster::sunwulf;
-use scalability::metric::{AlgorithmSystem, ScalabilityLadder};
+use scalability::metric::{AlgorithmSystem, EfficiencyCurve, ScalabilityLadder};
 
 /// Runs the GE ladder and returns `(Table 3, Table 4, ladder)`.
 pub fn table3_and_4(params: &ExperimentParams) -> (Table, Table, ScalabilityLadder) {
     let net = sunwulf::sunwulf_network();
     let clusters: Vec<_> = params.ge_ladder.iter().map(|&p| sunwulf::ge_config(p)).collect();
     let systems: Vec<GeSystem<_>> = clusters.iter().map(|c| GeSystem::new(c, &net)).collect();
+    // Each rung's curve is an independent cell; measure them on the pool.
+    let curves = pool::run_indexed(&systems, |_, s| EfficiencyCurve::measure(s, &params.ge_sizes));
     let dyn_systems: Vec<&dyn AlgorithmSystem> =
         systems.iter().map(|s| s as &dyn AlgorithmSystem).collect();
-    let ladder = ScalabilityLadder::measure(
-        &dyn_systems,
-        params.ge_target,
-        &params.ge_sizes,
-        params.fit_degree,
-    )
-    .expect("every GE rung reaches the target efficiency");
+    let ladder =
+        ScalabilityLadder::from_curves(&dyn_systems, &curves, params.ge_target, params.fit_degree)
+            .expect("every GE rung reaches the target efficiency");
 
     let mut t3 = Table::new(
         format!("Table 3 — Required rank for E_s = {} (GE)", params.ge_target),

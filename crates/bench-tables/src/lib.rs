@@ -33,6 +33,7 @@ pub mod experiments;
 pub mod obs;
 pub mod params;
 pub mod plot;
+pub mod pool;
 pub mod systems;
 pub mod table;
 

@@ -1,10 +1,15 @@
 //! `bench-tables` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! bench-tables [--quick] [--faults] [--csv DIR] [--trace-out DIR] [--metrics-out FILE] [ids...]
+//! bench-tables [--quick] [--faults] [--jobs N] [--csv DIR] [--trace-out DIR] [--metrics-out FILE] [ids...]
 //!   ids: t1 t2 f1 t3 t4 f2 t5 t6 t7 compare x2 decomp ablate-dist
 //!        ablate-net ablate-fit ablate-place ext-mp faults all   (default: all)
 //! ```
+//!
+//! `--jobs N` bounds the worker pool the experiment cells run on
+//! (default: the machine's available parallelism). Output is
+//! byte-identical for every worker count; `--jobs 1` is the sequential
+//! reference.
 //!
 //! `faults` (or the `--faults` shorthand) runs the deterministic
 //! fault-injection sweep — degraded nodes, lossy links with
@@ -76,6 +81,13 @@ fn main() {
             "--metrics-out" => {
                 metrics_path =
                     Some(args.next().unwrap_or_else(|| usage("--metrics-out needs a file path")))
+            }
+            "--jobs" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| usage("--jobs needs a worker count"));
+                bench_tables::pool::set_jobs(n);
             }
             "--help" | "-h" => usage(""),
             flag if flag.starts_with('-') => usage(&format!("unknown flag {flag}")),
@@ -272,9 +284,10 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: bench-tables [--quick] [--faults] [--csv DIR] [--trace-out DIR] [--metrics-out FILE] [ids...]\n\
+        "usage: bench-tables [--quick] [--faults] [--jobs N] [--csv DIR] [--trace-out DIR] [--metrics-out FILE] [ids...]\n\
          ids: t1 t2 f1 t3 t4 f2 t5 t6 t7 compare x2 decomp ablate-dist ablate-net ablate-fit ablate-place ablate-sched ablate-noise validate baselines ext-mp faults all\n\
-         `faults` (or --faults) runs the fault-injection sweep; it is opt-in and not part of `all`."
+         `faults` (or --faults) runs the fault-injection sweep; it is opt-in and not part of `all`.\n\
+         `--jobs N` caps the experiment worker pool (default: available parallelism; output is byte-identical for every N)."
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

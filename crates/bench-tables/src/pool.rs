@@ -1,0 +1,139 @@
+//! Bounded scoped worker pool with deterministic output assembly.
+//!
+//! The experiment ladders decompose into independent `(experiment,
+//! configuration)` cells — one efficiency curve per cluster rung, one
+//! frozen-noise campaign per `(σ, seed)` pair. Each cell is a pure
+//! function of its inputs (the timing engines are deterministic), so
+//! the only thing parallelism could perturb is *assembly order*. This
+//! pool removes that hazard by construction: workers pull cell indices
+//! from a shared counter and deposit results into the slot owned by
+//! that index, so the returned `Vec` is always in cell order and the
+//! rendered tables are byte-identical for every worker count.
+//!
+//! The worker count is fixed once per process — `--jobs N` on the
+//! `bench-tables` binary, defaulting to the machine's available
+//! parallelism. `--jobs 1` short-circuits to a plain sequential loop
+//! and serves as the reference the determinism tests compare against.
+//!
+//! Built on `std::thread::scope` (the vendored crossbeam shim does not
+//! provide scoped threads); a panicking cell propagates when the scope
+//! joins, exactly like the sequential loop.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+static JOBS: OnceLock<usize> = OnceLock::new();
+
+/// Fixes the worker count for the rest of the process. Call at most
+/// once, before any parallel work; zero is clamped to one.
+///
+/// # Panics
+/// Panics when the worker count was already fixed.
+pub fn set_jobs(n: usize) {
+    JOBS.set(n.max(1)).expect("worker count already fixed for this process");
+}
+
+/// The worker count: the value fixed by [`set_jobs`], or the machine's
+/// available parallelism when none was set.
+pub fn jobs() -> usize {
+    *JOBS.get_or_init(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1))
+}
+
+/// Runs `f(index, &items[index])` for every cell on up to [`jobs`]
+/// workers and returns the results **in cell order**, regardless of
+/// which worker finished which cell when.
+pub fn run_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    run_indexed_on(jobs(), items, f)
+}
+
+/// [`run_indexed`] with an explicit worker count (the determinism tests
+/// compare worker counts directly, without touching the process-wide
+/// setting).
+pub fn run_indexed_on<T, R, F>(max_workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = max_workers.min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                *slots[i].lock().expect("cell slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("cell slot poisoned").expect("every cell ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_cell_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = run_indexed(&items, |i, &item| {
+            assert_eq!(i, item);
+            item * item
+        });
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: Vec<usize> = Vec::new();
+        assert!(run_indexed(&items, |_, &i| i).is_empty());
+    }
+
+    #[test]
+    fn single_cell_runs_inline() {
+        let items = [7usize];
+        assert_eq!(run_indexed(&items, |_, &i| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_result() {
+        let items: Vec<usize> = (0..64).collect();
+        let reference = run_indexed_on(1, &items, |_, &i| (i * 31) % 17);
+        for workers in [2, 4, 8, 64] {
+            assert_eq!(
+                run_indexed_on(workers, &items, |_, &i| (i * 31) % 17),
+                reference,
+                "assembly diverged at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_path_covers_every_cell_once() {
+        use std::sync::atomic::AtomicUsize;
+        let calls = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..50).collect();
+        let out = run_indexed_on(8, &items, |i, &item| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(i, item);
+            item
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 50);
+        assert_eq!(out, items);
+    }
+}

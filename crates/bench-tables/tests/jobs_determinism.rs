@@ -1,0 +1,48 @@
+//! Worker-pool determinism contract of the `bench-tables` binary: the
+//! `--jobs N` flag bounds the experiment worker pool but must never
+//! change a byte of output. `--jobs 1` (the sequential reference) and
+//! `--jobs 8` must produce identical stdout and stderr for the pooled
+//! experiments (the ladder curves and the frozen-noise campaigns).
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bench-tables"))
+        .args(args)
+        .output()
+        .expect("spawn bench-tables")
+}
+
+#[test]
+fn jobs_flag_does_not_change_a_byte_of_output() {
+    let ids = ["--quick", "t3", "t4", "f2", "t5", "ablate-noise"];
+    let reference = run(&[&ids[..], &["--jobs", "1"]].concat());
+    assert_eq!(reference.status.code(), Some(0), "reference run failed");
+    assert!(!reference.stdout.is_empty(), "reference run produced no output");
+    for jobs in ["2", "8"] {
+        let pooled = run(&[&ids[..], &["--jobs", jobs]].concat());
+        assert_eq!(pooled.status.code(), Some(0), "--jobs {jobs} run failed");
+        assert_eq!(
+            pooled.stdout, reference.stdout,
+            "--jobs {jobs} stdout diverged from the --jobs 1 reference"
+        );
+        assert_eq!(
+            pooled.stderr, reference.stderr,
+            "--jobs {jobs} stderr diverged from the --jobs 1 reference"
+        );
+    }
+}
+
+#[test]
+fn jobs_flag_requires_a_count() {
+    let out = run(&["--jobs"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs needs a worker count"));
+}
+
+#[test]
+fn jobs_flag_rejects_garbage() {
+    let out = run(&["--jobs", "many"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs needs a worker count"));
+}

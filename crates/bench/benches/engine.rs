@@ -1,0 +1,74 @@
+//! Head-to-head of the two timing engines on identical programs: the
+//! payload-free fast evaluator vs the thread-per-rank oracle runtime.
+//! Both produce bit-identical `SpmdOutcome`s (enforced by the
+//! `fast_matches_threaded` and `engine_equivalence` tests); this bench
+//! records what that equivalence costs — or rather, what skipping
+//! payload materialization and OS threads saves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetsim_cluster::network::MpichEthernet;
+use hetsim_cluster::ClusterSpec;
+use hetsim_mpi::{run_spmd, run_spmd_fast, SpmdTimer, Tag};
+use kernels::ge::ge_parallel_timed;
+use kernels::mm::mm_parallel_timed;
+use std::hint::black_box;
+
+fn net() -> MpichEthernet {
+    MpichEthernet::new(0.3e-3, 1e8)
+}
+
+/// A collective-heavy synthetic program, generic over the timer so the
+/// exact same body runs on both engines.
+fn mixed_body<T: SpmdTimer>(t: &mut T, rounds: usize) {
+    let me = t.rank();
+    let p = t.size();
+    for round in 0..rounds {
+        t.compute_flops(1e5 * (me + 1) as f64);
+        let next = (me + 1) % p;
+        let prev = (me + p - 1) % p;
+        t.send_count(next, Tag(round as u32), 256);
+        t.recv_count(prev, Tag(round as u32), 256);
+        t.barrier();
+        t.broadcast_count(0, 512);
+        t.gather_count(0, 64 + me);
+        t.allgather_count(32);
+    }
+}
+
+fn bench_engines_mixed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_fastpath_vs_threaded");
+    for p in [4usize, 8] {
+        let cluster = ClusterSpec::homogeneous(p, 50.0);
+        group.bench_with_input(BenchmarkId::new("fast_mixed_x16", p), &p, |b, _| {
+            b.iter(|| black_box(run_spmd_fast(&cluster, &net(), |t| mixed_body(t, 16)).makespan()))
+        });
+        group.bench_with_input(BenchmarkId::new("threaded_mixed_x16", p), &p, |b, _| {
+            b.iter(|| black_box(run_spmd(&cluster, &net(), |r| mixed_body(r, 16)).makespan()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_engines_kernels(c: &mut Criterion) {
+    // The timed GE/MM kernels run on the fast engine in production;
+    // their historical threaded cost is what `threaded_mixed_x16`
+    // approximates. Here: absolute fast-path kernel cost at bench sizes.
+    let cluster = ClusterSpec::homogeneous(8, 50.0);
+    let mut group = c.benchmark_group("engine_fastpath_kernels");
+    for n in [128usize, 256] {
+        group.bench_with_input(BenchmarkId::new("ge_timed", n), &n, |b, &n| {
+            b.iter(|| black_box(ge_parallel_timed(&cluster, &net(), n).makespan))
+        });
+        group.bench_with_input(BenchmarkId::new("mm_timed", n), &n, |b, &n| {
+            b.iter(|| black_box(mm_parallel_timed(&cluster, &net(), n).makespan))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = engine_benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engines_mixed, bench_engines_kernels
+}
+criterion_main!(engine_benches);

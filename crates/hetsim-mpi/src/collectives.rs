@@ -5,8 +5,12 @@
 //! local sequence counter; ranks rendezvous on the slot. The hub itself
 //! is pure synchronization — virtual-time arithmetic stays in
 //! [`crate::context`], which keeps the cost model in exactly one place.
+//!
+//! Collective payloads travel as `Vec<f64>` element vectors rather than
+//! encoded byte buffers: the wire size is always `8 × len` bytes, so
+//! the cost model needs only the element count, and skipping the
+//! encode/decode round-trip removes two full copies per contribution.
 
-use bytes::Bytes;
 use hetsim_cluster::time::SimTime;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
@@ -17,9 +21,9 @@ use std::collections::HashMap;
 #[derive(Debug)]
 enum Slot {
     Barrier { entries: Vec<Option<SimTime>>, result: Option<SimTime>, reads: usize },
-    Gather { deposits: Vec<Option<(SimTime, Bytes)>>, count: usize },
-    Bcast { deposit: Option<(SimTime, Bytes)>, reads: usize },
-    Scatter { departure: SimTime, parts: Vec<Option<Bytes>>, taken: usize, deposited: bool },
+    Gather { deposits: Vec<Option<(SimTime, Vec<f64>)>>, count: usize },
+    Bcast { deposit: Option<(SimTime, Vec<f64>)>, reads: usize },
+    Scatter { departure: SimTime, parts: Vec<Option<Vec<f64>>>, taken: usize, deposited: bool },
 }
 
 /// Rendezvous point shared by all ranks of one SPMD run.
@@ -83,7 +87,7 @@ impl CollectiveHub {
     }
 
     /// Deposits one rank's gather contribution (entry clock + payload).
-    pub fn gather_deposit(&self, op: u64, rank: usize, entry: SimTime, payload: Bytes) {
+    pub fn gather_deposit(&self, op: u64, rank: usize, entry: SimTime, payload: Vec<f64>) {
         let mut slots = self.slots.lock();
         let slot = slots
             .entry(op)
@@ -101,7 +105,7 @@ impl CollectiveHub {
 
     /// Root side of a gather: blocks until all `p` deposits are present
     /// and returns them indexed by rank. Consumes the slot.
-    pub fn gather_collect(&self, op: u64) -> Vec<(SimTime, Bytes)> {
+    pub fn gather_collect(&self, op: u64) -> Vec<(SimTime, Vec<f64>)> {
         let mut slots = self.slots.lock();
         loop {
             match slots.get(&op) {
@@ -118,7 +122,7 @@ impl CollectiveHub {
 
     /// Root side of a broadcast: publishes the payload and the root's
     /// departure time.
-    pub fn bcast_deposit(&self, op: u64, departure: SimTime, payload: Bytes) {
+    pub fn bcast_deposit(&self, op: u64, departure: SimTime, payload: Vec<f64>) {
         let mut slots = self.slots.lock();
         let slot = slots.entry(op).or_insert_with(|| Slot::Bcast { deposit: None, reads: 0 });
         let Slot::Bcast { deposit, .. } = slot else {
@@ -136,7 +140,7 @@ impl CollectiveHub {
     /// Receiver side of a broadcast: blocks for the root's deposit and
     /// returns (root departure, payload). The last of the `p − 1`
     /// receivers frees the slot.
-    pub fn bcast_wait(&self, op: u64) -> (SimTime, Bytes) {
+    pub fn bcast_wait(&self, op: u64) -> (SimTime, Vec<f64>) {
         let mut slots = self.slots.lock();
         loop {
             match slots.get_mut(&op) {
@@ -157,7 +161,7 @@ impl CollectiveHub {
     /// Root side of a scatter: publishes one payload per rank plus the
     /// root's departure time. `parts[root]` should be the root's own
     /// share; it is returned to the root by [`CollectiveHub::scatter_take`].
-    pub fn scatter_deposit(&self, op: u64, departure: SimTime, parts: Vec<Bytes>) {
+    pub fn scatter_deposit(&self, op: u64, departure: SimTime, parts: Vec<Vec<f64>>) {
         assert_eq!(parts.len(), self.p, "scatter needs one part per rank");
         let mut slots = self.slots.lock();
         let slot = slots.entry(op).or_insert_with(|| Slot::Scatter {
@@ -180,7 +184,7 @@ impl CollectiveHub {
 
     /// Takes rank `rank`'s share of a scatter, blocking for the deposit.
     /// Returns (root departure, payload). The last taker frees the slot.
-    pub fn scatter_take(&self, op: u64, rank: usize) -> (SimTime, Bytes) {
+    pub fn scatter_take(&self, op: u64, rank: usize) -> (SimTime, Vec<f64>) {
         let mut slots = self.slots.lock();
         loop {
             match slots.get_mut(&op) {
@@ -208,7 +212,6 @@ impl CollectiveHub {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::message::encode_f64s;
     use std::sync::Arc;
 
     fn t(s: f64) -> SimTime {
@@ -260,15 +263,15 @@ mod tests {
         for r in 1..3usize {
             let hub = Arc::clone(&hub);
             std::thread::spawn(move || {
-                hub.gather_deposit(7, r, t(r as f64), encode_f64s(&[r as f64]));
+                hub.gather_deposit(7, r, t(r as f64), vec![r as f64]);
             });
         }
-        hub.gather_deposit(7, 0, t(0.0), encode_f64s(&[0.0]));
+        hub.gather_deposit(7, 0, t(0.0), vec![0.0]);
         let deposits = hub.gather_collect(7);
         assert_eq!(deposits.len(), 3);
         for (r, (entry, payload)) in deposits.iter().enumerate() {
             assert_eq!(*entry, t(r as f64));
-            assert_eq!(payload.len(), 8);
+            assert_eq!(payload, &vec![r as f64]);
         }
         assert_eq!(hub.live_slots(), 0);
     }
@@ -282,11 +285,11 @@ mod tests {
                 std::thread::spawn(move || hub.bcast_wait(3))
             })
             .collect();
-        hub.bcast_deposit(3, t(2.0), encode_f64s(&[42.0]));
+        hub.bcast_deposit(3, t(2.0), vec![42.0]);
         for h in handles {
             let (dep, payload) = h.join().unwrap();
             assert_eq!(dep, t(2.0));
-            assert_eq!(crate::message::decode_f64s(&payload), vec![42.0]);
+            assert_eq!(payload, vec![42.0]);
         }
         assert_eq!(hub.live_slots(), 0);
     }
@@ -294,7 +297,7 @@ mod tests {
     #[test]
     fn bcast_single_rank_leaves_no_slot() {
         let hub = CollectiveHub::new(1);
-        hub.bcast_deposit(0, t(1.0), encode_f64s(&[1.0]));
+        hub.bcast_deposit(0, t(1.0), vec![1.0]);
         assert_eq!(hub.live_slots(), 0);
     }
 
@@ -307,12 +310,9 @@ mod tests {
                 std::thread::spawn(move || hub.scatter_take(9, r))
             })
             .collect();
-        let parts: Vec<Bytes> = (0..3).map(|r| encode_f64s(&[r as f64 * 10.0])).collect();
+        let parts: Vec<Vec<f64>> = (0..3).map(|r| vec![r as f64 * 10.0]).collect();
         hub.scatter_deposit(9, t(1.5), parts);
-        let mut got: Vec<Vec<f64>> = handles
-            .into_iter()
-            .map(|h| crate::message::decode_f64s(&h.join().unwrap().1))
-            .collect();
+        let mut got: Vec<Vec<f64>> = handles.into_iter().map(|h| h.join().unwrap().1).collect();
         got.sort_by(|a, b| a[0].total_cmp(&b[0]));
         assert_eq!(got, vec![vec![0.0], vec![10.0], vec![20.0]]);
         assert_eq!(hub.live_slots(), 0);
@@ -330,15 +330,15 @@ mod tests {
     #[should_panic(expected = "deposited twice")]
     fn double_gather_deposit_panics() {
         let hub = CollectiveHub::new(2);
-        hub.gather_deposit(0, 1, t(0.0), encode_f64s(&[1.0]));
-        hub.gather_deposit(0, 1, t(0.0), encode_f64s(&[1.0]));
+        hub.gather_deposit(0, 1, t(0.0), vec![1.0]);
+        hub.gather_deposit(0, 1, t(0.0), vec![1.0]);
     }
 
     #[test]
     #[should_panic(expected = "not a barrier")]
     fn type_mismatch_panics() {
         let hub = CollectiveHub::new(2);
-        hub.bcast_deposit(0, t(0.0), encode_f64s(&[1.0]));
+        hub.bcast_deposit(0, t(0.0), vec![1.0]);
         let _ = hub.barrier(0, 0, t(0.0));
     }
 
@@ -346,6 +346,6 @@ mod tests {
     #[should_panic(expected = "one part per rank")]
     fn scatter_wrong_part_count_panics() {
         let hub = CollectiveHub::new(3);
-        hub.scatter_deposit(0, t(0.0), vec![encode_f64s(&[1.0])]);
+        hub.scatter_deposit(0, t(0.0), vec![vec![1.0]]);
     }
 }

@@ -327,29 +327,26 @@ impl<'a> Rank<'a> {
         let op = self.next_op();
         if self.id == root {
             let data = data.expect("root must supply broadcast data");
-            let payload = encode_f64s(data);
+            let bytes = (data.len() * 8) as u64;
             // Under a lossy plan the root retries each peer's logical
             // message before the broadcast proper; receivers then wait
             // for the (later) departure.
             for peer in 0..self.size() {
                 if peer != self.id {
-                    self.charge_link_retries(peer, payload.len() as u64);
+                    self.charge_link_retries(peer, bytes);
                 }
             }
-            let cost = SimTime::from_secs(
-                self.shared.network.bcast_time(self.size(), payload.len() as u64),
-            );
+            let cost = SimTime::from_secs(self.shared.network.bcast_time(self.size(), bytes));
             let departure = self.clock + cost;
-            let bytes = payload.len() as u64;
-            self.shared.hub.bcast_deposit(op, departure, payload);
+            self.shared.hub.bcast_deposit(op, departure, data.to_vec());
             self.charge_comm(departure, OpKind::Bcast, bytes, None);
             data.to_vec()
         } else {
             assert!(data.is_none(), "non-root rank {} passed broadcast data", self.id);
             let (departure, payload) = self.shared.hub.bcast_wait(op);
-            let bytes = payload.len() as u64;
+            let bytes = (payload.len() * 8) as u64;
             self.charge_comm(self.clock.max(departure), OpKind::Bcast, bytes, Some(root));
-            decode_f64s(&payload)
+            payload
         }
     }
 
@@ -362,24 +359,23 @@ impl<'a> Rank<'a> {
     pub fn gather_f64s(&mut self, root: usize, contribution: &[f64]) -> Option<Vec<Vec<f64>>> {
         assert!(root < self.size(), "root rank {root} out of range");
         let op = self.next_op();
-        let payload = encode_f64s(contribution);
         if self.id == root {
-            self.shared.hub.gather_deposit(op, self.id, self.clock, payload);
+            self.shared.hub.gather_deposit(op, self.id, self.clock, contribution.to_vec());
             let deposits = self.shared.hub.gather_collect(op);
-            let sizes: Vec<u64> = deposits.iter().map(|(_, b)| b.len() as u64).collect();
+            let sizes: Vec<u64> = deposits.iter().map(|(_, v)| (v.len() * 8) as u64).collect();
             let max_entry =
                 deposits.iter().map(|(t, _)| *t).max().expect("at least the root deposited");
             let cost = SimTime::from_secs(self.shared.network.gather_time(&sizes, root));
             let total_bytes: u64 = sizes.iter().sum();
             let ready = self.clock.max(max_entry);
             self.charge_comm_waited(ready, ready + cost, OpKind::Gather, total_bytes, None);
-            Some(deposits.into_iter().map(|(_, b)| decode_f64s(&b)).collect())
+            Some(deposits.into_iter().map(|(_, v)| v).collect())
         } else {
-            let bytes = payload.len() as u64;
+            let bytes = (contribution.len() * 8) as u64;
             // Retries delay this contributor's deposit, so the root's
             // rendezvous honestly reflects the lossy link.
             self.charge_link_retries(root, bytes);
-            self.shared.hub.gather_deposit(op, self.id, self.clock, payload);
+            self.shared.hub.gather_deposit(op, self.id, self.clock, contribution.to_vec());
             let cost =
                 SimTime::from_secs(self.shared.network.p2p_time_between(self.id, root, bytes));
             self.charge_comm(self.clock + cost, OpKind::Gather, bytes, Some(root));
@@ -397,8 +393,8 @@ impl<'a> Rank<'a> {
         if self.id == root {
             let parts = parts.expect("root must supply scatter parts");
             assert_eq!(parts.len(), self.size(), "scatter needs one part per rank");
-            let payloads: Vec<Bytes> = parts.iter().map(|p| encode_f64s(p)).collect();
-            let sizes: Vec<u64> = payloads.iter().map(|b| b.len() as u64).collect();
+            let payloads: Vec<Vec<f64>> = parts.to_vec();
+            let sizes: Vec<u64> = payloads.iter().map(|v| (v.len() * 8) as u64).collect();
             for (peer, &size) in sizes.iter().enumerate() {
                 if peer != self.id {
                     self.charge_link_retries(peer, size);
@@ -410,13 +406,13 @@ impl<'a> Rank<'a> {
             self.shared.hub.scatter_deposit(op, departure, payloads);
             let (_, own) = self.shared.hub.scatter_take(op, self.id);
             self.charge_comm(departure, OpKind::Scatter, total_bytes, None);
-            decode_f64s(&own)
+            own
         } else {
             assert!(parts.is_none(), "non-root rank {} passed scatter parts", self.id);
             let (departure, payload) = self.shared.hub.scatter_take(op, self.id);
-            let bytes = payload.len() as u64;
+            let bytes = (payload.len() * 8) as u64;
             self.charge_comm(self.clock.max(departure), OpKind::Scatter, bytes, Some(root));
-            decode_f64s(&payload)
+            payload
         }
     }
 

@@ -1,0 +1,965 @@
+//! Fast-path analytic timing engine: payload-free, single-threaded,
+//! bit-identical to the threaded runtime.
+//!
+//! The threaded runtime in [`crate::runtime`] prices a run by actually
+//! executing it — one OS thread per rank, real byte buffers through real
+//! mailboxes. For *timing-mode* kernels none of that machinery affects
+//! the result: virtual time is a pure function of marked speeds, payload
+//! **sizes**, and the network model (see the crate docs). This module
+//! exploits that purity with a two-phase evaluator:
+//!
+//! 1. **Record** — the SPMD body runs once per rank against a
+//!    [`RecordTimer`], a [`SpmdTimer`] implementation that executes no
+//!    communication at all and instead logs the rank's operation list
+//!    (op kind, peers, element counts, charged flops). Timing-mode
+//!    bodies have data-independent control flow, so the log is exactly
+//!    the op sequence the threaded runtime would execute.
+//! 2. **Simulate** — a single-threaded run-until-blocked scheduler
+//!    replays the per-rank op lists against virtual mailboxes and
+//!    collective slots, performing the *identical* float-op sequences as
+//!    [`crate::context::Rank`] — same order of `+=` on the clock and the
+//!    compute/comm/wait accumulators, same `max`/rendezvous folds, same
+//!    fault retry charges. IEEE 754 addition is not associative, so this
+//!    mirroring is what makes the result bit-identical rather than
+//!    merely close; the `fast_matches_threaded` tests pin it.
+//!
+//! The threaded runtime remains the semantic oracle: any new operation
+//! must land in [`crate::context::Rank`] first and be mirrored here,
+//! guarded by an equality test.
+
+use crate::context::Rank;
+use crate::message::Tag;
+use crate::runtime::SpmdOutcome;
+use crate::trace::{OpKind, RankTrace, TraceRecord};
+use hetsim_cluster::cluster::ClusterSpec;
+use hetsim_cluster::faults::FaultPlan;
+use hetsim_cluster::network::NetworkModel;
+use hetsim_cluster::time::SimTime;
+use std::collections::{HashMap, VecDeque};
+
+/// Size-only SPMD operations: the interface timing-mode bodies program
+/// against so one body drives both engines.
+///
+/// Implemented by [`Rank`] (threaded oracle — materializes zero-filled
+/// payloads of the given element counts) and by [`RecordTimer`] (fast
+/// path — logs the operation for later simulation). All counts are in
+/// `f64` elements; the wire cost is `8 × count` bytes, exactly what
+/// `encode_f64s` would produce.
+pub trait SpmdTimer {
+    /// This process's rank id, `0 ≤ rank < size`.
+    fn rank(&self) -> usize;
+
+    /// Number of processes in the run.
+    fn size(&self) -> usize;
+
+    /// Charges `flops` floating-point operations at the node's marked
+    /// speed (see [`Rank::compute_flops`]).
+    fn compute_flops(&mut self, flops: f64);
+
+    /// Sends `count` `f64` elements to `dest` with `tag`.
+    fn send_count(&mut self, dest: usize, tag: Tag, count: usize);
+
+    /// Receives from `source` with `tag`, asserting the payload carries
+    /// exactly `expect` elements.
+    fn recv_count(&mut self, source: usize, tag: Tag, expect: usize);
+
+    /// Barrier across all ranks (see [`Rank::barrier`]).
+    fn barrier(&mut self);
+
+    /// Broadcast of `count` elements from `root`; every rank passes the
+    /// same `count` (timing-mode bodies know their sizes a priori).
+    fn broadcast_count(&mut self, root: usize, count: usize);
+
+    /// Gather to `root`; `count` is this rank's own contribution size.
+    fn gather_count(&mut self, root: usize, count: usize);
+
+    /// All-gather of this rank's `count`-element contribution (gather to
+    /// rank 0 + broadcast of the packed concatenation, as in
+    /// [`Rank::allgather_f64s`]).
+    fn allgather_count(&mut self, count: usize);
+}
+
+impl SpmdTimer for Rank<'_> {
+    fn rank(&self) -> usize {
+        Rank::rank(self)
+    }
+
+    fn size(&self) -> usize {
+        Rank::size(self)
+    }
+
+    fn compute_flops(&mut self, flops: f64) {
+        Rank::compute_flops(self, flops);
+    }
+
+    fn send_count(&mut self, dest: usize, tag: Tag, count: usize) {
+        self.send_f64s(dest, tag, &vec![0.0; count]);
+    }
+
+    fn recv_count(&mut self, source: usize, tag: Tag, expect: usize) {
+        let got = self.recv_f64s(source, tag);
+        assert_eq!(got.len(), expect, "recv_count: payload size disagrees with the protocol");
+    }
+
+    fn barrier(&mut self) {
+        Rank::barrier(self);
+    }
+
+    fn broadcast_count(&mut self, root: usize, count: usize) {
+        if Rank::rank(self) == root {
+            self.broadcast_f64s(root, Some(&vec![0.0; count]));
+        } else {
+            let got = self.broadcast_f64s(root, None);
+            debug_assert_eq!(got.len(), count, "broadcast_count: size disagrees with the root");
+        }
+    }
+
+    fn gather_count(&mut self, root: usize, count: usize) {
+        let _ = self.gather_f64s(root, &vec![0.0; count]);
+    }
+
+    fn allgather_count(&mut self, count: usize) {
+        let _ = self.allgather_f64s(&vec![0.0; count]);
+    }
+}
+
+/// One recorded operation of one rank. Element counts, not payloads.
+#[derive(Debug, Clone)]
+enum Op {
+    Compute {
+        flops: f64,
+    },
+    Send {
+        dest: usize,
+        tag: Tag,
+        count: usize,
+    },
+    Recv {
+        source: usize,
+        tag: Tag,
+        expect: usize,
+    },
+    Barrier {
+        op: u64,
+    },
+    BcastRoot {
+        op: u64,
+        count: usize,
+    },
+    /// Broadcast receiver; `expect` is `None` for the allgather-derived
+    /// broadcast whose packed size only the root knows.
+    BcastRecv {
+        op: u64,
+        root: usize,
+        expect: Option<usize>,
+    },
+    GatherRoot {
+        op: u64,
+        count: usize,
+    },
+    GatherLeaf {
+        op: u64,
+        root: usize,
+        count: usize,
+    },
+    /// Root half of the broadcast that closes an allgather: its payload
+    /// is `p + Σ gathered counts` elements, resolved at simulation time
+    /// from the immediately preceding gather (mirrors the packed
+    /// length-header layout of [`Rank::allgather_f64s`]).
+    BcastRootDerived {
+        op: u64,
+    },
+}
+
+/// Recording [`SpmdTimer`]: logs a rank's operation list for the
+/// simulator instead of executing anything. Created internally by the
+/// `run_spmd_fast*` entry points; bodies only see `&mut RecordTimer`.
+pub struct RecordTimer {
+    id: usize,
+    size: usize,
+    collective_seq: u64,
+    ops: Vec<Op>,
+}
+
+impl RecordTimer {
+    fn new(id: usize, size: usize) -> RecordTimer {
+        RecordTimer { id, size, collective_seq: 0, ops: Vec::new() }
+    }
+
+    fn next_op(&mut self) -> u64 {
+        let op = self.collective_seq;
+        self.collective_seq += 1;
+        op
+    }
+}
+
+impl SpmdTimer for RecordTimer {
+    fn rank(&self) -> usize {
+        self.id
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn compute_flops(&mut self, flops: f64) {
+        assert!(flops.is_finite() && flops >= 0.0, "flops must be finite and ≥ 0");
+        self.ops.push(Op::Compute { flops });
+    }
+
+    fn send_count(&mut self, dest: usize, tag: Tag, count: usize) {
+        assert!(dest < self.size, "destination rank {dest} out of range");
+        assert_ne!(dest, self.id, "self-send is not supported");
+        self.ops.push(Op::Send { dest, tag, count });
+    }
+
+    fn recv_count(&mut self, source: usize, tag: Tag, expect: usize) {
+        assert!(source < self.size, "source rank {source} out of range");
+        assert_ne!(source, self.id, "self-receive is not supported");
+        self.ops.push(Op::Recv { source, tag, expect });
+    }
+
+    fn barrier(&mut self) {
+        let op = self.next_op();
+        self.ops.push(Op::Barrier { op });
+    }
+
+    fn broadcast_count(&mut self, root: usize, count: usize) {
+        assert!(root < self.size, "root rank {root} out of range");
+        let op = self.next_op();
+        if self.id == root {
+            self.ops.push(Op::BcastRoot { op, count });
+        } else {
+            self.ops.push(Op::BcastRecv { op, root, expect: Some(count) });
+        }
+    }
+
+    fn gather_count(&mut self, root: usize, count: usize) {
+        assert!(root < self.size, "root rank {root} out of range");
+        let op = self.next_op();
+        if self.id == root {
+            self.ops.push(Op::GatherRoot { op, count });
+        } else {
+            self.ops.push(Op::GatherLeaf { op, root, count });
+        }
+    }
+
+    fn allgather_count(&mut self, count: usize) {
+        let gather_op = self.next_op();
+        let bcast_op = self.next_op();
+        if self.id == 0 {
+            self.ops.push(Op::GatherRoot { op: gather_op, count });
+            self.ops.push(Op::BcastRootDerived { op: bcast_op });
+        } else {
+            self.ops.push(Op::GatherLeaf { op: gather_op, root: 0, count });
+            self.ops.push(Op::BcastRecv { op: bcast_op, root: 0, expect: None });
+        }
+    }
+}
+
+/// An in-flight sized message (the fast-path `Message`).
+struct SimMsg {
+    source: usize,
+    tag: Tag,
+    sent_at: SimTime,
+    arrival: SimTime,
+    count: usize,
+}
+
+/// Collective slot state, mirroring `collectives::Slot` minus payloads.
+enum SimSlot {
+    Barrier { entries: Vec<Option<SimTime>>, reads: usize },
+    Gather { deposits: Vec<Option<(SimTime, usize)>> },
+    Bcast { deposit: Option<(SimTime, usize)>, reads: usize },
+}
+
+/// One rank's simulation state: the exact accumulator set of
+/// [`Rank`], advanced by the same float-op sequences.
+struct SimRank {
+    id: usize,
+    clock: SimTime,
+    compute_time: SimTime,
+    comm_time: SimTime,
+    wait_time: SimTime,
+    speed_flops: f64,
+    send_seq: Vec<u64>,
+    trace: RankTrace,
+    pc: usize,
+    last_gather_counts: Vec<usize>,
+}
+
+impl SimRank {
+    fn new(id: usize, cluster: &ClusterSpec) -> SimRank {
+        SimRank {
+            id,
+            clock: SimTime::ZERO,
+            compute_time: SimTime::ZERO,
+            comm_time: SimTime::ZERO,
+            wait_time: SimTime::ZERO,
+            speed_flops: cluster.nodes()[id].marked_speed_flops(),
+            send_seq: vec![0; cluster.size()],
+            trace: RankTrace::default(),
+            pc: 0,
+            last_gather_counts: Vec::new(),
+        }
+    }
+
+    fn push_record(
+        &mut self,
+        tracing: bool,
+        kind: OpKind,
+        start: SimTime,
+        end: SimTime,
+        bytes: u64,
+        peer: Option<usize>,
+    ) {
+        if tracing {
+            self.trace.records.push(TraceRecord { kind, start, end, bytes, peer });
+        }
+    }
+
+    fn record(
+        &mut self,
+        tracing: bool,
+        kind: OpKind,
+        start: SimTime,
+        bytes: u64,
+        peer: Option<usize>,
+    ) {
+        let end = self.clock;
+        self.push_record(tracing, kind, start, end, bytes, peer);
+    }
+
+    /// Mirrors [`Rank::compute_flops`] float-op for float-op.
+    fn compute(&mut self, tracing: bool, faults: Option<&FaultPlan>, flops: f64) {
+        let start = self.clock;
+        match faults.and_then(|p| p.windows_for(self.id)) {
+            Some(windows) => {
+                let end =
+                    hetsim_cluster::faults::degraded_end(windows, start, flops, self.speed_flops);
+                self.compute_time += end - start;
+                self.clock = end;
+            }
+            None => {
+                let dt = SimTime::from_secs(flops / self.speed_flops);
+                self.clock += dt;
+                self.compute_time += dt;
+            }
+        }
+        self.record(tracing, OpKind::Compute, start, 0, None);
+    }
+
+    /// Mirrors `Rank::charge_link_retries`.
+    fn charge_link_retries(
+        &mut self,
+        tracing: bool,
+        faults: Option<&FaultPlan>,
+        dest: usize,
+        bytes: u64,
+    ) {
+        let Some(plan) = faults else { return };
+        if plan.drop_per_mille() == 0 {
+            return;
+        }
+        let msg_index = self.send_seq[dest];
+        self.send_seq[dest] += 1;
+        match plan.send_retry_charge(self.id, dest, msg_index) {
+            Ok(charge) if charge.failed_attempts > 0 => {
+                let start = self.clock;
+                self.comm_time += charge.total;
+                self.clock += charge.total;
+                self.record(tracing, OpKind::Retry, start, bytes, Some(dest));
+            }
+            Ok(_) => {}
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Mirrors `Rank::charge_comm`.
+    fn charge_comm(
+        &mut self,
+        tracing: bool,
+        new_clock: SimTime,
+        kind: OpKind,
+        bytes: u64,
+        peer: Option<usize>,
+    ) {
+        debug_assert!(new_clock >= self.clock, "communication cannot rewind time");
+        let start = self.clock;
+        self.comm_time += new_clock - self.clock;
+        self.clock = new_clock;
+        self.record(tracing, kind, start, bytes, peer);
+    }
+
+    /// Mirrors `Rank::charge_comm_waited`.
+    fn charge_comm_waited(
+        &mut self,
+        tracing: bool,
+        ready: SimTime,
+        exit: SimTime,
+        kind: OpKind,
+        bytes: u64,
+        peer: Option<usize>,
+    ) {
+        let entry = self.clock;
+        debug_assert!(exit >= entry, "communication cannot rewind time");
+        let wait_end = ready.max(entry).min(exit);
+        if wait_end > entry {
+            self.wait_time += wait_end - entry;
+            self.push_record(tracing, OpKind::Wait, entry, wait_end, 0, peer);
+        }
+        self.comm_time += exit - entry;
+        self.clock = exit;
+        self.push_record(tracing, kind, wait_end, exit, bytes, peer);
+    }
+}
+
+/// Outcome of trying to execute one op.
+enum Step {
+    Progress,
+    Blocked,
+}
+
+/// Shared simulator state the ops rendezvous through.
+struct SimShared<'a> {
+    p: usize,
+    network: &'a dyn NetworkModel,
+    faults: Option<&'a FaultPlan>,
+    tracing: bool,
+    mailboxes: Vec<VecDeque<SimMsg>>,
+    slots: HashMap<u64, SimSlot>,
+}
+
+impl SimShared<'_> {
+    /// Root half of a broadcast (explicit or allgather-derived), with
+    /// the same operation order as [`Rank::broadcast_f64s`].
+    fn bcast_root(&mut self, rank: &mut SimRank, op: u64, count: usize) {
+        let bytes = (count * 8) as u64;
+        for peer in 0..self.p {
+            if peer != rank.id {
+                rank.charge_link_retries(self.tracing, self.faults, peer, bytes);
+            }
+        }
+        let cost = SimTime::from_secs(self.network.bcast_time(self.p, bytes));
+        let departure = rank.clock + cost;
+        let slot = self.slots.entry(op).or_insert(SimSlot::Bcast { deposit: None, reads: 0 });
+        let SimSlot::Bcast { deposit, .. } = slot else {
+            panic!("collective sequence mismatch: op {op} is not a bcast");
+        };
+        assert!(deposit.is_none(), "two roots deposited into bcast {op}");
+        *deposit = Some((departure, count));
+        if self.p == 1 {
+            self.slots.remove(&op);
+        }
+        rank.charge_comm(self.tracing, departure, OpKind::Bcast, bytes, None);
+    }
+
+    fn exec(&mut self, rank: &mut SimRank, op: &Op) -> Step {
+        match *op {
+            Op::Compute { flops } => {
+                rank.compute(self.tracing, self.faults, flops);
+                Step::Progress
+            }
+            Op::Send { dest, tag, count } => {
+                let bytes = (count * 8) as u64;
+                rank.charge_link_retries(self.tracing, self.faults, dest, bytes);
+                let sent_at = rank.clock;
+                let cost = SimTime::from_secs(self.network.p2p_time_between(rank.id, dest, bytes));
+                rank.charge_comm(self.tracing, rank.clock + cost, OpKind::Send, bytes, Some(dest));
+                self.mailboxes[dest].push_back(SimMsg {
+                    source: rank.id,
+                    tag,
+                    sent_at,
+                    arrival: rank.clock,
+                    count,
+                });
+                Step::Progress
+            }
+            Op::Recv { source, tag, expect } => {
+                let Some(idx) =
+                    self.mailboxes[rank.id].iter().position(|m| m.source == source && m.tag == tag)
+                else {
+                    return Step::Blocked;
+                };
+                let msg = self.mailboxes[rank.id].remove(idx).expect("index just found");
+                assert_eq!(
+                    msg.count, expect,
+                    "recv_count: payload size disagrees with the protocol"
+                );
+                let bytes = (msg.count * 8) as u64;
+                let exit = rank.clock.max(msg.arrival);
+                rank.charge_comm_waited(
+                    self.tracing,
+                    msg.sent_at,
+                    exit,
+                    OpKind::Recv,
+                    bytes,
+                    Some(source),
+                );
+                Step::Progress
+            }
+            Op::Barrier { op } => {
+                let slot = self
+                    .slots
+                    .entry(op)
+                    .or_insert_with(|| SimSlot::Barrier { entries: vec![None; self.p], reads: 0 });
+                let SimSlot::Barrier { entries, reads } = slot else {
+                    panic!("collective sequence mismatch: op {op} is not a barrier");
+                };
+                if entries[rank.id].is_none() {
+                    entries[rank.id] = Some(rank.clock);
+                }
+                if entries.iter().any(|e| e.is_none()) {
+                    return Step::Blocked;
+                }
+                let rendezvous =
+                    entries.iter().map(|e| e.expect("all present")).max().expect("p ≥ 1");
+                *reads += 1;
+                if *reads == self.p {
+                    self.slots.remove(&op);
+                }
+                let cost = SimTime::from_secs(self.network.barrier_time(self.p));
+                rank.charge_comm_waited(
+                    self.tracing,
+                    rendezvous,
+                    rendezvous + cost,
+                    OpKind::Barrier,
+                    0,
+                    None,
+                );
+                Step::Progress
+            }
+            Op::BcastRoot { op, count } => {
+                self.bcast_root(rank, op, count);
+                Step::Progress
+            }
+            Op::BcastRootDerived { op } => {
+                let count = self.p + rank.last_gather_counts.iter().sum::<usize>();
+                self.bcast_root(rank, op, count);
+                Step::Progress
+            }
+            Op::BcastRecv { op, root, expect } => match self.slots.get_mut(&op) {
+                Some(SimSlot::Bcast { deposit: Some((departure, count)), reads }) => {
+                    let (departure, count) = (*departure, *count);
+                    if let Some(expect) = expect {
+                        debug_assert_eq!(
+                            count, expect,
+                            "broadcast_count: size disagrees with the root"
+                        );
+                    }
+                    *reads += 1;
+                    if *reads == self.p - 1 {
+                        self.slots.remove(&op);
+                    }
+                    let bytes = (count * 8) as u64;
+                    rank.charge_comm(
+                        self.tracing,
+                        rank.clock.max(departure),
+                        OpKind::Bcast,
+                        bytes,
+                        Some(root),
+                    );
+                    Step::Progress
+                }
+                Some(SimSlot::Bcast { deposit: None, .. }) | None => Step::Blocked,
+                Some(_) => panic!("collective sequence mismatch: op {op} is not a bcast"),
+            },
+            Op::GatherRoot { op, count } => {
+                let slot = self
+                    .slots
+                    .entry(op)
+                    .or_insert_with(|| SimSlot::Gather { deposits: vec![None; self.p] });
+                let SimSlot::Gather { deposits } = slot else {
+                    panic!("collective sequence mismatch: op {op} is not a gather");
+                };
+                if deposits[rank.id].is_none() {
+                    deposits[rank.id] = Some((rank.clock, count));
+                }
+                if deposits.iter().any(|d| d.is_none()) {
+                    return Step::Blocked;
+                }
+                let Some(SimSlot::Gather { deposits }) = self.slots.remove(&op) else {
+                    unreachable!("checked above")
+                };
+                let deposits: Vec<(SimTime, usize)> =
+                    deposits.into_iter().map(|d| d.expect("all present")).collect();
+                let sizes: Vec<u64> = deposits.iter().map(|&(_, c)| (c * 8) as u64).collect();
+                let max_entry =
+                    deposits.iter().map(|&(t, _)| t).max().expect("at least the root deposited");
+                let cost = SimTime::from_secs(self.network.gather_time(&sizes, rank.id));
+                let total_bytes: u64 = sizes.iter().sum();
+                let ready = rank.clock.max(max_entry);
+                rank.charge_comm_waited(
+                    self.tracing,
+                    ready,
+                    ready + cost,
+                    OpKind::Gather,
+                    total_bytes,
+                    None,
+                );
+                rank.last_gather_counts = deposits.into_iter().map(|(_, c)| c).collect();
+                Step::Progress
+            }
+            Op::GatherLeaf { op, root, count } => {
+                let bytes = (count * 8) as u64;
+                rank.charge_link_retries(self.tracing, self.faults, root, bytes);
+                let slot = self
+                    .slots
+                    .entry(op)
+                    .or_insert_with(|| SimSlot::Gather { deposits: vec![None; self.p] });
+                let SimSlot::Gather { deposits } = slot else {
+                    panic!("collective sequence mismatch: op {op} is not a gather");
+                };
+                assert!(
+                    deposits[rank.id].is_none(),
+                    "rank {} deposited twice into gather {op}",
+                    rank.id
+                );
+                deposits[rank.id] = Some((rank.clock, count));
+                let cost = SimTime::from_secs(self.network.p2p_time_between(rank.id, root, bytes));
+                rank.charge_comm(
+                    self.tracing,
+                    rank.clock + cost,
+                    OpKind::Gather,
+                    bytes,
+                    Some(root),
+                );
+                Step::Progress
+            }
+        }
+    }
+}
+
+fn run_spmd_fast_inner<R, F, N>(
+    cluster: &ClusterSpec,
+    network: &N,
+    body: F,
+    tracing: bool,
+    faults: Option<&FaultPlan>,
+) -> SpmdOutcome<R>
+where
+    F: Fn(&mut RecordTimer) -> R,
+    N: NetworkModel,
+{
+    let p = cluster.size();
+
+    // Phase 1: record each rank's op list by running the body against a
+    // non-executing timer. Bodies are pure in their communication
+    // structure, so this is the sequence the threaded runtime would run.
+    let mut results = Vec::with_capacity(p);
+    let mut programs: Vec<Vec<Op>> = Vec::with_capacity(p);
+    for id in 0..p {
+        let mut timer = RecordTimer::new(id, p);
+        results.push(body(&mut timer));
+        programs.push(timer.ops);
+    }
+
+    // Phase 2: event-ordered replay. Round-robin run-until-blocked is
+    // sufficient because each op's virtual-time arithmetic depends only
+    // on message/slot contents, never on execution order — the same
+    // argument that makes the threaded runtime scheduling-independent.
+    let mut ranks: Vec<SimRank> = (0..p).map(|id| SimRank::new(id, cluster)).collect();
+    let mut shared = SimShared {
+        p,
+        network,
+        faults,
+        tracing,
+        mailboxes: (0..p).map(|_| VecDeque::new()).collect(),
+        slots: HashMap::new(),
+    };
+    loop {
+        let mut progressed = false;
+        for r in 0..p {
+            while ranks[r].pc < programs[r].len() {
+                let pc = ranks[r].pc;
+                match shared.exec(&mut ranks[r], &programs[r][pc]) {
+                    Step::Progress => {
+                        ranks[r].pc += 1;
+                        progressed = true;
+                    }
+                    Step::Blocked => break,
+                }
+            }
+        }
+        if ranks.iter().zip(&programs).all(|(rank, ops)| rank.pc >= ops.len()) {
+            break;
+        }
+        assert!(
+            progressed,
+            "fast-engine deadlock: no rank can progress (mismatched sends/receives \
+             or collective schedules)"
+        );
+    }
+
+    // Same protocol-hygiene checks as the threaded runtime.
+    for (id, mb) in shared.mailboxes.iter().enumerate() {
+        assert!(
+            mb.is_empty(),
+            "rank {id} finished with {} undelivered message(s) in its mailbox",
+            mb.len()
+        );
+    }
+    assert_eq!(
+        shared.slots.len(),
+        0,
+        "collective slots leaked — ranks disagreed on collective count"
+    );
+
+    let mut times = Vec::with_capacity(p);
+    let mut compute_times = Vec::with_capacity(p);
+    let mut comm_times = Vec::with_capacity(p);
+    let mut wait_times = Vec::with_capacity(p);
+    let mut traces = Vec::with_capacity(p);
+    for rank in &mut ranks {
+        times.push(rank.clock);
+        compute_times.push(rank.compute_time);
+        comm_times.push(rank.comm_time);
+        wait_times.push(rank.wait_time);
+        traces.push(std::mem::take(&mut rank.trace));
+    }
+    SpmdOutcome { results, times, compute_times, comm_times, wait_times, traces }
+}
+
+/// Runs `body` through the fast-path engine: same clocks, overhead
+/// split, and (when traced) spans as [`crate::run_spmd`] on an
+/// equivalent size-only body, without threads or payloads.
+///
+/// `body` is invoked once per rank against a [`RecordTimer`]; its return
+/// values populate `results` indexed by rank.
+///
+/// # Panics
+/// Panics on protocol bugs exactly like the threaded runtime: leaked
+/// messages, mismatched collective schedules, and (additionally) any op
+/// structure where no rank can make progress.
+pub fn run_spmd_fast<R, F, N>(cluster: &ClusterSpec, network: &N, body: F) -> SpmdOutcome<R>
+where
+    F: Fn(&mut RecordTimer) -> R,
+    N: NetworkModel,
+{
+    run_spmd_fast_inner(cluster, network, body, false, None)
+}
+
+/// [`run_spmd_fast`] with per-rank operation tracing enabled.
+pub fn run_spmd_fast_traced<R, F, N>(cluster: &ClusterSpec, network: &N, body: F) -> SpmdOutcome<R>
+where
+    F: Fn(&mut RecordTimer) -> R,
+    N: NetworkModel,
+{
+    run_spmd_fast_inner(cluster, network, body, true, None)
+}
+
+/// [`run_spmd_fast`] under a deterministic [`FaultPlan`] — the fast-path
+/// counterpart of [`crate::run_spmd_faulted`], bit-identical to it.
+///
+/// # Panics
+/// Panics if `plan` declares node deaths (resolve them first via
+/// [`FaultPlan::surviving_cluster`] / [`FaultPlan::for_survivors`]), and
+/// when a send exhausts its retry budget.
+pub fn run_spmd_fast_faulted<R, F, N>(
+    cluster: &ClusterSpec,
+    network: &N,
+    plan: &FaultPlan,
+    body: F,
+) -> SpmdOutcome<R>
+where
+    F: Fn(&mut RecordTimer) -> R,
+    N: NetworkModel,
+{
+    assert!(
+        plan.deaths().is_empty(),
+        "node deaths must be resolved before launch (surviving_cluster/for_survivors)"
+    );
+    run_spmd_fast_inner(cluster, network, body, false, Some(plan))
+}
+
+/// [`run_spmd_fast_faulted`] with per-rank operation tracing enabled.
+pub fn run_spmd_fast_faulted_traced<R, F, N>(
+    cluster: &ClusterSpec,
+    network: &N,
+    plan: &FaultPlan,
+    body: F,
+) -> SpmdOutcome<R>
+where
+    F: Fn(&mut RecordTimer) -> R,
+    N: NetworkModel,
+{
+    assert!(
+        plan.deaths().is_empty(),
+        "node deaths must be resolved before launch (surviving_cluster/for_survivors)"
+    );
+    run_spmd_fast_inner(cluster, network, body, true, Some(plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{run_spmd_faulted_traced, run_spmd_traced};
+    use hetsim_cluster::network::{ConstantLatency, MpichEthernet, SharedEthernet};
+    use hetsim_cluster::node::NodeSpec;
+
+    fn het3() -> ClusterSpec {
+        ClusterSpec::new(
+            "het3",
+            vec![
+                NodeSpec::synthetic("a", 90.0),
+                NodeSpec::synthetic("b", 50.0),
+                NodeSpec::synthetic("c", 110.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    /// A body exercising every op kind, with rank-skewed compute so
+    /// waits, rendezvous, and arrival orders are all non-trivial.
+    fn mixed_body<T: SpmdTimer>(t: &mut T) {
+        let me = t.rank();
+        let p = t.size();
+        t.compute_flops(1e6 * (me + 1) as f64);
+        if p > 1 {
+            if me == 0 {
+                for peer in 1..p {
+                    t.send_count(peer, Tag(5), 17 + peer);
+                }
+            } else {
+                t.recv_count(0, Tag(5), 17 + me);
+            }
+        }
+        t.barrier();
+        t.broadcast_count(p - 1, 33);
+        t.compute_flops(2.5e5 * (p - me) as f64);
+        t.gather_count(0, 3 * me + 1);
+        t.allgather_count(me + 2);
+        if p > 1 {
+            if me == p - 1 {
+                t.send_count(0, Tag(9), 4);
+            } else if me == 0 {
+                t.recv_count(p - 1, Tag(9), 4);
+            }
+        }
+        t.barrier();
+    }
+
+    fn assert_outcomes_match(fast: &SpmdOutcome<()>, threaded: &SpmdOutcome<()>) {
+        assert_eq!(fast.times, threaded.times, "clocks");
+        assert_eq!(fast.compute_times, threaded.compute_times, "compute");
+        assert_eq!(fast.comm_times, threaded.comm_times, "comm");
+        assert_eq!(fast.wait_times, threaded.wait_times, "wait");
+        assert_eq!(fast.traces, threaded.traces, "traces");
+    }
+
+    #[test]
+    fn fast_matches_threaded_on_mixed_program() {
+        let cluster = het3();
+        let net = SharedEthernet::new(0.3e-3, 1.25e7);
+        let fast = run_spmd_fast_traced(&cluster, &net, mixed_body);
+        let threaded = run_spmd_traced(&cluster, &net, |r| mixed_body(r));
+        assert_outcomes_match(&fast, &threaded);
+    }
+
+    fn check_network<N: NetworkModel>(cluster: &ClusterSpec, net: &N) {
+        let fast = run_spmd_fast_traced(cluster, net, mixed_body);
+        let threaded = run_spmd_traced(cluster, net, |r| mixed_body(r));
+        assert_outcomes_match(&fast, &threaded);
+    }
+
+    #[test]
+    fn fast_matches_threaded_across_networks() {
+        let cluster = het3();
+        check_network(&cluster, &SharedEthernet::new(1e-3, 1e6));
+        check_network(&cluster, &MpichEthernet::new(0.2e-3, 1e8));
+        check_network(&cluster, &ConstantLatency::new(2e-3));
+    }
+
+    #[test]
+    fn fast_matches_threaded_under_faults() {
+        let cluster = het3();
+        let net = SharedEthernet::new(0.3e-3, 1.25e7);
+        let plan = FaultPlan::new(7).with_straggler(1, 0.4).with_link_drops(250);
+        let fast = run_spmd_fast_faulted_traced(&cluster, &net, &plan, mixed_body);
+        let threaded = run_spmd_faulted_traced(&cluster, &net, &plan, |r| mixed_body(r));
+        assert_outcomes_match(&fast, &threaded);
+        let retries = fast
+            .traces
+            .iter()
+            .flat_map(|t| t.records.iter())
+            .filter(|r| r.kind == OpKind::Retry)
+            .count();
+        assert!(retries > 0, "a 25% drop rate over this program must hit at least once");
+    }
+
+    #[test]
+    fn fast_matches_threaded_on_single_rank() {
+        let cluster = ClusterSpec::homogeneous(1, 80.0);
+        let net = SharedEthernet::new(1e-3, 1e7);
+        let fast = run_spmd_fast_traced(&cluster, &net, mixed_body);
+        let threaded = run_spmd_traced(&cluster, &net, |r| mixed_body(r));
+        assert_outcomes_match(&fast, &threaded);
+        assert_eq!(fast.makespan(), fast.compute_times[0], "p = 1 collectives are free");
+    }
+
+    #[test]
+    fn fast_empty_fault_plan_is_bit_identical_to_unfaulted() {
+        let cluster = het3();
+        let net = SharedEthernet::new(0.3e-3, 1.25e7);
+        let plan = FaultPlan::new(123);
+        let base = run_spmd_fast(&cluster, &net, mixed_body);
+        let faulted = run_spmd_fast_faulted(&cluster, &net, &plan, mixed_body);
+        assert_eq!(base.times, faulted.times);
+        assert_eq!(base.comm_times, faulted.comm_times);
+    }
+
+    #[test]
+    fn fast_results_are_record_phase_returns() {
+        let cluster = ClusterSpec::homogeneous(4, 50.0);
+        let net = ConstantLatency::new(1e-3);
+        let outcome = run_spmd_fast(&cluster, &net, |t| {
+            t.barrier();
+            t.rank() * 10
+        });
+        assert_eq!(outcome.results, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn fast_engine_is_deterministic() {
+        let cluster = het3();
+        let net = MpichEthernet::new(0.2e-3, 1e8);
+        let run = || run_spmd_fast_traced(&cluster, &net, mixed_body);
+        let a = run();
+        let b = run();
+        assert_eq!(a.times, b.times);
+        assert_eq!(a.traces, b.traces);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn mismatched_recv_deadlocks_with_diagnostic() {
+        let cluster = ClusterSpec::homogeneous(2, 50.0);
+        let net = ConstantLatency::new(1e-3);
+        run_spmd_fast(&cluster, &net, |t| {
+            if t.rank() == 1 {
+                // Nobody ever sends this.
+                t.recv_count(0, Tag(99), 1);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "undelivered message")]
+    fn leaked_message_is_detected() {
+        let cluster = ClusterSpec::homogeneous(2, 50.0);
+        let net = ConstantLatency::new(1e-3);
+        run_spmd_fast(&cluster, &net, |t| {
+            if t.rank() == 0 {
+                t.send_count(1, Tag(1), 3);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "deaths must be resolved before launch")]
+    fn unresolved_deaths_are_rejected() {
+        let cluster = ClusterSpec::homogeneous(2, 50.0);
+        let plan = FaultPlan::new(0).with_death(1, SimTime::ZERO);
+        run_spmd_fast_faulted(&cluster, &ConstantLatency::new(1e-3), &plan, |_t| {});
+    }
+}

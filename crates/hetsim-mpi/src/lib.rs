@@ -74,11 +74,16 @@
 
 pub mod collectives;
 pub mod context;
+pub mod engine;
 pub mod message;
 pub mod runtime;
 pub mod trace;
 
 pub use context::Rank;
+pub use engine::{
+    run_spmd_fast, run_spmd_fast_faulted, run_spmd_fast_faulted_traced, run_spmd_fast_traced,
+    RecordTimer, SpmdTimer,
+};
 pub use message::Tag;
 pub use runtime::{
     run_spmd, run_spmd_faulted, run_spmd_faulted_traced, run_spmd_observed, run_spmd_traced,

@@ -10,6 +10,12 @@
 //! in the thousands at 32 nodes) affordable. The equivalence is pinned
 //! by `timed_matches_real_timings`, which runs both versions and
 //! compares every clock.
+//!
+//! The skeleton is written against [`SpmdTimer`], so it runs on either
+//! engine: the wrappers below price it on the fast path
+//! ([`run_spmd_fast`] — no threads, no payloads), while
+//! `fast_matches_threaded` pins the fast result to the threaded oracle
+//! executing the *same generic body*.
 
 use hetpart::{CyclicDistribution, Distribution};
 use hetsim_cluster::cluster::ClusterSpec;
@@ -17,7 +23,10 @@ use hetsim_cluster::faults::FaultPlan;
 use hetsim_cluster::network::NetworkModel;
 use hetsim_cluster::time::SimTime;
 use hetsim_mpi::trace::RankTrace;
-use hetsim_mpi::{run_spmd, run_spmd_faulted, run_spmd_faulted_traced, run_spmd_traced, Rank, Tag};
+use hetsim_mpi::{
+    run_spmd_fast, run_spmd_fast_faulted, run_spmd_fast_faulted_traced, run_spmd_fast_traced,
+    SpmdOutcome, SpmdTimer, Tag,
+};
 
 /// Timing result of a protocol-skeleton run.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +39,20 @@ pub struct TimingOutcome {
     pub times: Vec<SimTime>,
     /// Per-rank pure-compute time.
     pub compute_times: Vec<SimTime>,
+}
+
+impl TimingOutcome {
+    /// Condenses an [`SpmdOutcome`] into the timing summary, computing
+    /// the aggregates first and then *moving* the per-rank vectors out
+    /// (no clones).
+    pub fn from_spmd<R>(outcome: SpmdOutcome<R>) -> TimingOutcome {
+        TimingOutcome {
+            makespan: outcome.makespan(),
+            total_overhead: outcome.total_overhead(),
+            times: outcome.times,
+            compute_times: outcome.compute_times,
+        }
+    }
 }
 
 /// Flops charged for eliminating one row of length `len` — must match
@@ -65,13 +88,8 @@ pub fn ge_parallel_timed_with<N: NetworkModel>(
 ) -> TimingOutcome {
     assert_eq!(dist.n(), n, "distribution covers a different problem size");
     assert_eq!(dist.p(), cluster.size(), "distribution has a different rank count");
-    let outcome = run_spmd(cluster, network, |rank| ge_timed_body(rank, dist, n));
-    TimingOutcome {
-        makespan: outcome.makespan(),
-        total_overhead: outcome.total_overhead(),
-        times: outcome.times.clone(),
-        compute_times: outcome.compute_times.clone(),
-    }
+    let outcome = run_spmd_fast(cluster, network, |t| ge_timed_body(t, dist, n));
+    TimingOutcome::from_spmd(outcome)
 }
 
 /// [`ge_parallel_timed`] with per-rank operation tracing: returns the
@@ -85,16 +103,9 @@ pub fn ge_parallel_timed_traced<N: NetworkModel>(
 ) -> (TimingOutcome, Vec<RankTrace>) {
     let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
     let dist = CyclicDistribution::fine(n, &speeds);
-    let outcome = run_spmd_traced(cluster, network, |rank| ge_timed_body(rank, &dist, n));
-    (
-        TimingOutcome {
-            makespan: outcome.makespan(),
-            total_overhead: outcome.total_overhead(),
-            times: outcome.times.clone(),
-            compute_times: outcome.compute_times.clone(),
-        },
-        outcome.traces,
-    )
+    let mut outcome = run_spmd_fast_traced(cluster, network, |t| ge_timed_body(t, &dist, n));
+    let traces = std::mem::take(&mut outcome.traces);
+    (TimingOutcome::from_spmd(outcome), traces)
 }
 
 /// [`ge_parallel_timed`] under a deterministic [`FaultPlan`]: degraded
@@ -108,13 +119,8 @@ pub fn ge_parallel_timed_faulted<N: NetworkModel>(
 ) -> TimingOutcome {
     let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
     let dist = CyclicDistribution::fine(n, &speeds);
-    let outcome = run_spmd_faulted(cluster, network, plan, |rank| ge_timed_body(rank, &dist, n));
-    TimingOutcome {
-        makespan: outcome.makespan(),
-        total_overhead: outcome.total_overhead(),
-        times: outcome.times.clone(),
-        compute_times: outcome.compute_times.clone(),
-    }
+    let outcome = run_spmd_fast_faulted(cluster, network, plan, |t| ge_timed_body(t, &dist, n));
+    TimingOutcome::from_spmd(outcome)
 }
 
 /// [`ge_parallel_timed_faulted`] with per-rank tracing (retry charges
@@ -127,20 +133,13 @@ pub fn ge_parallel_timed_faulted_traced<N: NetworkModel>(
 ) -> (TimingOutcome, Vec<RankTrace>) {
     let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
     let dist = CyclicDistribution::fine(n, &speeds);
-    let outcome =
-        run_spmd_faulted_traced(cluster, network, plan, |rank| ge_timed_body(rank, &dist, n));
-    (
-        TimingOutcome {
-            makespan: outcome.makespan(),
-            total_overhead: outcome.total_overhead(),
-            times: outcome.times.clone(),
-            compute_times: outcome.compute_times.clone(),
-        },
-        outcome.traces,
-    )
+    let mut outcome =
+        run_spmd_fast_faulted_traced(cluster, network, plan, |t| ge_timed_body(t, &dist, n));
+    let traces = std::mem::take(&mut outcome.traces);
+    (TimingOutcome::from_spmd(outcome), traces)
 }
 
-fn ge_timed_body(rank: &mut Rank, dist: &CyclicDistribution, n: usize) {
+fn ge_timed_body<T: SpmdTimer>(rank: &mut T, dist: &CyclicDistribution, n: usize) {
     let me = rank.rank();
     let p = rank.size();
     let my_row_ids = dist.rows_of(me);
@@ -149,11 +148,10 @@ fn ge_timed_body(rank: &mut Rank, dist: &CyclicDistribution, n: usize) {
     if me == 0 {
         for peer in 1..p {
             let count = dist.rows_of(peer).len() * (n + 1);
-            rank.send_f64s(peer, Tag::DATA, &vec![0.0; count]);
+            rank.send_count(peer, Tag::DATA, count);
         }
     } else {
-        let packed = rank.recv_f64s(0, Tag::DATA);
-        assert_eq!(packed.len(), my_row_ids.len() * (n + 1));
+        rank.recv_count(0, Tag::DATA, my_row_ids.len() * (n + 1));
     }
 
     // Stage 2: elimination — same broadcasts, barriers, and charged
@@ -165,12 +163,7 @@ fn ge_timed_body(rank: &mut Rank, dist: &CyclicDistribution, n: usize) {
     for i in 0..n.saturating_sub(1) {
         let owner = dist.owner(i);
         let payload_len = n - i + 1;
-        if me == owner {
-            rank.broadcast_f64s(owner, Some(&vec![0.0; payload_len]));
-        } else {
-            let got = rank.broadcast_f64s(owner, None);
-            debug_assert_eq!(got.len(), payload_len);
-        }
+        rank.broadcast_count(owner, payload_len);
         while below_idx < my_rows_sorted.len() && my_rows_sorted[below_idx] <= i {
             below_idx += 1;
         }
@@ -180,10 +173,8 @@ fn ge_timed_body(rank: &mut Rank, dist: &CyclicDistribution, n: usize) {
     }
 
     // Stage 3: collection + sequential back substitution at rank 0.
-    let packed = vec![0.0; my_rows_sorted.len() * (n + 1)];
-    let gathered = rank.gather_f64s(0, &packed);
+    rank.gather_count(0, my_rows_sorted.len() * (n + 1));
     if me == 0 {
-        let _ = gathered.expect("rank 0 is the gather root");
         rank.compute_flops((n * n) as f64);
     }
 }
@@ -195,12 +186,10 @@ mod tests {
     use crate::matrix::Matrix;
     use hetsim_cluster::network::SharedEthernet;
     use hetsim_cluster::NodeSpec;
+    use hetsim_mpi::{run_spmd, run_spmd_faulted};
 
-    #[test]
-    fn timed_matches_real_timings() {
-        // The skeleton must be *timing-equivalent* to the real kernel:
-        // identical per-rank clocks, compute times, and overheads.
-        let cluster = ClusterSpec::new(
+    fn het3() -> ClusterSpec {
+        ClusterSpec::new(
             "het3",
             vec![
                 NodeSpec::synthetic("a", 90.0),
@@ -208,7 +197,14 @@ mod tests {
                 NodeSpec::synthetic("c", 110.0),
             ],
         )
-        .unwrap();
+        .unwrap()
+    }
+
+    #[test]
+    fn timed_matches_real_timings() {
+        // The skeleton must be *timing-equivalent* to the real kernel:
+        // identical per-rank clocks, compute times, and overheads.
+        let cluster = het3();
         let net = SharedEthernet::new(0.3e-3, 1.25e7);
         for n in [5usize, 17, 40] {
             let a = Matrix::random_diagonally_dominant(n, n as u64);
@@ -221,6 +217,39 @@ mod tests {
             assert_eq!(timed.compute_times, real.compute_times, "compute time mismatch at n = {n}");
             assert_eq!(timed.total_overhead, real.total_overhead, "overhead mismatch at n = {n}");
         }
+    }
+
+    #[test]
+    fn fast_matches_threaded() {
+        // Same generic body, both engines, bit-equal timings — the
+        // threaded runtime is the oracle for the fast path.
+        let cluster = het3();
+        let net = SharedEthernet::new(0.3e-3, 1.25e7);
+        for n in [5usize, 17, 40] {
+            let speeds: Vec<f64> =
+                cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
+            let dist = CyclicDistribution::fine(n, &speeds);
+            let fast = ge_parallel_timed(&cluster, &net, n);
+            let threaded = TimingOutcome::from_spmd(run_spmd(&cluster, &net, |rank| {
+                ge_timed_body(rank, &dist, n)
+            }));
+            assert_eq!(fast, threaded, "engine mismatch at n = {n}");
+        }
+    }
+
+    #[test]
+    fn fast_matches_threaded_under_faults() {
+        let cluster = het3();
+        let net = SharedEthernet::new(0.3e-3, 1.25e7);
+        let plan = FaultPlan::new(11).with_straggler(2, 0.5).with_link_drops(120);
+        let n = 23usize;
+        let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
+        let dist = CyclicDistribution::fine(n, &speeds);
+        let fast = ge_parallel_timed_faulted(&cluster, &net, &plan, n);
+        let threaded = TimingOutcome::from_spmd(run_spmd_faulted(&cluster, &net, &plan, |rank| {
+            ge_timed_body(rank, &dist, n)
+        }));
+        assert_eq!(fast, threaded);
     }
 
     #[test]

@@ -94,23 +94,35 @@ impl Matrix {
         &self.data
     }
 
-    /// Reference (sequential, ikj-order) matrix multiply.
+    /// Sequential matrix multiply, cache-blocked over `i` and `k`.
+    ///
+    /// The `j` loop stays a full-row axpy and the `k` accumulation order
+    /// within each `(i, j)` cell stays strictly ascending, so the result
+    /// is bit-equal to the plain ikj triple loop (`multiply_naive` in
+    /// the tests) — blocking only improves B-row reuse in cache.
     ///
     /// # Panics
     /// Panics on dimension mismatch.
     pub fn multiply(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        const BLOCK: usize = 64;
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = other.row(k);
-                let orow = out.row_mut(i);
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
+        for ib in (0..self.rows).step_by(BLOCK) {
+            let i_end = (ib + BLOCK).min(self.rows);
+            for kb in (0..self.cols).step_by(BLOCK) {
+                let k_end = (kb + BLOCK).min(self.cols);
+                for i in ib..i_end {
+                    for k in kb..k_end {
+                        let a = self[(i, k)];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let brow = other.row(k);
+                        let orow = out.row_mut(i);
+                        for (o, &b) in orow.iter_mut().zip(brow) {
+                            *o += a * b;
+                        }
+                    }
                 }
             }
         }
@@ -214,6 +226,52 @@ mod tests {
     #[should_panic(expected = "inner dimensions")]
     fn multiply_shape_mismatch_panics() {
         Matrix::zeros(2, 3).multiply(&Matrix::zeros(2, 3));
+    }
+
+    /// Plain ikj triple loop: the reference the blocked multiply must
+    /// reproduce bit-for-bit.
+    fn multiply_naive(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols, b.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(a.rows, b.cols);
+        for i in 0..a.rows {
+            for k in 0..a.cols {
+                let v = a[(i, k)];
+                if v == 0.0 {
+                    continue;
+                }
+                let brow = b.row(k);
+                let orow = out.row_mut(i);
+                for (o, &x) in orow.iter_mut().zip(brow) {
+                    *o += v * x;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_multiply_is_bit_equal_to_naive() {
+        // Sizes straddling the 64-wide block boundary, square and
+        // rectangular, plus a sparse case exercising the zero-skip.
+        for (m, k, n, seed) in
+            [(5usize, 7usize, 3usize, 1u64), (64, 64, 64, 2), (65, 130, 67, 3), (96, 33, 128, 4)]
+        {
+            let a = Matrix::random(m, k, seed);
+            let b = Matrix::random(k, n, seed + 100);
+            let blocked = a.multiply(&b);
+            let naive = multiply_naive(&a, &b);
+            assert_eq!(blocked.data(), naive.data(), "mismatch at {m}x{k}x{n}");
+        }
+        let mut sparse = Matrix::random(70, 70, 9);
+        for i in 0..70 {
+            for j in 0..70 {
+                if (i + j) % 3 != 0 {
+                    sparse[(i, j)] = 0.0;
+                }
+            }
+        }
+        let b = Matrix::random(70, 70, 10);
+        assert_eq!(sparse.multiply(&b).data(), multiply_naive(&sparse, &b).data());
     }
 
     #[test]

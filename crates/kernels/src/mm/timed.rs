@@ -1,6 +1,6 @@
-//! Timing-mode parallel MM: the HoHe protocol with zero-filled payloads
+//! Timing-mode parallel MM: the HoHe protocol with size-only messages
 //! and charged (not executed) arithmetic. See [`crate::ge::timed`] for
-//! why this is timing-exact.
+//! why this is timing-exact and how the two engines relate.
 
 use crate::ge::TimingOutcome;
 use hetpart::{BlockDistribution, Distribution};
@@ -8,7 +8,10 @@ use hetsim_cluster::cluster::ClusterSpec;
 use hetsim_cluster::faults::FaultPlan;
 use hetsim_cluster::network::NetworkModel;
 use hetsim_mpi::trace::RankTrace;
-use hetsim_mpi::{run_spmd, run_spmd_faulted, run_spmd_faulted_traced, run_spmd_traced, Rank, Tag};
+use hetsim_mpi::{
+    run_spmd_fast, run_spmd_fast_faulted, run_spmd_fast_faulted_traced, run_spmd_fast_traced,
+    SpmdTimer, Tag,
+};
 
 /// Runs the MM communication/computation skeleton at problem size `n`
 /// with the standard speed-proportional block distribution.
@@ -37,15 +40,8 @@ pub fn mm_parallel_timed_with<N: NetworkModel>(
 ) -> TimingOutcome {
     assert_eq!(dist.n(), n, "distribution covers a different problem size");
     assert_eq!(dist.p(), cluster.size(), "distribution has a different rank count");
-
-    let outcome = run_spmd(cluster, network, |rank| mm_timed_body(rank, dist, n));
-
-    TimingOutcome {
-        makespan: outcome.makespan(),
-        total_overhead: outcome.total_overhead(),
-        times: outcome.times.clone(),
-        compute_times: outcome.compute_times.clone(),
-    }
+    let outcome = run_spmd_fast(cluster, network, |t| mm_timed_body(t, dist, n));
+    TimingOutcome::from_spmd(outcome)
 }
 
 /// [`mm_parallel_timed`] with per-rank operation tracing, for the
@@ -57,16 +53,9 @@ pub fn mm_parallel_timed_traced<N: NetworkModel>(
 ) -> (TimingOutcome, Vec<RankTrace>) {
     let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
     let dist = BlockDistribution::proportional(n, &speeds);
-    let outcome = run_spmd_traced(cluster, network, |rank| mm_timed_body(rank, &dist, n));
-    (
-        TimingOutcome {
-            makespan: outcome.makespan(),
-            total_overhead: outcome.total_overhead(),
-            times: outcome.times.clone(),
-            compute_times: outcome.compute_times.clone(),
-        },
-        outcome.traces,
-    )
+    let mut outcome = run_spmd_fast_traced(cluster, network, |t| mm_timed_body(t, &dist, n));
+    let traces = std::mem::take(&mut outcome.traces);
+    (TimingOutcome::from_spmd(outcome), traces)
 }
 
 /// [`mm_parallel_timed`] under a deterministic [`FaultPlan`] (see
@@ -79,13 +68,8 @@ pub fn mm_parallel_timed_faulted<N: NetworkModel>(
 ) -> TimingOutcome {
     let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
     let dist = BlockDistribution::proportional(n, &speeds);
-    let outcome = run_spmd_faulted(cluster, network, plan, |rank| mm_timed_body(rank, &dist, n));
-    TimingOutcome {
-        makespan: outcome.makespan(),
-        total_overhead: outcome.total_overhead(),
-        times: outcome.times.clone(),
-        compute_times: outcome.compute_times.clone(),
-    }
+    let outcome = run_spmd_fast_faulted(cluster, network, plan, |t| mm_timed_body(t, &dist, n));
+    TimingOutcome::from_spmd(outcome)
 }
 
 /// [`mm_parallel_timed_faulted`] with per-rank tracing.
@@ -97,20 +81,13 @@ pub fn mm_parallel_timed_faulted_traced<N: NetworkModel>(
 ) -> (TimingOutcome, Vec<RankTrace>) {
     let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
     let dist = BlockDistribution::proportional(n, &speeds);
-    let outcome =
-        run_spmd_faulted_traced(cluster, network, plan, |rank| mm_timed_body(rank, &dist, n));
-    (
-        TimingOutcome {
-            makespan: outcome.makespan(),
-            total_overhead: outcome.total_overhead(),
-            times: outcome.times.clone(),
-            compute_times: outcome.compute_times.clone(),
-        },
-        outcome.traces,
-    )
+    let mut outcome =
+        run_spmd_fast_faulted_traced(cluster, network, plan, |t| mm_timed_body(t, &dist, n));
+    let traces = std::mem::take(&mut outcome.traces);
+    (TimingOutcome::from_spmd(outcome), traces)
 }
 
-fn mm_timed_body(rank: &mut Rank, dist: &BlockDistribution, n: usize) {
+fn mm_timed_body<T: SpmdTimer>(rank: &mut T, dist: &BlockDistribution, n: usize) {
     let me = rank.rank();
     let p = rank.size();
     let my_range = dist.range_of(me);
@@ -119,19 +96,14 @@ fn mm_timed_body(rank: &mut Rank, dist: &BlockDistribution, n: usize) {
     if me == 0 {
         for peer in 1..p {
             let r = dist.range_of(peer);
-            rank.send_f64s(peer, Tag::DATA, &vec![0.0; r.len() * n]);
+            rank.send_count(peer, Tag::DATA, r.len() * n);
         }
     } else {
-        let block = rank.recv_f64s(0, Tag::DATA);
-        assert_eq!(block.len(), my_range.len() * n);
+        rank.recv_count(0, Tag::DATA, my_range.len() * n);
     }
 
     // B broadcast.
-    if me == 0 {
-        rank.broadcast_f64s(0, Some(&vec![0.0; n * n]));
-    } else {
-        rank.broadcast_f64s(0, None);
-    }
+    rank.broadcast_count(0, n * n);
 
     // Local multiply: charged, not executed.
     let rows = my_range.len();
@@ -139,10 +111,7 @@ fn mm_timed_body(rank: &mut Rank, dist: &BlockDistribution, n: usize) {
     rank.compute_flops(flops);
 
     // C collection.
-    let gathered = rank.gather_f64s(0, &vec![0.0; rows * n]);
-    if me == 0 {
-        let _ = gathered.expect("rank 0 is the gather root");
-    }
+    rank.gather_count(0, rows * n);
 }
 
 #[cfg(test)]
@@ -152,10 +121,10 @@ mod tests {
     use crate::mm::mm_parallel;
     use hetsim_cluster::network::SharedEthernet;
     use hetsim_cluster::NodeSpec;
+    use hetsim_mpi::{run_spmd, run_spmd_faulted};
 
-    #[test]
-    fn timed_matches_real_timings() {
-        let cluster = ClusterSpec::new(
+    fn het3() -> ClusterSpec {
+        ClusterSpec::new(
             "het3",
             vec![
                 NodeSpec::synthetic("a", 45.0),
@@ -163,7 +132,12 @@ mod tests {
                 NodeSpec::synthetic("c", 110.0),
             ],
         )
-        .unwrap();
+        .unwrap()
+    }
+
+    #[test]
+    fn timed_matches_real_timings() {
+        let cluster = het3();
         let net = SharedEthernet::new(0.3e-3, 1.25e7);
         for n in [4usize, 15, 33] {
             let a = Matrix::random(n, n, 1);
@@ -175,6 +149,37 @@ mod tests {
             assert_eq!(timed.compute_times, real.compute_times, "compute time mismatch at n = {n}");
             assert_eq!(timed.total_overhead, real.total_overhead, "overhead mismatch at n = {n}");
         }
+    }
+
+    #[test]
+    fn fast_matches_threaded() {
+        let cluster = het3();
+        let net = SharedEthernet::new(0.3e-3, 1.25e7);
+        for n in [4usize, 15, 33] {
+            let speeds: Vec<f64> =
+                cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
+            let dist = BlockDistribution::proportional(n, &speeds);
+            let fast = mm_parallel_timed(&cluster, &net, n);
+            let threaded = TimingOutcome::from_spmd(run_spmd(&cluster, &net, |rank| {
+                mm_timed_body(rank, &dist, n)
+            }));
+            assert_eq!(fast, threaded, "engine mismatch at n = {n}");
+        }
+    }
+
+    #[test]
+    fn fast_matches_threaded_under_faults() {
+        let cluster = het3();
+        let net = SharedEthernet::new(0.3e-3, 1.25e7);
+        let plan = FaultPlan::new(21).with_link_drops(500).with_straggler(0, 0.6);
+        let n = 48usize;
+        let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
+        let dist = BlockDistribution::proportional(n, &speeds);
+        let fast = mm_parallel_timed_faulted(&cluster, &net, &plan, n);
+        let threaded = TimingOutcome::from_spmd(run_spmd_faulted(&cluster, &net, &plan, |rank| {
+            mm_timed_body(rank, &dist, n)
+        }));
+        assert_eq!(fast, threaded);
     }
 
     #[test]

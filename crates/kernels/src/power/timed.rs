@@ -1,13 +1,14 @@
 //! Timing-mode power iteration: identical distribution, allgather and
-//! charged flops; zero-filled payloads, no arithmetic. Equivalence is
-//! pinned in the parent module's tests.
+//! charged flops; size-only messages, no arithmetic. Equivalence is
+//! pinned in the parent module's tests and by `fast_matches_threaded`
+//! below.
 
 use crate::ge::TimingOutcome;
 use hetpart::BlockDistribution;
 use hetsim_cluster::cluster::ClusterSpec;
 use hetsim_cluster::network::NetworkModel;
 use hetsim_mpi::trace::RankTrace;
-use hetsim_mpi::{run_spmd, run_spmd_traced, Rank, Tag};
+use hetsim_mpi::{run_spmd_fast, run_spmd_fast_traced, SpmdTimer, Tag};
 
 /// Runs the power-method protocol skeleton: `iters` sweeps at size `n`.
 pub fn power_parallel_timed<N: NetworkModel>(
@@ -18,15 +19,8 @@ pub fn power_parallel_timed<N: NetworkModel>(
 ) -> TimingOutcome {
     let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
     let dist = BlockDistribution::proportional(n, &speeds);
-
-    let outcome = run_spmd(cluster, network, |rank| power_timed_body(rank, &dist, n, iters));
-
-    TimingOutcome {
-        makespan: outcome.makespan(),
-        total_overhead: outcome.total_overhead(),
-        times: outcome.times.clone(),
-        compute_times: outcome.compute_times.clone(),
-    }
+    let outcome = run_spmd_fast(cluster, network, |t| power_timed_body(t, &dist, n, iters));
+    TimingOutcome::from_spmd(outcome)
 }
 
 /// [`power_parallel_timed`] with per-rank operation tracing, for the
@@ -39,19 +33,13 @@ pub fn power_parallel_timed_traced<N: NetworkModel>(
 ) -> (TimingOutcome, Vec<RankTrace>) {
     let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
     let dist = BlockDistribution::proportional(n, &speeds);
-    let outcome = run_spmd_traced(cluster, network, |rank| power_timed_body(rank, &dist, n, iters));
-    (
-        TimingOutcome {
-            makespan: outcome.makespan(),
-            total_overhead: outcome.total_overhead(),
-            times: outcome.times.clone(),
-            compute_times: outcome.compute_times.clone(),
-        },
-        outcome.traces,
-    )
+    let mut outcome =
+        run_spmd_fast_traced(cluster, network, |t| power_timed_body(t, &dist, n, iters));
+    let traces = std::mem::take(&mut outcome.traces);
+    (TimingOutcome::from_spmd(outcome), traces)
 }
 
-fn power_timed_body(rank: &mut Rank, dist: &BlockDistribution, n: usize, iters: usize) {
+fn power_timed_body<T: SpmdTimer>(rank: &mut T, dist: &BlockDistribution, n: usize, iters: usize) {
     let me = rank.rank();
     let p = rank.size();
     let rows = dist.range_of(me).len();
@@ -59,17 +47,15 @@ fn power_timed_body(rank: &mut Rank, dist: &BlockDistribution, n: usize, iters: 
     if me == 0 {
         for peer in 1..p {
             let r = dist.range_of(peer);
-            rank.send_f64s(peer, Tag::DATA, &vec![0.0; r.len() * n]);
+            rank.send_count(peer, Tag::DATA, r.len() * n);
         }
     } else {
-        let block = rank.recv_f64s(0, Tag::DATA);
-        assert_eq!(block.len(), rows * n);
+        rank.recv_count(0, Tag::DATA, rows * n);
     }
 
-    let y_local = vec![0.0f64; rows];
     for _sweep in 0..iters {
         rank.compute_flops(2.0 * (rows * n) as f64);
-        let _ = rank.allgather_f64s(&y_local);
+        rank.allgather_count(rows);
         rank.compute_flops(2.0 * n as f64);
     }
 }
@@ -78,6 +64,8 @@ fn power_timed_body(rank: &mut Rank, dist: &BlockDistribution, n: usize, iters: 
 mod tests {
     use super::*;
     use hetsim_cluster::network::MpichEthernet;
+    use hetsim_cluster::NodeSpec;
+    use hetsim_mpi::run_spmd;
 
     #[test]
     fn timed_is_deterministic() {
@@ -87,6 +75,31 @@ mod tests {
             power_parallel_timed(&cluster, &net, 40, 5),
             power_parallel_timed(&cluster, &net, 40, 5)
         );
+    }
+
+    #[test]
+    fn fast_matches_threaded() {
+        let cluster = ClusterSpec::new(
+            "het4",
+            vec![
+                NodeSpec::synthetic("a", 90.0),
+                NodeSpec::synthetic("b", 50.0),
+                NodeSpec::synthetic("c", 110.0),
+                NodeSpec::synthetic("d", 75.0),
+            ],
+        )
+        .unwrap();
+        let net = MpichEthernet::new(1e-4, 1e8);
+        for (n, iters) in [(13usize, 3usize), (40, 5)] {
+            let speeds: Vec<f64> =
+                cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
+            let dist = BlockDistribution::proportional(n, &speeds);
+            let fast = power_parallel_timed(&cluster, &net, n, iters);
+            let threaded = TimingOutcome::from_spmd(run_spmd(&cluster, &net, |rank| {
+                power_timed_body(rank, &dist, n, iters)
+            }));
+            assert_eq!(fast, threaded, "engine mismatch at n = {n}, iters = {iters}");
+        }
     }
 
     #[test]

@@ -1,14 +1,14 @@
 //! Timing-mode stencil: same distribution, halo exchanges, charged
-//! flops and collection as [`super::stencil_parallel`], zero-filled
-//! payloads, no arithmetic. Timing equivalence is pinned by the tests
-//! in the parent module.
+//! flops and collection as [`super::stencil_parallel`], size-only
+//! messages, no arithmetic. Timing equivalence is pinned by the tests
+//! in the parent module and by `fast_matches_threaded` below.
 
 use crate::ge::TimingOutcome;
 use hetpart::BlockDistribution;
 use hetsim_cluster::cluster::ClusterSpec;
 use hetsim_cluster::network::NetworkModel;
 use hetsim_mpi::trace::RankTrace;
-use hetsim_mpi::{run_spmd, run_spmd_traced, Rank, Tag};
+use hetsim_mpi::{run_spmd_fast, run_spmd_fast_traced, SpmdTimer, Tag};
 
 const TAG_DOWN: Tag = Tag(10);
 const TAG_UP: Tag = Tag(11);
@@ -23,15 +23,8 @@ pub fn stencil_parallel_timed<N: NetworkModel>(
 ) -> TimingOutcome {
     let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
     let dist = BlockDistribution::proportional(n, &speeds);
-
-    let outcome = run_spmd(cluster, network, |rank| stencil_timed_body(rank, &dist, n, iters));
-
-    TimingOutcome {
-        makespan: outcome.makespan(),
-        total_overhead: outcome.total_overhead(),
-        times: outcome.times.clone(),
-        compute_times: outcome.compute_times.clone(),
-    }
+    let outcome = run_spmd_fast(cluster, network, |t| stencil_timed_body(t, &dist, n, iters));
+    TimingOutcome::from_spmd(outcome)
 }
 
 /// [`stencil_parallel_timed`] with per-rank operation tracing, for the
@@ -44,20 +37,18 @@ pub fn stencil_parallel_timed_traced<N: NetworkModel>(
 ) -> (TimingOutcome, Vec<RankTrace>) {
     let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
     let dist = BlockDistribution::proportional(n, &speeds);
-    let outcome =
-        run_spmd_traced(cluster, network, |rank| stencil_timed_body(rank, &dist, n, iters));
-    (
-        TimingOutcome {
-            makespan: outcome.makespan(),
-            total_overhead: outcome.total_overhead(),
-            times: outcome.times.clone(),
-            compute_times: outcome.compute_times.clone(),
-        },
-        outcome.traces,
-    )
+    let mut outcome =
+        run_spmd_fast_traced(cluster, network, |t| stencil_timed_body(t, &dist, n, iters));
+    let traces = std::mem::take(&mut outcome.traces);
+    (TimingOutcome::from_spmd(outcome), traces)
 }
 
-fn stencil_timed_body(rank: &mut Rank, dist: &BlockDistribution, n: usize, iters: usize) {
+fn stencil_timed_body<T: SpmdTimer>(
+    rank: &mut T,
+    dist: &BlockDistribution,
+    n: usize,
+    iters: usize,
+) {
     let me = rank.rank();
     let p = rank.size();
     let my_range = dist.range_of(me);
@@ -67,47 +58,44 @@ fn stencil_timed_body(rank: &mut Rank, dist: &BlockDistribution, n: usize, iters
     if me == 0 {
         for peer in 1..p {
             let r = dist.range_of(peer);
-            rank.send_f64s(peer, Tag::DATA, &vec![0.0; r.len() * n]);
+            rank.send_count(peer, Tag::DATA, r.len() * n);
         }
     } else {
-        let data = rank.recv_f64s(0, Tag::DATA);
-        assert_eq!(data.len(), rows * n);
+        rank.recv_count(0, Tag::DATA, rows * n);
     }
 
     // Sweeps: identical message pattern and charged flops.
     let prev = (0..me).rev().find(|&r| !dist.range_of(r).is_empty());
     let next = (me + 1..p).find(|&r| !dist.range_of(r).is_empty());
     if rows > 0 && n >= 3 && iters > 0 {
-        let halo = vec![0.0f64; n];
         let interior_rows = (my_range.start.max(1)..my_range.end.min(n - 1)).count();
         for _sweep in 0..iters {
             if let Some(prv) = prev {
-                rank.send_f64s(prv, TAG_UP, &halo);
+                rank.send_count(prv, TAG_UP, n);
             }
             if let Some(nxt) = next {
-                rank.send_f64s(nxt, TAG_DOWN, &halo);
+                rank.send_count(nxt, TAG_DOWN, n);
             }
             if let Some(prv) = prev {
-                let _ = rank.recv_f64s(prv, TAG_DOWN);
+                rank.recv_count(prv, TAG_DOWN, n);
             }
             if let Some(nxt) = next {
-                let _ = rank.recv_f64s(nxt, TAG_UP);
+                rank.recv_count(nxt, TAG_UP, n);
             }
             rank.compute_flops(4.0 * (interior_rows * (n - 2)) as f64);
         }
     }
 
     // Collection.
-    let gathered = rank.gather_f64s(0, &vec![0.0; rows * n]);
-    if me == 0 {
-        let _ = gathered.expect("rank 0 is the gather root");
-    }
+    rank.gather_count(0, rows * n);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use hetsim_cluster::network::MpichEthernet;
+    use hetsim_cluster::NodeSpec;
+    use hetsim_mpi::run_spmd;
 
     #[test]
     fn timed_is_deterministic() {
@@ -117,6 +105,31 @@ mod tests {
             stencil_parallel_timed(&cluster, &net, 48, 6),
             stencil_parallel_timed(&cluster, &net, 48, 6)
         );
+    }
+
+    #[test]
+    fn fast_matches_threaded() {
+        let cluster = ClusterSpec::new(
+            "het4",
+            vec![
+                NodeSpec::synthetic("a", 90.0),
+                NodeSpec::synthetic("b", 50.0),
+                NodeSpec::synthetic("c", 110.0),
+                NodeSpec::synthetic("d", 75.0),
+            ],
+        )
+        .unwrap();
+        let net = MpichEthernet::new(1e-4, 1e8);
+        for (n, iters) in [(9usize, 2usize), (48, 6)] {
+            let speeds: Vec<f64> =
+                cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
+            let dist = BlockDistribution::proportional(n, &speeds);
+            let fast = stencil_parallel_timed(&cluster, &net, n, iters);
+            let threaded = TimingOutcome::from_spmd(run_spmd(&cluster, &net, |rank| {
+                stencil_timed_body(rank, &dist, n, iters)
+            }));
+            assert_eq!(fast, threaded, "engine mismatch at n = {n}, iters = {iters}");
+        }
     }
 
     #[test]

@@ -144,10 +144,22 @@ impl EfficiencyCurve {
     pub fn measure(alg: &dyn AlgorithmSystem, ns: &[usize]) -> EfficiencyCurve {
         assert!(!ns.is_empty(), "need at least one problem size");
         let measurements: Vec<Measurement> = ns.iter().map(|&n| alg.measure(n)).collect();
+        EfficiencyCurve::from_measurements(alg.label(), measurements)
+    }
+
+    /// Packages already-taken measurements into a curve — the assembly
+    /// half of [`EfficiencyCurve::measure`], split out so harnesses can
+    /// take the measurements wherever they like (e.g. on a worker pool)
+    /// and still build the identical curve.
+    ///
+    /// # Panics
+    /// Panics when `measurements` is empty.
+    pub fn from_measurements(label: String, measurements: Vec<Measurement>) -> EfficiencyCurve {
+        assert!(!measurements.is_empty(), "need at least one problem size");
         let xs: Vec<f64> = measurements.iter().map(|m| m.n as f64).collect();
         let ys: Vec<f64> = measurements.iter().map(|m| m.speed_efficiency()).collect();
         let series = Series::from_samples(&xs, &ys).expect("finite measurements");
-        EfficiencyCurve { label: alg.label(), measurements, series }
+        EfficiencyCurve { label, measurements, series }
     }
 
     /// Fits the polynomial trend line (the paper uses a polynomial of
@@ -225,9 +237,33 @@ impl ScalabilityLadder {
         fit_degree: usize,
     ) -> Result<ScalabilityLadder, FitError> {
         assert!(systems.len() >= 2, "a ladder needs at least two configurations");
+        let curves: Vec<EfficiencyCurve> =
+            systems.iter().map(|alg| EfficiencyCurve::measure(*alg, ns)).collect();
+        ScalabilityLadder::from_curves(systems, &curves, target, fit_degree)
+    }
+
+    /// Builds the ladder from curves that were already measured — the
+    /// read-off half of [`ScalabilityLadder::measure`], split out so
+    /// harnesses can measure the per-rung curves in parallel (or reuse
+    /// curves built for a figure) and still assemble the identical
+    /// ladder. `curves[i]` must belong to `systems[i]`.
+    ///
+    /// # Errors
+    /// Fails when a rung's samples never reach the target efficiency.
+    ///
+    /// # Panics
+    /// Panics when fewer than two systems are supplied or the curve
+    /// count disagrees with the system count.
+    pub fn from_curves(
+        systems: &[&dyn AlgorithmSystem],
+        curves: &[EfficiencyCurve],
+        target: f64,
+        fit_degree: usize,
+    ) -> Result<ScalabilityLadder, FitError> {
+        assert!(systems.len() >= 2, "a ladder needs at least two configurations");
+        assert_eq!(systems.len(), curves.len(), "one curve per configuration");
         let mut required = Vec::with_capacity(systems.len());
-        for alg in systems {
-            let curve = EfficiencyCurve::measure(*alg, ns);
+        for (alg, curve) in systems.iter().zip(curves) {
             let n_real = curve.required_n(target, fit_degree)?;
             let n = n_real.round().max(1.0) as usize;
             required.push((alg.label(), alg.marked_speed_flops(), n, alg.work(n)));
@@ -361,6 +397,39 @@ mod tests {
         let b = analytic_system(1.4e8, 1e-3, "b");
         let ladder = ScalabilityLadder::measure(&[&a, &b], 0.3, &sizes(), 3).unwrap();
         assert!((ladder.steps[0].psi - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn from_measurements_rebuilds_the_measured_curve() {
+        let alg = analytic_system(1.4e8, 1e-3, "a");
+        let direct = EfficiencyCurve::measure(&alg, &sizes());
+        let rebuilt = EfficiencyCurve::from_measurements(alg.label(), direct.measurements.clone());
+        assert_eq!(rebuilt.label, direct.label);
+        assert_eq!(rebuilt.series.xs(), direct.series.xs());
+        assert_eq!(rebuilt.series.ys(), direct.series.ys());
+    }
+
+    #[test]
+    fn from_curves_matches_measure_exactly() {
+        let base = analytic_system(1.4e8, 1e-3, "2 nodes");
+        let scaled = analytic_system(2.4e8, 3e-3, "4 nodes");
+        let systems: [&dyn AlgorithmSystem; 2] = [&base, &scaled];
+        let curves: Vec<EfficiencyCurve> =
+            systems.iter().map(|s| EfficiencyCurve::measure(*s, &sizes())).collect();
+        let via_curves = ScalabilityLadder::from_curves(&systems, &curves, 0.3, 3).unwrap();
+        let direct = ScalabilityLadder::measure(&systems, 0.3, &sizes(), 3).unwrap();
+        assert_eq!(via_curves.required, direct.required);
+        assert_eq!(via_curves.steps, direct.steps);
+    }
+
+    #[test]
+    #[should_panic(expected = "one curve per configuration")]
+    fn from_curves_rejects_count_mismatch() {
+        let a = analytic_system(1e8, 1e-3, "a");
+        let b = analytic_system(1e8, 1e-3, "b");
+        let systems: [&dyn AlgorithmSystem; 2] = [&a, &b];
+        let curves = vec![EfficiencyCurve::measure(&a, &sizes())];
+        let _ = ScalabilityLadder::from_curves(&systems, &curves, 0.3, 3);
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Property-based equivalence of the two timing engines: for arbitrary
+//! SPMD programs on randomized clusters, network models, and fault
+//! plans, the payload-free fast engine must reproduce the threaded
+//! runtime's per-rank clocks, compute/comm/wait split, and fault retry
+//! charges exactly — the bit-identity contract of DESIGN.md §9, tested
+//! beyond the hand-picked kernel cases.
+
+use hetscale::hetsim_cluster::faults::FaultPlan;
+use hetscale::hetsim_cluster::network::{ConstantLatency, MpichEthernet, SharedEthernet};
+use hetscale::hetsim_cluster::{ClusterSpec, NodeSpec};
+use hetscale::hetsim_mpi::{
+    run_spmd, run_spmd_fast, run_spmd_fast_faulted_traced, run_spmd_faulted_traced, OpKind,
+    SpmdOutcome, SpmdTimer, Tag,
+};
+use proptest::prelude::*;
+
+fn het_cluster(p: usize, seed: u64) -> ClusterSpec {
+    let nodes = (0..p)
+        .map(|i| {
+            let speed = 30.0 + ((seed.wrapping_mul(31).wrapping_add(i as u64 * 17)) % 90) as f64;
+            NodeSpec::synthetic(format!("n{i}"), speed)
+        })
+        .collect();
+    ClusterSpec::new(format!("prop-{p}-{seed}"), nodes).expect("non-empty")
+}
+
+/// A parameterized SPMD program exercising every operation kind:
+/// rank-skewed compute, a ring exchange, root fan-out, and the full
+/// collective set, repeated `rounds` times so messages pile up in the
+/// mailboxes and waits chain across rounds.
+fn mixed_body<T: SpmdTimer>(t: &mut T, rounds: usize, n: usize) {
+    let me = t.rank();
+    let p = t.size();
+    for round in 0..rounds {
+        t.compute_flops((1 + me) as f64 * (7 + round) as f64 * 1e4);
+        if p > 1 {
+            let next = (me + 1) % p;
+            let prev = (me + p - 1) % p;
+            t.send_count(next, Tag(round as u32), n + me);
+            t.recv_count(prev, Tag(round as u32), n + prev);
+        }
+        t.barrier();
+        t.broadcast_count(round % p, n + round);
+        t.gather_count(0, 1 + (me + round) % 5);
+        t.allgather_count(1 + n % 4);
+        t.compute_flops((p - me) as f64 * 3e3);
+    }
+}
+
+fn assert_times_match<A, B>(fast: &SpmdOutcome<A>, threaded: &SpmdOutcome<B>) {
+    assert_eq!(fast.times, threaded.times, "per-rank clocks diverged");
+    assert_eq!(fast.compute_times, threaded.compute_times, "compute split diverged");
+    assert_eq!(fast.comm_times, threaded.comm_times, "comm split diverged");
+    assert_eq!(fast.wait_times, threaded.wait_times, "wait split diverged");
+}
+
+fn retry_counts(traces: &[hetscale::hetsim_mpi::RankTrace]) -> Vec<usize> {
+    traces.iter().map(|t| t.records.iter().filter(|r| r.kind == OpKind::Retry).count()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn engines_agree_on_random_programs_and_networks(
+        p in 1usize..6,
+        speeds_seed in 1u64..10_000,
+        rounds in 1usize..4,
+        n in 1usize..64,
+        net_choice in 0usize..3,
+    ) {
+        let cluster = het_cluster(p, speeds_seed);
+        let (fast, threaded) = match net_choice {
+            0 => {
+                let net = MpichEthernet::new(2e-4, 9e7);
+                (
+                    run_spmd_fast(&cluster, &net, |t| mixed_body(t, rounds, n)),
+                    run_spmd(&cluster, &net, |r| mixed_body(r, rounds, n)),
+                )
+            }
+            1 => {
+                let net = SharedEthernet::new(1.5e-4, 1.1e8);
+                (
+                    run_spmd_fast(&cluster, &net, |t| mixed_body(t, rounds, n)),
+                    run_spmd(&cluster, &net, |r| mixed_body(r, rounds, n)),
+                )
+            }
+            _ => {
+                let net = ConstantLatency::new(3e-4);
+                (
+                    run_spmd_fast(&cluster, &net, |t| mixed_body(t, rounds, n)),
+                    run_spmd(&cluster, &net, |r| mixed_body(r, rounds, n)),
+                )
+            }
+        };
+        assert_times_match(&fast, &threaded);
+        prop_assert_eq!(fast.makespan(), threaded.makespan());
+        prop_assert_eq!(fast.total_overhead(), threaded.total_overhead());
+        prop_assert_eq!(fast.total_wait(), threaded.total_wait());
+    }
+
+    #[test]
+    fn engines_agree_under_random_fault_plans(
+        p in 2usize..6,
+        speeds_seed in 1u64..10_000,
+        rounds in 1usize..3,
+        n in 1usize..48,
+        fault_seed in 0u64..1_000_000,
+        straggler in 0usize..6,
+        slowdown in 0.25f64..0.95,
+        drops in 0u16..600,
+    ) {
+        let cluster = het_cluster(p, speeds_seed);
+        let net = MpichEthernet::new(2e-4, 9e7);
+        let plan = FaultPlan::new(fault_seed)
+            .with_straggler(straggler % p, slowdown)
+            .with_link_drops(drops);
+        let fast =
+            run_spmd_fast_faulted_traced(&cluster, &net, &plan, |t| mixed_body(t, rounds, n));
+        let threaded =
+            run_spmd_faulted_traced(&cluster, &net, &plan, |r| mixed_body(r, rounds, n));
+        assert_times_match(&fast, &threaded);
+        prop_assert_eq!(&fast.traces, &threaded.traces, "traces diverged");
+        // Retry charges specifically: same drop schedule must be hit on
+        // both engines, message for message.
+        prop_assert_eq!(retry_counts(&fast.traces), retry_counts(&threaded.traces));
+    }
+}

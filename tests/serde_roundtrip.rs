@@ -6,6 +6,11 @@
 //! assert determinism, clone-equivalence, and named-field structure;
 //! `DeserializeOwned` bounds pin that every type also derives the
 //! deserialization half.
+//!
+//! Requires the real crates.io `serde` (the offline stub is
+//! typecheck-only), so the whole file is gated behind the off-by-default
+//! `serde-full` feature: `cargo test --features serde-full`.
+#![cfg(feature = "serde-full")]
 
 use hetscale::hetsim_cluster::calibrate::calibrate;
 use hetscale::hetsim_cluster::sunwulf;
