@@ -10,15 +10,22 @@ cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace --release
 
-# Perf gate: the quick experiment sweep must stay on the fast timing
-# engine. A generous 60 s budget (vs ~0.1 s measured — see
-# BENCH_FASTPATH.json) only trips on order-of-magnitude regressions,
-# e.g. kernels silently falling back to the thread-per-rank oracle.
+# CLI smoke: `--list` must enumerate the ids and exit 0.
+cargo run --release -p bench-tables -- --list
+
+# Perf gate: the experiment sweeps must stay on the fast timing engine.
+# The *full* ladders plus the fault and surface sweeps complete in well
+# under a second (see BENCH_SCHED.json); a generous 60 s budget only
+# trips on order-of-magnitude regressions, e.g. kernels silently
+# falling back to the thread-per-rank oracle or the GE closed form
+# losing its fast path.
 BUDGET_SECS=60
 start=$(date +%s)
-cargo run --release -p bench-tables -- --quick --faults
+cargo run --release -p bench-tables
+cargo run --release -p bench-tables -- --faults
+cargo run --release -p bench-tables -- surface
 elapsed=$(( $(date +%s) - start ))
 test "$elapsed" -le "$BUDGET_SECS" || {
-    echo "bench-tables --quick --faults took ${elapsed}s (budget ${BUDGET_SECS}s)" >&2
+    echo "full bench-tables + faults + surface took ${elapsed}s (budget ${BUDGET_SECS}s)" >&2
     exit 1
 }

@@ -156,12 +156,20 @@ impl<N: NetworkModel> AlgorithmSystem for FaultedSystem<'_, N> {
     }
     fn execute(&self, n: usize) -> f64 {
         match self.kernel {
-            Kernel::Ge => ge_parallel_timed_faulted(&self.cluster, self.network, &self.plan, n)
+            Kernel::Ge => {
+                crate::memo::cached("ge", &self.cluster, self.network, n, Some(&self.plan), || {
+                    ge_parallel_timed_faulted(&self.cluster, self.network, &self.plan, n)
+                })
                 .makespan
-                .as_secs(),
-            Kernel::Mm => mm_parallel_timed_faulted(&self.cluster, self.network, &self.plan, n)
+                .as_secs()
+            }
+            Kernel::Mm => {
+                crate::memo::cached("mm", &self.cluster, self.network, n, Some(&self.plan), || {
+                    mm_parallel_timed_faulted(&self.cluster, self.network, &self.plan, n)
+                })
                 .makespan
-                .as_secs(),
+                .as_secs()
+            }
         }
     }
 }

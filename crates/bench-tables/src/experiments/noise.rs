@@ -65,7 +65,8 @@ pub fn ablate_noise(sizes: &[usize], target: f64, degree: usize, seeds: u64) -> 
         SIGMAS.iter().flat_map(|&sigma| (0..seeds).map(move |seed| (sigma, seed))).collect();
     let campaigns: Vec<Option<[f64; 3]>> = pool::run_indexed(&cells, |_, &(sigma, seed)| {
         let net = JitteredNetwork::new(sunwulf::sunwulf_network(), sigma, seed + 1);
-        let curve = EfficiencyCurve::measure(&GeSystem::new(&cluster, &net), sizes);
+        let sys = GeSystem::new(&cluster, &net);
+        let curve = EfficiencyCurve::measure(&sys, sizes);
         read_offs(&curve, target, degree)
     });
 

@@ -30,6 +30,7 @@
 #![deny(unsafe_code)]
 
 pub mod experiments;
+pub mod memo;
 pub mod obs;
 pub mod params;
 pub mod plot;

@@ -1,10 +1,12 @@
 //! `bench-tables` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! bench-tables [--quick] [--faults] [--jobs N] [--csv DIR] [--trace-out DIR] [--metrics-out FILE] [ids...]
+//! bench-tables [--quick] [--faults] [--jobs N] [--list] [--csv DIR] [--trace-out DIR] [--metrics-out FILE] [ids...]
 //!   ids: t1 t2 f1 t3 t4 f2 t5 t6 t7 compare x2 decomp ablate-dist
-//!        ablate-net ablate-fit ablate-place ext-mp faults all   (default: all)
+//!        ablate-net ablate-fit ablate-place ext-mp faults surface all   (default: all)
 //! ```
+//!
+//! `--list` prints every id with a one-line description and exits.
 //!
 //! `--jobs N` bounds the worker pool the experiment cells run on
 //! (default: the machine's available parallelism). Output is
@@ -16,6 +18,10 @@
 //! retry/timeout/backoff, and a declared node death — and reports
 //! scalability under each severity. It is opt-in: `all` excludes it.
 //!
+//! `surface` runs the X3 ψ-surface sweep: every ordered rung pair of a
+//! scaled Sunwulf ladder (up to the whole 85-node machine), per kernel,
+//! with fitted-trend inversions per rung. Also opt-in: `all` excludes it.
+//!
 //! `--trace-out` writes Chrome-trace JSON plus round-trippable JSONL
 //! traces of one observed run per kernel; `--metrics-out` writes the
 //! combined metrics document (per-kind fractions, activity split,
@@ -23,40 +29,46 @@
 //! invocations produce byte-identical files.
 
 use bench_tables::experiments::{
-    ablate, baselines, compare, decomp, ext, f1, f2t5, faults, noise, t1, t2, t3t4, t6t7, validate,
-    x2,
+    ablate, baselines, compare, decomp, ext, f1, f2t5, faults, noise, surface, t1, t2, t3t4, t6t7,
+    validate, x2,
 };
 use bench_tables::{obs, ExperimentParams, Table};
 use std::collections::BTreeSet;
 use std::path::Path;
 
-/// Every experiment id the CLI accepts. `faults` is opt-in (via the id
-/// or `--faults`): it is not part of `all`.
-const KNOWN_IDS: &[&str] = &[
-    "t1",
-    "t2",
-    "f1",
-    "t3",
-    "t4",
-    "f2",
-    "t5",
-    "t6",
-    "t7",
-    "compare",
-    "x2",
-    "decomp",
-    "ablate-dist",
-    "ablate-net",
-    "ablate-fit",
-    "ablate-place",
-    "ablate-sched",
-    "ablate-noise",
-    "validate",
-    "baselines",
-    "ext-mp",
-    "faults",
-    "all",
+/// Every experiment id the CLI accepts, with the one-line description
+/// `--list` prints. `faults` (via the id or `--faults`) and `surface`
+/// are opt-in: neither is part of `all`.
+const KNOWN_IDS_WITH_DESCRIPTIONS: &[(&str, &str)] = &[
+    ("t1", "Table 1 — the Sunwulf node inventory and marked speeds"),
+    ("t2", "Table 2 — GE speed-efficiency samples on the two-node system"),
+    ("f1", "Fig. 1 — GE efficiency curve and trend line at two nodes"),
+    ("t3", "Table 3 — required rank for the GE target per ladder rung"),
+    ("t4", "Table 4 — measured GE scalability between consecutive rungs"),
+    ("f2", "Fig. 2 — MM speed-efficiency curves across the ladder"),
+    ("t5", "Table 5 — measured MM scalability between consecutive rungs"),
+    ("t6", "Table 6 — predicted vs measured required rank (GE)"),
+    ("t7", "Table 7 — predicted vs measured scalability (GE)"),
+    ("compare", "GE vs MM scalability comparison (§4.4.3)"),
+    ("x2", "extension — three-way GE/MM/stencil/power scalability"),
+    ("decomp", "extension — overhead decomposition of the GE ladder"),
+    ("ablate-dist", "ablation — row-distribution strategies"),
+    ("ablate-net", "ablation — network-model throughput regimes"),
+    ("ablate-fit", "ablation — trend-line polynomial degree"),
+    ("ablate-place", "ablation — rank placement on segmented networks"),
+    ("ablate-sched", "ablation — collective scheduling variants"),
+    ("ablate-noise", "ablation — required-N read-off under frozen noise"),
+    ("validate", "model validation against the analytic predictions"),
+    ("baselines", "baseline metrics (speedup, iso-efficiency) side by side"),
+    ("ext-mp", "extension — marked-performance composition rules"),
+    ("faults", "opt-in — scalability under deterministic fault injection"),
+    ("surface", "opt-in — psi(C, C') surface over scaled Sunwulf rungs"),
+    ("all", "every id above except the opt-in ones (the default)"),
 ];
+
+fn known_id(id: &str) -> bool {
+    KNOWN_IDS_WITH_DESCRIPTIONS.iter().any(|(known, _)| *known == id)
+}
 
 fn main() {
     let mut quick = false;
@@ -87,17 +99,20 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse::<usize>().ok())
                     .unwrap_or_else(|| usage("--jobs needs a worker count"));
-                bench_tables::pool::set_jobs(n);
+                bench_tables::pool::set_jobs(n)
+                    .unwrap_or_else(|e| usage(&format!("--jobs given twice: {e}")));
             }
+            "--list" => list(),
             "--help" | "-h" => usage(""),
             flag if flag.starts_with('-') => usage(&format!("unknown flag {flag}")),
-            id if !KNOWN_IDS.contains(&id) => usage(&format!("unknown experiment id {id}")),
+            id if !known_id(id) => usage(&format!("unknown experiment id {id}")),
             id => {
                 ids.insert(id.to_string());
             }
         }
     }
     let faults_requested = ids.contains("faults");
+    let surface_requested = ids.contains("surface");
     if ids.is_empty() || ids.contains("all") {
         ids = [
             "t1",
@@ -235,6 +250,11 @@ fn main() {
         emit(table);
         println!("{report}");
     }
+    if surface_requested {
+        for table in surface::psi_surface(&params, quick) {
+            emit(table);
+        }
+    }
 
     if trace_dir.is_some() || metrics_path.is_some() {
         let mut runs = obs::observed_runs(quick);
@@ -279,15 +299,26 @@ fn fail(msg: &str) -> ! {
     std::process::exit(1);
 }
 
+/// `--list`: every accepted id with its one-line description, to stdout.
+fn list() -> ! {
+    let width =
+        KNOWN_IDS_WITH_DESCRIPTIONS.iter().map(|(id, _)| id.len()).max().unwrap_or_default();
+    for (id, description) in KNOWN_IDS_WITH_DESCRIPTIONS {
+        println!("{id:width$}  {description}");
+    }
+    std::process::exit(0);
+}
+
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: bench-tables [--quick] [--faults] [--jobs N] [--csv DIR] [--trace-out DIR] [--metrics-out FILE] [ids...]\n\
-         ids: t1 t2 f1 t3 t4 f2 t5 t6 t7 compare x2 decomp ablate-dist ablate-net ablate-fit ablate-place ablate-sched ablate-noise validate baselines ext-mp faults all\n\
-         `faults` (or --faults) runs the fault-injection sweep; it is opt-in and not part of `all`.\n\
-         `--jobs N` caps the experiment worker pool (default: available parallelism; output is byte-identical for every N)."
+        "usage: bench-tables [--quick] [--faults] [--jobs N] [--list] [--csv DIR] [--trace-out DIR] [--metrics-out FILE] [ids...]\n\
+         ids: t1 t2 f1 t3 t4 f2 t5 t6 t7 compare x2 decomp ablate-dist ablate-net ablate-fit ablate-place ablate-sched ablate-noise validate baselines ext-mp faults surface all\n\
+         `faults` (or --faults) runs the fault-injection sweep; `surface` runs the psi-surface sweep on scaled Sunwulf rungs. Both are opt-in and not part of `all`.\n\
+         `--jobs N` caps the experiment worker pool (default: available parallelism; output is byte-identical for every N).\n\
+         `--list` prints every id with a one-line description and exits."
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

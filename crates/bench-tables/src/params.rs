@@ -60,6 +60,42 @@ impl ExperimentParams {
     }
 }
 
+/// Node counts of the ψ-surface sweep (X3). The full sweep extends the
+/// paper's ladder onto scaled Sunwulf rungs up to the whole 85-node
+/// machine (1 server + 64 SunBlades + 20 V210s ⇒ 85 ranks); quick stops
+/// at 16 nodes so the smoke run stays fast.
+pub fn surface_rungs(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![2, 4, 8, 16]
+    } else {
+        vec![2, 4, 8, 16, 32, 64, 85]
+    }
+}
+
+/// Relative multipliers of the per-rung anchor size — one column of the
+/// ψ surface. Wide enough that the target-efficiency crossing is
+/// interior at every rung, dense enough near 1.0 that the fitted-trend
+/// inversion resolves the crossing sharply.
+const SURFACE_GRID: [f64; 9] = [0.45, 0.6, 0.75, 0.9, 1.0, 1.15, 1.35, 1.55, 1.8];
+
+/// Dense problem-size grid for one GE surface rung. The measured GE
+/// ladder pins required `N` ≈ 150·p across the paper's rungs (301 at
+/// p = 2, 4727 at p = 32 — Table 3), so the anchor extrapolates
+/// linearly to the scaled rungs and the grid brackets it.
+pub fn surface_ge_sizes(p: usize) -> Vec<usize> {
+    let anchor = 150.0 * p as f64;
+    SURFACE_GRID.iter().map(|m| (m * anchor).round() as usize).collect()
+}
+
+/// Dense problem-size grid for one MM surface rung. MM's required `N`
+/// grows sublinearly (≈ 20 at p = 2 crossing to ≈ 210 at p = 32 — the
+/// Fig. 2 sweep), consistent with a `N ∝ p^0.86` power law; the anchor
+/// follows it so the crossing stays interior out to 85 nodes.
+pub fn surface_mm_sizes(p: usize) -> Vec<usize> {
+    let anchor = 20.0 * (p as f64 / 2.0).powf(0.856);
+    SURFACE_GRID.iter().map(|m| (m * anchor).round().max(4.0) as usize).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +123,32 @@ mod tests {
         let f = ExperimentParams::full();
         assert!(q.ge_ladder.len() < f.ge_ladder.len());
         assert!(q.ge_sizes.last().unwrap() < f.ge_sizes.last().unwrap());
+    }
+
+    #[test]
+    fn surface_rungs_extend_the_paper_ladder() {
+        let full = surface_rungs(false);
+        assert_eq!(*full.last().unwrap(), 85, "full sweep reaches the whole machine");
+        assert!(full.windows(2).all(|w| w[0] < w[1]));
+        let quick = surface_rungs(true);
+        assert!(quick.len() < full.len());
+        assert!(quick.iter().all(|p| full.contains(p)));
+    }
+
+    #[test]
+    fn surface_grids_bracket_the_measured_anchors() {
+        // Table 3: required N = 301 at p = 2, 4727 at p = 32; the MM
+        // sweep crosses 0.2 near N ≈ 210 at p = 32. Each anchor must be
+        // interior to its rung's grid or the inversion cannot succeed.
+        for (p, n) in [(2usize, 301usize), (32, 4727)] {
+            let grid = surface_ge_sizes(p);
+            assert!(grid.windows(2).all(|w| w[0] < w[1]), "GE grid not increasing at p = {p}");
+            assert!(grid[0] < n && n < *grid.last().unwrap(), "GE anchor {n} exits grid {grid:?}");
+        }
+        for (p, n) in [(2usize, 20usize), (32, 210)] {
+            let grid = surface_mm_sizes(p);
+            assert!(grid.windows(2).all(|w| w[0] < w[1]), "MM grid not increasing at p = {p}");
+            assert!(grid[0] < n && n < *grid.last().unwrap(), "MM anchor {n} exits grid {grid:?}");
+        }
     }
 }

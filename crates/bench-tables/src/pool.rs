@@ -24,13 +24,27 @@ use std::sync::{Mutex, OnceLock};
 
 static JOBS: OnceLock<usize> = OnceLock::new();
 
+/// The worker count was already fixed — [`set_jobs`] was called twice
+/// (or after the pool's first use defaulted it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobsAlreadySet;
+
+impl std::fmt::Display for JobsAlreadySet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker count already fixed for this process")
+    }
+}
+
+impl std::error::Error for JobsAlreadySet {}
+
 /// Fixes the worker count for the rest of the process. Call at most
 /// once, before any parallel work; zero is clamped to one.
 ///
-/// # Panics
-/// Panics when the worker count was already fixed.
-pub fn set_jobs(n: usize) {
-    JOBS.set(n.max(1)).expect("worker count already fixed for this process");
+/// # Errors
+/// Returns [`JobsAlreadySet`] when the worker count was already fixed
+/// (a second call, or a call after the pool defaulted it on first use).
+pub fn set_jobs(n: usize) -> Result<(), JobsAlreadySet> {
+    JOBS.set(n.max(1)).map_err(|_| JobsAlreadySet)
 }
 
 /// The worker count: the value fixed by [`set_jobs`], or the machine's
@@ -121,6 +135,17 @@ mod tests {
                 "assembly diverged at {workers} workers"
             );
         }
+    }
+
+    #[test]
+    fn second_set_jobs_reports_instead_of_panicking() {
+        // The process-wide slot may or may not be taken already
+        // (depending on test order), so drive both outcomes through the
+        // first call's result: whichever way it lands, the *second*
+        // call must return the error — never panic.
+        let _ = set_jobs(3);
+        let err = set_jobs(5).expect_err("second set_jobs must be rejected");
+        assert_eq!(err.to_string(), "worker count already fixed for this process");
     }
 
     #[test]

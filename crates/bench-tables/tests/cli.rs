@@ -36,6 +36,31 @@ fn unknown_flag_exits_two_with_one_line_error() {
 }
 
 #[test]
+fn list_exits_zero_and_names_every_id() {
+    let out = run(&["--list"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for id in ["t1", "t3", "faults", "surface", "all"] {
+        assert!(
+            stdout.lines().any(|l| l.split_whitespace().next() == Some(id)),
+            "--list must name {id}: {stdout}"
+        );
+    }
+    // Listing must not run any experiment (tables render as `== title ==`).
+    assert!(!stdout.contains("== "), "--list must not emit tables: {stdout}");
+}
+
+#[test]
+fn repeated_jobs_flag_exits_two() {
+    let out = run(&["--jobs", "2", "--jobs", "3", "t1"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("error: --jobs given twice"), "got: {err}");
+    assert!(err.contains("worker count already fixed"), "got: {err}");
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+}
+
+#[test]
 fn unknown_experiment_id_exits_two() {
     let out = run(&["--quick", "t1", "no-such-table"]);
     assert_eq!(out.status.code(), Some(2));
@@ -68,6 +93,16 @@ fn unwritable_trace_dir_exits_one() {
     let err = stderr(&out);
     assert!(err.contains("error: cannot write trace directory"), "got: {err}");
     assert!(!err.contains("panicked"), "must not panic: {err}");
+}
+
+#[test]
+fn surface_id_emits_the_psi_surface_tables() {
+    let out = run(&["--quick", "surface"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("X3 GE surface"), "missing GE matrix: {stdout}");
+    assert!(stdout.contains("X3 MM inversions"), "missing MM inversions: {stdout}");
+    assert!(stdout.contains("psi(C, C')"), "missing psi header: {stdout}");
 }
 
 #[test]

@@ -60,6 +60,15 @@ impl ClusterSpec {
         self.marked_speed_mflops() * 1e6
     }
 
+    /// Structural identity for memoization keys: the per-rank marked
+    /// speed bits, in rank order. Two clusters with equal fingerprints
+    /// produce identical virtual timings for any kernel, because the
+    /// runtime reads nothing else from a node — labels and node kinds
+    /// are reporting metadata and deliberately excluded.
+    pub fn fingerprint(&self) -> Vec<u64> {
+        self.nodes.iter().map(|n| n.marked_speed_mflops.to_bits()).collect()
+    }
+
     /// Relative speed fractions `Cᵢ / C`, which drive proportional data
     /// distribution. Sums to 1 up to rounding.
     pub fn speed_fractions(&self) -> Vec<f64> {

@@ -274,6 +274,35 @@ impl FaultPlan {
         &self.deaths
     }
 
+    /// Structural identity for memoization keys: every field the runtime
+    /// reads, flattened to words (floats as `to_bits`, maps in key
+    /// order). Two plans with equal fingerprints charge identical
+    /// degradation and retry time to any program.
+    pub fn fingerprint(&self) -> Vec<u64> {
+        let mut fp = vec![
+            self.seed,
+            self.drop_per_mille as u64,
+            self.retry.max_retries as u64,
+            self.retry.timeout.as_secs().to_bits(),
+            self.retry.backoff_base.as_secs().to_bits(),
+            self.retry.backoff_max.as_secs().to_bits(),
+        ];
+        for (&rank, windows) in &self.degradations {
+            for w in windows {
+                fp.push(rank as u64);
+                fp.push(w.start.as_secs().to_bits());
+                fp.push(w.end.map_or(u64::MAX, |e| e.as_secs().to_bits()));
+                fp.push(w.multiplier.to_bits());
+            }
+        }
+        for (&rank, &at) in &self.deaths {
+            fp.push(u64::MAX);
+            fp.push(rank as u64);
+            fp.push(at.as_secs().to_bits());
+        }
+        fp
+    }
+
     /// True when the plan injects nothing at all.
     pub fn is_empty(&self) -> bool {
         self.degradations.values().all(Vec::is_empty)

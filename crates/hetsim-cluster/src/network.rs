@@ -58,6 +58,17 @@ pub trait NetworkModel: Send + Sync {
 
     /// Short label for reports.
     fn label(&self) -> &'static str;
+
+    /// Structural identity of the model, for memoization keys: two
+    /// models with equal fingerprints must assign identical costs to
+    /// every operation. The encoding is a tag word followed by the
+    /// model's parameter bits (`f64::to_bits`), so distinct model types
+    /// never collide. Returns `None` (the default) when the model has
+    /// no stable structural identity — callers must then treat its
+    /// results as uncacheable.
+    fn fingerprint(&self) -> Option<Vec<u64>> {
+        None
+    }
 }
 
 impl<T: NetworkModel + ?Sized> NetworkModel for &T {
@@ -85,6 +96,9 @@ impl<T: NetworkModel + ?Sized> NetworkModel for &T {
     fn label(&self) -> &'static str {
         (**self).label()
     }
+    fn fingerprint(&self) -> Option<Vec<u64>> {
+        (**self).fingerprint()
+    }
 }
 
 impl<T: NetworkModel + ?Sized> NetworkModel for Box<T> {
@@ -111,6 +125,9 @@ impl<T: NetworkModel + ?Sized> NetworkModel for Box<T> {
     }
     fn label(&self) -> &'static str {
         (**self).label()
+    }
+    fn fingerprint(&self) -> Option<Vec<u64>> {
+        (**self).fingerprint()
     }
 }
 
@@ -168,6 +185,9 @@ impl NetworkModel for ConstantLatency {
     fn label(&self) -> &'static str {
         "constant-latency"
     }
+    fn fingerprint(&self) -> Option<Vec<u64>> {
+        Some(vec![1, self.latency.to_bits()])
+    }
 }
 
 /// Full-bisection switched network with per-message latency `alpha` and
@@ -218,6 +238,9 @@ impl NetworkModel for SwitchedNetwork {
     }
     fn label(&self) -> &'static str {
         "switched"
+    }
+    fn fingerprint(&self) -> Option<Vec<u64>> {
+        Some(vec![2, self.alpha.to_bits(), self.beta.to_bits()])
     }
 }
 
@@ -272,6 +295,9 @@ impl NetworkModel for SharedEthernet {
     }
     fn label(&self) -> &'static str {
         "shared-ethernet"
+    }
+    fn fingerprint(&self) -> Option<Vec<u64>> {
+        Some(vec![3, self.alpha.to_bits(), self.beta.to_bits()])
     }
 }
 
@@ -333,6 +359,9 @@ impl NetworkModel for MpichEthernet {
     }
     fn label(&self) -> &'static str {
         "mpich-ethernet"
+    }
+    fn fingerprint(&self) -> Option<Vec<u64>> {
+        Some(vec![4, self.alpha.to_bits(), self.beta.to_bits()])
     }
 }
 
@@ -401,6 +430,11 @@ impl<M: NetworkModel> NetworkModel for JitteredNetwork<M> {
     }
     fn label(&self) -> &'static str {
         "jittered"
+    }
+    fn fingerprint(&self) -> Option<Vec<u64>> {
+        let mut fp = vec![5, self.sigma.to_bits(), self.seed];
+        fp.extend(self.inner.fingerprint()?);
+        Some(fp)
     }
 }
 

@@ -13,7 +13,12 @@
 //!    communication at all and instead logs the rank's operation list
 //!    (op kind, peers, element counts, charged flops). Timing-mode
 //!    bodies have data-independent control flow, so the log is exactly
-//!    the op sequence the threaded runtime would execute.
+//!    the op sequence the threaded runtime would execute. Recordings are
+//!    deduplicated into **rank classes**: ranks whose op lists and node
+//!    speeds coincide share one stored recording ([`record_spmd`]), so a
+//!    homogeneous sub-pool of 80 identical blades stores one op list,
+//!    not 80. Clocks and results stay per-rank — only the recording is
+//!    shared.
 //! 2. **Simulate** — a single-threaded run-until-blocked scheduler
 //!    replays the per-rank op lists against virtual mailboxes and
 //!    collective slots, performing the *identical* float-op sequences as
@@ -21,7 +26,14 @@
 //!    compute/comm/wait accumulators, same `max`/rendezvous folds, same
 //!    fault retry charges. IEEE 754 addition is not associative, so this
 //!    mirroring is what makes the result bit-identical rather than
-//!    merely close; the `fast_matches_threaded` tests pin it.
+//!    merely close; the `fast_matches_threaded` tests pin it. The
+//!    scheduler is an indexed ready queue: a blocked rank parks on the
+//!    wake list of exactly the mailbox or collective slot it needs, and
+//!    only the ranks a completed op can unblock are re-queued — a
+//!    blocking round costs O(woken ranks), not O(P). Virtual times are
+//!    pure functions of message and slot contents (the same argument
+//!    that makes the threaded runtime scheduling-independent), so the
+//!    visit order change cannot perturb a single bit.
 //!
 //! The threaded runtime remains the semantic oracle: any new operation
 //! must land in [`crate::context::Rank`] first and be mirrored here,
@@ -124,7 +136,13 @@ impl SpmdTimer for Rank<'_> {
 }
 
 /// One recorded operation of one rank. Element counts, not payloads.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` is the rank-class criterion: two ranks share a recording
+/// only when their op streams compare equal field-for-field (flops
+/// compare as `f64`, which is exact here — recorded flops are finite and
+/// non-negative, so equal values are bit-equal up to the sign of zero,
+/// and `±0.0` flops price identically).
+#[derive(Debug, Clone, PartialEq)]
 enum Op {
     Compute {
         flops: f64,
@@ -182,10 +200,6 @@ pub struct RecordTimer {
 }
 
 impl RecordTimer {
-    fn new(id: usize, size: usize) -> RecordTimer {
-        RecordTimer { id, size, collective_seq: 0, ops: Vec::new() }
-    }
-
     fn next_op(&mut self) -> u64 {
         let op = self.collective_seq;
         self.collective_seq += 1;
@@ -267,11 +281,35 @@ struct SimMsg {
 }
 
 /// Collective slot state, mirroring `collectives::Slot` minus payloads.
+///
+/// `missing` counters and the cached barrier `rendezvous` replace the
+/// round-robin scheduler's per-visit O(p) "anyone absent? fold the max"
+/// scans. The cached fold runs exactly once, over the same complete
+/// deposit set the old code folded on every visit, so every float
+/// compare sees the same operands and the result is bit-equal.
 enum SimSlot {
-    Barrier { entries: Vec<Option<SimTime>>, reads: usize },
-    Gather { deposits: Vec<Option<(SimTime, usize)>> },
+    Barrier { entries: Vec<Option<SimTime>>, missing: usize, rendezvous: SimTime, reads: usize },
+    Gather { deposits: Vec<Option<(SimTime, usize)>>, missing: usize },
     Bcast { deposit: Option<(SimTime, usize)>, reads: usize },
 }
+
+/// A collective slot plus the ranks parked on it — the per-collective
+/// wake list of the ready-queue scheduler.
+///
+/// The wake list is an intrusive chain: `waiters` holds the first
+/// parked rank (or [`NO_WAITER`]) and `SimShared::wait_link[r]` holds
+/// the next one after `r`. A blocked rank waits on exactly one object
+/// at a time, so one link cell per rank suffices and parking never
+/// allocates. Wake order is chain (LIFO) order — only the ready-queue
+/// visit order depends on it, and virtual times are visit-order
+/// invariant.
+struct SlotBox {
+    slot: SimSlot,
+    waiters: u32,
+}
+
+/// Sentinel for "no rank parked" in the intrusive wake chains.
+const NO_WAITER: u32 = u32::MAX;
 
 /// One rank's simulation state: the exact accumulator set of
 /// [`Rank`], advanced by the same float-op sequences.
@@ -421,35 +459,125 @@ enum Step {
 }
 
 /// Shared simulator state the ops rendezvous through.
-struct SimShared<'a> {
+///
+/// Generic over the network model so every cost lookup is statically
+/// dispatched and inlinable (the round-robin engine paid a vtable hop
+/// per call — measurable on latency-dominated two-rank sweeps).
+struct SimShared<'a, N: NetworkModel> {
     p: usize,
-    network: &'a dyn NetworkModel,
+    network: &'a N,
     faults: Option<&'a FaultPlan>,
     tracing: bool,
     mailboxes: Vec<VecDeque<SimMsg>>,
-    slots: HashMap<u64, SimSlot>,
+    /// `mailbox_waiting[r]` — rank `r` is blocked on its own mailbox.
+    mailbox_waiting: Vec<bool>,
+    /// Collective slots indexed by op id ([`RecordTimer`] hands ids out
+    /// densely from 0, so a flat table replaces the hash map).
+    slots: Vec<Option<SlotBox>>,
+    /// Open-slot count, for the leak check.
+    live: usize,
+    /// Ranks unblocked by the op in flight; drained into the ready
+    /// queue by the scheduler.
+    woken: Vec<usize>,
+    /// `wait_link[r]` — next rank after `r` in its wake chain.
+    wait_link: Vec<u32>,
+    /// Recycled barrier `entries` buffers (one barrier per program round
+    /// on GE-shaped kernels makes this allocation hot).
+    barrier_pool: Vec<Vec<Option<SimTime>>>,
+    /// Recycled gather `deposits` buffers.
+    gather_pool: Vec<Vec<Option<(SimTime, usize)>>>,
+    /// `barrier_time(p)` is round-invariant (it depends on nothing but
+    /// `p`), so it is priced once per replay instead of once per rank
+    /// per barrier — the exact same pure call, hence the exact same
+    /// bits. Round-sized kernels execute it millions of times, and
+    /// wrapper models (e.g. the frozen-noise jitter) make each call
+    /// expensive.
+    barrier_cost: SimTime,
 }
 
-impl SimShared<'_> {
+/// Fetches (creating on first touch) the slot for collective `op`.
+///
+/// A free function over the individual fields (not a method) so callers
+/// can keep `self.woken` borrowed alongside the returned slot.
+fn slot_mut<'s>(
+    slots: &'s mut [Option<SlotBox>],
+    live: &mut usize,
+    op: u64,
+    make: impl FnOnce() -> SimSlot,
+) -> &'s mut SlotBox {
+    let cell = &mut slots[op as usize];
+    if cell.is_none() {
+        *cell = Some(SlotBox { slot: make(), waiters: NO_WAITER });
+        *live += 1;
+    }
+    cell.as_mut().expect("just ensured")
+}
+
+/// Removes the slot for `op`, returning it for by-value consumption.
+fn take_slot(slots: &mut [Option<SlotBox>], live: &mut usize, op: u64) -> SlotBox {
+    *live -= 1;
+    slots[op as usize].take().expect("slot present")
+}
+
+/// Parks `rank` on a slot's wake chain (allocation-free: one link cell
+/// per rank in `wait_link`). A blocked rank is never on two chains, so
+/// its cell is free to overwrite.
+fn park(wait_link: &mut [u32], slot: &mut SlotBox, rank: usize) {
+    wait_link[rank] = slot.waiters;
+    slot.waiters = rank as u32;
+}
+
+/// Drains a slot's wake chain into `woken` (chain order — see
+/// [`SlotBox`]).
+fn wake_chain(wait_link: &[u32], woken: &mut Vec<usize>, head: &mut u32) {
+    let mut cur = *head;
+    while cur != NO_WAITER {
+        woken.push(cur as usize);
+        cur = wait_link[cur as usize];
+    }
+    *head = NO_WAITER;
+}
+
+/// Takes a zeroed length-`p` buffer from `pool` (or allocates one).
+fn pooled<T: Clone>(pool: &mut Vec<Vec<Option<T>>>, p: usize) -> Vec<Option<T>> {
+    match pool.pop() {
+        Some(mut v) => {
+            v.clear();
+            v.resize(p, None);
+            v
+        }
+        None => vec![None; p],
+    }
+}
+
+impl<N: NetworkModel> SimShared<'_, N> {
     /// Root half of a broadcast (explicit or allgather-derived), with
     /// the same operation order as [`Rank::broadcast_f64s`].
     fn bcast_root(&mut self, rank: &mut SimRank, op: u64, count: usize) {
         let bytes = (count * 8) as u64;
-        for peer in 0..self.p {
-            if peer != rank.id {
-                rank.charge_link_retries(self.tracing, self.faults, peer, bytes);
+        if self.faults.is_some() {
+            // Fault-free runs skip the per-peer walk entirely
+            // (charge_link_retries is a no-op without a plan).
+            for peer in 0..self.p {
+                if peer != rank.id {
+                    rank.charge_link_retries(self.tracing, self.faults, peer, bytes);
+                }
             }
         }
         let cost = SimTime::from_secs(self.network.bcast_time(self.p, bytes));
         let departure = rank.clock + cost;
-        let slot = self.slots.entry(op).or_insert(SimSlot::Bcast { deposit: None, reads: 0 });
-        let SimSlot::Bcast { deposit, .. } = slot else {
+        let slot = slot_mut(&mut self.slots, &mut self.live, op, || SimSlot::Bcast {
+            deposit: None,
+            reads: 0,
+        });
+        let SimSlot::Bcast { deposit, .. } = &mut slot.slot else {
             panic!("collective sequence mismatch: op {op} is not a bcast");
         };
         assert!(deposit.is_none(), "two roots deposited into bcast {op}");
         *deposit = Some((departure, count));
+        wake_chain(&self.wait_link, &mut self.woken, &mut slot.waiters);
         if self.p == 1 {
-            self.slots.remove(&op);
+            take_slot(&mut self.slots, &mut self.live, op);
         }
         rank.charge_comm(self.tracing, departure, OpKind::Bcast, bytes, None);
     }
@@ -473,12 +601,20 @@ impl SimShared<'_> {
                     arrival: rank.clock,
                     count,
                 });
+                if self.mailbox_waiting[dest] {
+                    self.mailbox_waiting[dest] = false;
+                    self.woken.push(dest);
+                }
                 Step::Progress
             }
             Op::Recv { source, tag, expect } => {
                 let Some(idx) =
                     self.mailboxes[rank.id].iter().position(|m| m.source == source && m.tag == tag)
                 else {
+                    // Park on the mailbox; any future send to this rank
+                    // re-queues it (a non-matching one is a spurious
+                    // wake — it just re-parks).
+                    self.mailbox_waiting[rank.id] = true;
                     return Step::Blocked;
                 };
                 let msg = self.mailboxes[rank.id].remove(idx).expect("index just found");
@@ -499,26 +635,43 @@ impl SimShared<'_> {
                 Step::Progress
             }
             Op::Barrier { op } => {
-                let slot = self
-                    .slots
-                    .entry(op)
-                    .or_insert_with(|| SimSlot::Barrier { entries: vec![None; self.p], reads: 0 });
-                let SimSlot::Barrier { entries, reads } = slot else {
+                let p = self.p;
+                let pool = &mut self.barrier_pool;
+                let slot = slot_mut(&mut self.slots, &mut self.live, op, || SimSlot::Barrier {
+                    entries: pooled(pool, p),
+                    missing: p,
+                    rendezvous: SimTime::ZERO,
+                    reads: 0,
+                });
+                let SimSlot::Barrier { entries, missing, rendezvous, reads } = &mut slot.slot
+                else {
                     panic!("collective sequence mismatch: op {op} is not a barrier");
                 };
                 if entries[rank.id].is_none() {
                     entries[rank.id] = Some(rank.clock);
+                    *missing -= 1;
+                    if *missing == 0 {
+                        // Same fold over the same complete entry set the
+                        // round-robin engine performed on every visit —
+                        // computed once, cached, bit-equal.
+                        *rendezvous =
+                            entries.iter().map(|e| e.expect("all present")).max().expect("p ≥ 1");
+                        wake_chain(&self.wait_link, &mut self.woken, &mut slot.waiters);
+                    }
                 }
-                if entries.iter().any(|e| e.is_none()) {
+                if *missing > 0 {
+                    park(&mut self.wait_link, slot, rank.id);
                     return Step::Blocked;
                 }
-                let rendezvous =
-                    entries.iter().map(|e| e.expect("all present")).max().expect("p ≥ 1");
+                let rendezvous = *rendezvous;
                 *reads += 1;
-                if *reads == self.p {
-                    self.slots.remove(&op);
+                if *reads == p {
+                    let taken = take_slot(&mut self.slots, &mut self.live, op);
+                    if let SimSlot::Barrier { entries, .. } = taken.slot {
+                        self.barrier_pool.push(entries);
+                    }
                 }
-                let cost = SimTime::from_secs(self.network.barrier_time(self.p));
+                let cost = self.barrier_cost;
                 rank.charge_comm_waited(
                     self.tracing,
                     rendezvous,
@@ -538,54 +691,70 @@ impl SimShared<'_> {
                 self.bcast_root(rank, op, count);
                 Step::Progress
             }
-            Op::BcastRecv { op, root, expect } => match self.slots.get_mut(&op) {
-                Some(SimSlot::Bcast { deposit: Some((departure, count)), reads }) => {
-                    let (departure, count) = (*departure, *count);
-                    if let Some(expect) = expect {
-                        debug_assert_eq!(
-                            count, expect,
-                            "broadcast_count: size disagrees with the root"
-                        );
-                    }
-                    *reads += 1;
-                    if *reads == self.p - 1 {
-                        self.slots.remove(&op);
-                    }
-                    let bytes = (count * 8) as u64;
-                    rank.charge_comm(
-                        self.tracing,
-                        rank.clock.max(departure),
-                        OpKind::Bcast,
-                        bytes,
-                        Some(root),
+            Op::BcastRecv { op, root, expect } => {
+                // Receivers may arrive before the root; the slot is
+                // created on first touch so the wake list has somewhere
+                // to live.
+                let slot = slot_mut(&mut self.slots, &mut self.live, op, || SimSlot::Bcast {
+                    deposit: None,
+                    reads: 0,
+                });
+                let SimSlot::Bcast { deposit, reads } = &mut slot.slot else {
+                    panic!("collective sequence mismatch: op {op} is not a bcast");
+                };
+                let Some((departure, count)) = *deposit else {
+                    park(&mut self.wait_link, slot, rank.id);
+                    return Step::Blocked;
+                };
+                if let Some(expect) = expect {
+                    debug_assert_eq!(
+                        count, expect,
+                        "broadcast_count: size disagrees with the root"
                     );
-                    Step::Progress
                 }
-                Some(SimSlot::Bcast { deposit: None, .. }) | None => Step::Blocked,
-                Some(_) => panic!("collective sequence mismatch: op {op} is not a bcast"),
-            },
+                *reads += 1;
+                if *reads == self.p - 1 {
+                    take_slot(&mut self.slots, &mut self.live, op);
+                }
+                let bytes = (count * 8) as u64;
+                rank.charge_comm(
+                    self.tracing,
+                    rank.clock.max(departure),
+                    OpKind::Bcast,
+                    bytes,
+                    Some(root),
+                );
+                Step::Progress
+            }
             Op::GatherRoot { op, count } => {
-                let slot = self
-                    .slots
-                    .entry(op)
-                    .or_insert_with(|| SimSlot::Gather { deposits: vec![None; self.p] });
-                let SimSlot::Gather { deposits } = slot else {
+                let p = self.p;
+                let pool = &mut self.gather_pool;
+                let slot = slot_mut(&mut self.slots, &mut self.live, op, || SimSlot::Gather {
+                    deposits: pooled(pool, p),
+                    missing: p,
+                });
+                let SimSlot::Gather { deposits, missing } = &mut slot.slot else {
                     panic!("collective sequence mismatch: op {op} is not a gather");
                 };
                 if deposits[rank.id].is_none() {
                     deposits[rank.id] = Some((rank.clock, count));
+                    *missing -= 1;
                 }
-                if deposits.iter().any(|d| d.is_none()) {
+                if *missing > 0 {
+                    park(&mut self.wait_link, slot, rank.id);
                     return Step::Blocked;
                 }
-                let Some(SimSlot::Gather { deposits }) = self.slots.remove(&op) else {
+                let taken = take_slot(&mut self.slots, &mut self.live, op);
+                let SimSlot::Gather { mut deposits, .. } = taken.slot else {
                     unreachable!("checked above")
                 };
-                let deposits: Vec<(SimTime, usize)> =
-                    deposits.into_iter().map(|d| d.expect("all present")).collect();
-                let sizes: Vec<u64> = deposits.iter().map(|&(_, c)| (c * 8) as u64).collect();
-                let max_entry =
-                    deposits.iter().map(|&(t, _)| t).max().expect("at least the root deposited");
+                let sizes: Vec<u64> =
+                    deposits.iter().map(|d| (d.expect("all present").1 * 8) as u64).collect();
+                let max_entry = deposits
+                    .iter()
+                    .map(|d| d.expect("all present").0)
+                    .max()
+                    .expect("at least the root deposited");
                 let cost = SimTime::from_secs(self.network.gather_time(&sizes, rank.id));
                 let total_bytes: u64 = sizes.iter().sum();
                 let ready = rank.clock.max(max_entry);
@@ -597,17 +766,22 @@ impl SimShared<'_> {
                     total_bytes,
                     None,
                 );
-                rank.last_gather_counts = deposits.into_iter().map(|(_, c)| c).collect();
+                rank.last_gather_counts.clear();
+                rank.last_gather_counts.extend(deposits.iter().map(|d| d.expect("all present").1));
+                deposits.clear();
+                self.gather_pool.push(deposits);
                 Step::Progress
             }
             Op::GatherLeaf { op, root, count } => {
                 let bytes = (count * 8) as u64;
                 rank.charge_link_retries(self.tracing, self.faults, root, bytes);
-                let slot = self
-                    .slots
-                    .entry(op)
-                    .or_insert_with(|| SimSlot::Gather { deposits: vec![None; self.p] });
-                let SimSlot::Gather { deposits } = slot else {
+                let p = self.p;
+                let pool = &mut self.gather_pool;
+                let slot = slot_mut(&mut self.slots, &mut self.live, op, || SimSlot::Gather {
+                    deposits: pooled(pool, p),
+                    missing: p,
+                });
+                let SimSlot::Gather { deposits, missing } = &mut slot.slot else {
                     panic!("collective sequence mismatch: op {op} is not a gather");
                 };
                 assert!(
@@ -616,6 +790,10 @@ impl SimShared<'_> {
                     rank.id
                 );
                 deposits[rank.id] = Some((rank.clock, count));
+                *missing -= 1;
+                if *missing == 0 {
+                    wake_chain(&self.wait_link, &mut self.woken, &mut slot.waiters);
+                }
                 let cost = SimTime::from_secs(self.network.p2p_time_between(rank.id, root, bytes));
                 rank.charge_comm(
                     self.tracing,
@@ -630,6 +808,225 @@ impl SimShared<'_> {
     }
 }
 
+/// FNV-1a style hash over the rank-class key (node speed bits + op
+/// stream). Collisions are harmless — hash buckets are confirmed with
+/// full `Vec<Op>` equality before two ranks share a recording.
+fn class_hash(speed_bits: u64, ops: &[Op]) -> u64 {
+    fn mix(h: u64, v: u64) -> u64 {
+        (h ^ v).wrapping_mul(0x0000_0100_0000_01b3)
+    }
+    let mut h = mix(0xcbf2_9ce4_8422_2325, speed_bits);
+    for op in ops {
+        h = match *op {
+            Op::Compute { flops } => mix(mix(h, 1), flops.to_bits()),
+            Op::Send { dest, tag, count } => {
+                mix(mix(mix(mix(h, 2), dest as u64), tag.0 as u64), count as u64)
+            }
+            Op::Recv { source, tag, expect } => {
+                mix(mix(mix(mix(h, 3), source as u64), tag.0 as u64), expect as u64)
+            }
+            Op::Barrier { op } => mix(mix(h, 4), op),
+            Op::BcastRoot { op, count } => mix(mix(mix(h, 5), op), count as u64),
+            Op::BcastRecv { op, root, expect } => {
+                mix(mix(mix(mix(h, 6), op), root as u64), expect.map_or(u64::MAX, |e| e as u64))
+            }
+            Op::GatherRoot { op, count } => mix(mix(mix(h, 7), op), count as u64),
+            Op::GatherLeaf { op, root, count } => {
+                mix(mix(mix(mix(h, 8), op), root as u64), count as u64)
+            }
+            Op::BcastRootDerived { op } => mix(mix(h, 9), op),
+        };
+    }
+    h
+}
+
+/// A recorded SPMD program: per-rank results plus rank-class
+/// deduplicated op lists, ready for [`SpmdProgram::simulate`].
+///
+/// Produced by [`record_spmd`]. Ranks whose recorded op streams and
+/// marked node speeds coincide share a single stored recording — on a
+/// mostly-homogeneous cluster the storage is O(distinct classes), not
+/// O(ranks). Sharing is sound because the simulator treats op lists as
+/// read-only programs: clocks, mailboxes, and accumulators stay
+/// per-rank, so two ranks replaying the same list still interleave (and
+/// wait) exactly as if each owned a private copy.
+pub struct SpmdProgram<R> {
+    p: usize,
+    results: Vec<R>,
+    /// One op list per distinct rank class.
+    classes: Vec<Vec<Op>>,
+    /// Collectives recorded per class (sizes the dense slot table).
+    class_collectives: Vec<u64>,
+    /// Class index per rank.
+    class_of: Vec<usize>,
+}
+
+/// Phase 1 of the fast engine, exposed for benchmarks and callers that
+/// want to replay one recording under several network models: runs
+/// `body` once per rank against a [`RecordTimer`] and deduplicates the
+/// recordings into rank classes.
+pub fn record_spmd<R, F>(cluster: &ClusterSpec, body: F) -> SpmdProgram<R>
+where
+    F: Fn(&mut RecordTimer) -> R,
+{
+    let p = cluster.size();
+    let mut results = Vec::with_capacity(p);
+    let mut classes: Vec<Vec<Op>> = Vec::new();
+    let mut class_speeds: Vec<u64> = Vec::new();
+    let mut class_collectives: Vec<u64> = Vec::new();
+    let mut class_of = Vec::with_capacity(p);
+    let mut by_hash: HashMap<u64, Vec<usize>> = HashMap::new();
+    // Duplicate recordings recycle one scratch buffer, so allocation is
+    // O(classes) even on an 85-rank three-class cluster.
+    let mut scratch: Vec<Op> = Vec::new();
+    for id in 0..p {
+        let mut timer = RecordTimer { id, size: p, collective_seq: 0, ops: scratch };
+        results.push(body(&mut timer));
+        let speed = cluster.nodes()[id].marked_speed_flops().to_bits();
+        let hash = class_hash(speed, &timer.ops);
+        let bucket = by_hash.entry(hash).or_default();
+        let hit =
+            bucket.iter().copied().find(|&c| class_speeds[c] == speed && classes[c] == timer.ops);
+        match hit {
+            Some(c) => {
+                class_of.push(c);
+                scratch = timer.ops;
+                scratch.clear();
+            }
+            None => {
+                let c = classes.len();
+                bucket.push(c);
+                class_speeds.push(speed);
+                class_collectives.push(timer.collective_seq);
+                let len = timer.ops.len();
+                classes.push(timer.ops);
+                class_of.push(c);
+                // Ranks of one SPMD body record similar-length streams;
+                // presizing the replacement scratch skips the
+                // realloc-and-copy ladder on O(n·p)-op recordings.
+                scratch = Vec::with_capacity(len);
+            }
+        }
+    }
+    SpmdProgram { p, results, classes, class_collectives, class_of }
+}
+
+impl<R> SpmdProgram<R> {
+    /// Number of ranks in the recording.
+    pub fn size(&self) -> usize {
+        self.p
+    }
+
+    /// Number of distinct rank classes (≤ [`size`](Self::size); equal
+    /// only when no two ranks share both op stream and node speed).
+    pub fn distinct_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Phase 2 of the fast engine: replays the recording against
+    /// `network`, bit-identical to [`run_spmd_fast`] on the same body.
+    /// `cluster` must be the recording's cluster (or one of identical
+    /// size — per-rank speeds are re-read from it).
+    pub fn simulate<N: NetworkModel>(&self, cluster: &ClusterSpec, network: &N) -> SpmdOutcome<R>
+    where
+        R: Clone,
+    {
+        self.replay(cluster, network, false, None, self.results.clone())
+    }
+
+    fn replay<N: NetworkModel>(
+        &self,
+        cluster: &ClusterSpec,
+        network: &N,
+        tracing: bool,
+        faults: Option<&FaultPlan>,
+        results: Vec<R>,
+    ) -> SpmdOutcome<R> {
+        let p = self.p;
+        assert_eq!(cluster.size(), p, "cluster size disagrees with the recording's rank count");
+
+        let mut ranks: Vec<SimRank> = (0..p).map(|id| SimRank::new(id, cluster)).collect();
+        let slot_cap = self.class_collectives.iter().copied().max().unwrap_or(0) as usize;
+        let mut slots = Vec::new();
+        slots.resize_with(slot_cap, || None);
+        let mut shared = SimShared {
+            p,
+            network,
+            faults,
+            tracing,
+            mailboxes: (0..p).map(|_| VecDeque::new()).collect(),
+            mailbox_waiting: vec![false; p],
+            slots,
+            live: 0,
+            woken: Vec::new(),
+            wait_link: vec![NO_WAITER; p],
+            barrier_pool: Vec::new(),
+            gather_pool: Vec::new(),
+            barrier_cost: SimTime::from_secs(network.barrier_time(p)),
+        };
+
+        // Indexed ready-queue run-until-blocked scheduler. Every rank's
+        // virtual-time arithmetic depends only on message/slot contents,
+        // never on execution order — the same argument that makes the
+        // threaded runtime scheduling-independent — so visiting only
+        // runnable ranks (instead of sweeping all p per round) yields
+        // bit-identical clocks, splits, traces, and retry charges.
+        let mut ready: VecDeque<usize> = (0..p).collect();
+        let mut queued = vec![true; p];
+        let mut finished = 0usize;
+        while let Some(r) = ready.pop_front() {
+            queued[r] = false;
+            let ops = &self.classes[self.class_of[r]];
+            loop {
+                let pc = ranks[r].pc;
+                if pc >= ops.len() {
+                    finished += 1;
+                    break;
+                }
+                match shared.exec(&mut ranks[r], &ops[pc]) {
+                    Step::Progress => ranks[r].pc += 1,
+                    Step::Blocked => break,
+                }
+            }
+            for w in shared.woken.drain(..) {
+                if !queued[w] {
+                    queued[w] = true;
+                    ready.push_back(w);
+                }
+            }
+        }
+        assert!(
+            finished == p,
+            "fast-engine deadlock: no rank can progress (mismatched sends/receives \
+             or collective schedules)"
+        );
+
+        // Same protocol-hygiene checks as the threaded runtime.
+        for (id, mb) in shared.mailboxes.iter().enumerate() {
+            assert!(
+                mb.is_empty(),
+                "rank {id} finished with {} undelivered message(s) in its mailbox",
+                mb.len()
+            );
+        }
+        assert_eq!(shared.live, 0, "collective slots leaked — ranks disagreed on collective count");
+
+        let mut times = Vec::with_capacity(p);
+        let mut compute_times = Vec::with_capacity(p);
+        let mut comm_times = Vec::with_capacity(p);
+        let mut wait_times = Vec::with_capacity(p);
+        let mut traces = Vec::with_capacity(p);
+        for rank in &mut ranks {
+            times.push(rank.clock);
+            compute_times.push(rank.compute_time);
+            comm_times.push(rank.comm_time);
+            wait_times.push(rank.wait_time);
+            traces.push(std::mem::take(&mut rank.trace));
+        }
+        SpmdOutcome { results, times, compute_times, comm_times, wait_times, traces }
+    }
+}
+
 fn run_spmd_fast_inner<R, F, N>(
     cluster: &ClusterSpec,
     network: &N,
@@ -641,83 +1038,9 @@ where
     F: Fn(&mut RecordTimer) -> R,
     N: NetworkModel,
 {
-    let p = cluster.size();
-
-    // Phase 1: record each rank's op list by running the body against a
-    // non-executing timer. Bodies are pure in their communication
-    // structure, so this is the sequence the threaded runtime would run.
-    let mut results = Vec::with_capacity(p);
-    let mut programs: Vec<Vec<Op>> = Vec::with_capacity(p);
-    for id in 0..p {
-        let mut timer = RecordTimer::new(id, p);
-        results.push(body(&mut timer));
-        programs.push(timer.ops);
-    }
-
-    // Phase 2: event-ordered replay. Round-robin run-until-blocked is
-    // sufficient because each op's virtual-time arithmetic depends only
-    // on message/slot contents, never on execution order — the same
-    // argument that makes the threaded runtime scheduling-independent.
-    let mut ranks: Vec<SimRank> = (0..p).map(|id| SimRank::new(id, cluster)).collect();
-    let mut shared = SimShared {
-        p,
-        network,
-        faults,
-        tracing,
-        mailboxes: (0..p).map(|_| VecDeque::new()).collect(),
-        slots: HashMap::new(),
-    };
-    loop {
-        let mut progressed = false;
-        for r in 0..p {
-            while ranks[r].pc < programs[r].len() {
-                let pc = ranks[r].pc;
-                match shared.exec(&mut ranks[r], &programs[r][pc]) {
-                    Step::Progress => {
-                        ranks[r].pc += 1;
-                        progressed = true;
-                    }
-                    Step::Blocked => break,
-                }
-            }
-        }
-        if ranks.iter().zip(&programs).all(|(rank, ops)| rank.pc >= ops.len()) {
-            break;
-        }
-        assert!(
-            progressed,
-            "fast-engine deadlock: no rank can progress (mismatched sends/receives \
-             or collective schedules)"
-        );
-    }
-
-    // Same protocol-hygiene checks as the threaded runtime.
-    for (id, mb) in shared.mailboxes.iter().enumerate() {
-        assert!(
-            mb.is_empty(),
-            "rank {id} finished with {} undelivered message(s) in its mailbox",
-            mb.len()
-        );
-    }
-    assert_eq!(
-        shared.slots.len(),
-        0,
-        "collective slots leaked — ranks disagreed on collective count"
-    );
-
-    let mut times = Vec::with_capacity(p);
-    let mut compute_times = Vec::with_capacity(p);
-    let mut comm_times = Vec::with_capacity(p);
-    let mut wait_times = Vec::with_capacity(p);
-    let mut traces = Vec::with_capacity(p);
-    for rank in &mut ranks {
-        times.push(rank.clock);
-        compute_times.push(rank.compute_time);
-        comm_times.push(rank.comm_time);
-        wait_times.push(rank.wait_time);
-        traces.push(std::mem::take(&mut rank.trace));
-    }
-    SpmdOutcome { results, times, compute_times, comm_times, wait_times, traces }
+    let mut program = record_spmd(cluster, body);
+    let results = std::mem::take(&mut program.results);
+    program.replay(cluster, network, tracing, faults, results)
 }
 
 /// Runs `body` through the fast-path engine: same clocks, overhead
@@ -928,6 +1251,68 @@ mod tests {
         let b = run();
         assert_eq!(a.times, b.times);
         assert_eq!(a.traces, b.traces);
+    }
+
+    #[test]
+    fn identical_ranks_share_one_recording() {
+        let cluster = ClusterSpec::homogeneous(6, 50.0);
+        let program: SpmdProgram<()> = record_spmd(&cluster, |t| {
+            t.compute_flops(1e5);
+            t.barrier();
+        });
+        assert_eq!(program.size(), 6);
+        assert_eq!(program.distinct_classes(), 1);
+    }
+
+    #[test]
+    fn distinct_speeds_split_classes_even_with_identical_ops() {
+        let cluster = het3();
+        let program: SpmdProgram<()> = record_spmd(&cluster, |t| t.barrier());
+        assert_eq!(program.distinct_classes(), 3);
+    }
+
+    /// Two classes (one sender, p − 1 identical receivers) on a
+    /// homogeneous cluster — the Sunwulf shape in miniature.
+    fn two_class_body<T: SpmdTimer>(t: &mut T) {
+        let p = t.size();
+        if t.rank() == 0 {
+            t.compute_flops(4e5);
+            for peer in 1..p {
+                t.send_count(peer, Tag(3), 64);
+            }
+        } else {
+            t.compute_flops(4e5);
+            t.recv_count(0, Tag(3), 64);
+        }
+    }
+
+    #[test]
+    fn shared_recordings_keep_per_rank_clocks() {
+        let cluster = ClusterSpec::homogeneous(5, 80.0);
+        let net = MpichEthernet::new(0.3e-3, 1e8);
+        let program = record_spmd(&cluster, two_class_body);
+        assert_eq!(program.distinct_classes(), 2);
+        let fast: SpmdOutcome<()> = program.simulate(&cluster, &net);
+        let threaded = crate::runtime::run_spmd(&cluster, &net, |r| two_class_body(r));
+        assert_eq!(fast.times, threaded.times, "clocks");
+        assert_eq!(fast.comm_times, threaded.comm_times, "comm");
+        assert_eq!(fast.wait_times, threaded.wait_times, "wait");
+        // Receivers share one recording but their arrivals serialize at
+        // the sender, so their clocks must still differ.
+        assert!(fast.times[1] < fast.times[4], "shared class must not collapse clocks");
+    }
+
+    #[test]
+    fn simulate_replays_a_recording_repeatedly() {
+        let cluster = het3();
+        let net = MpichEthernet::new(0.2e-3, 1e8);
+        let program = record_spmd(&cluster, mixed_body);
+        let a: SpmdOutcome<()> = program.simulate(&cluster, &net);
+        let b: SpmdOutcome<()> = program.simulate(&cluster, &net);
+        let direct = run_spmd_fast(&cluster, &net, mixed_body);
+        assert_eq!(a.times, b.times);
+        assert_eq!(a.times, direct.times);
+        assert_eq!(a.comm_times, direct.comm_times);
     }
 
     #[test]

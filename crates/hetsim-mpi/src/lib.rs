@@ -81,8 +81,8 @@ pub mod trace;
 
 pub use context::Rank;
 pub use engine::{
-    run_spmd_fast, run_spmd_fast_faulted, run_spmd_fast_faulted_traced, run_spmd_fast_traced,
-    RecordTimer, SpmdTimer,
+    record_spmd, run_spmd_fast, run_spmd_fast_faulted, run_spmd_fast_faulted_traced,
+    run_spmd_fast_traced, RecordTimer, SpmdProgram, SpmdTimer,
 };
 pub use message::Tag;
 pub use runtime::{

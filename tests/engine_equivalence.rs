@@ -6,7 +6,9 @@
 //! beyond the hand-picked kernel cases.
 
 use hetscale::hetsim_cluster::faults::FaultPlan;
-use hetscale::hetsim_cluster::network::{ConstantLatency, MpichEthernet, SharedEthernet};
+use hetscale::hetsim_cluster::network::{
+    ConstantLatency, MpichEthernet, NetworkModel, SharedEthernet,
+};
 use hetscale::hetsim_cluster::{ClusterSpec, NodeSpec};
 use hetscale::hetsim_mpi::{
     run_spmd, run_spmd_fast, run_spmd_fast_faulted_traced, run_spmd_faulted_traced, OpKind,
@@ -22,6 +24,27 @@ fn het_cluster(p: usize, seed: u64) -> ClusterSpec {
         })
         .collect();
     ClusterSpec::new(format!("prop-{p}-{seed}"), nodes).expect("non-empty")
+}
+
+/// A cluster where **no** two ranks share a rank class: speeds are
+/// strictly distinct by construction, so the fast engine's class
+/// deduplication degenerates to one recording per rank and must still
+/// match the oracle exactly.
+fn all_distinct_cluster(p: usize, seed: u64) -> ClusterSpec {
+    let nodes = (0..p)
+        .map(|i| {
+            let jitter = ((seed.wrapping_mul(37).wrapping_add(i as u64)) % 8) as f64 * 0.0625;
+            NodeSpec::synthetic(format!("d{i}"), 30.0 + i as f64 * 11.0 + jitter)
+        })
+        .collect();
+    ClusterSpec::new(format!("distinct-{p}-{seed}"), nodes).expect("non-empty")
+}
+
+/// A cluster where **every** rank shares one class (identical speeds):
+/// the deduplicated recording path collapses maximally.
+fn homogeneous_cluster(p: usize) -> ClusterSpec {
+    let nodes = (0..p).map(|i| NodeSpec::synthetic(format!("h{i}"), 55.0)).collect();
+    ClusterSpec::new(format!("homog-{p}"), nodes).expect("non-empty")
 }
 
 /// A parameterized SPMD program exercising every operation kind:
@@ -124,5 +147,58 @@ proptest! {
         // Retry charges specifically: same drop schedule must be hit on
         // both engines, message for message.
         prop_assert_eq!(retry_counts(&fast.traces), retry_counts(&threaded.traces));
+    }
+
+    /// Class-dedup and ready-queue scheduling against the oracle across
+    /// the class-structure extremes: clusters where no two ranks share a
+    /// class (dedup degenerates to per-rank recordings), fully
+    /// homogeneous clusters (dedup collapses to one class), and mixed
+    /// ones — each crossed with the network models and fault plans.
+    #[test]
+    fn dedup_and_ready_queue_match_oracle_across_class_structures(
+        p in 2usize..6,
+        speeds_seed in 1u64..10_000,
+        rounds in 1usize..3,
+        n in 1usize..48,
+        net_choice in 0usize..3,
+        cluster_kind in 0usize..3,
+        faulted_bit in 0usize..2,
+        fault_seed in 0u64..1_000_000,
+        slowdown in 0.25f64..0.95,
+        drops in 0u16..400,
+    ) {
+        let cluster = match cluster_kind {
+            0 => all_distinct_cluster(p, speeds_seed),
+            1 => homogeneous_cluster(p),
+            _ => het_cluster(p, speeds_seed),
+        };
+        let mpich = MpichEthernet::new(2e-4, 9e7);
+        let shared = SharedEthernet::new(1.5e-4, 1.1e8);
+        let latency = ConstantLatency::new(3e-4);
+        let net: &dyn NetworkModel = match net_choice {
+            0 => &mpich,
+            1 => &shared,
+            _ => &latency,
+        };
+        let faulted = faulted_bit == 1;
+        if faulted {
+            let plan = FaultPlan::new(fault_seed)
+                .with_straggler(fault_seed as usize % p, slowdown)
+                .with_link_drops(drops);
+            let fast =
+                run_spmd_fast_faulted_traced(&cluster, &net, &plan, |t| mixed_body(t, rounds, n));
+            let threaded =
+                run_spmd_faulted_traced(&cluster, &net, &plan, |r| mixed_body(r, rounds, n));
+            assert_times_match(&fast, &threaded);
+            prop_assert_eq!(&fast.traces, &threaded.traces, "traces diverged");
+            prop_assert_eq!(retry_counts(&fast.traces), retry_counts(&threaded.traces));
+        } else {
+            let fast = run_spmd_fast(&cluster, &net, |t| mixed_body(t, rounds, n));
+            let threaded = run_spmd(&cluster, &net, |r| mixed_body(r, rounds, n));
+            assert_times_match(&fast, &threaded);
+            prop_assert_eq!(fast.makespan(), threaded.makespan());
+            prop_assert_eq!(fast.total_overhead(), threaded.total_overhead());
+            prop_assert_eq!(fast.total_wait(), threaded.total_wait());
+        }
     }
 }
