@@ -23,7 +23,14 @@ use crate::systems::GeSystem;
 use crate::table::{fnum, Table};
 use hetsim_cluster::network::JitteredNetwork;
 use hetsim_cluster::sunwulf;
-use scalability::metric::EfficiencyCurve;
+use kernels::ge::ge_parallel_timed_many;
+use scalability::measure::Measurement;
+use scalability::metric::{AlgorithmSystem, EfficiencyCurve};
+
+/// Campaigns per batched pricing call: large enough that the shared
+/// elimination state amortizes across a chunk, small enough that the
+/// pool still has chunks to hand out under `--jobs`.
+const CHUNK: usize = 12;
 
 /// Read-off strategies under comparison.
 fn read_offs(curve: &EfficiencyCurve, target: f64, degree: usize) -> Option<[f64; 3]> {
@@ -57,18 +64,52 @@ pub fn ablate_noise(sizes: &[usize], target: f64, degree: usize, seeds: u64) -> 
     let clean_curve = EfficiencyCurve::measure(&GeSystem::new(&cluster, &clean_net), sizes);
     let reference = read_offs(&clean_curve, target, degree).expect("clean curve inverts")[2];
 
-    // Every (σ, seed) campaign is an independent cell: run them all on
-    // the pool, then fold per σ in cell order so the table is identical
-    // to the sequential sweep.
+    // Every (σ, seed) campaign is an independent cell. The campaigns
+    // differ only in their jittered network, so chunks of them are
+    // priced through the *batched* GE evaluator
+    // ([`kernels::ge::ge_parallel_timed_many`]), which computes the
+    // network-independent elimination state once per chunk — each
+    // campaign's result is bit-identical to a standalone
+    // `EfficiencyCurve::measure` (the batch equality is pinned in
+    // kernels). Chunks run on the pool and results assemble in cell
+    // order, so the table is identical to the sequential sweep at
+    // every `--jobs` value.
     const SIGMAS: [f64; 4] = [0.02, 0.05, 0.10, 0.15];
     let cells: Vec<(f64, u64)> =
         SIGMAS.iter().flat_map(|&sigma| (0..seeds).map(move |seed| (sigma, seed))).collect();
-    let campaigns: Vec<Option<[f64; 3]>> = pool::run_indexed(&cells, |_, &(sigma, seed)| {
-        let net = JitteredNetwork::new(sunwulf::sunwulf_network(), sigma, seed + 1);
-        let sys = GeSystem::new(&cluster, &net);
-        let curve = EfficiencyCurve::measure(&sys, sizes);
-        read_offs(&curve, target, degree)
-    });
+    let chunks: Vec<&[(f64, u64)]> = cells.chunks(CHUNK).collect();
+    let sys = GeSystem::new(&cluster, &clean_net);
+    let (label, work_flops, marked): (String, Vec<f64>, f64) =
+        (sys.label(), sizes.iter().map(|&n| sys.work(n)).collect(), sys.marked_speed_flops());
+    let campaigns: Vec<Option<[f64; 3]>> = pool::run_indexed(&chunks, |_, chunk| {
+        let nets: Vec<JitteredNetwork<_>> = chunk
+            .iter()
+            .map(|&(sigma, seed)| JitteredNetwork::new(sunwulf::sunwulf_network(), sigma, seed + 1))
+            .collect();
+        let mut measurements: Vec<Vec<Measurement>> =
+            vec![Vec::with_capacity(sizes.len()); nets.len()];
+        for (k, &n) in sizes.iter().enumerate() {
+            let outcomes = ge_parallel_timed_many(&cluster, &nets, n);
+            for (per_campaign, outcome) in measurements.iter_mut().zip(outcomes) {
+                per_campaign.push(Measurement {
+                    n,
+                    work_flops: work_flops[k],
+                    time_secs: outcome.makespan.as_secs(),
+                    marked_speed_flops: marked,
+                });
+            }
+        }
+        measurements
+            .into_iter()
+            .map(|m| {
+                let curve = EfficiencyCurve::from_measurements(label.clone(), m);
+                read_offs(&curve, target, degree)
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
 
     for (row, &sigma) in SIGMAS.iter().enumerate() {
         let mut worst = [0.0f64; 3];

@@ -1,12 +1,18 @@
 //! `bench-tables` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! bench-tables [--quick] [--faults] [--jobs N] [--list] [--csv DIR] [--trace-out DIR] [--metrics-out FILE] [ids...]
+//! bench-tables [--quick] [--faults] [--no-analytic] [--jobs N] [--list] [--csv DIR] [--trace-out DIR] [--metrics-out FILE] [ids...]
 //!   ids: t1 t2 f1 t3 t4 f2 t5 t6 t7 compare x2 decomp ablate-dist
 //!        ablate-net ablate-fit ablate-place ext-mp faults surface all   (default: all)
 //! ```
 //!
 //! `--list` prints every id with a one-line description and exits.
+//!
+//! `--no-analytic` disables the lockstep closed forms and prices every
+//! cell on the event-driven fast engine instead. The closed forms are
+//! an optimization, not a semantic change, so output is byte-identical
+//! either way (pinned by `tests/cli.rs`); the flag exists to make that
+//! claim checkable from the command line and in ci.sh.
 //!
 //! `--jobs N` bounds the worker pool the experiment cells run on
 //! (default: the machine's available parallelism). Output is
@@ -71,6 +77,12 @@ fn known_id(id: &str) -> bool {
 }
 
 fn main() {
+    // `BENCH_TABLES_STOPWATCH=1` reports the suite's own wall-clock on
+    // stderr — the number the ci.sh perf gate thresholds (process
+    // startup is linker/loader cost, not ladder cost). Stdout stays
+    // byte-identical with or without it.
+    let stopwatch =
+        std::env::var_os("BENCH_TABLES_STOPWATCH").is_some().then(std::time::Instant::now);
     let mut quick = false;
     let mut csv_dir: Option<String> = None;
     let mut trace_dir: Option<String> = None;
@@ -80,6 +92,7 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--no-analytic" => hetsim_mpi::set_analytic_enabled(false),
             "--faults" => {
                 ids.insert("faults".to_string());
             }
@@ -292,6 +305,10 @@ fn main() {
             eprintln!("wrote {path}");
         }
     }
+
+    if let Some(start) = stopwatch {
+        eprintln!("stopwatch: {} us", start.elapsed().as_micros());
+    }
 }
 
 fn fail(msg: &str) -> ! {
@@ -314,9 +331,10 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: bench-tables [--quick] [--faults] [--jobs N] [--list] [--csv DIR] [--trace-out DIR] [--metrics-out FILE] [ids...]\n\
+        "usage: bench-tables [--quick] [--faults] [--no-analytic] [--jobs N] [--list] [--csv DIR] [--trace-out DIR] [--metrics-out FILE] [ids...]\n\
          ids: t1 t2 f1 t3 t4 f2 t5 t6 t7 compare x2 decomp ablate-dist ablate-net ablate-fit ablate-place ablate-sched ablate-noise validate baselines ext-mp faults surface all\n\
          `faults` (or --faults) runs the fault-injection sweep; `surface` runs the psi-surface sweep on scaled Sunwulf rungs. Both are opt-in and not part of `all`.\n\
+         `--no-analytic` forces the event-driven engine on every cell (output is byte-identical to the default closed-form path).\n\
          `--jobs N` caps the experiment worker pool (default: available parallelism; output is byte-identical for every N).\n\
          `--list` prints every id with a one-line description and exits."
     );

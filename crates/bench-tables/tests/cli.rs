@@ -105,6 +105,49 @@ fn surface_id_emits_the_psi_surface_tables() {
     assert!(stdout.contains("psi(C, C')"), "missing psi header: {stdout}");
 }
 
+fn stdout_of(args: &[&str]) -> Vec<u8> {
+    let out = run(args);
+    assert!(out.status.success(), "{args:?} exited with {:?}: {}", out.status, stderr(&out));
+    out.stdout
+}
+
+// The analytic closed forms are an *optimization*, never a semantic
+// change: every byte the suite prints must be identical whether cells
+// are priced by the closed forms (default) or by the event-driven
+// engine (`--no-analytic`). Run the real binary both ways and compare
+// stdout byte-for-byte, including the opt-in fault and surface sweeps.
+
+#[test]
+fn no_analytic_is_byte_identical_on_the_quick_suite() {
+    let fast = stdout_of(&["--quick"]);
+    let slow = stdout_of(&["--quick", "--no-analytic"]);
+    assert!(!fast.is_empty());
+    assert_eq!(fast, slow, "--no-analytic changed the quick-suite output");
+}
+
+#[test]
+fn no_analytic_is_byte_identical_on_the_fault_sweep() {
+    let fast = stdout_of(&["--quick", "--faults"]);
+    let slow = stdout_of(&["--quick", "--faults", "--no-analytic"]);
+    assert!(!fast.is_empty());
+    assert_eq!(fast, slow, "--no-analytic changed the fault-sweep output");
+}
+
+#[test]
+fn no_analytic_is_byte_identical_on_the_surface_sweep() {
+    let fast = stdout_of(&["--quick", "surface"]);
+    let slow = stdout_of(&["--quick", "surface", "--no-analytic"]);
+    assert!(!fast.is_empty());
+    assert_eq!(fast, slow, "--no-analytic changed the surface-sweep output");
+}
+
+#[test]
+fn misspelled_no_analytic_flag_exits_two() {
+    let out = run(&["--quick", "--no-anaytic"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("error: unknown flag --no-anaytic"));
+}
+
 #[test]
 fn faults_flag_emits_the_fault_sweep_table() {
     let out = run(&["--quick", "--faults"]);

@@ -1,0 +1,92 @@
+//! Minimal offline re-implementation of the `bytes` surface this
+//! workspace uses: an immutable, cheaply cloneable byte buffer (same
+//! constraint as the `crates/proptest` shim: no network access to
+//! crates.io). Backed by `Arc<[u8]>` — clone is a refcount bump, as
+//! message payloads expect.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::sync::Arc;
+
+/// Immutable, cheaply cloneable byte buffer (stand-in for
+/// `bytes::Bytes`).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Wraps a static byte slice (copies it; the real crate borrows,
+    /// but no caller relies on zero-copy statics).
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes { data: Arc::from(bytes) }
+    }
+
+    /// Number of bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes { data: Arc::from(data) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Bytes {
+        Bytes { data: Arc::from(data) }
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter() {
+            write!(f, "\\x{b:02x}")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Bytes;
+
+    #[test]
+    fn round_trips_vecs_and_clones_cheaply() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let c = b.clone();
+        assert_eq!(&b[..], &[1, 2, 3]);
+        assert_eq!(b, c);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert!(Bytes::new().is_empty());
+    }
+}

@@ -1,0 +1,8 @@
+//! Empty offline `crossbeam` shim (same constraint as the
+//! `crates/proptest` shim: no network access to crates.io). The
+//! workspace's worker pool is built on `std::thread::scope`
+//! (`bench-tables/src/pool.rs`), so no crossbeam API is actually used;
+//! this crate only satisfies the allowlisted manifest entry.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]

@@ -1,0 +1,488 @@
+//! Lockstep phase analyzer: closed-form evaluation of recorded SPMD
+//! programs whose collective structure is the same on every rank class.
+//!
+//! The ready-queue scheduler in the parent module is fully general: it
+//! replays any op structure, blocking and waking ranks as messages and
+//! collective deposits become available. But the kernels this workspace
+//! prices are *lockstep*: every rank class walks the same alternating
+//! sequence of collectives with per-class compute (and closed
+//! point-to-point exchanges) in between, so there is nothing for a
+//! scheduler to decide — each phase's exit clocks are a straight-line
+//! function of its entry clocks. This module detects that structure
+//! once per recording ([`analyze`]) and, when it holds, evaluates the
+//! whole schedule phase by phase ([`LockstepProgram::evaluate`]) with
+//! no mailboxes, slots, park/wake chains, or program counters.
+//!
+//! # What "lockstep" means
+//!
+//! A recording is lockstep when its per-class op lists factor into a
+//! single shared sequence of **phases**:
+//!
+//! - **Compute** — a maximal run of `Compute` ops per class (possibly
+//!   empty, possibly different lengths per class). Pure local work;
+//!   absorbed greedily between synchronization points.
+//! - **Collective** — every class's next op is the *same* collective
+//!   (equal op id, consistent kind). Broadcast and gather phases
+//!   additionally require the root's class to have exactly one member
+//!   (two ranks sharing a root recording would double-deposit, which
+//!   the engine rejects at run time), and receiver size expectations
+//!   must match the root's count.
+//! - **P2P** — a closed batch of sends/receives: starting from any
+//!   `Send`/`Recv` head, ranks exchange messages until every class
+//!   reaches a non-p2p op, every send is consumed, and no receive is
+//!   left waiting for a message from a later phase. The batch is
+//!   topologically ordered at analysis time (a send is scheduled
+//!   before its matching receive), so evaluation is a single pass.
+//!
+//! Anything else — crossing a collective boundary with an in-flight
+//! message, mismatched collective kinds or op ids, multi-member root
+//! classes, size mismatches — makes [`analyze`] return `None` and the
+//! caller falls back to the ready-queue scheduler, which either prices
+//! the program correctly or reports the protocol bug with its usual
+//! diagnostics. The analyzer never weakens an engine panic into a
+//! wrong answer: every shape it cannot *prove* lockstep falls back.
+//!
+//! # Float-op mirroring
+//!
+//! Evaluation reuses [`SimRank`]'s charge methods — the same
+//! `charge_comm` / `charge_comm_waited` / `compute` the scheduler
+//! calls — and performs per-rank charges in program order with the
+//! identical operands: message `(sent_at, arrival)` pairs, rank-order
+//! rendezvous/entry `max` folds, hoisted per-replay barrier cost.
+//! IEEE 754 addition is non-associative, so this mirroring (not mere
+//! mathematical equivalence) is what makes the result bit-identical to
+//! the event-driven engine; `analytic_matches_event_driven` tests in
+//! the parent module and the cross-crate `engine_equivalence` suite
+//! pin it.
+
+use super::{Op, SimRank};
+use crate::message::Tag;
+use crate::trace::OpKind;
+use hetsim_cluster::cluster::ClusterSpec;
+use hetsim_cluster::network::NetworkModel;
+use hetsim_cluster::time::SimTime;
+use std::collections::{HashMap, VecDeque};
+
+/// A recording's lockstep phase plan, produced by [`analyze`].
+#[derive(Debug)]
+pub(super) struct LockstepProgram {
+    phases: Vec<Phase>,
+}
+
+/// One lockstep phase. Exit clocks are a pure function of entry clocks.
+#[derive(Debug)]
+enum Phase {
+    /// Per-class maximal compute runs: `runs[c]` is the `[start, end)`
+    /// op-index range into class `c`'s op list (flops stay per-op —
+    /// fault windows and the engine both charge them individually).
+    Compute { runs: Vec<(u32, u32)> },
+    /// All ranks enter one barrier.
+    Barrier,
+    /// Broadcast of `count` elements from rank `root`.
+    Bcast { root: u32, count: usize },
+    /// The allgather-closing broadcast whose packed size is derived
+    /// from the root's preceding gather at evaluation time.
+    BcastDerived { root: u32 },
+    /// Gather to rank `root`; `counts[r]` is rank `r`'s contribution,
+    /// `sizes[r]` its wire bytes, `targets[r]` the leaf's p2p target.
+    Gather { root: u32, counts: Vec<usize>, sizes: Vec<u64>, targets: Vec<u32> },
+    /// A closed batch of point-to-point messages in topological order.
+    P2p { steps: Vec<P2pStep> },
+}
+
+/// One scheduled op of a P2P phase. `slot` indexes the phase's sends
+/// in emission order; analysis guarantees a receive's slot precedes it.
+#[derive(Debug)]
+enum P2pStep {
+    Send { rank: u32, dest: u32, count: usize },
+    Recv { rank: u32, source: u32, count: usize, slot: u32 },
+}
+
+/// Detects lockstep phase structure in a recording's per-class op
+/// lists. Returns `None` — *fall back to the ready-queue scheduler* —
+/// for any shape it cannot prove lockstep.
+pub(super) fn analyze(
+    p: usize,
+    classes: &[Vec<Op>],
+    class_of: &[usize],
+) -> Option<LockstepProgram> {
+    let nc = classes.len();
+    let mut members = vec![0usize; nc];
+    let mut rank_of_class = vec![usize::MAX; nc];
+    for (r, &c) in class_of.iter().enumerate() {
+        members[c] += 1;
+        if rank_of_class[c] == usize::MAX {
+            rank_of_class[c] = r;
+        }
+    }
+
+    let mut cursor = vec![0usize; nc];
+    let mut phases = Vec::new();
+    loop {
+        // Absorb per-class compute runs greedily.
+        let mut runs = vec![(0u32, 0u32); nc];
+        let mut any_compute = false;
+        for c in 0..nc {
+            let start = cursor[c];
+            let mut end = start;
+            while matches!(classes[c].get(end), Some(Op::Compute { .. })) {
+                end += 1;
+            }
+            if end > start {
+                any_compute = true;
+            }
+            runs[c] = (start as u32, end as u32);
+            cursor[c] = end;
+        }
+        if any_compute {
+            phases.push(Phase::Compute { runs });
+        }
+
+        let done = (0..nc).filter(|&c| cursor[c] == classes[c].len()).count();
+        if done == nc {
+            break;
+        }
+        let any_p2p = (0..nc)
+            .any(|c| matches!(classes[c].get(cursor[c]), Some(Op::Send { .. } | Op::Recv { .. })));
+        if any_p2p {
+            phases.push(p2p_phase(p, classes, class_of, &mut cursor)?);
+            continue;
+        }
+        if done > 0 {
+            // A collective needs every rank; some class is out of ops.
+            return None;
+        }
+        phases.push(collective_phase(classes, class_of, &members, &rank_of_class, &mut cursor)?);
+    }
+    Some(LockstepProgram { phases })
+}
+
+/// Closes a collective phase: every class's head must be the same
+/// collective (equal op id, consistent kind, singleton root class).
+fn collective_phase(
+    classes: &[Vec<Op>],
+    class_of: &[usize],
+    members: &[usize],
+    rank_of_class: &[usize],
+    cursor: &mut [usize],
+) -> Option<Phase> {
+    let nc = classes.len();
+    // All classes must agree on which collective comes next.
+    let mut op_id = None;
+    for c in 0..nc {
+        let id = match classes[c][cursor[c]] {
+            Op::Barrier { op }
+            | Op::BcastRoot { op, .. }
+            | Op::BcastRecv { op, .. }
+            | Op::GatherRoot { op, .. }
+            | Op::GatherLeaf { op, .. }
+            | Op::BcastRootDerived { op } => op,
+            Op::Compute { .. } | Op::Send { .. } | Op::Recv { .. } => {
+                unreachable!("compute absorbed and p2p heads dispatched before this")
+            }
+        };
+        match op_id {
+            None => op_id = Some(id),
+            Some(prev) if prev != id => return None,
+            Some(_) => {}
+        }
+    }
+
+    let mut barriers = 0usize;
+    let mut bcast_recvs = 0usize;
+    let mut gather_leaves = 0usize;
+    let mut bcast_root: Option<(usize, usize)> = None;
+    let mut derived_root: Option<usize> = None;
+    let mut gather_root: Option<usize> = None;
+    for c in 0..nc {
+        match classes[c][cursor[c]] {
+            Op::Barrier { .. } => barriers += 1,
+            Op::BcastRoot { count, .. } => {
+                if bcast_root.replace((c, count)).is_some() {
+                    return None;
+                }
+            }
+            Op::BcastRootDerived { .. } => {
+                if derived_root.replace(c).is_some() {
+                    return None;
+                }
+            }
+            Op::BcastRecv { .. } => bcast_recvs += 1,
+            Op::GatherRoot { .. } => {
+                if gather_root.replace(c).is_some() {
+                    return None;
+                }
+            }
+            Op::GatherLeaf { .. } => gather_leaves += 1,
+            Op::Compute { .. } | Op::Send { .. } | Op::Recv { .. } => unreachable!("checked above"),
+        }
+    }
+
+    let phase = if barriers == nc {
+        Phase::Barrier
+    } else if let Some((rc, count)) = bcast_root {
+        if bcast_recvs != nc - 1 || members[rc] != 1 {
+            return None;
+        }
+        for c in 0..nc {
+            if let Op::BcastRecv { expect, .. } = classes[c][cursor[c]] {
+                if expect.is_some_and(|e| e != count) {
+                    return None;
+                }
+            }
+        }
+        Phase::Bcast { root: rank_of_class[rc] as u32, count }
+    } else if let Some(rc) = derived_root {
+        if bcast_recvs != nc - 1 || members[rc] != 1 {
+            return None;
+        }
+        for c in 0..nc {
+            if let Op::BcastRecv { expect, .. } = classes[c][cursor[c]] {
+                // The packed size exists only at evaluation time; a
+                // stated expectation cannot be verified statically.
+                if expect.is_some() {
+                    return None;
+                }
+            }
+        }
+        Phase::BcastDerived { root: rank_of_class[rc] as u32 }
+    } else if let Some(rc) = gather_root {
+        if gather_leaves != nc - 1 || members[rc] != 1 {
+            return None;
+        }
+        let p = class_of.len();
+        let mut counts = vec![0usize; p];
+        let mut targets = vec![0u32; p];
+        for r in 0..p {
+            match classes[class_of[r]][cursor[class_of[r]]] {
+                Op::GatherRoot { count, .. } => counts[r] = count,
+                Op::GatherLeaf { root, count, .. } => {
+                    counts[r] = count;
+                    targets[r] = root as u32;
+                }
+                _ => unreachable!("kind counts checked above"),
+            }
+        }
+        let sizes = counts.iter().map(|&c| (c * 8) as u64).collect();
+        Phase::Gather { root: rank_of_class[rc] as u32, counts, sizes, targets }
+    } else {
+        // Mixed collective kinds — the engine would panic on the slot
+        // type mismatch; let it.
+        return None;
+    };
+    for c in cursor.iter_mut() {
+        *c += 1;
+    }
+    Some(phase)
+}
+
+/// Closes a P2P phase by Kahn-style scheduling: repeatedly drain each
+/// rank's sends (always executable) and receives whose matching send
+/// was already emitted *within this phase*, preserving per-rank program
+/// order and the engine's per-`(source, tag)` FIFO matching. Rejects
+/// stalls (a receive whose send never materializes here) and leftovers
+/// (a send consumed only after the next synchronization point).
+fn p2p_phase(
+    p: usize,
+    classes: &[Vec<Op>],
+    class_of: &[usize],
+    cursor: &mut [usize],
+) -> Option<Phase> {
+    let mut pc: Vec<usize> = (0..p).map(|r| cursor[class_of[r]]).collect();
+    let mut pending: HashMap<(usize, usize, Tag), VecDeque<(u32, usize)>> = HashMap::new();
+    let mut steps = Vec::new();
+    let mut sends = 0u32;
+    let mut progress = true;
+    while progress {
+        progress = false;
+        for r in 0..p {
+            let ops = &classes[class_of[r]];
+            loop {
+                match ops.get(pc[r]) {
+                    Some(&Op::Send { dest, tag, count }) => {
+                        steps.push(P2pStep::Send { rank: r as u32, dest: dest as u32, count });
+                        pending.entry((r, dest, tag)).or_default().push_back((sends, count));
+                        sends += 1;
+                        pc[r] += 1;
+                        progress = true;
+                    }
+                    Some(&Op::Recv { source, tag, expect }) => {
+                        let Some((slot, count)) =
+                            pending.get_mut(&(source, r, tag)).and_then(|q| q.pop_front())
+                        else {
+                            break;
+                        };
+                        if count != expect {
+                            // The engine's size assert owns this
+                            // diagnostic; fall back.
+                            return None;
+                        }
+                        steps.push(P2pStep::Recv {
+                            rank: r as u32,
+                            source: source as u32,
+                            count,
+                            slot,
+                        });
+                        pc[r] += 1;
+                        progress = true;
+                    }
+                    _ => break,
+                }
+            }
+        }
+    }
+    if pending.values().any(|q| !q.is_empty()) {
+        return None;
+    }
+    for r in 0..p {
+        if matches!(classes[class_of[r]].get(pc[r]), Some(Op::Recv { .. })) {
+            return None;
+        }
+    }
+    // Every rank of a class stopped at the same first non-p2p op (the
+    // stall check above rejected anything else), so the per-rank
+    // counters collapse back into per-class cursors.
+    for r in 0..p {
+        cursor[class_of[r]] = pc[r];
+    }
+    Some(Phase::P2p { steps })
+}
+
+/// Root-then-receivers broadcast charge, mirroring `SimShared::bcast_root`
+/// and the `BcastRecv` arm of the event-driven engine.
+fn bcast<N: NetworkModel>(ranks: &mut [SimRank], network: &N, root: usize, count: usize) {
+    let p = ranks.len();
+    let bytes = (count * 8) as u64;
+    let cost = SimTime::from_secs(network.bcast_time(p, bytes));
+    let departure = ranks[root].clock + cost;
+    ranks[root].charge_comm(false, departure, OpKind::Bcast, bytes, None);
+    for (r, rank) in ranks.iter_mut().enumerate() {
+        if r != root {
+            let exit = rank.clock.max(departure);
+            rank.charge_comm(false, exit, OpKind::Bcast, bytes, Some(root));
+        }
+    }
+}
+
+impl LockstepProgram {
+    /// Evaluates the phase plan, producing the same per-rank clocks and
+    /// accumulator splits as the event-driven scheduler — bit for bit.
+    /// Untraced and fault-free only (traced/faulted runs keep the
+    /// scheduler, whose generality they need).
+    pub(super) fn evaluate<N: NetworkModel>(
+        &self,
+        cluster: &ClusterSpec,
+        network: &N,
+        classes: &[Vec<Op>],
+        class_of: &[usize],
+    ) -> Vec<SimRank> {
+        let p = class_of.len();
+        let mut ranks: Vec<SimRank> = (0..p).map(|id| SimRank::new(id, cluster)).collect();
+        // Hoisted once per evaluation, exactly as the scheduler hoists
+        // it once per replay.
+        let barrier_cost = SimTime::from_secs(network.barrier_time(p));
+        // (sent_at, arrival) per send slot of the current P2P phase.
+        let mut msgs: Vec<(SimTime, SimTime)> = Vec::new();
+        for phase in &self.phases {
+            match phase {
+                Phase::Compute { runs } => {
+                    for (r, rank) in ranks.iter_mut().enumerate() {
+                        let c = class_of[r];
+                        let (start, end) = runs[c];
+                        for op in &classes[c][start as usize..end as usize] {
+                            let Op::Compute { flops } = *op else {
+                                unreachable!("compute runs hold only compute ops")
+                            };
+                            rank.compute(false, None, flops);
+                        }
+                    }
+                }
+                Phase::Barrier => {
+                    // Same rank-order fold over the same complete entry
+                    // set as the scheduler's cached rendezvous.
+                    let rendezvous = ranks.iter().map(|r| r.clock).max().expect("p >= 1");
+                    let exit = rendezvous + barrier_cost;
+                    for rank in ranks.iter_mut() {
+                        rank.charge_comm_waited(false, rendezvous, exit, OpKind::Barrier, 0, None);
+                    }
+                }
+                Phase::Bcast { root, count } => {
+                    bcast(&mut ranks, network, *root as usize, *count);
+                }
+                Phase::BcastDerived { root } => {
+                    let root = *root as usize;
+                    let count = p + ranks[root].last_gather_counts.iter().sum::<usize>();
+                    bcast(&mut ranks, network, root, count);
+                }
+                Phase::Gather { root, counts, sizes, targets } => {
+                    let root = *root as usize;
+                    // Deposits carry entry clocks; in lockstep every
+                    // rank is at the phase boundary, so the fold runs
+                    // over current clocks in rank order.
+                    let max_entry = ranks.iter().map(|r| r.clock).max().expect("p >= 1");
+                    let cost = SimTime::from_secs(network.gather_time(sizes, root));
+                    let total_bytes: u64 = sizes.iter().sum();
+                    let ready = ranks[root].clock.max(max_entry);
+                    ranks[root].charge_comm_waited(
+                        false,
+                        ready,
+                        ready + cost,
+                        OpKind::Gather,
+                        total_bytes,
+                        None,
+                    );
+                    ranks[root].last_gather_counts.clear();
+                    ranks[root].last_gather_counts.extend_from_slice(counts);
+                    for (r, rank) in ranks.iter_mut().enumerate() {
+                        if r != root {
+                            let bytes = sizes[r];
+                            let target = targets[r] as usize;
+                            let cost =
+                                SimTime::from_secs(network.p2p_time_between(r, target, bytes));
+                            let exit = rank.clock + cost;
+                            rank.charge_comm(false, exit, OpKind::Gather, bytes, Some(target));
+                        }
+                    }
+                }
+                Phase::P2p { steps } => {
+                    msgs.clear();
+                    for step in steps {
+                        match *step {
+                            P2pStep::Send { rank, dest, count } => {
+                                let r = rank as usize;
+                                let dest = dest as usize;
+                                let bytes = (count * 8) as u64;
+                                let sent_at = ranks[r].clock;
+                                let cost =
+                                    SimTime::from_secs(network.p2p_time_between(r, dest, bytes));
+                                ranks[r].charge_comm(
+                                    false,
+                                    sent_at + cost,
+                                    OpKind::Send,
+                                    bytes,
+                                    Some(dest),
+                                );
+                                msgs.push((sent_at, ranks[r].clock));
+                            }
+                            P2pStep::Recv { rank, source, count, slot } => {
+                                let r = rank as usize;
+                                let (sent_at, arrival) = msgs[slot as usize];
+                                let bytes = (count * 8) as u64;
+                                let exit = ranks[r].clock.max(arrival);
+                                ranks[r].charge_comm_waited(
+                                    false,
+                                    sent_at,
+                                    exit,
+                                    OpKind::Recv,
+                                    bytes,
+                                    Some(source as usize),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        ranks
+    }
+}

@@ -48,6 +48,32 @@ use hetsim_cluster::faults::FaultPlan;
 use hetsim_cluster::network::NetworkModel;
 use hetsim_cluster::time::SimTime;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+mod analytic;
+
+use analytic::LockstepProgram;
+
+/// Process-wide switch for the lockstep analytic evaluator (default
+/// on). See [`set_analytic_enabled`].
+static ANALYTIC_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Globally enables or disables the lockstep analytic evaluator
+/// (`bench-tables`' `--no-analytic` flag). With it disabled,
+/// [`SpmdProgram::simulate`] and the `run_spmd_fast*` entry points
+/// always use the event-driven ready-queue scheduler. Both paths are
+/// bit-identical by construction (the analytic evaluator mirrors the
+/// scheduler's float-op sequences), so flipping this mid-run changes
+/// cost, never results.
+pub fn set_analytic_enabled(enabled: bool) {
+    ANALYTIC_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the lockstep analytic evaluator is currently enabled.
+pub fn analytic_enabled() -> bool {
+    ANALYTIC_ENABLED.load(Ordering::Relaxed)
+}
 
 /// Size-only SPMD operations: the interface timing-mode bodies program
 /// against so one body drives both engines.
@@ -859,6 +885,9 @@ pub struct SpmdProgram<R> {
     class_collectives: Vec<u64>,
     /// Class index per rank.
     class_of: Vec<usize>,
+    /// Lazily computed lockstep phase plan; `Some(None)` caches an
+    /// analyzer rejection so the structure check runs at most once.
+    lockstep: OnceLock<Option<LockstepProgram>>,
 }
 
 /// Phase 1 of the fast engine, exposed for benchmarks and callers that
@@ -908,7 +937,7 @@ where
             }
         }
     }
-    SpmdProgram { p, results, classes, class_collectives, class_of }
+    SpmdProgram { p, results, classes, class_collectives, class_of, lockstep: OnceLock::new() }
 }
 
 impl<R> SpmdProgram<R> {
@@ -923,15 +952,85 @@ impl<R> SpmdProgram<R> {
         self.classes.len()
     }
 
-    /// Phase 2 of the fast engine: replays the recording against
+    /// The recording's lockstep phase plan, computed once on first use.
+    fn lockstep_plan(&self) -> Option<&LockstepProgram> {
+        self.lockstep
+            .get_or_init(|| analytic::analyze(self.p, &self.classes, &self.class_of))
+            .as_ref()
+    }
+
+    /// True when the recording has the lockstep phase structure the
+    /// analytic evaluator accepts (see [`mod@analytic`]).
+    pub fn is_lockstep(&self) -> bool {
+        self.lockstep_plan().is_some()
+    }
+
+    /// Phase 2 of the fast engine: prices the recording against
     /// `network`, bit-identical to [`run_spmd_fast`] on the same body.
     /// `cluster` must be the recording's cluster (or one of identical
     /// size — per-rank speeds are re-read from it).
+    ///
+    /// Lockstep recordings are evaluated analytically (see
+    /// [`mod@analytic`]) unless disabled via [`set_analytic_enabled`];
+    /// everything else takes the event-driven ready-queue scheduler.
+    /// The two paths are bit-identical.
     pub fn simulate<N: NetworkModel>(&self, cluster: &ClusterSpec, network: &N) -> SpmdOutcome<R>
     where
         R: Clone,
     {
+        if analytic_enabled() {
+            if let Some(plan) = self.lockstep_plan() {
+                return self.replay_analytic(plan, cluster, network, self.results.clone());
+            }
+        }
         self.replay(cluster, network, false, None, self.results.clone())
+    }
+
+    /// [`simulate`](Self::simulate), forced onto the event-driven
+    /// ready-queue scheduler regardless of the global analytic toggle —
+    /// the reference path equivalence tests and benches compare against.
+    pub fn simulate_event_driven<N: NetworkModel>(
+        &self,
+        cluster: &ClusterSpec,
+        network: &N,
+    ) -> SpmdOutcome<R>
+    where
+        R: Clone,
+    {
+        self.replay(cluster, network, false, None, self.results.clone())
+    }
+
+    /// Analytic evaluation of the recording, or `None` when the
+    /// lockstep analyzer rejected its shape (ignores the global
+    /// toggle). Bit-identical to
+    /// [`simulate_event_driven`](Self::simulate_event_driven) whenever
+    /// it returns `Some`.
+    pub fn simulate_analytic<N: NetworkModel>(
+        &self,
+        cluster: &ClusterSpec,
+        network: &N,
+    ) -> Option<SpmdOutcome<R>>
+    where
+        R: Clone,
+    {
+        let plan = self.lockstep_plan()?;
+        Some(self.replay_analytic(plan, cluster, network, self.results.clone()))
+    }
+
+    fn replay_analytic<N: NetworkModel>(
+        &self,
+        plan: &LockstepProgram,
+        cluster: &ClusterSpec,
+        network: &N,
+        results: Vec<R>,
+    ) -> SpmdOutcome<R> {
+        assert_eq!(
+            cluster.size(),
+            self.p,
+            "cluster size disagrees with the recording's rank count"
+        );
+        let ranks = plan.evaluate(cluster, network, &self.classes, &self.class_of);
+        outcome_from_ranks(ranks, results)
     }
 
     fn replay<N: NetworkModel>(
@@ -946,6 +1045,14 @@ impl<R> SpmdProgram<R> {
         assert_eq!(cluster.size(), p, "cluster size disagrees with the recording's rank count");
 
         let mut ranks: Vec<SimRank> = (0..p).map(|id| SimRank::new(id, cluster)).collect();
+        if tracing {
+            // Presize each trace for the common case of at most two
+            // records per op (a Wait plus the op itself); fault-path
+            // retries can still grow past the reservation.
+            for rank in ranks.iter_mut() {
+                rank.trace.records.reserve(2 * self.classes[self.class_of[rank.id]].len());
+            }
+        }
         let slot_cap = self.class_collectives.iter().copied().max().unwrap_or(0) as usize;
         let mut slots = Vec::new();
         slots.resize_with(slot_cap, || None);
@@ -1011,20 +1118,27 @@ impl<R> SpmdProgram<R> {
         }
         assert_eq!(shared.live, 0, "collective slots leaked — ranks disagreed on collective count");
 
-        let mut times = Vec::with_capacity(p);
-        let mut compute_times = Vec::with_capacity(p);
-        let mut comm_times = Vec::with_capacity(p);
-        let mut wait_times = Vec::with_capacity(p);
-        let mut traces = Vec::with_capacity(p);
-        for rank in &mut ranks {
-            times.push(rank.clock);
-            compute_times.push(rank.compute_time);
-            comm_times.push(rank.comm_time);
-            wait_times.push(rank.wait_time);
-            traces.push(std::mem::take(&mut rank.trace));
-        }
-        SpmdOutcome { results, times, compute_times, comm_times, wait_times, traces }
+        outcome_from_ranks(ranks, results)
     }
+}
+
+/// Collapses final per-rank simulation states into an [`SpmdOutcome`]
+/// (shared by the scheduler and the analytic evaluator).
+fn outcome_from_ranks<R>(mut ranks: Vec<SimRank>, results: Vec<R>) -> SpmdOutcome<R> {
+    let p = ranks.len();
+    let mut times = Vec::with_capacity(p);
+    let mut compute_times = Vec::with_capacity(p);
+    let mut comm_times = Vec::with_capacity(p);
+    let mut wait_times = Vec::with_capacity(p);
+    let mut traces = Vec::with_capacity(p);
+    for rank in &mut ranks {
+        times.push(rank.clock);
+        compute_times.push(rank.compute_time);
+        comm_times.push(rank.comm_time);
+        wait_times.push(rank.wait_time);
+        traces.push(std::mem::take(&mut rank.trace));
+    }
+    SpmdOutcome { results, times, compute_times, comm_times, wait_times, traces }
 }
 
 fn run_spmd_fast_inner<R, F, N>(
@@ -1040,6 +1154,13 @@ where
 {
     let mut program = record_spmd(cluster, body);
     let results = std::mem::take(&mut program.results);
+    // Traces and fault plans (retry charges, degraded-speed windows)
+    // keep the event-driven scheduler, whose generality they need.
+    if !tracing && faults.is_none() && analytic_enabled() {
+        if let Some(plan) = program.lockstep_plan() {
+            return program.replay_analytic(plan, cluster, network, results);
+        }
+    }
     program.replay(cluster, network, tracing, faults, results)
 }
 
@@ -1313,6 +1434,93 @@ mod tests {
         assert_eq!(a.times, b.times);
         assert_eq!(a.times, direct.times);
         assert_eq!(a.comm_times, direct.comm_times);
+    }
+
+    #[test]
+    fn mixed_program_is_lockstep_and_analytic_matches_event_driven() {
+        let cluster = het3();
+        let net = MpichEthernet::new(0.2e-3, 1e8);
+        let program: SpmdProgram<()> = record_spmd(&cluster, mixed_body);
+        assert!(program.is_lockstep(), "mixed_body alternates collectives with closed p2p");
+        let analytic = program.simulate_analytic(&cluster, &net).expect("lockstep");
+        let event = program.simulate_event_driven(&cluster, &net);
+        assert_eq!(analytic.times, event.times, "clocks");
+        assert_eq!(analytic.compute_times, event.compute_times, "compute");
+        assert_eq!(analytic.comm_times, event.comm_times, "comm");
+        assert_eq!(analytic.wait_times, event.wait_times, "wait");
+    }
+
+    #[test]
+    fn shared_class_program_is_lockstep_and_analytic_matches() {
+        let cluster = ClusterSpec::homogeneous(5, 80.0);
+        let net = MpichEthernet::new(0.3e-3, 1e8);
+        let program: SpmdProgram<()> = record_spmd(&cluster, two_class_body);
+        assert!(program.is_lockstep());
+        let analytic = program.simulate_analytic(&cluster, &net).expect("lockstep");
+        let event = program.simulate_event_driven(&cluster, &net);
+        assert_eq!(analytic.times, event.times);
+        assert_eq!(analytic.comm_times, event.comm_times);
+        assert_eq!(analytic.wait_times, event.wait_times);
+    }
+
+    /// A valid program the analyzer must *reject*: the message is sent
+    /// before a barrier and received after it, so the p2p batch cannot
+    /// quiesce at the collective boundary.
+    fn crossing_body<T: SpmdTimer>(t: &mut T) {
+        if t.rank() == 0 {
+            t.send_count(1, Tag(7), 5);
+        }
+        t.barrier();
+        if t.rank() == 1 {
+            t.recv_count(0, Tag(7), 5);
+        }
+    }
+
+    #[test]
+    fn message_crossing_a_barrier_falls_back_to_the_scheduler() {
+        let cluster = ClusterSpec::homogeneous(2, 50.0);
+        let net = ConstantLatency::new(1e-3);
+        let program: SpmdProgram<()> = record_spmd(&cluster, crossing_body);
+        assert!(!program.is_lockstep(), "in-flight message across a barrier is not lockstep");
+        assert!(program.simulate_analytic(&cluster, &net).is_none());
+        // The auto-selecting path must still price it, via fallback,
+        // matching the scheduler and the threaded oracle exactly.
+        let auto = program.simulate(&cluster, &net);
+        let event = program.simulate_event_driven(&cluster, &net);
+        assert_eq!(auto.times, event.times);
+        assert_eq!(auto.comm_times, event.comm_times);
+        let threaded = crate::runtime::run_spmd(&cluster, &net, |r| crossing_body(r));
+        assert_eq!(auto.times, threaded.times);
+        assert_eq!(auto.comm_times, threaded.comm_times);
+        assert_eq!(auto.wait_times, threaded.wait_times);
+    }
+
+    #[test]
+    fn disabling_analytic_forces_the_scheduler_with_identical_results() {
+        let cluster = het3();
+        let net = MpichEthernet::new(0.2e-3, 1e8);
+        let program: SpmdProgram<()> = record_spmd(&cluster, mixed_body);
+        let on = program.simulate(&cluster, &net);
+        set_analytic_enabled(false);
+        let off = program.simulate(&cluster, &net);
+        set_analytic_enabled(true);
+        assert_eq!(on.times, off.times);
+        assert_eq!(on.compute_times, off.compute_times);
+        assert_eq!(on.comm_times, off.comm_times);
+        assert_eq!(on.wait_times, off.wait_times);
+    }
+
+    #[test]
+    fn misaligned_collective_schedules_are_rejected() {
+        // Rank 0 reaches a barrier no one else joins: the analyzer
+        // must refuse (the scheduler owns the deadlock diagnostic).
+        let cluster = ClusterSpec::homogeneous(2, 50.0);
+        let program: SpmdProgram<()> = record_spmd(&cluster, |t| {
+            if t.rank() == 0 {
+                t.barrier();
+            }
+        });
+        assert!(!program.is_lockstep());
     }
 
     #[test]

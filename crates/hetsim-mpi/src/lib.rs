@@ -81,8 +81,9 @@ pub mod trace;
 
 pub use context::Rank;
 pub use engine::{
-    record_spmd, run_spmd_fast, run_spmd_fast_faulted, run_spmd_fast_faulted_traced,
-    run_spmd_fast_traced, RecordTimer, SpmdProgram, SpmdTimer,
+    analytic_enabled, record_spmd, run_spmd_fast, run_spmd_fast_faulted,
+    run_spmd_fast_faulted_traced, run_spmd_fast_traced, set_analytic_enabled, RecordTimer,
+    SpmdProgram, SpmdTimer,
 };
 pub use message::Tag;
 pub use runtime::{

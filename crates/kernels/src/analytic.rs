@@ -1,0 +1,691 @@
+//! Hand-derived closed forms for the four kernel protocols, evaluated
+//! without the engine's record/replay machinery.
+//!
+//! All four timing-mode kernels are *lockstep* (see
+//! `hetsim_mpi::engine`'s analytic module for the general detector):
+//! their collective schedules are identical on every rank, so each
+//! phase's exit clocks are a straight-line function of its entry
+//! clocks. The evaluators here go one step further than the generic
+//! analyzer — they skip recording entirely and derive the per-phase
+//! costs (message counts, charged flops, row ownership) directly from
+//! the distribution, which removes the O(ops · p) record pass from
+//! every priced cell.
+//!
+//! **Bit-identity contract**: each closed form performs, per rank, the
+//! *same float-op sequence* the event-driven engine charges for the
+//! corresponding `*_timed_body` — same `max` folds in rank order, same
+//! `+=` order on the clock and the compute/comm accumulators, same
+//! division shapes. IEEE 754 addition is non-associative, so only this
+//! mirroring (not algebraic equivalence) keeps the results bit-equal.
+//! Pure cost-model calls (`p2p_time_between`, `bcast_time`,
+//! `gather_time`, `barrier_time`) may be hoisted out of loops: the
+//! same arguments produce the same bits, so reuse cannot perturb a
+//! result. The `closed_form_matches_engine` grids below pin every
+//! kernel × cluster shape × network family against the event-driven
+//! scheduler, and transitively (via each kernel's
+//! `fast_matches_threaded`) against the thread-per-rank oracle.
+//!
+//! The closed forms serve the untraced, fault-free path only; traces
+//! and fault plans keep the engine, whose generality they need. The
+//! kernel entry points select automatically, honouring
+//! [`hetsim_mpi::set_analytic_enabled`] (`--no-analytic`).
+
+use crate::ge::TimingOutcome;
+use hetpart::{BlockDistribution, CyclicDistribution, Distribution};
+use hetsim_cluster::cluster::ClusterSpec;
+use hetsim_cluster::network::NetworkModel;
+use hetsim_cluster::time::SimTime;
+
+/// Flops charged for eliminating one row of length `len` — must match
+/// `ge::parallel::elimination_flops` (pinned by the equivalence test).
+pub(crate) fn elimination_flops(len: usize) -> f64 {
+    (2 * len + 1) as f64
+}
+
+/// Root-serialized distribution: rank 0's sends occupy its clock back
+/// to back; each receiver's recv completes at the message's arrival
+/// (`max` with its own clock, zero here). `counts[peer]` is the
+/// element count sent to `peer` (`counts[0]` unused).
+fn scatter_from_root<N: NetworkModel>(
+    network: &N,
+    clock: &mut [SimTime],
+    comm: &mut [SimTime],
+    counts: &[usize],
+) {
+    for peer in 1..clock.len() {
+        let bytes = (counts[peer] * 8) as u64;
+        let cost = SimTime::from_secs(network.p2p_time_between(0, peer, bytes));
+        let arrival = clock[0] + cost;
+        comm[0] += arrival - clock[0];
+        clock[0] = arrival;
+        let exit = clock[peer].max(arrival);
+        comm[peer] += exit - clock[peer];
+        clock[peer] = exit;
+    }
+}
+
+/// Broadcast of `count` elements from `root`: the root departs at
+/// entry + cost; every receiver exits at `max(own clock, departure)`.
+fn bcast_from<N: NetworkModel>(
+    network: &N,
+    clock: &mut [SimTime],
+    comm: &mut [SimTime],
+    root: usize,
+    count: usize,
+) {
+    let p = clock.len();
+    let bytes = (count * 8) as u64;
+    let cost = SimTime::from_secs(network.bcast_time(p, bytes));
+    let departure = clock[root] + cost;
+    comm[root] += departure - clock[root];
+    clock[root] = departure;
+    for r in 0..p {
+        if r != root {
+            let exit = clock[r].max(departure);
+            comm[r] += exit - clock[r];
+            clock[r] = exit;
+        }
+    }
+}
+
+/// Gather of `counts[r]` elements per rank to `root`. Deposits carry
+/// each rank's *entry* clock; leaves then pay their p2p cost while the
+/// root waits for the latest deposit plus the gather cost over the
+/// size vector (rank-indexed, like the engine).
+fn gather_to<N: NetworkModel>(
+    network: &N,
+    clock: &mut [SimTime],
+    comm: &mut [SimTime],
+    root: usize,
+    counts: &[usize],
+) {
+    let p = clock.len();
+    let sizes: Vec<u64> = counts.iter().map(|&c| (c * 8) as u64).collect();
+    let max_entry = *clock.iter().max().expect("p >= 1");
+    for r in 0..p {
+        if r != root {
+            let cost = SimTime::from_secs(network.p2p_time_between(r, root, sizes[r]));
+            let exit = clock[r] + cost;
+            comm[r] += exit - clock[r];
+            clock[r] = exit;
+        }
+    }
+    let gather_cost = SimTime::from_secs(network.gather_time(&sizes, root));
+    let ready = clock[root].max(max_entry);
+    let exit = ready + gather_cost;
+    comm[root] += exit - clock[root];
+    clock[root] = exit;
+}
+
+/// Condenses per-rank clocks into the timing summary, with the same
+/// rank-order folds as `SpmdOutcome::makespan` / `total_overhead`.
+fn finish(clock: Vec<SimTime>, compute: Vec<SimTime>, comm: Vec<SimTime>) -> TimingOutcome {
+    TimingOutcome {
+        makespan: clock.iter().copied().max().unwrap_or(SimTime::ZERO),
+        total_overhead: comm.iter().fold(SimTime::ZERO, |acc, &t| acc + t),
+        times: clock,
+        compute_times: compute,
+    }
+}
+
+fn marked_speeds(cluster: &ClusterSpec) -> Vec<f64> {
+    cluster.nodes().iter().map(|nd| nd.marked_speed_flops()).collect()
+}
+
+/// Closed-form GE timings: bit-identical to the engine pricing
+/// `ge::timed`'s skeleton (scatter, per-pivot bcast → eliminate →
+/// barrier rounds, gather, root back-substitution).
+pub fn ge_closed_form<N: NetworkModel>(
+    cluster: &ClusterSpec,
+    network: &N,
+    n: usize,
+    dist: &CyclicDistribution,
+) -> TimingOutcome {
+    ge_closed_form_many(cluster, std::slice::from_ref(network), n, dist)
+        .pop()
+        .expect("one network in, one outcome out")
+}
+
+/// Per-campaign mutable state of the batched GE evaluation. Campaigns
+/// share no float state: only the network-independent inputs (row
+/// ownership, `remaining` counts, elimination `dt`s) are computed once
+/// and read by all.
+struct GeCampaign {
+    clock: Vec<SimTime>,
+    compute: Vec<SimTime>,
+    comm: Vec<SimTime>,
+    /// Shared post-barrier clock (all ranks leave a barrier with the
+    /// same f64), valid from the end of round 0 onwards.
+    clk: SimTime,
+}
+
+/// [`ge_closed_form`] over many network models at once — the same
+/// problem on the same cluster and distribution, priced under each
+/// network in one pass over the elimination rounds.
+///
+/// The noise ablation is the motivating caller: its frozen-noise
+/// campaigns differ *only* in the jittered network, so the row
+/// ownership scan, the `remaining` below-pivot counts, and every
+/// elimination `dt` (`remaining · elim / speed` — no network anywhere
+/// in it) are computed once per round and reused across all campaigns.
+/// Each campaign's float-op sequence is exactly the one
+/// [`ge_closed_form`] performs for its network — sharing
+/// network-independent inputs reorders evaluation only across
+/// *independent* values, so results stay bit-identical (pinned by
+/// `many_matches_one_by_one` below).
+pub fn ge_closed_form_many<N: NetworkModel>(
+    cluster: &ClusterSpec,
+    networks: &[N],
+    n: usize,
+    dist: &CyclicDistribution,
+) -> Vec<TimingOutcome> {
+    let p = cluster.size();
+    let speeds = marked_speeds(cluster);
+    // Row counts per rank in one O(n) ownership pass (materializing
+    // each rank's row list would be O(n · p)).
+    let mut rows = vec![0usize; p];
+    for i in 0..n {
+        rows[dist.owner(i)] += 1;
+    }
+    let scatter_counts: Vec<usize> = rows.iter().map(|&r| r * (n + 1)).collect();
+
+    // Stage 1: root-serialized distribution of row blocks, per campaign.
+    let mut campaigns: Vec<GeCampaign> = networks
+        .iter()
+        .map(|net| {
+            let mut clock = vec![SimTime::ZERO; p];
+            let mut comm = vec![SimTime::ZERO; p];
+            scatter_from_root(net, &mut clock, &mut comm, &scatter_counts);
+            GeCampaign { clock, compute: vec![SimTime::ZERO; p], comm, clk: SimTime::ZERO }
+        })
+        .collect();
+
+    // Stage 2: elimination rounds. The barrier cost depends only on
+    // `p` — hoisted once per campaign, exactly as the engine hoists it
+    // per replay. `remaining[r]` tracks rank `r`'s rows strictly below
+    // the pivot: row `i` leaves its owner's count at round `i`, which
+    // reproduces the body's sorted-row scan bit for bit. `dts[r]` is
+    // the round's elimination time — network-free, so shared.
+    let barrier_costs: Vec<SimTime> =
+        networks.iter().map(|net| SimTime::from_secs(net.barrier_time(p))).collect();
+    let mut remaining = rows;
+    let mut dts = vec![SimTime::ZERO; p];
+    let mut rounds = 0..n.saturating_sub(1);
+    // Round 0 runs generically: the scatter leaves rank clocks
+    // unequal, so receivers genuinely race the pivot broadcast. Its
+    // barrier *comm* charge is deferred: each campaign records the
+    // barrier exit in `clk` and leaves `clock[r]` at the rendezvous
+    // entries; the next round (or the final flush) charges
+    // `clk − clock[r]` before the round's own broadcast charge, which
+    // is the same operand pair in the same per-accumulator order.
+    if let Some(i) = rounds.next() {
+        let owner = dist.owner(i);
+        let bytes = ((n - i + 1) * 8) as u64;
+        remaining[owner] -= 1;
+        let elim = elimination_flops(n - i);
+        for (d, (&rem, &spd)) in dts.iter_mut().zip(remaining.iter().zip(speeds.iter())) {
+            *d = SimTime::from_secs(rem as f64 * elim / spd);
+        }
+        for ((net, cpn), &barrier_cost) in
+            networks.iter().zip(campaigns.iter_mut()).zip(barrier_costs.iter())
+        {
+            let cost = SimTime::from_secs(net.bcast_time(p, bytes));
+            let departure = cpn.clock[owner] + cost;
+            cpn.comm[owner] += departure - cpn.clock[owner];
+            cpn.clock[owner] = departure;
+            // Fused receiver-exit + elimination + rendezvous pass. The
+            // incremental `max` sees the same operands as a whole-slice
+            // fold over the final clocks (all clocks are non-negative,
+            // so seeding with zero is exact).
+            let mut rendezvous = SimTime::ZERO;
+            for (r, &dt) in dts.iter().enumerate() {
+                if r != owner {
+                    let exit = cpn.clock[r].max(departure);
+                    cpn.comm[r] += exit - cpn.clock[r];
+                    cpn.clock[r] = exit;
+                }
+                cpn.clock[r] += dt;
+                cpn.compute[r] += dt;
+                rendezvous = rendezvous.max(cpn.clock[r]);
+            }
+            cpn.clk = rendezvous + barrier_cost;
+        }
+    }
+    // Rounds 1…: every rank left the previous barrier with the *same*
+    // clock (`rendezvous + barrier_cost` is one f64 written to all),
+    // so the per-rank clock is the scalar `clk` until the next
+    // compute. The broadcast then departs at `clk + cost ≥ clk`,
+    // making every receiver's `max(clock, departure)` collapse to
+    // `departure` (on a zero-cost tie, `SimTime::max` keeps `self`,
+    // whose bits equal `departure`'s) and the per-rank comm charge
+    // `departure − clock` collapse to one shared sub. Each rank then
+    // computes `departure + dt[r]` — the exact add the engine performs.
+    // `clock[r]` holds the previous round's rendezvous entry, so the
+    // deferred barrier charge `clk − clock[r]` lands here, first in
+    // the per-accumulator order; the zipped iterators keep the hot
+    // loop free of bounds checks.
+    for i in rounds {
+        let owner = dist.owner(i);
+        let bytes = ((n - i + 1) * 8) as u64;
+        remaining[owner] -= 1;
+        let elim = elimination_flops(n - i);
+        for (d, (&rem, &spd)) in dts.iter_mut().zip(remaining.iter().zip(speeds.iter())) {
+            *d = SimTime::from_secs(rem as f64 * elim / spd);
+        }
+        for ((net, cpn), &barrier_cost) in
+            networks.iter().zip(campaigns.iter_mut()).zip(barrier_costs.iter())
+        {
+            let cost = SimTime::from_secs(net.bcast_time(p, bytes));
+            let prev_exit = cpn.clk;
+            let departure = prev_exit + cost;
+            let delta = departure - prev_exit;
+            let mut rendezvous = SimTime::ZERO;
+            for (((c, cm), cp), &dt) in cpn
+                .clock
+                .iter_mut()
+                .zip(cpn.comm.iter_mut())
+                .zip(cpn.compute.iter_mut())
+                .zip(dts.iter())
+            {
+                *cm += prev_exit - *c;
+                let t = departure + dt;
+                *c = t;
+                *cm += delta;
+                *cp += dt;
+                rendezvous = rendezvous.max(t);
+            }
+            cpn.clk = rendezvous + barrier_cost;
+        }
+    }
+    // Flush the last round's deferred barrier charge and materialize
+    // the equalized clocks (round 0 also lands here when n = 2).
+    if n >= 2 {
+        for cpn in campaigns.iter_mut() {
+            let clk = cpn.clk;
+            for (c, cm) in cpn.clock.iter_mut().zip(cpn.comm.iter_mut()) {
+                *cm += clk - *c;
+                *c = clk;
+            }
+        }
+    }
+
+    // Stage 3: gather to rank 0, then sequential back substitution.
+    let backsub = SimTime::from_secs((n * n) as f64 / speeds[0]);
+    networks
+        .iter()
+        .zip(campaigns)
+        .map(|(net, cpn)| {
+            let GeCampaign { mut clock, mut compute, mut comm, .. } = cpn;
+            gather_to(net, &mut clock, &mut comm, 0, &scatter_counts);
+            clock[0] += backsub;
+            compute[0] += backsub;
+            finish(clock, compute, comm)
+        })
+        .collect()
+}
+
+/// Closed-form MM (HoHe) timings: A-block scatter, B broadcast, local
+/// multiply, C gather — bit-identical to the engine on `mm::timed`'s
+/// skeleton.
+pub fn mm_closed_form<N: NetworkModel>(
+    cluster: &ClusterSpec,
+    network: &N,
+    n: usize,
+    dist: &BlockDistribution,
+) -> TimingOutcome {
+    let p = cluster.size();
+    let speeds = marked_speeds(cluster);
+    let rows: Vec<usize> = (0..p).map(|r| dist.range_of(r).len()).collect();
+
+    let mut clock = vec![SimTime::ZERO; p];
+    let mut compute = vec![SimTime::ZERO; p];
+    let mut comm = vec![SimTime::ZERO; p];
+
+    let block_counts: Vec<usize> = rows.iter().map(|&r| r * n).collect();
+    scatter_from_root(network, &mut clock, &mut comm, &block_counts);
+    bcast_from(network, &mut clock, &mut comm, 0, n * n);
+    for r in 0..p {
+        let flops = (2 * rows[r] * n * n).saturating_sub(rows[r] * n) as f64;
+        let dt = SimTime::from_secs(flops / speeds[r]);
+        clock[r] += dt;
+        compute[r] += dt;
+    }
+    gather_to(network, &mut clock, &mut comm, 0, &block_counts);
+
+    finish(clock, compute, comm)
+}
+
+/// Closed-form power-iteration timings: scatter, then `iters` sweeps
+/// of local matvec → allgather (gather to 0 + packed rebroadcast) →
+/// normalization — bit-identical to the engine on `power::timed`'s
+/// skeleton.
+pub fn power_closed_form<N: NetworkModel>(
+    cluster: &ClusterSpec,
+    network: &N,
+    n: usize,
+    iters: usize,
+    dist: &BlockDistribution,
+) -> TimingOutcome {
+    let p = cluster.size();
+    let speeds = marked_speeds(cluster);
+    let rows: Vec<usize> = (0..p).map(|r| dist.range_of(r).len()).collect();
+
+    let mut clock = vec![SimTime::ZERO; p];
+    let mut compute = vec![SimTime::ZERO; p];
+    let mut comm = vec![SimTime::ZERO; p];
+
+    let block_counts: Vec<usize> = rows.iter().map(|&r| r * n).collect();
+    scatter_from_root(network, &mut clock, &mut comm, &block_counts);
+
+    // Per-sweep costs are sweep-invariant (pure functions of sizes and
+    // speeds); compute them once.
+    let matvec: Vec<SimTime> =
+        (0..p).map(|r| SimTime::from_secs(2.0 * (rows[r] * n) as f64 / speeds[r])).collect();
+    let normalize: Vec<SimTime> =
+        (0..p).map(|r| SimTime::from_secs(2.0 * n as f64 / speeds[r])).collect();
+    // The allgather's closing broadcast carries `p` length headers plus
+    // the packed gathered contributions.
+    let packed = p + rows.iter().sum::<usize>();
+    for _sweep in 0..iters {
+        for r in 0..p {
+            clock[r] += matvec[r];
+            compute[r] += matvec[r];
+        }
+        gather_to(network, &mut clock, &mut comm, 0, &rows);
+        bcast_from(network, &mut clock, &mut comm, 0, packed);
+        for r in 0..p {
+            clock[r] += normalize[r];
+            compute[r] += normalize[r];
+        }
+    }
+
+    finish(clock, compute, comm)
+}
+
+/// Closed-form stencil timings: scatter, `iters` halo-exchange sweeps
+/// (send up/down, receive down/up, interior update), gather —
+/// bit-identical to the engine on `stencil::timed`'s skeleton.
+pub fn stencil_closed_form<N: NetworkModel>(
+    cluster: &ClusterSpec,
+    network: &N,
+    n: usize,
+    iters: usize,
+    dist: &BlockDistribution,
+) -> TimingOutcome {
+    let p = cluster.size();
+    let speeds = marked_speeds(cluster);
+    let rows: Vec<usize> = (0..p).map(|r| dist.range_of(r).len()).collect();
+
+    let mut clock = vec![SimTime::ZERO; p];
+    let mut compute = vec![SimTime::ZERO; p];
+    let mut comm = vec![SimTime::ZERO; p];
+
+    let block_counts: Vec<usize> = rows.iter().map(|&r| r * n).collect();
+    scatter_from_root(network, &mut clock, &mut comm, &block_counts);
+
+    if n >= 3 && iters > 0 {
+        // Halo neighbours skip empty ranks; a rank with no rows sits
+        // the sweeps out entirely.
+        let prev: Vec<Option<usize>> =
+            (0..p).map(|me| (0..me).rev().find(|&r| rows[r] > 0)).collect();
+        let next: Vec<Option<usize>> =
+            (0..p).map(|me| (me + 1..p).find(|&r| rows[r] > 0)).collect();
+        let halo_bytes = (n * 8) as u64;
+        // Sweep-invariant per-rank costs, hoisted like the engine's
+        // per-replay barrier cost (pure calls, identical bits).
+        let up_cost: Vec<SimTime> = (0..p)
+            .map(|r| match prev[r] {
+                Some(prv) => SimTime::from_secs(network.p2p_time_between(r, prv, halo_bytes)),
+                None => SimTime::ZERO,
+            })
+            .collect();
+        let down_cost: Vec<SimTime> = (0..p)
+            .map(|r| match next[r] {
+                Some(nxt) => SimTime::from_secs(network.p2p_time_between(r, nxt, halo_bytes)),
+                None => SimTime::ZERO,
+            })
+            .collect();
+        let update: Vec<SimTime> = (0..p)
+            .map(|r| {
+                let range = dist.range_of(r);
+                let interior = (range.start.max(1)..range.end.min(n - 1)).count();
+                SimTime::from_secs(4.0 * (interior * (n - 2)) as f64 / speeds[r])
+            })
+            .collect();
+        // Per-sweep message bookkeeping: (sent_at, arrival) of each
+        // rank's up (to prev) and down (to next) halo messages.
+        let mut up_msg = vec![(SimTime::ZERO, SimTime::ZERO); p];
+        let mut down_msg = vec![(SimTime::ZERO, SimTime::ZERO); p];
+        for _sweep in 0..iters {
+            // Sends, in per-rank program order: up to prev, down to
+            // next, serialized on the sender's clock.
+            for r in 0..p {
+                if rows[r] == 0 {
+                    continue;
+                }
+                if prev[r].is_some() {
+                    let sent_at = clock[r];
+                    let arrival = sent_at + up_cost[r];
+                    comm[r] += arrival - clock[r];
+                    clock[r] = arrival;
+                    up_msg[r] = (sent_at, arrival);
+                }
+                if next[r].is_some() {
+                    let sent_at = clock[r];
+                    let arrival = sent_at + down_cost[r];
+                    comm[r] += arrival - clock[r];
+                    clock[r] = arrival;
+                    down_msg[r] = (sent_at, arrival);
+                }
+            }
+            // Receives (down from prev, up from next — `prev`'s down
+            // message targets exactly this rank and vice versa), then
+            // the interior update.
+            for r in 0..p {
+                if rows[r] == 0 {
+                    continue;
+                }
+                if let Some(prv) = prev[r] {
+                    let (_sent_at, arrival) = down_msg[prv];
+                    let exit = clock[r].max(arrival);
+                    comm[r] += exit - clock[r];
+                    clock[r] = exit;
+                }
+                if let Some(nxt) = next[r] {
+                    let (_sent_at, arrival) = up_msg[nxt];
+                    let exit = clock[r].max(arrival);
+                    comm[r] += exit - clock[r];
+                    clock[r] = exit;
+                }
+                clock[r] += update[r];
+                compute[r] += update[r];
+            }
+        }
+    }
+
+    gather_to(network, &mut clock, &mut comm, 0, &block_counts);
+
+    finish(clock, compute, comm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ge::ge_timed_body;
+    use crate::mm::mm_timed_body;
+    use crate::power::power_timed_body;
+    use crate::stencil::stencil_timed_body;
+    use hetsim_cluster::network::{
+        ConstantLatency, JitteredNetwork, MpichEthernet, SharedEthernet, SwitchedNetwork,
+    };
+    use hetsim_cluster::NodeSpec;
+    use hetsim_mpi::record_spmd;
+
+    /// Cluster extremes for the class-structure sweep: single rank,
+    /// server + blade, all-distinct speeds, wide homogeneous (the
+    /// shape where rank classes actually dedup).
+    fn clusters() -> Vec<ClusterSpec> {
+        vec![
+            ClusterSpec::homogeneous(1, 50.0),
+            ClusterSpec::new(
+                "srv+blade",
+                vec![NodeSpec::synthetic("srv", 90.0), NodeSpec::synthetic("blade", 50.0)],
+            )
+            .unwrap(),
+            ClusterSpec::new(
+                "distinct5",
+                (0..5)
+                    .map(|i| NodeSpec::synthetic("n", 40.0 + 17.0 * i as f64))
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap(),
+            ClusterSpec::homogeneous(8, 70.0),
+        ]
+    }
+
+    fn networks() -> Vec<(&'static str, Box<dyn NetworkModel>)> {
+        vec![
+            ("const", Box::new(ConstantLatency::new(2.5e-4))),
+            ("switched", Box::new(SwitchedNetwork::new(1.2e-4, 9.0e-9))),
+            ("shared", Box::new(SharedEthernet::new(0.3e-3, 1.25e7))),
+            ("mpich", Box::new(MpichEthernet::new(0.30e-3, 1.0e8))),
+            (
+                "jittered",
+                Box::new(JitteredNetwork::new(MpichEthernet::new(0.30e-3, 1.0e8), 0.1, 7)),
+            ),
+        ]
+    }
+
+    fn speeds(cluster: &ClusterSpec) -> Vec<f64> {
+        cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect()
+    }
+
+    /// Every closed form must be bit-identical to the *event-driven*
+    /// scheduler (not the engine's own analytic path) across cluster
+    /// shapes × networks × sizes.
+    #[test]
+    fn closed_form_matches_engine_mm() {
+        for cluster in &clusters() {
+            for n in [1usize, 2, 3, 17, 64] {
+                let dist = BlockDistribution::proportional(n, &speeds(cluster));
+                let program = record_spmd(cluster, |t| mm_timed_body(t, &dist, n));
+                for (tag, net) in &networks() {
+                    let net: &dyn NetworkModel = net.as_ref();
+                    let engine =
+                        TimingOutcome::from_spmd(program.simulate_event_driven(cluster, &net));
+                    let closed = mm_closed_form(cluster, &net, n, &dist);
+                    assert_eq!(closed, engine, "mm diverged ({tag}, p={}, n={n})", cluster.size());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_engine_power() {
+        for cluster in &clusters() {
+            for (n, iters) in [(1usize, 1usize), (2, 2), (3, 1), (17, 4), (64, 3)] {
+                let dist = BlockDistribution::proportional(n, &speeds(cluster));
+                let program = record_spmd(cluster, |t| power_timed_body(t, &dist, n, iters));
+                for (tag, net) in &networks() {
+                    let net: &dyn NetworkModel = net.as_ref();
+                    let engine =
+                        TimingOutcome::from_spmd(program.simulate_event_driven(cluster, &net));
+                    let closed = power_closed_form(cluster, &net, n, iters, &dist);
+                    assert_eq!(
+                        closed,
+                        engine,
+                        "power diverged ({tag}, p={}, n={n}, iters={iters})",
+                        cluster.size()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_engine_stencil() {
+        for cluster in &clusters() {
+            // n < 3 skips the sweep block; n = 17 at p = 8 leaves some
+            // ranks with single rows; 64 exercises long halo chains.
+            for (n, iters) in [(1usize, 2usize), (2, 2), (3, 1), (17, 4), (64, 3)] {
+                let dist = BlockDistribution::proportional(n, &speeds(cluster));
+                let program = record_spmd(cluster, |t| stencil_timed_body(t, &dist, n, iters));
+                for (tag, net) in &networks() {
+                    let net: &dyn NetworkModel = net.as_ref();
+                    let engine =
+                        TimingOutcome::from_spmd(program.simulate_event_driven(cluster, &net));
+                    let closed = stencil_closed_form(cluster, &net, n, iters, &dist);
+                    assert_eq!(
+                        closed,
+                        engine,
+                        "stencil diverged ({tag}, p={}, n={n}, iters={iters})",
+                        cluster.size()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The GE grid lives in `ge::timed` (its historical home); this
+    /// adds the speed-blind cyclic deal the distribution ablation uses,
+    /// where `remaining` decrements hit every rank evenly.
+    #[test]
+    fn closed_form_matches_engine_ge_blind_cyclic() {
+        for cluster in &clusters() {
+            for n in [3usize, 17, 64] {
+                let dist = CyclicDistribution::fine(n, &vec![1.0; cluster.size()]);
+                let program = record_spmd(cluster, |t| ge_timed_body(t, &dist, n));
+                for (tag, net) in &networks() {
+                    let net: &dyn NetworkModel = net.as_ref();
+                    let engine =
+                        TimingOutcome::from_spmd(program.simulate_event_driven(cluster, &net));
+                    let closed = ge_closed_form(cluster, &net, n, &dist);
+                    assert_eq!(closed, engine, "ge diverged ({tag}, p={}, n={n})", cluster.size());
+                }
+            }
+        }
+    }
+
+    /// The batched evaluator must be bit-identical to evaluating each
+    /// network on its own — the contract that lets the noise ablation
+    /// share the network-independent state across its campaigns.
+    #[test]
+    fn many_matches_one_by_one() {
+        for cluster in &clusters() {
+            let sp = speeds(cluster);
+            let nets: Vec<JitteredNetwork<MpichEthernet>> = (0..5)
+                .map(|i| {
+                    JitteredNetwork::new(
+                        MpichEthernet::new(0.30e-3, 1.0e8),
+                        0.02 + 0.03 * i as f64,
+                        i,
+                    )
+                })
+                .collect();
+            for n in [1usize, 2, 3, 17, 64] {
+                let dist = CyclicDistribution::fine(n, &sp);
+                let batch = ge_closed_form_many(cluster, &nets, n, &dist);
+                for (net, out) in nets.iter().zip(&batch) {
+                    let single = ge_closed_form(cluster, net, n, &dist);
+                    assert_eq!(out, &single, "batch diverged (p={}, n={n})", cluster.size());
+                }
+            }
+        }
+    }
+
+    /// All four recorded kernel bodies must be accepted by the generic
+    /// lockstep analyzer (the engine-level fast path behind
+    /// `run_spmd_fast`).
+    #[test]
+    fn kernel_recordings_are_lockstep() {
+        let cluster = clusters().pop().expect("non-empty");
+        let n = 17usize;
+        let sp = speeds(&cluster);
+        let cyc = CyclicDistribution::fine(n, &sp);
+        let blk = BlockDistribution::proportional(n, &sp);
+        assert!(record_spmd::<(), _>(&cluster, |t| ge_timed_body(t, &cyc, n)).is_lockstep());
+        assert!(record_spmd::<(), _>(&cluster, |t| mm_timed_body(t, &blk, n)).is_lockstep());
+        assert!(record_spmd::<(), _>(&cluster, |t| power_timed_body(t, &blk, n, 3)).is_lockstep());
+        assert!(record_spmd::<(), _>(&cluster, |t| stencil_timed_body(t, &blk, n, 3)).is_lockstep());
+    }
+}

@@ -8,7 +8,8 @@ pub use parallel::{ge_parallel, GeOutcome};
 pub use seq::ge_sequential;
 pub use timed::{
     ge_parallel_timed, ge_parallel_timed_faulted, ge_parallel_timed_faulted_traced,
-    ge_parallel_timed_traced, ge_parallel_timed_with, GeRecording, TimingOutcome,
+    ge_parallel_timed_many, ge_parallel_timed_traced, ge_parallel_timed_with, ge_timed_body,
+    GeRecording, TimingOutcome,
 };
 
 #[cfg(test)]

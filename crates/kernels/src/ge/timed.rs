@@ -17,6 +17,7 @@
 //! `fast_matches_threaded` pins the fast result to the threaded oracle
 //! executing the *same generic body*.
 
+use crate::analytic::{elimination_flops, ge_closed_form};
 use hetpart::{CyclicDistribution, Distribution};
 use hetsim_cluster::cluster::ClusterSpec;
 use hetsim_cluster::faults::FaultPlan;
@@ -24,8 +25,8 @@ use hetsim_cluster::network::NetworkModel;
 use hetsim_cluster::time::SimTime;
 use hetsim_mpi::trace::RankTrace;
 use hetsim_mpi::{
-    record_spmd, run_spmd_fast_faulted, run_spmd_fast_faulted_traced, run_spmd_fast_traced,
-    SpmdOutcome, SpmdProgram, SpmdTimer, Tag,
+    record_spmd, run_spmd_fast, run_spmd_fast_faulted, run_spmd_fast_faulted_traced,
+    run_spmd_fast_traced, SpmdOutcome, SpmdProgram, SpmdTimer, Tag,
 };
 
 /// Timing result of a protocol-skeleton run.
@@ -55,12 +56,6 @@ impl TimingOutcome {
     }
 }
 
-/// Flops charged for eliminating one row of length `len` — must match
-/// `ge::parallel::elimination_flops` (pinned by the equivalence test).
-fn elimination_flops(len: usize) -> f64 {
-    (2 * len + 1) as f64
-}
-
 /// Runs the GE communication/computation skeleton at problem size `n`
 /// with the standard speed-proportional cyclic distribution.
 pub fn ge_parallel_timed<N: NetworkModel>(
@@ -88,125 +83,38 @@ pub fn ge_parallel_timed_with<N: NetworkModel>(
 ) -> TimingOutcome {
     assert_eq!(dist.n(), n, "distribution covers a different problem size");
     assert_eq!(dist.p(), cluster.size(), "distribution has a different rank count");
-    ge_closed_form(cluster, network, n, dist)
+    if hetsim_mpi::analytic_enabled() {
+        ge_closed_form(cluster, network, n, dist)
+    } else {
+        TimingOutcome::from_spmd(run_spmd_fast(cluster, network, |t| ge_timed_body(t, dist, n)))
+    }
 }
 
-/// Direct evaluation of the GE skeleton's virtual timings, without the
-/// engine's record/replay machinery.
-///
-/// The GE protocol is *lockstep*: within a round every rank runs
-/// bcast → compute → barrier, and the barrier is the only
-/// synchronization point, so each rank's clock trajectory is a
-/// straight-line function of the per-round costs — nothing for a
-/// scheduler to decide. This evaluator advances all `p` clocks round by
-/// round with **the same float-op sequence per rank** the engine
-/// charges ([`hetsim_mpi`]'s documented semantics: `charge_comm`,
-/// `charge_comm_waited`, `compute_flops`), so its results are
-/// bit-identical to [`hetsim_mpi::run_spmd_fast`] on [`ge_timed_body`]. That
-/// equality is pinned by `closed_form_matches_engine` below (clusters ×
-/// networks × sizes) and transitively by `fast_matches_threaded` /
-/// `timed_matches_real_timings`, which compare this path against the
-/// threaded oracle and the real kernel.
-///
-/// Used only on the untraced, fault-free path — traces and fault plans
-/// (retry charges, degraded-speed windows) keep the engine, whose
-/// generality they need.
-fn ge_closed_form<N: NetworkModel>(
+/// [`ge_parallel_timed`] under many network models at once: the same
+/// problem priced per network, batched so network-independent state
+/// (row ownership, below-pivot counts, elimination times) is computed
+/// once — the noise ablation's frozen-noise campaigns differ only in
+/// their jittered network. Returns one outcome per network, each
+/// bit-identical to the corresponding [`ge_parallel_timed`] call
+/// (under `--no-analytic` the batch simply degenerates to that loop).
+pub fn ge_parallel_timed_many<N: NetworkModel>(
     cluster: &ClusterSpec,
-    network: &N,
+    networks: &[N],
     n: usize,
-    dist: &CyclicDistribution,
-) -> TimingOutcome {
-    let p = cluster.size();
-    let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_flops()).collect();
-    let rows: Vec<Vec<usize>> = (0..p).map(|r| dist.rows_of(r)).collect();
-
-    let mut clock = vec![SimTime::ZERO; p];
-    let mut compute = vec![SimTime::ZERO; p];
-    let mut comm = vec![SimTime::ZERO; p];
-
-    // Stage 1: root-serialized distribution. Rank 0's sends occupy its
-    // clock back to back; each receiver's recv completes at the
-    // message's arrival (`max` with its own clock, zero here).
-    for peer in 1..p {
-        let count = rows[peer].len() * (n + 1);
-        let bytes = (count * 8) as u64;
-        let cost = SimTime::from_secs(network.p2p_time_between(0, peer, bytes));
-        let arrival = clock[0] + cost;
-        comm[0] += arrival - clock[0];
-        clock[0] = arrival;
-        let exit = clock[peer].max(arrival);
-        comm[peer] += exit - clock[peer];
-        clock[peer] = exit;
-    }
-
-    // Stage 2: elimination rounds. The barrier cost depends only on `p`
-    // — hoisted exactly as the engine hoists it.
-    let barrier_cost = SimTime::from_secs(network.barrier_time(p));
-    let mut below = vec![0usize; p];
-    for i in 0..n.saturating_sub(1) {
-        // Broadcast: the owner departs at entry + cost; every receiver
-        // exits at max(own clock, departure).
-        let owner = dist.owner(i);
-        let count = n - i + 1;
-        let bytes = (count * 8) as u64;
-        let cost = SimTime::from_secs(network.bcast_time(p, bytes));
-        let departure = clock[owner] + cost;
-        comm[owner] += departure - clock[owner];
-        clock[owner] = departure;
-        for r in 0..p {
-            if r != owner {
-                let exit = clock[r].max(departure);
-                comm[r] += exit - clock[r];
-                clock[r] = exit;
-            }
-        }
-        // Elimination work: same rows-below count the body derives.
-        for r in 0..p {
-            while below[r] < rows[r].len() && rows[r][below[r]] <= i {
-                below[r] += 1;
-            }
-            let rows_below = (rows[r].len() - below[r]) as f64;
-            let dt = SimTime::from_secs(rows_below * elimination_flops(n - i) / speeds[r]);
-            clock[r] += dt;
-            compute[r] += dt;
-        }
-        // Barrier: rendezvous at the latest entry, exit after the cost.
-        let rendezvous = *clock.iter().max().expect("p >= 1");
-        for r in 0..p {
-            let exit = rendezvous + barrier_cost;
-            comm[r] += exit - clock[r];
-            clock[r] = exit;
-        }
-    }
-
-    // Stage 3: gather to rank 0, then sequential back substitution.
-    // Deposits carry each rank's *entry* clock; leaves then pay their
-    // p2p cost while the root waits for the latest deposit plus the
-    // gather cost over the size vector (rank-indexed, like the engine).
-    let counts: Vec<usize> = (0..p).map(|r| rows[r].len() * (n + 1)).collect();
-    let sizes: Vec<u64> = counts.iter().map(|&c| (c * 8) as u64).collect();
-    let max_entry = *clock.iter().max().expect("p >= 1");
-    for r in 1..p {
-        let cost = SimTime::from_secs(network.p2p_time_between(r, 0, sizes[r]));
-        let exit = clock[r] + cost;
-        comm[r] += exit - clock[r];
-        clock[r] = exit;
-    }
-    let gather_cost = SimTime::from_secs(network.gather_time(&sizes, 0));
-    let ready = clock[0].max(max_entry);
-    let exit = ready + gather_cost;
-    comm[0] += exit - clock[0];
-    clock[0] = exit;
-    let dt = SimTime::from_secs((n * n) as f64 / speeds[0]);
-    clock[0] += dt;
-    compute[0] += dt;
-
-    TimingOutcome {
-        makespan: clock.iter().copied().max().unwrap_or(SimTime::ZERO),
-        total_overhead: comm.iter().fold(SimTime::ZERO, |acc, &t| acc + t),
-        times: clock,
-        compute_times: compute,
+) -> Vec<TimingOutcome> {
+    let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
+    let dist = CyclicDistribution::fine(n, &speeds);
+    if hetsim_mpi::analytic_enabled() {
+        crate::analytic::ge_closed_form_many(cluster, networks, n, &dist)
+    } else {
+        networks
+            .iter()
+            .map(|net| {
+                TimingOutcome::from_spmd(run_spmd_fast(cluster, net, |t| {
+                    ge_timed_body(t, &dist, n)
+                }))
+            })
+            .collect()
     }
 }
 
@@ -296,7 +204,10 @@ impl GeRecording {
     }
 }
 
-fn ge_timed_body<T: SpmdTimer>(rank: &mut T, dist: &CyclicDistribution, n: usize) {
+/// The GE protocol skeleton as a generic [`SpmdTimer`] body — the
+/// single source of truth the engines, the threaded oracle, and the
+/// closed form ([`crate::analytic::ge_closed_form`]) are all pinned to.
+pub fn ge_timed_body<T: SpmdTimer>(rank: &mut T, dist: &CyclicDistribution, n: usize) {
     let me = rank.rank();
     let p = rank.size();
     let my_row_ids = dist.rows_of(me);
@@ -411,15 +322,15 @@ mod tests {
 
     #[test]
     fn closed_form_matches_engine() {
-        // The closed-form evaluator must be bit-identical to the
-        // generic fast engine on every cluster shape (single rank,
-        // two-rank Sunwulf-like, all-distinct speeds, wide homogeneous)
-        // under every network family, including the post-stage-1 rounds
-        // where rank clocks have not yet synchronized.
+        // The closed-form evaluator (now hosted in `crate::analytic`)
+        // must be bit-identical to the *event-driven* scheduler on
+        // every cluster shape (single rank, two-rank Sunwulf-like,
+        // all-distinct speeds, wide homogeneous) under every network
+        // family, including the post-stage-1 rounds where rank clocks
+        // have not yet synchronized.
         use hetsim_cluster::network::{
             ConstantLatency, JitteredNetwork, MpichEthernet, SwitchedNetwork,
         };
-        use hetsim_mpi::run_spmd_fast;
 
         let clusters = vec![
             ClusterSpec::homogeneous(1, 50.0),
@@ -450,10 +361,9 @@ mod tests {
                         cluster.size()
                     );
                 };
+                let program = record_spmd(cluster, |t| ge_timed_body(t, &dist, n));
                 let engine = |net: &dyn NetworkModel| {
-                    TimingOutcome::from_spmd(run_spmd_fast(cluster, &net, |t| {
-                        ge_timed_body(t, &dist, n)
-                    }))
+                    TimingOutcome::from_spmd(program.simulate_event_driven(cluster, &net))
                 };
                 let nets: Vec<(&str, Box<dyn NetworkModel>)> = vec![
                     ("const", Box::new(ConstantLatency::new(2.5e-4))),

@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod analytic;
 pub mod ge;
 pub mod matrix;
 pub mod mm;
@@ -59,6 +60,9 @@ pub mod power;
 pub mod stencil;
 pub mod workload;
 
+pub use analytic::{
+    ge_closed_form, ge_closed_form_many, mm_closed_form, power_closed_form, stencil_closed_form,
+};
 pub use ge::{ge_parallel, ge_parallel_timed, ge_sequential, GeOutcome, TimingOutcome};
 pub use matrix::Matrix;
 pub use mm::{mm_parallel, mm_parallel_timed, mm_sequential, MmOutcome};

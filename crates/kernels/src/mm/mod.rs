@@ -8,7 +8,7 @@ pub use parallel::{mm_parallel, MmOutcome};
 pub use seq::mm_sequential;
 pub use timed::{
     mm_parallel_timed, mm_parallel_timed_faulted, mm_parallel_timed_faulted_traced,
-    mm_parallel_timed_traced, mm_parallel_timed_with,
+    mm_parallel_timed_traced, mm_parallel_timed_with, mm_timed_body,
 };
 
 #[cfg(test)]

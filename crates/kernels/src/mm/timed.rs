@@ -40,6 +40,9 @@ pub fn mm_parallel_timed_with<N: NetworkModel>(
 ) -> TimingOutcome {
     assert_eq!(dist.n(), n, "distribution covers a different problem size");
     assert_eq!(dist.p(), cluster.size(), "distribution has a different rank count");
+    if hetsim_mpi::analytic_enabled() {
+        return crate::analytic::mm_closed_form(cluster, network, n, dist);
+    }
     let outcome = run_spmd_fast(cluster, network, |t| mm_timed_body(t, dist, n));
     TimingOutcome::from_spmd(outcome)
 }
@@ -87,7 +90,10 @@ pub fn mm_parallel_timed_faulted_traced<N: NetworkModel>(
     (TimingOutcome::from_spmd(outcome), traces)
 }
 
-fn mm_timed_body<T: SpmdTimer>(rank: &mut T, dist: &BlockDistribution, n: usize) {
+/// The MM (HoHe) protocol skeleton as a generic [`SpmdTimer`] body —
+/// the single source of truth the engines, the threaded oracle, and
+/// the closed form ([`crate::analytic::mm_closed_form`]) are pinned to.
+pub fn mm_timed_body<T: SpmdTimer>(rank: &mut T, dist: &BlockDistribution, n: usize) {
     let me = rank.rank();
     let p = rank.size();
     let my_range = dist.range_of(me);

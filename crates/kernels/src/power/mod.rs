@@ -18,7 +18,7 @@ mod timed;
 
 pub use parallel::{power_parallel, PowerOutcome};
 pub use seq::power_sequential;
-pub use timed::{power_parallel_timed, power_parallel_timed_traced};
+pub use timed::{power_parallel_timed, power_parallel_timed_traced, power_timed_body};
 
 /// Work model: `iters` sweeps of an `n × n` matvec (`2n²` flops) plus
 /// the infinity-norm and renormalization passes (`2n` flops).

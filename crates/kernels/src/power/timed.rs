@@ -19,6 +19,9 @@ pub fn power_parallel_timed<N: NetworkModel>(
 ) -> TimingOutcome {
     let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
     let dist = BlockDistribution::proportional(n, &speeds);
+    if hetsim_mpi::analytic_enabled() {
+        return crate::analytic::power_closed_form(cluster, network, n, iters, &dist);
+    }
     let outcome = run_spmd_fast(cluster, network, |t| power_timed_body(t, &dist, n, iters));
     TimingOutcome::from_spmd(outcome)
 }
@@ -39,7 +42,15 @@ pub fn power_parallel_timed_traced<N: NetworkModel>(
     (TimingOutcome::from_spmd(outcome), traces)
 }
 
-fn power_timed_body<T: SpmdTimer>(rank: &mut T, dist: &BlockDistribution, n: usize, iters: usize) {
+/// The power-iteration protocol skeleton as a generic [`SpmdTimer`]
+/// body — the single source of truth the engines, the threaded oracle,
+/// and [`crate::analytic::power_closed_form`] are pinned to.
+pub fn power_timed_body<T: SpmdTimer>(
+    rank: &mut T,
+    dist: &BlockDistribution,
+    n: usize,
+    iters: usize,
+) {
     let me = rank.rank();
     let p = rank.size();
     let rows = dist.range_of(me).len();

@@ -16,7 +16,7 @@ mod timed;
 
 pub use parallel::{stencil_parallel, StencilOutcome};
 pub use seq::jacobi_sequential;
-pub use timed::{stencil_parallel_timed, stencil_parallel_timed_traced};
+pub use timed::{stencil_parallel_timed, stencil_parallel_timed_traced, stencil_timed_body};
 
 /// Work model: `iters` Jacobi sweeps over the interior of an `n × n`
 /// grid, 4 flops per point (three adds and one multiply).

@@ -23,6 +23,9 @@ pub fn stencil_parallel_timed<N: NetworkModel>(
 ) -> TimingOutcome {
     let speeds: Vec<f64> = cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
     let dist = BlockDistribution::proportional(n, &speeds);
+    if hetsim_mpi::analytic_enabled() {
+        return crate::analytic::stencil_closed_form(cluster, network, n, iters, &dist);
+    }
     let outcome = run_spmd_fast(cluster, network, |t| stencil_timed_body(t, &dist, n, iters));
     TimingOutcome::from_spmd(outcome)
 }
@@ -43,7 +46,10 @@ pub fn stencil_parallel_timed_traced<N: NetworkModel>(
     (TimingOutcome::from_spmd(outcome), traces)
 }
 
-fn stencil_timed_body<T: SpmdTimer>(
+/// The stencil protocol skeleton as a generic [`SpmdTimer`] body — the
+/// single source of truth the engines, the threaded oracle, and
+/// [`crate::analytic::stencil_closed_form`] are pinned to.
+pub fn stencil_timed_body<T: SpmdTimer>(
     rank: &mut T,
     dist: &BlockDistribution,
     n: usize,

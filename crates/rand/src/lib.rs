@@ -1,0 +1,91 @@
+//! Minimal, deterministic, offline re-implementation of the `rand 0.9`
+//! surface this workspace uses (same constraint as the
+//! `crates/proptest` shim: no network access to crates.io).
+//!
+//! The only production call site is `Matrix::random`, which needs a
+//! seeded uniform draw in a half-open `f64` range. [`rngs::StdRng`] is
+//! a splitmix64 generator — not the real crate's ChaCha12, but every
+//! use in this workspace only requires *determinism per seed*, never a
+//! specific stream (virtual timings are independent of matrix values by
+//! design; see the `hetsim-mpi` crate docs).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+/// Seedable generators (`rand::SeedableRng` subset).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform draws (`rand::Rng` subset).
+pub trait Rng {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw in the half-open range `[range.start, range.end)`.
+    fn random_range(&mut self, range: core::ops::Range<f64>) -> f64 {
+        debug_assert!(range.start < range.end, "empty range");
+        // 53 uniform mantissa bits → [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        range.start + (range.end - range.start) * unit
+    }
+}
+
+/// Concrete generators (`rand::rngs` subset).
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic splitmix64 generator standing in for `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_draws_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x = rng.random_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x), "{x} escaped the range");
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

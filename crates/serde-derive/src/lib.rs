@@ -1,0 +1,21 @@
+//! No-op derive macros backing the offline `serde` stub: the stub's
+//! `Serialize`/`Deserialize` traits are blanket-implemented for every
+//! type, so the derives have nothing to generate — they only need to
+//! exist so `#[derive(Serialize, Deserialize)]` parses.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]` (blanket impl lives in the stub).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]` (blanket impl lives in the stub).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

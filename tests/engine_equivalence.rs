@@ -5,15 +5,20 @@
 //! charges exactly — the bit-identity contract of DESIGN.md §9, tested
 //! beyond the hand-picked kernel cases.
 
+use hetscale::hetpart::{BlockDistribution, CyclicDistribution};
 use hetscale::hetsim_cluster::faults::FaultPlan;
 use hetscale::hetsim_cluster::network::{
     ConstantLatency, MpichEthernet, NetworkModel, SharedEthernet,
 };
 use hetscale::hetsim_cluster::{ClusterSpec, NodeSpec};
 use hetscale::hetsim_mpi::{
-    run_spmd, run_spmd_fast, run_spmd_fast_faulted_traced, run_spmd_faulted_traced, OpKind,
-    SpmdOutcome, SpmdTimer, Tag,
+    record_spmd, run_spmd, run_spmd_fast, run_spmd_fast_faulted_traced, run_spmd_faulted_traced,
+    OpKind, SpmdOutcome, SpmdTimer, Tag,
 };
+use hetscale::kernels::ge::ge_timed_body;
+use hetscale::kernels::mm::mm_timed_body;
+use hetscale::kernels::power::power_timed_body;
+use hetscale::kernels::stencil::stencil_timed_body;
 use proptest::prelude::*;
 
 fn het_cluster(p: usize, seed: u64) -> ClusterSpec {
@@ -200,5 +205,108 @@ proptest! {
             prop_assert_eq!(fast.total_overhead(), threaded.total_overhead());
             prop_assert_eq!(fast.total_wait(), threaded.total_wait());
         }
+    }
+
+    /// The lockstep analyzer against both reference paths, for all four
+    /// kernel protocol bodies × the class-structure extremes × the
+    /// network models: every kernel recording must be *accepted* by the
+    /// analyzer, and its analytic evaluation must be bit-identical to
+    /// the event-driven ready-queue scheduler and the threaded oracle.
+    #[test]
+    fn analytic_matches_both_engines_for_all_four_kernels(
+        p in 1usize..6,
+        speeds_seed in 1u64..10_000,
+        n in 1usize..48,
+        iters in 1usize..4,
+        kernel in 0usize..4,
+        net_choice in 0usize..3,
+        cluster_kind in 0usize..3,
+    ) {
+        let cluster = match cluster_kind {
+            0 => all_distinct_cluster(p, speeds_seed),
+            1 => homogeneous_cluster(p),
+            _ => het_cluster(p, speeds_seed),
+        };
+        let speeds: Vec<f64> =
+            cluster.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
+        let mpich = MpichEthernet::new(2e-4, 9e7);
+        let shared = SharedEthernet::new(1.5e-4, 1.1e8);
+        let latency = ConstantLatency::new(3e-4);
+        let net: &dyn NetworkModel = match net_choice {
+            0 => &mpich,
+            1 => &shared,
+            _ => &latency,
+        };
+        let cyclic = CyclicDistribution::fine(n, &speeds);
+        let block = BlockDistribution::proportional(n, &speeds);
+        let program = match kernel {
+            0 => record_spmd(&cluster, |t| ge_timed_body(t, &cyclic, n)),
+            1 => record_spmd(&cluster, |t| mm_timed_body(t, &block, n)),
+            2 => record_spmd(&cluster, |t| stencil_timed_body(t, &block, n, iters)),
+            _ => record_spmd(&cluster, |t| power_timed_body(t, &block, n, iters)),
+        };
+        prop_assert!(program.is_lockstep(), "kernel {kernel} recording must be lockstep");
+        let analytic =
+            program.simulate_analytic(&cluster, &net).expect("lockstep plan evaluates");
+        let event_driven = program.simulate_event_driven(&cluster, &net);
+        assert_times_match(&analytic, &event_driven);
+        prop_assert_eq!(analytic.makespan(), event_driven.makespan());
+        prop_assert_eq!(analytic.total_overhead(), event_driven.total_overhead());
+        prop_assert_eq!(analytic.total_wait(), event_driven.total_wait());
+        let threaded = match kernel {
+            0 => run_spmd(&cluster, &net, |r| ge_timed_body(r, &cyclic, n)),
+            1 => run_spmd(&cluster, &net, |r| mm_timed_body(r, &block, n)),
+            2 => run_spmd(&cluster, &net, |r| stencil_timed_body(r, &block, n, iters)),
+            _ => run_spmd(&cluster, &net, |r| power_timed_body(r, &block, n, iters)),
+        };
+        assert_times_match(&analytic, &threaded);
+    }
+
+    /// Reject-and-fallback: a program whose send crosses a barrier (the
+    /// receive happens on the far side) is *not* lockstep — the
+    /// analyzer must refuse it, and the auto-selecting fast path must
+    /// fall back to the event-driven scheduler and still match the
+    /// threaded oracle exactly.
+    #[test]
+    fn non_lockstep_programs_reject_and_fall_back(
+        p in 2usize..6,
+        speeds_seed in 1u64..10_000,
+        n in 1usize..48,
+        cluster_kind in 0usize..3,
+    ) {
+        let cluster = match cluster_kind {
+            0 => all_distinct_cluster(p, speeds_seed),
+            1 => homogeneous_cluster(p),
+            _ => het_cluster(p, speeds_seed),
+        };
+        let net = MpichEthernet::new(2e-4, 9e7);
+        // Rank 0 sends *before* the barrier; rank 1 receives *after*
+        // it. The message is in flight across a collective boundary, so
+        // no lockstep phase factorization exists.
+        fn crossing_body<T: SpmdTimer>(t: &mut T, n: usize) {
+            let me = t.rank();
+            t.compute_flops((1 + me) as f64 * 5e3);
+            if me == 0 {
+                t.send_count(1, Tag::DATA, n);
+            }
+            t.barrier();
+            if me == 1 {
+                t.recv_count(0, Tag::DATA, n);
+            }
+            t.compute_flops(2e3);
+        }
+        let program = record_spmd(&cluster, |t| crossing_body(t, n));
+        prop_assert!(
+            !program.is_lockstep(),
+            "a send crossing a barrier must be rejected by the analyzer"
+        );
+        prop_assert!(program.simulate_analytic(&cluster, &net).is_none());
+        // The auto path (analytic enabled by default) must fall back to
+        // the ready queue and still match both references.
+        let auto = program.simulate(&cluster, &net);
+        let event_driven = program.simulate_event_driven(&cluster, &net);
+        assert_times_match(&auto, &event_driven);
+        let threaded = run_spmd(&cluster, &net, |r| crossing_body(r, n));
+        assert_times_match(&auto, &threaded);
     }
 }
