@@ -60,3 +60,30 @@ test "$best_us" -le "$LADDER_BUDGET_US" || {
     echo "full ladders took ${best_us}us internally (budget ${LADDER_BUDGET_US}us)" >&2
     exit 1
 }
+
+# Telemetry gates (DESIGN.md §11). The --stats-out document counts how
+# the suite priced its cells; the fault-free quick ladder must stay
+# fully analytic (closed forms + lockstep evaluator, no event-driven
+# fallbacks), and the full suite's memo hit rate must not drop below
+# the recorded baseline (36.5% — EXPERIMENTS.md "Telemetry baseline").
+"$BIN" --quick --stats-out /tmp/ci_stats_quick.json > /dev/null
+grep -q '"analytic_coverage_percent":100,' /tmp/ci_stats_quick.json || {
+    echo "quick ladder lost full analytic coverage" >&2
+    exit 1
+}
+MEMO_HIT_FLOOR=36
+"$BIN" --stats-out /tmp/ci_stats_full.json > /dev/null
+hit=$(sed -n 's/.*"memo_hit_percent":\([0-9]*\).*/\1/p' /tmp/ci_stats_full.json)
+test -n "$hit" || { echo "memo_hit_percent missing from stats document" >&2; exit 1; }
+test "$hit" -ge "$MEMO_HIT_FLOOR" || {
+    echo "full-suite memo hit rate ${hit}% dropped below the ${MEMO_HIT_FLOOR}% baseline" >&2
+    exit 1
+}
+# Determinism smoke: a repeated run must reproduce the document byte
+# for byte. The checksum is the recorded telemetry baseline.
+"$BIN" --quick --stats-out /tmp/ci_stats_quick2.json > /dev/null
+cmp /tmp/ci_stats_quick.json /tmp/ci_stats_quick2.json || {
+    echo "--stats-out document is not byte-stable across runs" >&2
+    exit 1
+}
+sha256sum /tmp/ci_stats_quick.json /tmp/ci_stats_full.json

@@ -24,7 +24,10 @@
 //!
 //! Beyond the tables, the binary's `--trace-out DIR` and
 //! `--metrics-out FILE` flags export per-operation traces and a
-//! combined metrics document for the kernels (see [`obs`]).
+//! combined metrics document for the kernels (see [`obs`]);
+//! `--stats-out FILE` exports the deterministic telemetry document and
+//! `--profile-out FILE` the wall-clock profile (see [`stats`],
+//! DESIGN.md §11).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -35,6 +38,8 @@ pub mod obs;
 pub mod params;
 pub mod plot;
 pub mod pool;
+pub mod stats;
+pub mod stopwatch;
 pub mod systems;
 pub mod table;
 

@@ -1,7 +1,7 @@
 //! `bench-tables` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! bench-tables [--quick] [--faults] [--no-analytic] [--jobs N] [--list] [--csv DIR] [--trace-out DIR] [--metrics-out FILE] [ids...]
+//! bench-tables [--quick] [--faults] [--no-analytic] [--jobs N] [--list] [--csv DIR] [--trace-out DIR] [--metrics-out FILE] [--stats-out FILE] [--profile-out FILE] [ids...]
 //!   ids: t1 t2 f1 t3 t4 f2 t5 t6 t7 compare x2 decomp ablate-dist
 //!        ablate-net ablate-fit ablate-place ext-mp faults surface all   (default: all)
 //! ```
@@ -33,14 +33,42 @@
 //! combined metrics document (per-kind fractions, activity split,
 //! imbalance, critical path). Both are deterministic: repeated
 //! invocations produce byte-identical files.
+//!
+//! `--stats-out` writes the deterministic telemetry document — engine
+//! path selection, fallback reasons, ready-queue work, memo-cache and
+//! worker-pool counters — and turns on one-line per-id summaries on
+//! stderr (analytic coverage, memo hit rate). The file is byte-identical
+//! across runs and `--jobs` values; the engine-dependent sections change
+//! only with `--no-analytic` (DESIGN.md §11, pinned by `tests/cli.rs`).
+//! `--profile-out` writes the wall-clock profile (per-id laps, engine
+//! phase split, per-worker cells); it is **not** deterministic and says
+//! so in the document.
 
 use bench_tables::experiments::{
     ablate, baselines, compare, decomp, ext, f1, f2t5, faults, noise, surface, t1, t2, t3t4, t6t7,
     validate, x2,
 };
+use bench_tables::stats::{self, IdSummaries};
+use bench_tables::stopwatch::Stopwatch;
 use bench_tables::{obs, ExperimentParams, Table};
 use std::collections::BTreeSet;
 use std::path::Path;
+
+/// One wall-clock lap per id, plus (when `--stats-out` is active) a
+/// one-line telemetry delta on stderr after each id completes.
+struct Checkpoints {
+    watch: Stopwatch,
+    sums: Option<IdSummaries>,
+}
+
+impl Checkpoints {
+    fn mark(&mut self, id: &str) {
+        self.watch.lap(id);
+        if let Some(sums) = &mut self.sums {
+            eprintln!("{}", sums.line(id));
+        }
+    }
+}
 
 /// Every experiment id the CLI accepts, with the one-line description
 /// `--list` prints. `faults` (via the id or `--faults`) and `surface`
@@ -77,16 +105,19 @@ fn known_id(id: &str) -> bool {
 }
 
 fn main() {
-    // `BENCH_TABLES_STOPWATCH=1` reports the suite's own wall-clock on
-    // stderr — the number the ci.sh perf gate thresholds (process
-    // startup is linker/loader cost, not ladder cost). Stdout stays
-    // byte-identical with or without it.
-    let stopwatch =
-        std::env::var_os("BENCH_TABLES_STOPWATCH").is_some().then(std::time::Instant::now);
+    // One wall-clock source for both self-timing surfaces: the
+    // `BENCH_TABLES_STOPWATCH=1` stderr line the ci.sh perf gate
+    // thresholds (process startup is linker/loader cost, not ladder
+    // cost) and the `--profile-out` document. Stdout stays
+    // byte-identical with or without either.
+    let watch = Stopwatch::new();
+    let stopwatch_env = std::env::var_os("BENCH_TABLES_STOPWATCH").is_some();
     let mut quick = false;
     let mut csv_dir: Option<String> = None;
     let mut trace_dir: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut stats_path: Option<String> = None;
+    let mut profile_path: Option<String> = None;
     let mut ids: BTreeSet<String> = BTreeSet::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -106,6 +137,14 @@ fn main() {
             "--metrics-out" => {
                 metrics_path =
                     Some(args.next().unwrap_or_else(|| usage("--metrics-out needs a file path")))
+            }
+            "--stats-out" => {
+                stats_path =
+                    Some(args.next().unwrap_or_else(|| usage("--stats-out needs a file path")))
+            }
+            "--profile-out" => {
+                profile_path =
+                    Some(args.next().unwrap_or_else(|| usage("--profile-out needs a file path")))
             }
             "--jobs" => {
                 let n = args
@@ -163,24 +202,36 @@ fn main() {
     };
 
     let wants = |id: &str| ids.contains(id);
+    let mut cp = Checkpoints { watch, sums: stats_path.is_some().then(IdSummaries::new) };
 
     if wants("t1") {
         emit(t1::table1());
+        cp.mark("t1");
     }
     if wants("t2") {
         emit(t2::table2(&params.ge_sizes));
+        cp.mark("t2");
     }
     if wants("f1") {
         emit(f1::figure1(&params.ge_sizes, params.ge_target, params.fit_degree));
         println!("{}", f1::figure1_plot(&params.ge_sizes, params.ge_target, params.fit_degree));
+        cp.mark("f1");
     }
 
     // The GE ladder feeds t3, t4, t6, t7 and the comparison; the MM
     // ladder feeds f2, t5 and the comparison. Run each at most once.
+    // (The summary lines attribute the pricing to the ladder, not to
+    // the tables that later re-read it.)
     let need_ge = ["t3", "t4", "t6", "t7", "compare", "x2"].iter().any(|id| wants(id));
     let need_mm = ["f2", "t5", "compare", "x2"].iter().any(|id| wants(id));
     let ge_ladder = need_ge.then(|| t3t4::table3_and_4(&params));
+    if need_ge {
+        cp.mark("ge-ladder");
+    }
     let mm_ladder = need_mm.then(|| f2t5::figure2_and_table5(&params));
+    if need_mm {
+        cp.mark("mm-ladder");
+    }
 
     if let Some((t3, t4, _)) = &ge_ladder {
         if wants("t3") {
@@ -208,11 +259,13 @@ fn main() {
         if wants("t7") {
             emit(t7);
         }
+        cp.mark("t6t7");
     }
     if wants("compare") {
         let (_, _, ge) = ge_ladder.as_ref().expect("ladder computed above");
         let (_, _, mm) = mm_ladder.as_ref().expect("ladder computed above");
         emit(compare::comparison(ge, mm));
+        cp.mark("compare");
     }
     if wants("x2") {
         let (_, _, ge) = ge_ladder.as_ref().expect("ladder computed above");
@@ -221,28 +274,36 @@ fn main() {
         let pw = x2::power_ladder(&params, quick);
         emit(x2::three_way_comparison(ge, mm, &st, &pw));
         println!("{}", x2::psi_ladder_plot(ge, mm, &st, &pw));
+        cp.mark("x2");
     }
     if wants("decomp") {
         emit(decomp::overhead_decomposition(&params.ge_ladder, if quick { 192 } else { 384 }));
+        cp.mark("decomp");
     }
     if wants("ablate-dist") {
         emit(ablate::ablate_distribution(if quick { 128 } else { 256 }));
+        cp.mark("ablate-dist");
     }
     if wants("ablate-net") {
         emit(ablate::ablate_network(if quick { 128 } else { 256 }));
+        cp.mark("ablate-net");
     }
     if wants("ablate-place") {
         emit(ablate::ablate_placement(if quick { 96 } else { 192 }));
+        cp.mark("ablate-place");
     }
     if wants("ablate-sched") {
         emit(ablate::ablate_scheduling());
+        cp.mark("ablate-sched");
     }
     if wants("ablate-fit") {
         emit(ablate::ablate_fit_degree(&params.ge_sizes, params.ge_target));
+        cp.mark("ablate-fit");
     }
     if wants("ablate-noise") {
         let seeds = if quick { 6 } else { 12 };
         emit(noise::ablate_noise(&params.ge_sizes, params.ge_target, params.fit_degree, seeds));
+        cp.mark("ablate-noise");
     }
     if wants("validate") {
         let (ladder, sizes): (&[usize], &[usize]) = if quick {
@@ -251,22 +312,27 @@ fn main() {
             (&[2, 4, 8, 16], &[96, 192, 384, 768])
         };
         emit(validate::model_validation(ladder, sizes));
+        cp.mark("validate");
     }
     if wants("baselines") {
         emit(baselines::baseline_comparison(&params));
+        cp.mark("baselines");
     }
     if wants("ext-mp") {
         emit(ext::extension_marked_performance());
+        cp.mark("ext-mp");
     }
     if faults_requested {
         let (table, report) = faults::scalability_under_faults(&params, quick);
         emit(table);
         println!("{report}");
+        cp.mark("faults");
     }
     if surface_requested {
         for table in surface::psi_surface(&params, quick) {
             emit(table);
         }
+        cp.mark("surface");
     }
 
     if trace_dir.is_some() || metrics_path.is_some() {
@@ -286,6 +352,7 @@ fn main() {
                 .unwrap_or_else(|e| fail(&format!("cannot write metrics file {path}: {e}")));
             eprintln!("wrote {path}");
         }
+        cp.mark("obs");
     }
 
     if let Some(dir) = csv_dir {
@@ -306,8 +373,23 @@ fn main() {
         }
     }
 
-    if let Some(start) = stopwatch {
-        eprintln!("stopwatch: {} us", start.elapsed().as_micros());
+    if let Some(path) = &stats_path {
+        let report = stats::report();
+        stats::write_stats(Path::new(path), &report)
+            .unwrap_or_else(|e| fail(&format!("cannot write stats file {path}: {e}")));
+        for warning in report.warnings() {
+            eprintln!("{warning}");
+        }
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &profile_path {
+        stats::write_profile(Path::new(path), &cp.watch)
+            .unwrap_or_else(|e| fail(&format!("cannot write profile file {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+
+    if stopwatch_env {
+        eprintln!("{}", cp.watch.stderr_line());
     }
 }
 
@@ -331,11 +413,13 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: bench-tables [--quick] [--faults] [--no-analytic] [--jobs N] [--list] [--csv DIR] [--trace-out DIR] [--metrics-out FILE] [ids...]\n\
+        "usage: bench-tables [--quick] [--faults] [--no-analytic] [--jobs N] [--list] [--csv DIR] [--trace-out DIR] [--metrics-out FILE] [--stats-out FILE] [--profile-out FILE] [ids...]\n\
          ids: t1 t2 f1 t3 t4 f2 t5 t6 t7 compare x2 decomp ablate-dist ablate-net ablate-fit ablate-place ablate-sched ablate-noise validate baselines ext-mp faults surface all\n\
          `faults` (or --faults) runs the fault-injection sweep; `surface` runs the psi-surface sweep on scaled Sunwulf rungs. Both are opt-in and not part of `all`.\n\
          `--no-analytic` forces the event-driven engine on every cell (output is byte-identical to the default closed-form path).\n\
          `--jobs N` caps the experiment worker pool (default: available parallelism; output is byte-identical for every N).\n\
+         `--stats-out FILE` writes the deterministic telemetry document (engine paths, fallback reasons, memo and pool counters) and prints per-id summaries on stderr.\n\
+         `--profile-out FILE` writes the wall-clock profile (non-deterministic by nature; the document says so).\n\
          `--list` prints every id with a one-line description and exits."
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

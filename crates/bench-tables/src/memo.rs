@@ -19,17 +19,22 @@
 //!
 //! The cache sits *behind* the worker pool: workers race only on the
 //! map lock, never on cell results, and assembly order stays cell
-//! order — `--jobs` byte-identity is untouched. Two workers may compute
-//! the same cell concurrently (the lock is released during compute);
-//! both results are identical, so last-insert-wins is harmless.
+//! order — `--jobs` byte-identity is untouched. Each cell is an
+//! `Arc<OnceLock<_>>` slot handed out under the map lock, so every cell
+//! computes **exactly once** even when two workers touch it
+//! concurrently (the second blocks on `get_or_init` instead of
+//! recomputing), which makes the per-kernel touch/entry counters in
+//! [`snapshot`] pure functions of the touch multiset — byte-stable
+//! across runs and `--jobs` values (DESIGN.md §11).
 
-use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, OnceLock};
 
 use hetsim_cluster::cluster::ClusterSpec;
 use hetsim_cluster::faults::FaultPlan;
 use hetsim_cluster::network::NetworkModel;
 use kernels::TimingOutcome;
+use parking_lot::Mutex;
 
 /// Structural identity of one timed-kernel cell.
 #[derive(Hash, PartialEq, Eq)]
@@ -41,7 +46,25 @@ struct MemoKey {
     faults: Option<Vec<u64>>,
 }
 
-static CACHE: OnceLock<Mutex<HashMap<MemoKey, TimingOutcome>>> = OnceLock::new();
+/// One cell: the result slot plus how many lookups landed on it.
+struct Slot {
+    cell: Arc<OnceLock<TimingOutcome>>,
+    touches: u64,
+}
+
+static CACHE: OnceLock<Mutex<HashMap<MemoKey, Slot>>> = OnceLock::new();
+static BYPASSES: Mutex<BTreeMap<&'static str, u64>> = Mutex::new(BTreeMap::new());
+
+/// Per-kernel memo-cache counters (see [`snapshot`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoCounts {
+    /// Lookups against fingerprintable networks.
+    pub touches: u64,
+    /// Distinct cells those lookups created (first touches).
+    pub entries: u64,
+    /// Lookups skipped because the network has no fingerprint.
+    pub bypasses: u64,
+}
 
 /// Returns the memoized outcome for the cell, computing (and caching)
 /// it on first touch. `compute` must be the pure timed-kernel run the
@@ -56,6 +79,7 @@ pub fn cached<N: NetworkModel>(
     compute: impl FnOnce() -> TimingOutcome,
 ) -> TimingOutcome {
     let Some(net_fp) = network.fingerprint() else {
+        *BYPASSES.lock().entry(kernel).or_insert(0) += 1;
         return compute();
     };
     let key = MemoKey {
@@ -66,11 +90,31 @@ pub fn cached<N: NetworkModel>(
         faults: faults.map(FaultPlan::fingerprint),
     };
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    if let Some(hit) = cache.lock().expect("memo cache poisoned").get(&key) {
-        return hit.clone();
+    let cell = {
+        let mut map = cache.lock();
+        let slot =
+            map.entry(key).or_insert_with(|| Slot { cell: Arc::new(OnceLock::new()), touches: 0 });
+        slot.touches += 1;
+        Arc::clone(&slot.cell)
+    };
+    cell.get_or_init(compute).clone()
+}
+
+/// Per-kernel counters: touches, entries (distinct cells), bypasses.
+/// Hits are the difference — every touch after a cell's first is served
+/// from the cache by construction.
+pub fn snapshot() -> BTreeMap<&'static str, MemoCounts> {
+    let mut out: BTreeMap<&'static str, MemoCounts> = BTreeMap::new();
+    if let Some(cache) = CACHE.get() {
+        for (key, slot) in cache.lock().iter() {
+            let counts = out.entry(key.kernel).or_default();
+            counts.touches += slot.touches;
+            counts.entries += 1;
+        }
     }
-    let out = compute();
-    cache.lock().expect("memo cache poisoned").insert(key, out.clone());
+    for (&kernel, &bypasses) in BYPASSES.lock().iter() {
+        out.entry(kernel).or_default().bypasses += bypasses;
+    }
     out
 }
 
@@ -136,11 +180,35 @@ mod tests {
         let cluster = sunwulf::ge_config(2);
         let calls = AtomicUsize::new(0);
         for _ in 0..2 {
-            cached("ge", &cluster, &Opaque, 61, None, || {
+            cached("memo-bypass-test", &cluster, &Opaque, 61, None, || {
                 calls.fetch_add(1, Ordering::Relaxed);
                 ge_parallel_timed(&cluster, &Opaque, 61)
             });
         }
         assert_eq!(calls.load(Ordering::Relaxed), 2, "no fingerprint — every touch computes");
+        let counts = snapshot()["memo-bypass-test"];
+        assert_eq!(counts.bypasses, 2);
+        assert_eq!(counts.touches, 0, "bypasses are not cache touches");
+    }
+
+    #[test]
+    fn snapshot_pins_touches_and_entries_for_overlapping_ladders() {
+        // Two "ladders" under a kernel label no other test uses, sharing
+        // the rung n=40: four touches land on three distinct cells, so
+        // exactly one touch is a hit.
+        let cluster = sunwulf::ge_config(2);
+        let net = MpichEthernet::new(0.29e-3, 1.07e8);
+        for ladder in [[40usize, 56], [40, 72]] {
+            for n in ladder {
+                cached("memo-stats-test", &cluster, &net, n, None, || {
+                    ge_parallel_timed(&cluster, &net, n)
+                });
+            }
+        }
+        let counts = snapshot()["memo-stats-test"];
+        assert_eq!(counts.touches, 4);
+        assert_eq!(counts.entries, 3);
+        assert_eq!(counts.touches - counts.entries, 1, "the shared rung hits once");
+        assert_eq!(counts.bypasses, 0);
     }
 }

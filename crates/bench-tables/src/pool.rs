@@ -19,10 +19,53 @@
 //! provide scoped threads); a panicking cell propagates when the scope
 //! joins, exactly like the sequential loop.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 static JOBS: OnceLock<usize> = OnceLock::new();
+
+// Deterministic pool counters: pure functions of the dispatched batches
+// (never of which worker ran what), so they are byte-stable across runs
+// and worker counts (DESIGN.md §11).
+static BATCHES: AtomicU64 = AtomicU64::new(0);
+static CELLS: AtomicU64 = AtomicU64::new(0);
+static QUEUE_HIGH_WATER: AtomicU64 = AtomicU64::new(0);
+// Per-worker cell counts — scheduling-dependent, profile export only.
+static WORKER_CELLS: parking_lot::Mutex<Vec<u64>> = parking_lot::Mutex::new(Vec::new());
+
+/// Deterministic worker-pool counters (see [`snapshot`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolCounts {
+    /// Non-empty batches dispatched through the pool.
+    pub batches: u64,
+    /// Cells across those batches.
+    pub cells: u64,
+    /// Largest single batch — the queue's high-water mark.
+    pub queue_high_water: u64,
+}
+
+/// Snapshot of the deterministic pool counters.
+pub fn snapshot() -> PoolCounts {
+    PoolCounts {
+        batches: BATCHES.load(Ordering::Relaxed),
+        cells: CELLS.load(Ordering::Relaxed),
+        queue_high_water: QUEUE_HIGH_WATER.load(Ordering::Relaxed),
+    }
+}
+
+/// Cells executed per worker slot. **Not deterministic** — which worker
+/// pulls which cell depends on OS scheduling; profile export only.
+pub fn worker_cells() -> Vec<u64> {
+    WORKER_CELLS.lock().clone()
+}
+
+fn add_worker_cells(worker: usize, cells: u64) {
+    let mut counts = WORKER_CELLS.lock();
+    if counts.len() <= worker {
+        counts.resize(worker + 1, 0);
+    }
+    counts[worker] += cells;
+}
 
 /// The worker count was already fixed — [`set_jobs`] was called twice
 /// (or after the pool's first use defaulted it).
@@ -74,21 +117,33 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    if !items.is_empty() {
+        BATCHES.fetch_add(1, Ordering::Relaxed);
+        CELLS.fetch_add(items.len() as u64, Ordering::Relaxed);
+        QUEUE_HIGH_WATER.fetch_max(items.len() as u64, Ordering::Relaxed);
+    }
     let workers = max_workers.min(items.len());
     if workers <= 1 {
+        add_worker_cells(0, items.len() as u64);
         return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+        let (next, slots, f) = (&next, &slots, &f);
+        for worker in 0..workers {
+            scope.spawn(move || {
+                let mut mine = 0u64;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = f(i, &items[i]);
+                    *slots[i].lock().expect("cell slot poisoned") = Some(r);
+                    mine += 1;
                 }
-                let r = f(i, &items[i]);
-                *slots[i].lock().expect("cell slot poisoned") = Some(r);
+                add_worker_cells(worker, mine);
             });
         }
     });
@@ -146,6 +201,22 @@ mod tests {
         let _ = set_jobs(3);
         let err = set_jobs(5).expect_err("second set_jobs must be rejected");
         assert_eq!(err.to_string(), "worker count already fixed for this process");
+    }
+
+    #[test]
+    fn counters_track_batches_cells_and_high_water() {
+        // Counters are process-global and other tests run concurrently,
+        // so assert monotone deltas, not absolutes.
+        let before = snapshot();
+        let items: Vec<usize> = (0..40).collect();
+        run_indexed_on(4, &items, |_, &i| i);
+        run_indexed_on(1, &items[..3], |_, &i| i);
+        let after = snapshot();
+        assert!(after.batches >= before.batches + 2);
+        assert!(after.cells >= before.cells + 43);
+        assert!(after.queue_high_water >= 40);
+        let attributed: u64 = worker_cells().iter().sum();
+        assert!(attributed >= 43, "every cell lands on some worker slot");
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Single wall-clock source for the binary's self-timing.
+//!
+//! Two consumers share it: the `BENCH_TABLES_STOPWATCH=1` stderr line
+//! the ci.sh perf gate thresholds, and the `--profile-out` document's
+//! total and per-id laps. Both read the *same* [`Stopwatch`], so the
+//! gate and the profile can never disagree about what was measured.
+//!
+//! Wall-clock is inherently non-deterministic; everything here is
+//! excluded from the byte-identity guarantees (DESIGN.md §11) and never
+//! reaches stdout or the `--stats-out` document.
+
+use std::time::Instant;
+
+/// Wall-clock timer with named laps.
+pub struct Stopwatch {
+    start: Instant,
+    last: Instant,
+    laps: Vec<(String, u64)>,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Stopwatch {
+        let now = Instant::now();
+        Stopwatch { start: now, last: now, laps: Vec::new() }
+    }
+
+    /// Closes the current lap under `label` (µs since the previous lap
+    /// boundary, or since start for the first lap).
+    pub fn lap(&mut self, label: &str) {
+        let now = Instant::now();
+        self.laps.push((label.to_string(), now.duration_since(self.last).as_micros() as u64));
+        self.last = now;
+    }
+
+    /// The recorded `(label, µs)` laps, in recording order.
+    pub fn laps(&self) -> &[(String, u64)] {
+        &self.laps
+    }
+
+    /// Total µs since construction.
+    pub fn total_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// The exact stderr line the ci.sh perf gate parses.
+    pub fn stderr_line(&self) -> String {
+        format!("stopwatch: {} us", self.total_us())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laps_accumulate_in_order_and_line_has_gate_shape() {
+        let mut watch = Stopwatch::new();
+        watch.lap("first");
+        watch.lap("second");
+        assert_eq!(watch.laps().len(), 2);
+        assert_eq!(watch.laps()[0].0, "first");
+        assert_eq!(watch.laps()[1].0, "second");
+        let line = watch.stderr_line();
+        assert!(line.starts_with("stopwatch: "));
+        assert!(line.ends_with(" us"));
+        let middle = &line["stopwatch: ".len()..line.len() - " us".len()];
+        assert!(middle.parse::<u64>().is_ok(), "gate parses {middle:?} as an integer");
+    }
+}

@@ -157,3 +157,140 @@ fn faults_flag_emits_the_fault_sweep_table() {
     assert!(stdout.contains("straggler+drops"), "missing severity rows: {stdout}");
     assert!(stdout.contains("under faults: psi retention"), "missing annex line: {stdout}");
 }
+
+// The `--stats-out` telemetry document has a two-tier determinism
+// contract (DESIGN.md §11): the whole file is byte-identical across
+// repeated runs and `--jobs` values; the engine-independent sections
+// (memo, pool, closed-form cell totals) are additionally identical
+// across engines, while the engine-dependent sections (path breakdown,
+// ready-queue work) change only with `--no-analytic`.
+
+fn stats_doc(dir: &std::path::Path, name: &str, args: &[&str]) -> Vec<u8> {
+    let path = dir.join(name);
+    let path_str = path.to_str().expect("utf-8 temp path");
+    let mut full: Vec<&str> = args.to_vec();
+    full.extend_from_slice(&["--stats-out", path_str]);
+    let out = run(&full);
+    assert!(out.status.success(), "{full:?} exited with {:?}: {}", out.status, stderr(&out));
+    assert!(stderr(&out).contains(&format!("wrote {path_str}")), "missing wrote line");
+    std::fs::read(&path).expect("stats file written")
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("bench-tables-stats-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn stats_doc_is_byte_identical_across_runs_and_jobs() {
+    for (tag, base) in [
+        ("quick", vec!["--quick"]),
+        ("faults", vec!["--quick", "--faults"]),
+        ("surface", vec!["--quick", "surface"]),
+    ] {
+        let dir = temp_dir(tag);
+        let j1 = stats_doc(&dir, "j1.json", &[&base[..], &["--jobs", "1"]].concat());
+        let j4 = stats_doc(&dir, "j4.json", &[&base[..], &["--jobs", "4"]].concat());
+        let j4b = stats_doc(&dir, "j4b.json", &[&base[..], &["--jobs", "4"]].concat());
+        assert!(!j1.is_empty());
+        assert_eq!(j1, j4, "{tag}: --jobs changed the stats document");
+        assert_eq!(j4, j4b, "{tag}: repeated run changed the stats document");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn stats_doc_splits_engine_dependent_from_engine_independent() {
+    use hetsim_obs::Json;
+    let dir = temp_dir("engines");
+    let fast = stats_doc(&dir, "fast.json", &["--quick"]);
+    let slow = stats_doc(&dir, "slow.json", &["--quick", "--no-analytic"]);
+    std::fs::remove_dir_all(&dir).ok();
+    let parse = |bytes: &[u8]| {
+        Json::parse(std::str::from_utf8(bytes).expect("utf-8 stats")).expect("stats parses")
+    };
+    let (fast, slow) = (parse(&fast), parse(&slow));
+    let obj = |doc: &Json, key: &str| doc.as_obj().expect("object")[key].clone();
+    // Engine-independent: the memo and pool sections must not notice
+    // which engine priced the cells.
+    assert_eq!(obj(&fast, "memo"), obj(&slow, "memo"), "memo section is engine-dependent");
+    assert_eq!(obj(&fast, "pool"), obj(&slow, "pool"), "pool section is engine-dependent");
+    // Engine-dependent: the default run prices through the kernel
+    // closed forms; --no-analytic forces everything onto the scheduler.
+    let engine = |doc: &Json| obj(doc, "engine").as_obj().expect("engine object").clone();
+    let (fe, se) = (engine(&fast), engine(&slow));
+    assert_ne!(fe["closed_form"], se["closed_form"], "closed forms must vanish when disabled");
+    assert_eq!(se["closed_form"].as_obj().map(|m| m.len()), Some(0));
+    let forced = |paths: &Json| {
+        paths.as_obj().expect("paths")["event_driven"].as_obj().expect("event_driven")["forced"]
+            .as_num()
+            .expect("count")
+    };
+    assert_eq!(forced(&fe["paths"]), 0.0, "nothing is forced by default");
+    assert!(forced(&se["paths"]) > 0.0, "--no-analytic must force the scheduler");
+    // Both engines report full analytic coverage: forced runs are not
+    // fallbacks, and the fault-free quick ladder never falls back.
+    for doc in [&fast, &slow] {
+        let summary = obj(doc, "summary");
+        let summary = summary.as_obj().expect("summary object");
+        assert_eq!(summary["analytic_coverage_percent"].as_num(), Some(100.0));
+    }
+}
+
+#[test]
+fn quick_stats_doc_reports_full_analytic_coverage_inline() {
+    // The exact byte sequence the ci.sh coverage gate greps for.
+    let dir = temp_dir("coverage");
+    let doc = stats_doc(&dir, "quick.json", &["--quick"]);
+    std::fs::remove_dir_all(&dir).ok();
+    let text = String::from_utf8(doc).expect("utf-8 stats");
+    assert!(
+        text.contains("\"analytic_coverage_percent\":100,"),
+        "coverage gate pattern missing: {text}"
+    );
+    assert!(text.contains("\"schema\":\"hetscale-telemetry/1\""), "schema missing: {text}");
+}
+
+#[test]
+fn stats_out_prints_per_id_summaries_on_stderr() {
+    let dir = temp_dir("summaries");
+    let path = dir.join("stats.json");
+    let out = run(&["--quick", "t2", "--stats-out", path.to_str().expect("utf-8")]);
+    assert!(out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("telemetry t2: analytic "), "missing per-id summary: {err}");
+    assert!(err.contains(", memo hit "), "missing memo half: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+    // Without the flag, no telemetry chatter reaches stderr.
+    let silent = run(&["--quick", "t2"]);
+    assert!(!stderr(&silent).contains("telemetry "), "summaries must be opt-in");
+}
+
+#[test]
+fn unwritable_stats_path_exits_one() {
+    let out = run(&["--quick", "t1", "--stats-out", "/proc/nonexistent/stats.json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("error: cannot write stats file"), "got: {err}");
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+}
+
+#[test]
+fn profile_doc_declares_itself_non_deterministic() {
+    use hetsim_obs::Json;
+    let dir = temp_dir("profile");
+    let path = dir.join("profile.json");
+    let path_str = path.to_str().expect("utf-8");
+    let out = run(&["--quick", "t2", "--profile-out", path_str]);
+    assert!(out.status.success(), "exit: {:?}: {}", out.status, stderr(&out));
+    let text = std::fs::read_to_string(&path).expect("profile written");
+    std::fs::remove_dir_all(&dir).ok();
+    let doc = Json::parse(&text).expect("profile parses");
+    let doc = doc.as_obj().expect("object top level");
+    assert_eq!(doc["deterministic"], Json::Bool(false));
+    assert_eq!(doc["schema"].as_str(), Some("hetscale-profile/1"));
+    let ids = doc["ids"].as_obj().expect("ids object");
+    assert!(ids.contains_key("t2"), "t2 lap missing: {text}");
+    assert!(doc["total_us"].as_num().expect("total") >= 0.0);
+}

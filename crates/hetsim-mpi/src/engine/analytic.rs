@@ -36,11 +36,13 @@
 //!
 //! Anything else — crossing a collective boundary with an in-flight
 //! message, mismatched collective kinds or op ids, multi-member root
-//! classes, size mismatches — makes [`analyze`] return `None` and the
-//! caller falls back to the ready-queue scheduler, which either prices
-//! the program correctly or reports the protocol bug with its usual
-//! diagnostics. The analyzer never weakens an engine panic into a
-//! wrong answer: every shape it cannot *prove* lockstep falls back.
+//! classes, size mismatches — makes [`analyze`] return a typed
+//! [`FallbackReason`] and the caller falls back to the ready-queue
+//! scheduler, which either prices the program correctly or reports the
+//! protocol bug with its usual diagnostics. The analyzer never weakens
+//! an engine panic into a wrong answer: every shape it cannot *prove*
+//! lockstep falls back, and the reason is surfaced through
+//! `SpmdProgram::fallback_reason` and the telemetry counters.
 //!
 //! # Float-op mirroring
 //!
@@ -57,6 +59,7 @@
 
 use super::{Op, SimRank};
 use crate::message::Tag;
+use crate::telemetry::FallbackReason;
 use crate::trace::OpKind;
 use hetsim_cluster::cluster::ClusterSpec;
 use hetsim_cluster::network::NetworkModel;
@@ -67,6 +70,11 @@ use std::collections::{HashMap, VecDeque};
 #[derive(Debug)]
 pub(super) struct LockstepProgram {
     phases: Vec<Phase>,
+    /// Collective ops one evaluation covers (per participating rank) —
+    /// the same count the scheduler would execute, kept for telemetry.
+    pub(super) collective_ops: u64,
+    /// Point-to-point ops one evaluation covers.
+    pub(super) p2p_ops: u64,
 }
 
 /// One lockstep phase. Exit clocks are a pure function of entry clocks.
@@ -99,13 +107,13 @@ enum P2pStep {
 }
 
 /// Detects lockstep phase structure in a recording's per-class op
-/// lists. Returns `None` — *fall back to the ready-queue scheduler* —
-/// for any shape it cannot prove lockstep.
+/// lists. Returns the [`FallbackReason`] — *fall back to the
+/// ready-queue scheduler* — for any shape it cannot prove lockstep.
 pub(super) fn analyze(
     p: usize,
     classes: &[Vec<Op>],
     class_of: &[usize],
-) -> Option<LockstepProgram> {
+) -> Result<LockstepProgram, FallbackReason> {
     let nc = classes.len();
     let mut members = vec![0usize; nc];
     let mut rank_of_class = vec![usize::MAX; nc];
@@ -150,11 +158,25 @@ pub(super) fn analyze(
         }
         if done > 0 {
             // A collective needs every rank; some class is out of ops.
-            return None;
+            return Err(FallbackReason::ClassExhausted);
         }
         phases.push(collective_phase(classes, class_of, &members, &rank_of_class, &mut cursor)?);
     }
-    Some(LockstepProgram { phases })
+    // The per-rank op counts the scheduler would have executed — kept
+    // so analytic and event-driven telemetry agree on lockstep shapes.
+    let mut collective_ops = 0u64;
+    let mut p2p_ops = 0u64;
+    for phase in &phases {
+        match phase {
+            Phase::Compute { .. } => {}
+            Phase::Barrier
+            | Phase::Bcast { .. }
+            | Phase::BcastDerived { .. }
+            | Phase::Gather { .. } => collective_ops += p as u64,
+            Phase::P2p { steps } => p2p_ops += steps.len() as u64,
+        }
+    }
+    Ok(LockstepProgram { phases, collective_ops, p2p_ops })
 }
 
 /// Closes a collective phase: every class's head must be the same
@@ -165,7 +187,7 @@ fn collective_phase(
     members: &[usize],
     rank_of_class: &[usize],
     cursor: &mut [usize],
-) -> Option<Phase> {
+) -> Result<Phase, FallbackReason> {
     let nc = classes.len();
     // All classes must agree on which collective comes next.
     let mut op_id = None;
@@ -183,7 +205,7 @@ fn collective_phase(
         };
         match op_id {
             None => op_id = Some(id),
-            Some(prev) if prev != id => return None,
+            Some(prev) if prev != id => return Err(FallbackReason::CollectiveIdMismatch),
             Some(_) => {}
         }
     }
@@ -199,18 +221,18 @@ fn collective_phase(
             Op::Barrier { .. } => barriers += 1,
             Op::BcastRoot { count, .. } => {
                 if bcast_root.replace((c, count)).is_some() {
-                    return None;
+                    return Err(FallbackReason::DuplicateRoot);
                 }
             }
             Op::BcastRootDerived { .. } => {
                 if derived_root.replace(c).is_some() {
-                    return None;
+                    return Err(FallbackReason::DuplicateRoot);
                 }
             }
             Op::BcastRecv { .. } => bcast_recvs += 1,
             Op::GatherRoot { .. } => {
                 if gather_root.replace(c).is_some() {
-                    return None;
+                    return Err(FallbackReason::DuplicateRoot);
                 }
             }
             Op::GatherLeaf { .. } => gather_leaves += 1,
@@ -222,33 +244,33 @@ fn collective_phase(
         Phase::Barrier
     } else if let Some((rc, count)) = bcast_root {
         if bcast_recvs != nc - 1 || members[rc] != 1 {
-            return None;
+            return Err(FallbackReason::MultiMemberRootClass);
         }
         for c in 0..nc {
             if let Op::BcastRecv { expect, .. } = classes[c][cursor[c]] {
                 if expect.is_some_and(|e| e != count) {
-                    return None;
+                    return Err(FallbackReason::CollectiveSizeMismatch);
                 }
             }
         }
         Phase::Bcast { root: rank_of_class[rc] as u32, count }
     } else if let Some(rc) = derived_root {
         if bcast_recvs != nc - 1 || members[rc] != 1 {
-            return None;
+            return Err(FallbackReason::MultiMemberRootClass);
         }
         for c in 0..nc {
             if let Op::BcastRecv { expect, .. } = classes[c][cursor[c]] {
                 // The packed size exists only at evaluation time; a
                 // stated expectation cannot be verified statically.
                 if expect.is_some() {
-                    return None;
+                    return Err(FallbackReason::UnverifiableDerivedSize);
                 }
             }
         }
         Phase::BcastDerived { root: rank_of_class[rc] as u32 }
     } else if let Some(rc) = gather_root {
         if gather_leaves != nc - 1 || members[rc] != 1 {
-            return None;
+            return Err(FallbackReason::MultiMemberRootClass);
         }
         let p = class_of.len();
         let mut counts = vec![0usize; p];
@@ -268,12 +290,12 @@ fn collective_phase(
     } else {
         // Mixed collective kinds — the engine would panic on the slot
         // type mismatch; let it.
-        return None;
+        return Err(FallbackReason::MixedCollectiveKinds);
     };
     for c in cursor.iter_mut() {
         *c += 1;
     }
-    Some(phase)
+    Ok(phase)
 }
 
 /// Closes a P2P phase by Kahn-style scheduling: repeatedly drain each
@@ -287,7 +309,7 @@ fn p2p_phase(
     classes: &[Vec<Op>],
     class_of: &[usize],
     cursor: &mut [usize],
-) -> Option<Phase> {
+) -> Result<Phase, FallbackReason> {
     let mut pc: Vec<usize> = (0..p).map(|r| cursor[class_of[r]]).collect();
     let mut pending: HashMap<(usize, usize, Tag), VecDeque<(u32, usize)>> = HashMap::new();
     let mut steps = Vec::new();
@@ -315,7 +337,7 @@ fn p2p_phase(
                         if count != expect {
                             // The engine's size assert owns this
                             // diagnostic; fall back.
-                            return None;
+                            return Err(FallbackReason::P2pSizeMismatch);
                         }
                         steps.push(P2pStep::Recv {
                             rank: r as u32,
@@ -332,11 +354,11 @@ fn p2p_phase(
         }
     }
     if pending.values().any(|q| !q.is_empty()) {
-        return None;
+        return Err(FallbackReason::SendAcrossSync);
     }
     for r in 0..p {
         if matches!(classes[class_of[r]].get(pc[r]), Some(Op::Recv { .. })) {
-            return None;
+            return Err(FallbackReason::RecvBeforeSend);
         }
     }
     // Every rank of a class stopped at the same first non-p2p op (the
@@ -345,7 +367,7 @@ fn p2p_phase(
     for r in 0..p {
         cursor[class_of[r]] = pc[r];
     }
-    Some(Phase::P2p { steps })
+    Ok(Phase::P2p { steps })
 }
 
 /// Root-then-receivers broadcast charge, mirroring `SimShared::bcast_root`

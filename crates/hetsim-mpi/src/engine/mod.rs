@@ -42,6 +42,7 @@
 use crate::context::Rank;
 use crate::message::Tag;
 use crate::runtime::SpmdOutcome;
+use crate::telemetry::{self, EnginePath, EngineReport, EventDrivenMode, FallbackReason};
 use crate::trace::{OpKind, RankTrace, TraceRecord};
 use hetsim_cluster::cluster::ClusterSpec;
 use hetsim_cluster::faults::FaultPlan;
@@ -350,6 +351,13 @@ struct SimRank {
     trace: RankTrace,
     pc: usize,
     last_gather_counts: Vec<usize>,
+    /// Telemetry: sends that paid a non-zero retry charge.
+    retry_events: u64,
+    /// Telemetry: failed attempts across those sends.
+    retry_attempts: u64,
+    /// Telemetry: retry charge, rounded to integer µs per event so the
+    /// cross-simulation total is an order-independent integer sum.
+    retry_us: u64,
 }
 
 impl SimRank {
@@ -365,6 +373,9 @@ impl SimRank {
             trace: RankTrace::default(),
             pc: 0,
             last_gather_counts: Vec::new(),
+            retry_events: 0,
+            retry_attempts: 0,
+            retry_us: 0,
         }
     }
 
@@ -432,6 +443,9 @@ impl SimRank {
                 let start = self.clock;
                 self.comm_time += charge.total;
                 self.clock += charge.total;
+                self.retry_events += 1;
+                self.retry_attempts += u64::from(charge.failed_attempts);
+                self.retry_us += (charge.total.as_secs() * 1e6).round() as u64;
                 self.record(tracing, OpKind::Retry, start, bytes, Some(dest));
             }
             Ok(_) => {}
@@ -885,9 +899,9 @@ pub struct SpmdProgram<R> {
     class_collectives: Vec<u64>,
     /// Class index per rank.
     class_of: Vec<usize>,
-    /// Lazily computed lockstep phase plan; `Some(None)` caches an
-    /// analyzer rejection so the structure check runs at most once.
-    lockstep: OnceLock<Option<LockstepProgram>>,
+    /// Lazily computed lockstep phase plan; `Err` caches the analyzer's
+    /// rejection reason so the structure check runs at most once.
+    lockstep: OnceLock<Result<LockstepProgram, FallbackReason>>,
 }
 
 /// Phase 1 of the fast engine, exposed for benchmarks and callers that
@@ -898,6 +912,9 @@ pub fn record_spmd<R, F>(cluster: &ClusterSpec, body: F) -> SpmdProgram<R>
 where
     F: Fn(&mut RecordTimer) -> R,
 {
+    // Wall-clock is profile-only telemetry (DESIGN.md §11); nothing
+    // deterministic depends on it.
+    let record_started = std::time::Instant::now();
     let p = cluster.size();
     let mut results = Vec::with_capacity(p);
     let mut classes: Vec<Vec<Op>> = Vec::new();
@@ -937,6 +954,7 @@ where
             }
         }
     }
+    telemetry::add_record_wall_ns(record_started.elapsed().as_nanos() as u64);
     SpmdProgram { p, results, classes, class_collectives, class_of, lockstep: OnceLock::new() }
 }
 
@@ -952,17 +970,27 @@ impl<R> SpmdProgram<R> {
         self.classes.len()
     }
 
+    /// The recording's lockstep phase plan (or the analyzer's rejection
+    /// reason), computed once on first use.
+    fn lockstep_result(&self) -> &Result<LockstepProgram, FallbackReason> {
+        self.lockstep.get_or_init(|| analytic::analyze(self.p, &self.classes, &self.class_of))
+    }
+
     /// The recording's lockstep phase plan, computed once on first use.
     fn lockstep_plan(&self) -> Option<&LockstepProgram> {
-        self.lockstep
-            .get_or_init(|| analytic::analyze(self.p, &self.classes, &self.class_of))
-            .as_ref()
+        self.lockstep_result().as_ref().ok()
     }
 
     /// True when the recording has the lockstep phase structure the
     /// analytic evaluator accepts (see [`mod@analytic`]).
     pub fn is_lockstep(&self) -> bool {
         self.lockstep_plan().is_some()
+    }
+
+    /// Why the lockstep analyzer rejected this recording, or `None`
+    /// when it is lockstep. Forces the (cached) structure check.
+    pub fn fallback_reason(&self) -> Option<FallbackReason> {
+        self.lockstep_result().as_ref().err().copied()
     }
 
     /// Phase 2 of the fast engine: prices the recording against
@@ -979,11 +1007,22 @@ impl<R> SpmdProgram<R> {
         R: Clone,
     {
         if analytic_enabled() {
-            if let Some(plan) = self.lockstep_plan() {
-                return self.replay_analytic(plan, cluster, network, self.results.clone());
+            match self.lockstep_result() {
+                Ok(plan) => {
+                    return self.replay_analytic(plan, cluster, network, self.results.clone())
+                }
+                Err(reason) => telemetry::record_fallback(*reason),
             }
+            return self.replay(
+                cluster,
+                network,
+                false,
+                None,
+                EventDrivenMode::Fallback,
+                self.results.clone(),
+            );
         }
-        self.replay(cluster, network, false, None, self.results.clone())
+        self.replay(cluster, network, false, None, EventDrivenMode::Forced, self.results.clone())
     }
 
     /// [`simulate`](Self::simulate), forced onto the event-driven
@@ -997,7 +1036,7 @@ impl<R> SpmdProgram<R> {
     where
         R: Clone,
     {
-        self.replay(cluster, network, false, None, self.results.clone())
+        self.replay(cluster, network, false, None, EventDrivenMode::Forced, self.results.clone())
     }
 
     /// Analytic evaluation of the recording, or `None` when the
@@ -1029,7 +1068,14 @@ impl<R> SpmdProgram<R> {
             self.p,
             "cluster size disagrees with the recording's rank count"
         );
+        let simulate_started = std::time::Instant::now();
         let ranks = plan.evaluate(cluster, network, &self.classes, &self.class_of);
+        telemetry::add_simulate_wall_ns(simulate_started.elapsed().as_nanos() as u64);
+        let mut report =
+            EngineReport::new(EnginePath::Analytic, self.p as u64, self.classes.len() as u64);
+        report.collective_events = plan.collective_ops;
+        report.p2p_events = plan.p2p_ops;
+        telemetry::record_simulation(&report);
         outcome_from_ranks(ranks, results)
     }
 
@@ -1039,10 +1085,12 @@ impl<R> SpmdProgram<R> {
         network: &N,
         tracing: bool,
         faults: Option<&FaultPlan>,
+        mode: EventDrivenMode,
         results: Vec<R>,
     ) -> SpmdOutcome<R> {
         let p = self.p;
         assert_eq!(cluster.size(), p, "cluster size disagrees with the recording's rank count");
+        let simulate_started = std::time::Instant::now();
 
         let mut ranks: Vec<SimRank> = (0..p).map(|id| SimRank::new(id, cluster)).collect();
         if tracing {
@@ -1081,6 +1129,12 @@ impl<R> SpmdProgram<R> {
         let mut ready: VecDeque<usize> = (0..p).collect();
         let mut queued = vec![true; p];
         let mut finished = 0usize;
+        // Telemetry: per-replay locals, flushed once at the end so the
+        // hot loop touches no shared state.
+        let mut parks = 0u64;
+        let mut wakes = 0u64;
+        let mut p2p_events = 0u64;
+        let mut collective_events = 0u64;
         while let Some(r) = ready.pop_front() {
             queued[r] = false;
             let ops = &self.classes[self.class_of[r]];
@@ -1091,11 +1145,22 @@ impl<R> SpmdProgram<R> {
                     break;
                 }
                 match shared.exec(&mut ranks[r], &ops[pc]) {
-                    Step::Progress => ranks[r].pc += 1,
-                    Step::Blocked => break,
+                    Step::Progress => {
+                        match ops[pc] {
+                            Op::Compute { .. } => {}
+                            Op::Send { .. } | Op::Recv { .. } => p2p_events += 1,
+                            _ => collective_events += 1,
+                        }
+                        ranks[r].pc += 1;
+                    }
+                    Step::Blocked => {
+                        parks += 1;
+                        break;
+                    }
                 }
             }
             for w in shared.woken.drain(..) {
+                wakes += 1;
                 if !queued[w] {
                     queued[w] = true;
                     ready.push_back(w);
@@ -1117,6 +1182,20 @@ impl<R> SpmdProgram<R> {
             );
         }
         assert_eq!(shared.live, 0, "collective slots leaked — ranks disagreed on collective count");
+
+        telemetry::add_simulate_wall_ns(simulate_started.elapsed().as_nanos() as u64);
+        let mut report =
+            EngineReport::new(EnginePath::EventDriven(mode), p as u64, self.classes.len() as u64);
+        report.parks = parks;
+        report.wakes = wakes;
+        report.p2p_events = p2p_events;
+        report.collective_events = collective_events;
+        for rank in &ranks {
+            report.retry_events += rank.retry_events;
+            report.retry_attempts += rank.retry_attempts;
+            report.retry_charge_us += rank.retry_us;
+        }
+        telemetry::record_simulation(&report);
 
         outcome_from_ranks(ranks, results)
     }
@@ -1156,12 +1235,22 @@ where
     let results = std::mem::take(&mut program.results);
     // Traces and fault plans (retry charges, degraded-speed windows)
     // keep the event-driven scheduler, whose generality they need.
-    if !tracing && faults.is_none() && analytic_enabled() {
-        if let Some(plan) = program.lockstep_plan() {
-            return program.replay_analytic(plan, cluster, network, results);
+    let mode = if faults.is_some() {
+        EventDrivenMode::Faulted
+    } else if tracing {
+        EventDrivenMode::Traced
+    } else if !analytic_enabled() {
+        EventDrivenMode::Forced
+    } else {
+        match program.lockstep_result() {
+            Ok(plan) => return program.replay_analytic(plan, cluster, network, results),
+            Err(reason) => {
+                telemetry::record_fallback(*reason);
+                EventDrivenMode::Fallback
+            }
         }
-    }
-    program.replay(cluster, network, tracing, faults, results)
+    };
+    program.replay(cluster, network, tracing, faults, mode, results)
 }
 
 /// Runs `body` through the fast-path engine: same clocks, overhead
@@ -1482,6 +1571,7 @@ mod tests {
         let net = ConstantLatency::new(1e-3);
         let program: SpmdProgram<()> = record_spmd(&cluster, crossing_body);
         assert!(!program.is_lockstep(), "in-flight message across a barrier is not lockstep");
+        assert_eq!(program.fallback_reason(), Some(FallbackReason::SendAcrossSync));
         assert!(program.simulate_analytic(&cluster, &net).is_none());
         // The auto-selecting path must still price it, via fallback,
         // matching the scheduler and the threaded oracle exactly.

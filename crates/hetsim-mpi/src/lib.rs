@@ -77,6 +77,7 @@ pub mod context;
 pub mod engine;
 pub mod message;
 pub mod runtime;
+pub mod telemetry;
 pub mod trace;
 
 pub use context::Rank;
@@ -90,6 +91,7 @@ pub use runtime::{
     run_spmd, run_spmd_faulted, run_spmd_faulted_traced, run_spmd_observed, run_spmd_traced,
     SpmdOutcome,
 };
+pub use telemetry::{EngineTelemetry, FallbackReason};
 pub use trace::{timeline_text, OpKind, OverheadBreakdown, RankTrace, SpanSink, TraceRecord};
 
 // Re-exported for doc links and downstream convenience.

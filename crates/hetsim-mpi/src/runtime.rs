@@ -255,6 +255,12 @@ where
         wait_times.push(report.wait_time);
         traces.push(report.trace);
     }
+    // The oracle runtime stores one op stream per rank — no dedup.
+    crate::telemetry::record_simulation(&crate::telemetry::EngineReport::new(
+        crate::telemetry::EnginePath::Threaded,
+        p as u64,
+        p as u64,
+    ));
     SpmdOutcome { results, times, compute_times, comm_times, wait_times, traces }
 }
 

@@ -1,0 +1,476 @@
+//! Deterministic engine self-observability: which pricing tier ran,
+//! why the lockstep analyzer rejected a recording, and how hard the
+//! ready-queue scheduler, rank-class dedup, and fault machinery worked.
+//!
+//! The simulator observes the *kernels* through `hetsim-obs`; this
+//! module observes the *simulator*. Every counter here is a pure
+//! function of the simulations performed — op streams, class splits,
+//! fault plans — never of thread scheduling or wall-clock, so process
+//! totals are byte-stable across runs and worker counts as long as the
+//! same set of simulations executes. Two deliberate exceptions,
+//! [`record_wall_ns`] and [`simulate_wall_ns`], accumulate real elapsed
+//! time for the profile export and are documented as excluded from
+//! every byte-identity guarantee (DESIGN.md §11).
+//!
+//! Counters are process-global atomics: simulations may run
+//! concurrently on the experiment worker pool, and integer addition is
+//! associative, so accumulation order cannot perturb totals. Anything
+//! order-sensitive (float time) is rounded to integer microseconds
+//! *per rank* before entering the pool of atomics.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Why the lockstep analyzer refused a recording (DESIGN.md §10) and
+/// the simulation fell back to the event-driven ready-queue scheduler.
+///
+/// Every variant marks a shape the analyzer cannot *prove* lockstep;
+/// the scheduler then either prices it correctly or reports the
+/// protocol bug with its usual diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FallbackReason {
+    /// Some rank class ran out of ops while others still expect a
+    /// collective — the classes disagree on collective count.
+    ClassExhausted,
+    /// Classes disagree on which collective comes next (op ids differ).
+    CollectiveIdMismatch,
+    /// The class heads are collectives of different kinds (e.g. a
+    /// barrier meeting a broadcast).
+    MixedCollectiveKinds,
+    /// Two classes both claim the root role of one broadcast or gather.
+    DuplicateRoot,
+    /// A broadcast/gather root recording is shared by more than one
+    /// rank, or the receiver/leaf count does not close the collective.
+    MultiMemberRootClass,
+    /// A broadcast receiver's declared size disagrees with the root's.
+    CollectiveSizeMismatch,
+    /// A receiver states a size expectation on an allgather-derived
+    /// broadcast, which only exists at evaluation time.
+    UnverifiableDerivedSize,
+    /// A point-to-point receive expects a different element count than
+    /// the matching send carries.
+    P2pSizeMismatch,
+    /// A sent message crosses a synchronization point: sent before a
+    /// collective, received after it.
+    SendAcrossSync,
+    /// A receive waits on a message no send in this phase produces.
+    RecvBeforeSend,
+}
+
+impl FallbackReason {
+    /// Every variant, in stable report order.
+    pub const ALL: [FallbackReason; 10] = [
+        FallbackReason::ClassExhausted,
+        FallbackReason::CollectiveIdMismatch,
+        FallbackReason::MixedCollectiveKinds,
+        FallbackReason::DuplicateRoot,
+        FallbackReason::MultiMemberRootClass,
+        FallbackReason::CollectiveSizeMismatch,
+        FallbackReason::UnverifiableDerivedSize,
+        FallbackReason::P2pSizeMismatch,
+        FallbackReason::SendAcrossSync,
+        FallbackReason::RecvBeforeSend,
+    ];
+
+    /// Stable kebab-case key used in the telemetry document.
+    pub fn name(self) -> &'static str {
+        match self {
+            FallbackReason::ClassExhausted => "class-exhausted",
+            FallbackReason::CollectiveIdMismatch => "collective-id-mismatch",
+            FallbackReason::MixedCollectiveKinds => "mixed-collective-kinds",
+            FallbackReason::DuplicateRoot => "duplicate-root",
+            FallbackReason::MultiMemberRootClass => "multi-member-root-class",
+            FallbackReason::CollectiveSizeMismatch => "collective-size-mismatch",
+            FallbackReason::UnverifiableDerivedSize => "unverifiable-derived-size",
+            FallbackReason::P2pSizeMismatch => "p2p-size-mismatch",
+            FallbackReason::SendAcrossSync => "send-across-sync",
+            FallbackReason::RecvBeforeSend => "recv-before-send",
+        }
+    }
+
+    fn index(self) -> usize {
+        FallbackReason::ALL.iter().position(|&r| r == self).expect("listed in ALL")
+    }
+}
+
+impl fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self {
+            FallbackReason::ClassExhausted => {
+                "a rank class ran out of ops while others still expect a collective"
+            }
+            FallbackReason::CollectiveIdMismatch => {
+                "rank classes disagree on which collective comes next"
+            }
+            FallbackReason::MixedCollectiveKinds => {
+                "rank classes meet at collectives of different kinds"
+            }
+            FallbackReason::DuplicateRoot => "two rank classes both claim one collective's root",
+            FallbackReason::MultiMemberRootClass => {
+                "a collective root recording is shared by more than one rank"
+            }
+            FallbackReason::CollectiveSizeMismatch => {
+                "a broadcast receiver's size expectation disagrees with the root's count"
+            }
+            FallbackReason::UnverifiableDerivedSize => {
+                "a size expectation on an allgather-derived broadcast cannot be checked statically"
+            }
+            FallbackReason::P2pSizeMismatch => {
+                "a receive expects a different element count than the matching send carries"
+            }
+            FallbackReason::SendAcrossSync => {
+                "a message is sent before a synchronization point and received after it"
+            }
+            FallbackReason::RecvBeforeSend => {
+                "a receive waits on a message only sent in a later phase"
+            }
+        };
+        write!(f, "{what} ({})", self.name())
+    }
+}
+
+/// Which event-driven replay ran, for the path-selection breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventDrivenMode {
+    /// The analyzer rejected the recording (see [`FallbackReason`]).
+    Fallback,
+    /// The analytic evaluator is globally disabled (`--no-analytic`) or
+    /// the caller asked for the scheduler explicitly.
+    Forced,
+    /// Tracing was requested; traced runs keep the scheduler.
+    Traced,
+    /// A fault plan was active; faulted runs keep the scheduler.
+    Faulted,
+}
+
+/// Which pricing tier executed one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnginePath {
+    /// Lockstep analytic evaluation (DESIGN.md §10).
+    Analytic,
+    /// The event-driven ready-queue scheduler.
+    EventDriven(EventDrivenMode),
+    /// The thread-per-rank oracle runtime.
+    Threaded,
+}
+
+/// Everything one simulation contributes to the process totals.
+///
+/// Built by the engine once per simulation; integer-only so that the
+/// order in which concurrent simulations flush cannot change any total.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineReport {
+    /// The pricing tier that ran.
+    pub path: EnginePath,
+    /// Ranks simulated.
+    pub ranks: u64,
+    /// Distinct rank classes backing those ranks.
+    pub classes: u64,
+    /// Ready-queue parks (rank blocked on a mailbox or collective slot).
+    pub parks: u64,
+    /// Ready-queue wakes (ranks drained off wake lists).
+    pub wakes: u64,
+    /// Point-to-point ops executed (sends + receives).
+    pub p2p_events: u64,
+    /// Collective ops executed (per participating rank).
+    pub collective_events: u64,
+    /// Sends that paid a non-zero retry charge.
+    pub retry_events: u64,
+    /// Failed attempts across those sends.
+    pub retry_attempts: u64,
+    /// Total retry/timeout/backoff charge, rounded to µs per rank.
+    pub retry_charge_us: u64,
+}
+
+impl EngineReport {
+    /// A zeroed report for `path` over `ranks` ranks in `classes`
+    /// classes; callers fill in the scheduler-specific counts.
+    pub fn new(path: EnginePath, ranks: u64, classes: u64) -> EngineReport {
+        EngineReport {
+            path,
+            ranks,
+            classes,
+            parks: 0,
+            wakes: 0,
+            p2p_events: 0,
+            collective_events: 0,
+            retry_events: 0,
+            retry_attempts: 0,
+            retry_charge_us: 0,
+        }
+    }
+}
+
+/// Per-kernel closed-form evaluation counts (`kernels::analytic`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClosedFormStats {
+    /// Evaluation calls (one per `*_closed_form_many` batch).
+    pub batches: u64,
+    /// Cells priced across those calls.
+    pub cells: u64,
+}
+
+static ANALYTIC_SIMS: AtomicU64 = AtomicU64::new(0);
+static EVENT_FALLBACK: AtomicU64 = AtomicU64::new(0);
+static EVENT_FORCED: AtomicU64 = AtomicU64::new(0);
+static EVENT_TRACED: AtomicU64 = AtomicU64::new(0);
+static EVENT_FAULTED: AtomicU64 = AtomicU64::new(0);
+static THREADED_SIMS: AtomicU64 = AtomicU64::new(0);
+static PARKS: AtomicU64 = AtomicU64::new(0);
+static WAKES: AtomicU64 = AtomicU64::new(0);
+static P2P_EVENTS: AtomicU64 = AtomicU64::new(0);
+static COLLECTIVE_EVENTS: AtomicU64 = AtomicU64::new(0);
+static RANKS_SIMULATED: AtomicU64 = AtomicU64::new(0);
+static CLASSES_SIMULATED: AtomicU64 = AtomicU64::new(0);
+static RETRY_EVENTS: AtomicU64 = AtomicU64::new(0);
+static RETRY_ATTEMPTS: AtomicU64 = AtomicU64::new(0);
+static RETRY_CHARGE_US: AtomicU64 = AtomicU64::new(0);
+static FALLBACKS: [AtomicU64; FallbackReason::ALL.len()] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+static CLOSED_FORM: Mutex<BTreeMap<&'static str, ClosedFormStats>> = Mutex::new(BTreeMap::new());
+// Wall-clock accumulators — profile export only, never in the
+// deterministic document.
+static RECORD_WALL_NS: AtomicU64 = AtomicU64::new(0);
+static SIMULATE_WALL_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Folds one simulation's [`EngineReport`] into the process totals.
+pub fn record_simulation(report: &EngineReport) {
+    match report.path {
+        EnginePath::Analytic => ANALYTIC_SIMS.fetch_add(1, Ordering::Relaxed),
+        EnginePath::EventDriven(EventDrivenMode::Fallback) => {
+            EVENT_FALLBACK.fetch_add(1, Ordering::Relaxed)
+        }
+        EnginePath::EventDriven(EventDrivenMode::Forced) => {
+            EVENT_FORCED.fetch_add(1, Ordering::Relaxed)
+        }
+        EnginePath::EventDriven(EventDrivenMode::Traced) => {
+            EVENT_TRACED.fetch_add(1, Ordering::Relaxed)
+        }
+        EnginePath::EventDriven(EventDrivenMode::Faulted) => {
+            EVENT_FAULTED.fetch_add(1, Ordering::Relaxed)
+        }
+        EnginePath::Threaded => THREADED_SIMS.fetch_add(1, Ordering::Relaxed),
+    };
+    RANKS_SIMULATED.fetch_add(report.ranks, Ordering::Relaxed);
+    CLASSES_SIMULATED.fetch_add(report.classes, Ordering::Relaxed);
+    PARKS.fetch_add(report.parks, Ordering::Relaxed);
+    WAKES.fetch_add(report.wakes, Ordering::Relaxed);
+    P2P_EVENTS.fetch_add(report.p2p_events, Ordering::Relaxed);
+    COLLECTIVE_EVENTS.fetch_add(report.collective_events, Ordering::Relaxed);
+    RETRY_EVENTS.fetch_add(report.retry_events, Ordering::Relaxed);
+    RETRY_ATTEMPTS.fetch_add(report.retry_attempts, Ordering::Relaxed);
+    RETRY_CHARGE_US.fetch_add(report.retry_charge_us, Ordering::Relaxed);
+}
+
+/// Counts one analyzer rejection under `reason` (the simulation itself
+/// is reported separately as an event-driven fallback).
+pub fn record_fallback(reason: FallbackReason) {
+    FALLBACKS[reason.index()].fetch_add(1, Ordering::Relaxed);
+}
+
+/// Counts one kernel-level closed-form batch of `cells` cells
+/// (`kernels::analytic` — these bypass the engine entirely).
+pub fn record_closed_form(kernel: &'static str, cells: u64) {
+    let mut map = CLOSED_FORM.lock();
+    let entry = map.entry(kernel).or_default();
+    entry.batches += 1;
+    entry.cells += cells;
+}
+
+/// Accumulates record-phase wall-clock (profile export only).
+pub fn add_record_wall_ns(ns: u64) {
+    RECORD_WALL_NS.fetch_add(ns, Ordering::Relaxed);
+}
+
+/// Accumulates simulate-phase wall-clock (profile export only).
+pub fn add_simulate_wall_ns(ns: u64) {
+    SIMULATE_WALL_NS.fetch_add(ns, Ordering::Relaxed);
+}
+
+/// `(record_ns, simulate_ns)` wall-clock totals. **Not deterministic**
+/// — profile export only, excluded from byte-identity guarantees.
+pub fn wall_clock_ns() -> (u64, u64) {
+    (RECORD_WALL_NS.load(Ordering::Relaxed), SIMULATE_WALL_NS.load(Ordering::Relaxed))
+}
+
+/// A point-in-time copy of every deterministic engine counter.
+///
+/// Deterministic contract: equal sets of simulations produce equal
+/// snapshots, regardless of thread interleaving or worker count. Which
+/// pricing tier each simulation takes — and therefore the path
+/// breakdown, park/wake, and fallback counters — changes with
+/// [`crate::set_analytic_enabled`]; everything memo/pool-shaped above
+/// the engine is engine-independent (DESIGN.md §11).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EngineTelemetry {
+    /// Kernel-level closed forms, keyed by kernel label.
+    pub closed_form: BTreeMap<String, ClosedFormStats>,
+    /// Simulations priced by the lockstep analytic evaluator.
+    pub analytic_sims: u64,
+    /// Event-driven simulations after an analyzer rejection.
+    pub event_driven_fallback: u64,
+    /// Event-driven simulations forced by `--no-analytic` or an
+    /// explicit scheduler request.
+    pub event_driven_forced: u64,
+    /// Event-driven simulations that carried tracing.
+    pub event_driven_traced: u64,
+    /// Event-driven simulations under a fault plan.
+    pub event_driven_faulted: u64,
+    /// Thread-per-rank oracle runs.
+    pub threaded_sims: u64,
+    /// Analyzer rejections by [`FallbackReason::name`] (non-zero only).
+    pub fallback_reasons: BTreeMap<String, u64>,
+    /// Ready-queue parks across event-driven replays.
+    pub parks: u64,
+    /// Ready-queue wakes across event-driven replays.
+    pub wakes: u64,
+    /// Point-to-point ops executed (engine paths only).
+    pub p2p_events: u64,
+    /// Collective ops executed, per participating rank.
+    pub collective_events: u64,
+    /// Total ranks across simulations.
+    pub ranks_simulated: u64,
+    /// Total distinct rank classes across simulations.
+    pub classes_simulated: u64,
+    /// Sends that paid a non-zero retry charge.
+    pub retry_events: u64,
+    /// Failed attempts across those sends.
+    pub retry_attempts: u64,
+    /// Retry/timeout/backoff charge total, µs (rounded per rank).
+    pub retry_charge_us: u64,
+}
+
+impl EngineTelemetry {
+    /// Cells priced by kernel-level closed forms.
+    pub fn closed_form_cells(&self) -> u64 {
+        self.closed_form.values().map(|s| s.cells).sum()
+    }
+
+    /// Everything priced without the scheduler: closed-form cells plus
+    /// lockstep-analytic simulations.
+    pub fn analytic_cells(&self) -> u64 {
+        self.closed_form_cells() + self.analytic_sims
+    }
+
+    /// Share of analytic-eligible work that actually priced
+    /// analytically, in percent. Traced, faulted, and explicitly forced
+    /// event-driven runs are excluded from the denominator (they are
+    /// not eligible); an empty denominator reads as full coverage.
+    pub fn analytic_coverage_percent(&self) -> f64 {
+        let analytic = self.analytic_cells();
+        let denom = analytic + self.event_driven_fallback;
+        if denom == 0 {
+            100.0
+        } else {
+            100.0 * analytic as f64 / denom as f64
+        }
+    }
+
+    /// Rank-class dedup factor: ranks simulated per stored recording.
+    pub fn dedup_factor(&self) -> f64 {
+        if self.classes_simulated == 0 {
+            1.0
+        } else {
+            self.ranks_simulated as f64 / self.classes_simulated as f64
+        }
+    }
+}
+
+/// Snapshots every deterministic counter.
+pub fn snapshot() -> EngineTelemetry {
+    let mut fallback_reasons = BTreeMap::new();
+    for reason in FallbackReason::ALL {
+        let count = FALLBACKS[reason.index()].load(Ordering::Relaxed);
+        if count > 0 {
+            fallback_reasons.insert(reason.name().to_string(), count);
+        }
+    }
+    let closed_form =
+        CLOSED_FORM.lock().iter().map(|(&k, &v)| (k.to_string(), v)).collect::<BTreeMap<_, _>>();
+    EngineTelemetry {
+        closed_form,
+        analytic_sims: ANALYTIC_SIMS.load(Ordering::Relaxed),
+        event_driven_fallback: EVENT_FALLBACK.load(Ordering::Relaxed),
+        event_driven_forced: EVENT_FORCED.load(Ordering::Relaxed),
+        event_driven_traced: EVENT_TRACED.load(Ordering::Relaxed),
+        event_driven_faulted: EVENT_FAULTED.load(Ordering::Relaxed),
+        threaded_sims: THREADED_SIMS.load(Ordering::Relaxed),
+        fallback_reasons,
+        parks: PARKS.load(Ordering::Relaxed),
+        wakes: WAKES.load(Ordering::Relaxed),
+        p2p_events: P2P_EVENTS.load(Ordering::Relaxed),
+        collective_events: COLLECTIVE_EVENTS.load(Ordering::Relaxed),
+        ranks_simulated: RANKS_SIMULATED.load(Ordering::Relaxed),
+        classes_simulated: CLASSES_SIMULATED.load(Ordering::Relaxed),
+        retry_events: RETRY_EVENTS.load(Ordering::Relaxed),
+        retry_attempts: RETRY_ATTEMPTS.load(Ordering::Relaxed),
+        retry_charge_us: RETRY_CHARGE_US.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fallback_reason_names_are_stable_and_distinct() {
+        let mut seen = std::collections::BTreeSet::new();
+        for reason in FallbackReason::ALL {
+            assert!(seen.insert(reason.name()), "duplicate name {}", reason.name());
+            let text = reason.to_string();
+            assert!(text.ends_with(&format!("({})", reason.name())), "Display names itself");
+        }
+    }
+
+    #[test]
+    fn coverage_is_vacuously_full_and_degrades_with_fallbacks() {
+        let mut t = EngineTelemetry::default();
+        assert_eq!(t.analytic_coverage_percent(), 100.0);
+        t.analytic_sims = 3;
+        assert_eq!(t.analytic_coverage_percent(), 100.0);
+        t.event_driven_fallback = 1;
+        assert_eq!(t.analytic_coverage_percent(), 75.0);
+        t.closed_form.insert("ge".into(), ClosedFormStats { batches: 1, cells: 4 });
+        assert_eq!(t.analytic_cells(), 7);
+        assert_eq!(t.analytic_coverage_percent(), 87.5);
+    }
+
+    #[test]
+    fn dedup_factor_is_ranks_per_class() {
+        let mut t = EngineTelemetry::default();
+        assert_eq!(t.dedup_factor(), 1.0);
+        t.ranks_simulated = 85;
+        t.classes_simulated = 5;
+        assert_eq!(t.dedup_factor(), 17.0);
+    }
+
+    #[test]
+    fn simulation_reports_accumulate() {
+        let before = snapshot();
+        let mut report = EngineReport::new(EnginePath::EventDriven(EventDrivenMode::Forced), 4, 2);
+        report.parks = 3;
+        report.wakes = 3;
+        report.p2p_events = 6;
+        report.collective_events = 8;
+        record_simulation(&report);
+        record_fallback(FallbackReason::SendAcrossSync);
+        let after = snapshot();
+        assert!(after.event_driven_forced > before.event_driven_forced);
+        assert!(after.ranks_simulated >= before.ranks_simulated + 4);
+        assert!(after.parks >= before.parks + 3);
+        let seen = after.fallback_reasons.get("send-across-sync").copied().unwrap_or(0);
+        assert!(seen >= 1);
+    }
+}

@@ -51,6 +51,7 @@ pub mod analysis;
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod telemetry;
 
 pub use analysis::{
     critical_path, load_imbalance, rank_activity, CriticalPath, CriticalStep, RankActivity,
@@ -61,3 +62,4 @@ pub use metrics::{
     bucket_index, bucket_label, KindStats, MetricsRegistry, MetricsSnapshot, RankSnapshot,
     HISTOGRAM_BUCKETS,
 };
+pub use telemetry::{MemoKernelStats, PoolStats, TelemetryReport};

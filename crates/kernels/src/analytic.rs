@@ -179,6 +179,7 @@ pub fn ge_closed_form_many<N: NetworkModel>(
     n: usize,
     dist: &CyclicDistribution,
 ) -> Vec<TimingOutcome> {
+    hetsim_mpi::telemetry::record_closed_form("ge", networks.len() as u64);
     let p = cluster.size();
     let speeds = marked_speeds(cluster);
     // Row counts per rank in one O(n) ownership pass (materializing
@@ -333,6 +334,7 @@ pub fn mm_closed_form<N: NetworkModel>(
     n: usize,
     dist: &BlockDistribution,
 ) -> TimingOutcome {
+    hetsim_mpi::telemetry::record_closed_form("mm", 1);
     let p = cluster.size();
     let speeds = marked_speeds(cluster);
     let rows: Vec<usize> = (0..p).map(|r| dist.range_of(r).len()).collect();
@@ -366,6 +368,7 @@ pub fn power_closed_form<N: NetworkModel>(
     iters: usize,
     dist: &BlockDistribution,
 ) -> TimingOutcome {
+    hetsim_mpi::telemetry::record_closed_form("power", 1);
     let p = cluster.size();
     let speeds = marked_speeds(cluster);
     let rows: Vec<usize> = (0..p).map(|r| dist.range_of(r).len()).collect();
@@ -412,6 +415,7 @@ pub fn stencil_closed_form<N: NetworkModel>(
     iters: usize,
     dist: &BlockDistribution,
 ) -> TimingOutcome {
+    hetsim_mpi::telemetry::record_closed_form("stencil", 1);
     let p = cluster.size();
     let speeds = marked_speeds(cluster);
     let rows: Vec<usize> = (0..p).map(|r| dist.range_of(r).len()).collect();

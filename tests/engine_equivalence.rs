@@ -310,3 +310,40 @@ proptest! {
         assert_times_match(&auto, &threaded);
     }
 }
+
+/// The analyzer's rejection must not only happen — it must be the
+/// *expected* typed reason, surfaced through the program's public
+/// [`fallback_reason`](hetscale::hetsim_mpi::SpmdProgram::fallback_reason)
+/// accessor, and its `Display` must say what went wrong in words the
+/// `--stats-out` warning line can carry verbatim.
+#[test]
+fn send_across_barrier_reports_the_expected_fallback_reason() {
+    use hetscale::hetsim_mpi::FallbackReason;
+    let cluster = het_cluster(3, 7);
+    fn crossing_body<T: SpmdTimer>(t: &mut T) {
+        let me = t.rank();
+        t.compute_flops((1 + me) as f64 * 5e3);
+        if me == 0 {
+            t.send_count(1, Tag::DATA, 16);
+        }
+        t.barrier();
+        if me == 1 {
+            t.recv_count(0, Tag::DATA, 16);
+        }
+    }
+    let program = record_spmd(&cluster, crossing_body);
+    assert_eq!(program.fallback_reason(), Some(FallbackReason::SendAcrossSync));
+    let text = FallbackReason::SendAcrossSync.to_string();
+    assert_eq!(
+        text,
+        "a message is sent before a synchronization point and received after it \
+         (send-across-sync)"
+    );
+    // A lockstep program reports no reason at all.
+    let lockstep = record_spmd(&cluster, |t| {
+        t.compute_flops(1e3);
+        t.barrier();
+    });
+    assert_eq!(lockstep.fallback_reason(), None);
+    assert!(lockstep.is_lockstep());
+}
