@@ -26,6 +26,20 @@ cmp /tmp/ci_quick_analytic.txt /tmp/ci_quick_engine.txt || {
     echo "--no-analytic output diverged from the closed-form path" >&2
     exit 1
 }
+"$BIN" --quick --faults > /tmp/ci_faults_analytic.txt
+"$BIN" --quick --faults --no-analytic > /tmp/ci_faults_engine.txt
+cmp /tmp/ci_faults_analytic.txt /tmp/ci_faults_engine.txt || {
+    echo "--no-analytic output diverged on the fault sweep" >&2
+    exit 1
+}
+# Recovery sweep smoke (DESIGN.md §12): runs, and holds the same
+# engine-equivalence contract.
+"$BIN" --quick recover > /tmp/ci_recover_analytic.txt
+"$BIN" --quick recover --no-analytic > /tmp/ci_recover_engine.txt
+cmp /tmp/ci_recover_analytic.txt /tmp/ci_recover_engine.txt || {
+    echo "--no-analytic output diverged on the recovery sweep" >&2
+    exit 1
+}
 
 # Perf gate, coarse: the experiment sweeps must stay on the fast timing
 # engine. The *full* ladders plus the fault and surface sweeps complete
@@ -37,9 +51,10 @@ start=$(date +%s)
 "$BIN"
 "$BIN" --faults
 "$BIN" surface
+"$BIN" recover
 elapsed=$(( $(date +%s) - start ))
 test "$elapsed" -le "$BUDGET_SECS" || {
-    echo "full bench-tables + faults + surface took ${elapsed}s (budget ${BUDGET_SECS}s)" >&2
+    echo "full bench-tables + faults + surface + recover took ${elapsed}s (budget ${BUDGET_SECS}s)" >&2
     exit 1
 }
 
@@ -77,6 +92,14 @@ hit=$(sed -n 's/.*"memo_hit_percent":\([0-9]*\).*/\1/p' /tmp/ci_stats_full.json)
 test -n "$hit" || { echo "memo_hit_percent missing from stats document" >&2; exit 1; }
 test "$hit" -ge "$MEMO_HIT_FLOOR" || {
     echo "full-suite memo hit rate ${hit}% dropped below the ${MEMO_HIT_FLOOR}% baseline" >&2
+    exit 1
+}
+# Recovery telemetry gate (DESIGN.md §12): the lockstep analyzer must
+# reject recovery cells with the *typed* fallback reason — if the tag
+# vanishes, recovery runs are being mis-priced by the closed forms.
+"$BIN" --quick recover --stats-out /tmp/ci_stats_recover.json > /dev/null
+grep -q 'recovery-ops' /tmp/ci_stats_recover.json || {
+    echo "recovery runs no longer report the typed recovery-ops fallback" >&2
     exit 1
 }
 # Determinism smoke: a repeated run must reproduce the document byte

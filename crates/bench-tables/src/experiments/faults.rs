@@ -91,9 +91,11 @@ impl Severity {
         }
     }
 
-    /// Builds the fault plan for a `p`-rank scaled configuration.
+    /// Builds the fault plan for a `p`-rank scaled configuration. The
+    /// seed derives from the process-wide base (`--seed N`, default the
+    /// historical `0x5eed_0000` — `crate::seed`).
     pub fn plan(self, p: usize) -> FaultPlan {
-        let seed = 0x5eed_0000 + p as u64;
+        let seed = crate::seed::plan_seed() + p as u64;
         let stragglers = |mut plan: FaultPlan| {
             for r in (0..p).filter(|r| r % 4 == 1) {
                 plan = plan.with_straggler(r, STRAGGLER_MULTIPLIER);

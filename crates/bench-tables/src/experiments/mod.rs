@@ -9,6 +9,7 @@ pub mod f1;
 pub mod f2t5;
 pub mod faults;
 pub mod noise;
+pub mod recover;
 pub mod surface;
 pub mod t1;
 pub mod t2;

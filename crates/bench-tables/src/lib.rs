@@ -38,6 +38,7 @@ pub mod obs;
 pub mod params;
 pub mod plot;
 pub mod pool;
+pub mod seed;
 pub mod stats;
 pub mod stopwatch;
 pub mod systems;

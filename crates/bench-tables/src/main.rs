@@ -45,8 +45,8 @@
 //! so in the document.
 
 use bench_tables::experiments::{
-    ablate, baselines, compare, decomp, ext, f1, f2t5, faults, noise, surface, t1, t2, t3t4, t6t7,
-    validate, x2,
+    ablate, baselines, compare, decomp, ext, f1, f2t5, faults, noise, recover, surface, t1, t2,
+    t3t4, t6t7, validate, x2,
 };
 use bench_tables::stats::{self, IdSummaries};
 use bench_tables::stopwatch::Stopwatch;
@@ -96,6 +96,7 @@ const KNOWN_IDS_WITH_DESCRIPTIONS: &[(&str, &str)] = &[
     ("baselines", "baseline metrics (speedup, iso-efficiency) side by side"),
     ("ext-mp", "extension — marked-performance composition rules"),
     ("faults", "opt-in — scalability under deterministic fault injection"),
+    ("recover", "opt-in — mid-run failure recovery under MTBF death streams"),
     ("surface", "opt-in — psi(C, C') surface over scaled Sunwulf rungs"),
     ("all", "every id above except the opt-in ones (the default)"),
 ];
@@ -154,6 +155,14 @@ fn main() {
                 bench_tables::pool::set_jobs(n)
                     .unwrap_or_else(|e| usage(&format!("--jobs given twice: {e}")));
             }
+            "--seed" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or_else(|| usage("--seed needs an unsigned integer"));
+                bench_tables::seed::set_plan_seed(n)
+                    .unwrap_or_else(|e| usage(&format!("--seed given twice: {e}")));
+            }
             "--list" => list(),
             "--help" | "-h" => usage(""),
             flag if flag.starts_with('-') => usage(&format!("unknown flag {flag}")),
@@ -164,6 +173,7 @@ fn main() {
         }
     }
     let faults_requested = ids.contains("faults");
+    let recover_requested = ids.contains("recover");
     let surface_requested = ids.contains("surface");
     if ids.is_empty() || ids.contains("all") {
         ids = [
@@ -328,6 +338,14 @@ fn main() {
         println!("{report}");
         cp.mark("faults");
     }
+    if recover_requested {
+        let (tables, report) = recover::recovery_sweep(&params, quick);
+        for table in tables {
+            emit(table);
+        }
+        println!("{report}");
+        cp.mark("recover");
+    }
     if surface_requested {
         for table in surface::psi_surface(&params, quick) {
             emit(table);
@@ -339,6 +357,9 @@ fn main() {
         let mut runs = obs::observed_runs(quick);
         if faults_requested {
             runs.extend(obs::observed_runs_faulted(quick));
+        }
+        if recover_requested {
+            runs.extend(obs::observed_runs_recovered(quick));
         }
         if let Some(dir) = &trace_dir {
             let written = obs::write_trace_dir(Path::new(dir), &runs)
@@ -413,11 +434,12 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: bench-tables [--quick] [--faults] [--no-analytic] [--jobs N] [--list] [--csv DIR] [--trace-out DIR] [--metrics-out FILE] [--stats-out FILE] [--profile-out FILE] [ids...]\n\
-         ids: t1 t2 f1 t3 t4 f2 t5 t6 t7 compare x2 decomp ablate-dist ablate-net ablate-fit ablate-place ablate-sched ablate-noise validate baselines ext-mp faults surface all\n\
-         `faults` (or --faults) runs the fault-injection sweep; `surface` runs the psi-surface sweep on scaled Sunwulf rungs. Both are opt-in and not part of `all`.\n\
+        "usage: bench-tables [--quick] [--faults] [--no-analytic] [--jobs N] [--seed N] [--list] [--csv DIR] [--trace-out DIR] [--metrics-out FILE] [--stats-out FILE] [--profile-out FILE] [ids...]\n\
+         ids: t1 t2 f1 t3 t4 f2 t5 t6 t7 compare x2 decomp ablate-dist ablate-net ablate-fit ablate-place ablate-sched ablate-noise validate baselines ext-mp faults recover surface all\n\
+         `faults` (or --faults) runs the fault-injection sweep; `recover` runs the mid-run failure-recovery sweep (checkpoint/restart vs shrink-rebalance under MTBF death streams); `surface` runs the psi-surface sweep on scaled Sunwulf rungs. All three are opt-in and not part of `all`.\n\
          `--no-analytic` forces the event-driven engine on every cell (output is byte-identical to the default closed-form path).\n\
          `--jobs N` caps the experiment worker pool (default: available parallelism; output is byte-identical for every N).\n\
+         `--seed N` re-bases every fault-plan seed (faults + recover sweeps; default 1592590336 = 0x5eed0000 reproduces the historical bytes; same seed twice => same bytes).\n\
          `--stats-out FILE` writes the deterministic telemetry document (engine paths, fallback reasons, memo and pool counters) and prints per-id summaries on stderr.\n\
          `--profile-out FILE` writes the wall-clock profile (non-deterministic by nature; the document says so).\n\
          `--list` prints every id with a one-line description and exits."

@@ -112,6 +112,47 @@ pub fn observed_runs_faulted(quick: bool) -> Vec<ObservedRun> {
     ]
 }
 
+/// Traced recoverable GE and MM runs — GE under checkpoint/restart at
+/// the Daly interval, MM under shrink-rebalance with an early death —
+/// appended to [`observed_runs`] when the `recover` experiment is
+/// requested. The recovery charges appear as typed spans (`Checkpoint`,
+/// `Detect`, `LostWork`, `Rebalance`); plans are seeded, so the exports
+/// share the byte-stability guarantee.
+pub fn observed_runs_recovered(quick: bool) -> Vec<ObservedRun> {
+    use crate::experiments::recover::{ge_observed_inputs, mm_observed_inputs};
+    use kernels::ge::ge_parallel_timed_recoverable_traced;
+    use kernels::mm::mm_parallel_timed_recoverable_traced;
+    let net = sunwulf::sunwulf_network();
+    let (ge_cluster, ge_plan, ge_policy, ge_n) = ge_observed_inputs(quick);
+    let (mm_cluster, mm_plan, mm_policy, mm_n) = mm_observed_inputs(quick);
+    let ge_p = ge_cluster.size();
+    let mm_p = mm_cluster.size();
+    vec![
+        ObservedRun {
+            name: format!("ge-p{ge_p}-n{ge_n}-recover-ckpt"),
+            traces: ge_parallel_timed_recoverable_traced(
+                &ge_cluster,
+                &net,
+                &ge_plan,
+                ge_policy,
+                ge_n,
+            )
+            .1,
+        },
+        ObservedRun {
+            name: format!("mm-p{mm_p}-n{mm_n}-recover-shrink"),
+            traces: mm_parallel_timed_recoverable_traced(
+                &mm_cluster,
+                &net,
+                &mm_plan,
+                mm_policy,
+                mm_n,
+            )
+            .1,
+        },
+    ]
+}
+
 /// Writes the two trace files per run into `dir` (created if missing)
 /// and returns the paths written.
 pub fn write_trace_dir(dir: &Path, runs: &[ObservedRun]) -> io::Result<Vec<String>> {

@@ -276,6 +276,108 @@ fn unwritable_stats_path_exits_one() {
     assert!(!err.contains("panicked"), "must not panic: {err}");
 }
 
+// The recovery sweep (DESIGN.md §12) has the same determinism contract
+// as every other id: byte-identical across repeated runs, worker
+// counts, and engines. Its fault streams re-seed through `--seed`,
+// whose default must reproduce the historical bytes exactly.
+
+#[test]
+fn recover_id_emits_sweep_daly_table_and_recovery_annex() {
+    let out = run(&["--quick", "recover"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("psi retention under MTBF death streams"), "missing sweep: {stdout}");
+    assert!(stdout.contains("checkpoint-restart"), "missing CR rows: {stdout}");
+    assert!(stdout.contains("shrink-rebalance"), "missing shrink rows: {stdout}");
+    assert!(stdout.contains("measured optimal checkpoint interval vs Young/Daly"), "{stdout}");
+    assert!(stdout.contains("recovery overhead"), "missing annex decomposition: {stdout}");
+}
+
+#[test]
+fn recover_is_byte_identical_across_runs_jobs_and_engines() {
+    let base = stdout_of(&["--quick", "recover"]);
+    assert!(!base.is_empty());
+    assert_eq!(base, stdout_of(&["--quick", "recover"]), "repeated run changed recover output");
+    assert_eq!(base, stdout_of(&["--quick", "recover", "--jobs", "1"]), "--jobs 1 changed output");
+    assert_eq!(base, stdout_of(&["--quick", "recover", "--jobs", "4"]), "--jobs 4 changed output");
+    assert_eq!(
+        base,
+        stdout_of(&["--quick", "recover", "--no-analytic"]),
+        "--no-analytic changed the recover output"
+    );
+}
+
+#[test]
+fn seed_default_reproduces_historical_bytes_and_reseeding_moves_them() {
+    // 1592590336 == 0x5eed_0000, the seed baked in before the flag
+    // existed: passing it explicitly must be a byte-level no-op.
+    let default_bytes = stdout_of(&["--quick", "recover"]);
+    let explicit = stdout_of(&["--quick", "recover", "--seed", "1592590336"]);
+    assert_eq!(default_bytes, explicit, "explicit default seed changed the bytes");
+    // A different seed draws different death streams — but is itself
+    // perfectly reproducible.
+    let reseeded = stdout_of(&["--quick", "recover", "--seed", "7"]);
+    assert_ne!(default_bytes, reseeded, "--seed 7 must move the fault streams");
+    assert_eq!(reseeded, stdout_of(&["--quick", "recover", "--seed", "7"]), "seed 7 not stable");
+    // The faults sweep re-seeds through the same base.
+    let faults = stdout_of(&["--quick", "--faults"]);
+    assert_ne!(faults, stdout_of(&["--quick", "--faults", "--seed", "7"]), "faults ignore --seed");
+}
+
+#[test]
+fn seed_flag_rejects_garbage_repeats_and_missing_argument() {
+    let out = run(&["--quick", "recover", "--seed", "banana"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("error: --seed needs an unsigned integer"));
+
+    let out = run(&["--quick", "recover", "--seed", "7", "--seed", "7"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("error: --seed given twice"), "got: {err}");
+    assert!(err.contains("already fixed"), "got: {err}");
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+
+    let out = run(&["--quick", "recover", "--seed"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("error: --seed needs an unsigned integer"));
+}
+
+#[test]
+fn usage_and_list_cover_recover_and_seed() {
+    let err = stderr(&run(&["--help"]));
+    assert!(err.contains("--seed N"), "usage must document --seed: {err}");
+    assert!(err.contains("recover"), "usage must mention recover: {err}");
+    let stdout = String::from_utf8_lossy(&run(&["--list"]).stdout).into_owned();
+    assert!(
+        stdout.lines().any(|l| l.split_whitespace().next() == Some("recover")),
+        "--list must name recover: {stdout}"
+    );
+}
+
+#[test]
+fn recover_stats_doc_reports_the_typed_recovery_fallback() {
+    // The lockstep closed forms reject recovery ops, so every recovery
+    // cell must surface the typed `recovery-ops` fallback reason in the
+    // telemetry document — the tag ci.sh greps for.
+    let dir = temp_dir("recover");
+    let doc = stats_doc(&dir, "recover.json", &["--quick", "recover"]);
+    std::fs::remove_dir_all(&dir).ok();
+    let text = String::from_utf8(doc).expect("utf-8 stats");
+    assert!(text.contains("recovery-ops"), "typed fallback reason missing: {text}");
+}
+
+#[test]
+fn recover_stats_doc_is_byte_identical_across_runs_and_jobs() {
+    let dir = temp_dir("recover-jobs");
+    let j1 = stats_doc(&dir, "j1.json", &["--quick", "recover", "--jobs", "1"]);
+    let j4 = stats_doc(&dir, "j4.json", &["--quick", "recover", "--jobs", "4"]);
+    let j4b = stats_doc(&dir, "j4b.json", &["--quick", "recover", "--jobs", "4"]);
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(!j1.is_empty());
+    assert_eq!(j1, j4, "recover: --jobs changed the stats document");
+    assert_eq!(j4, j4b, "recover: repeated run changed the stats document");
+}
+
 #[test]
 fn profile_doc_declares_itself_non_deterministic() {
     use hetsim_obs::Json;

@@ -22,6 +22,10 @@ pub struct Repartition {
     pub moved_rows: usize,
     /// Total bytes that must cross the network: `moved_rows × row_bytes`.
     pub moved_bytes: u64,
+    /// Moved rows *received* per survivor (indexed like `survivors`) —
+    /// the per-rank repartition traffic mid-run recovery charges as
+    /// rebalance spans. Sums to `moved_rows`.
+    pub moved_in_rows: Vec<usize>,
 }
 
 /// Computes the proportional block repartition of `n` rows after the
@@ -55,11 +59,13 @@ pub fn repartition_after_deaths(
     let after = BlockDistribution::proportional(n, &surviving_speeds);
 
     let mut moved_rows = 0usize;
+    let mut moved_in_rows = vec![0usize; survivors.len()];
     for row in 0..n {
         let old_owner = before.owner(row);
-        let new_owner = survivors[after.owner(row)];
-        if old_owner != new_owner {
+        let new_idx = after.owner(row);
+        if old_owner != survivors[new_idx] {
             moved_rows += 1;
+            moved_in_rows[new_idx] += 1;
         }
     }
     Repartition {
@@ -67,6 +73,7 @@ pub fn repartition_after_deaths(
         counts: after.counts(),
         moved_rows,
         moved_bytes: moved_rows as u64 * row_bytes,
+        moved_in_rows,
     }
 }
 
@@ -94,6 +101,8 @@ mod tests {
         // At minimum the dead node's 20 rows move.
         assert!(r.moved_rows >= 20, "moved {} rows", r.moved_rows);
         assert_eq!(r.moved_bytes, r.moved_rows as u64 * 800);
+        assert_eq!(r.moved_in_rows.iter().sum::<usize>(), r.moved_rows);
+        assert_eq!(r.moved_in_rows.len(), r.survivors.len());
     }
 
     #[test]

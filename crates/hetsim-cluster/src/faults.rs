@@ -25,9 +25,18 @@
 //!   shrinks the machine, `hetpart` repartitions the survivors by marked
 //!   speed, and the run completes with honestly reduced `C`.
 //!
+//! * **MTBF failure streams** — [`FaultPlan::with_mtbf`] gives every
+//!   rank a seeded exponential death time. Unlike declared deaths these
+//!   fire *mid-run* and are handled by a [`RecoveryPolicy`]
+//!   (checkpoint/restart with a Young/Daly-optimal interval baseline,
+//!   or shrink-and-rebalance through `hetpart`); the recovery protocol
+//!   and its determinism argument live in DESIGN.md §12.
+//!
 //! Retry exhaustion (more consecutive drops than the policy allows)
 //! surfaces as the typed [`FaultError`] from
-//! [`FaultPlan::send_retry_charge`], never as arithmetic corruption.
+//! [`FaultPlan::send_retry_charge`], never as arithmetic corruption;
+//! resolving deaths against a cluster they fully annihilate surfaces as
+//! [`FaultError::AllRanksDead`].
 
 use crate::cluster::ClusterSpec;
 use crate::time::SimTime;
@@ -136,6 +145,11 @@ pub enum FaultError {
         /// Attempts made (`max_retries + 1`), all dropped.
         attempts: u32,
     },
+    /// The plan declares every rank dead: no surviving cluster exists.
+    AllRanksDead {
+        /// Size of the cluster the plan was resolved against.
+        cluster_size: usize,
+    },
 }
 
 impl fmt::Display for FaultError {
@@ -146,11 +160,73 @@ impl fmt::Display for FaultError {
                 "retries exhausted: message {msg_index} on link {source}->{dest} \
                  dropped on all {attempts} attempts"
             ),
+            FaultError::AllRanksDead { cluster_size } => {
+                write!(f, "fault plan kills every node of the {cluster_size}-rank cluster")
+            }
         }
     }
 }
 
 impl std::error::Error for FaultError {}
+
+/// How a run recovers from a mid-computation node death (DESIGN.md §12).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RecoveryPolicy {
+    /// Coordinated checkpoints every `interval_secs` of estimated
+    /// progress; on a death the machine detects the failure, rolls back
+    /// to the last checkpoint, and replays the lost work at full
+    /// strength (the dead node restarts).
+    CheckpointRestart {
+        /// Virtual seconds of progress between coordinated checkpoints.
+        interval_secs: f64,
+    },
+    /// No checkpoints: on a death the survivors detect the failure,
+    /// drop the dead rank, repartition the remaining rows by surviving
+    /// marked speed (`hetpart::rebalance`), and redo the dead rank's
+    /// in-flight work on the shrunken machine.
+    ShrinkRebalance,
+}
+
+impl RecoveryPolicy {
+    /// Short stable label for tables and memo keys.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryPolicy::CheckpointRestart { .. } => "checkpoint-restart",
+            RecoveryPolicy::ShrinkRebalance => "shrink-rebalance",
+        }
+    }
+}
+
+/// Fixed latency of one coordinated checkpoint, independent of size —
+/// the coordination barrier plus the I/O setup cost.
+pub const CHECKPOINT_LATENCY_SECS: f64 = 0.02;
+
+/// Bandwidth of the checkpoint store. Deliberately of the same order as
+/// the Sunwulf interconnect: checkpoints go to a shared filer, not to
+/// node-local disk.
+pub const CHECKPOINT_BANDWIDTH_BYTES_PER_SEC: f64 = 5.0e7;
+
+/// Bandwidth at which repartition traffic moves during shrink-rebalance
+/// recovery (survivors reload state over the shared interconnect).
+pub const REBALANCE_BANDWIDTH_BYTES_PER_SEC: f64 = 1.25e7;
+
+/// Default timeout of the heartbeat failure detector: how long the
+/// survivors wait before declaring a silent rank dead.
+pub const DETECT_TIMEOUT_SECS: f64 = 0.05;
+
+/// Virtual-time cost of writing `bytes` of checkpoint state — the exact
+/// float-op sequence the runtime's `checkpoint` op charges (latency
+/// plus bytes over store bandwidth; see `hetsim-mpi`).
+pub fn checkpoint_cost_secs(bytes: u64) -> f64 {
+    CHECKPOINT_LATENCY_SECS + bytes as f64 / CHECKPOINT_BANDWIDTH_BYTES_PER_SEC
+}
+
+/// Young/Daly optimal checkpoint interval `sqrt(2 · δ · MTBF)` for a
+/// per-checkpoint cost `delta_secs` and a system MTBF — the analytic
+/// baseline the R2 sweep's measured optimum is checked against.
+pub fn daly_interval(mtbf_secs: f64, delta_secs: f64) -> f64 {
+    (2.0 * delta_secs * mtbf_secs).sqrt()
+}
 
 /// The virtual-time cost of a send's failed attempts.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -175,6 +251,7 @@ pub struct FaultPlan {
     drop_per_mille: u16,
     retry: RetryPolicy,
     deaths: BTreeMap<usize, SimTime>,
+    mtbf_secs: Option<f64>,
 }
 
 impl FaultPlan {
@@ -186,6 +263,7 @@ impl FaultPlan {
             drop_per_mille: 0,
             retry: RetryPolicy::default(),
             deaths: BTreeMap::new(),
+            mtbf_secs: None,
         }
     }
 
@@ -254,6 +332,52 @@ impl FaultPlan {
         self
     }
 
+    /// Turns on the MTBF-driven failure stream: each rank draws one
+    /// exponential death time with the given mean from the plan seed
+    /// (see [`FaultPlan::sampled_death_time`]). Sampled deaths are
+    /// *mid-run* events handled by a [`RecoveryPolicy`], unlike the
+    /// declared deaths of [`FaultPlan::with_death`] which are resolved
+    /// before launch.
+    ///
+    /// # Panics
+    /// Panics unless `mtbf_secs` is finite and `> 0`.
+    pub fn with_mtbf(mut self, mtbf_secs: f64) -> FaultPlan {
+        assert!(mtbf_secs.is_finite() && mtbf_secs > 0.0, "MTBF must be finite and > 0");
+        self.mtbf_secs = Some(mtbf_secs);
+        self
+    }
+
+    /// The MTBF of the sampled failure stream, if one is configured.
+    pub fn mtbf_secs(&self) -> Option<f64> {
+        self.mtbf_secs
+    }
+
+    /// The seeded exponential death time of `rank`, or `None` when no
+    /// MTBF stream is configured. Pure in `(seed, rank, mtbf)`: the
+    /// inverse-CDF transform of a [`mix64`]-derived uniform in `(0, 1]`,
+    /// so the stream is deterministic, seed-sensitive, and independent
+    /// across ranks — and domain-separated from the link-drop schedule.
+    pub fn sampled_death_time(&self, rank: usize) -> Option<SimTime> {
+        let mtbf = self.mtbf_secs?;
+        // Distinct stream tag keeps death rolls off the drop schedule.
+        let h = mix64(
+            mix64(self.seed ^ 0xdead_5eed_0f01_d1e5) ^ (rank as u64).wrapping_mul(0x9e37_79b9),
+        );
+        // 53 high bits → uniform in (0, 1]; u = 0 is impossible, so the
+        // log below is always finite.
+        let u = ((h >> 11) as f64 + 1.0) / 9_007_199_254_740_992.0;
+        Some(SimTime::from_secs(-mtbf * u.ln()))
+    }
+
+    /// The first sampled death among `p` ranks: `(rank, time)` of the
+    /// earliest exponential draw (ties break to the lower rank), or
+    /// `None` when no MTBF stream is configured.
+    pub fn first_sampled_death(&self, p: usize) -> Option<(usize, SimTime)> {
+        (0..p).filter_map(|r| self.sampled_death_time(r).map(|t| (r, t))).min_by(|a, b| {
+            a.1.partial_cmp(&b.1).expect("death times are finite").then(a.0.cmp(&b.0))
+        })
+    }
+
     /// The seed driving the drop schedule.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -300,6 +424,10 @@ impl FaultPlan {
             fp.push(rank as u64);
             fp.push(at.as_secs().to_bits());
         }
+        if let Some(mtbf) = self.mtbf_secs {
+            fp.push(u64::MAX - 1);
+            fp.push(mtbf.to_bits());
+        }
         fp
     }
 
@@ -308,6 +436,7 @@ impl FaultPlan {
         self.degradations.values().all(Vec::is_empty)
             && self.drop_per_mille == 0
             && self.deaths.is_empty()
+            && self.mtbf_secs.is_none()
     }
 
     /// The degradation windows of `rank`, sorted by start; `None` when
@@ -379,19 +508,20 @@ impl FaultPlan {
     /// cluster unchanged when nobody died.
     ///
     /// # Errors
-    /// Errors when the plan kills every node.
-    pub fn surviving_cluster(&self, cluster: &ClusterSpec) -> Result<ClusterSpec, String> {
+    /// [`FaultError::AllRanksDead`] when the plan kills every node.
+    pub fn surviving_cluster(&self, cluster: &ClusterSpec) -> Result<ClusterSpec, FaultError> {
         let keep = self.survivors(cluster.size());
         if keep.len() == cluster.size() {
             return Ok(cluster.clone());
         }
         if keep.is_empty() {
-            return Err("fault plan kills every node".to_string());
+            return Err(FaultError::AllRanksDead { cluster_size: cluster.size() });
         }
-        ClusterSpec::new(
+        Ok(ClusterSpec::new(
             format!("{}-survivors", cluster.label),
             keep.iter().map(|&i| cluster.nodes()[i].clone()).collect(),
         )
+        .expect("survivor list is non-empty"))
     }
 
     /// The plan re-expressed for the surviving ranks: deaths cleared,
@@ -417,6 +547,7 @@ impl FaultPlan {
             drop_per_mille: self.drop_per_mille,
             retry: self.retry,
             deaths: BTreeMap::new(),
+            mtbf_secs: self.mtbf_secs,
         }
     }
 }
@@ -464,20 +595,25 @@ pub fn degraded_end(
     SimTime::from_secs(t)
 }
 
-/// Stateless 64-bit mix (Murmur3 finalizer) keyed on the full attempt
-/// identity — the drop schedule's only source of "randomness".
+/// Stateless 64-bit mix (Murmur3 finalizer): the only source of
+/// "randomness" behind both seeded schedules — link drops
+/// ([`attempt_roll`]) and MTBF death times
+/// ([`FaultPlan::sampled_death_time`]).
+fn mix64(mut z: u64) -> u64 {
+    z ^= z >> 33;
+    z = z.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    z ^= z >> 33;
+    z = z.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    z ^= z >> 33;
+    z
+}
+
+/// Drop roll keyed on the full attempt identity: whether attempt `a` of
+/// message `k` on link `(s, d)` drops is independent across all four.
 fn attempt_roll(seed: u64, source: usize, dest: usize, msg_index: u64, attempt: u32) -> u64 {
-    fn mix(mut z: u64) -> u64 {
-        z ^= z >> 33;
-        z = z.wrapping_mul(0xff51_afd7_ed55_8ccd);
-        z ^= z >> 33;
-        z = z.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
-        z ^= z >> 33;
-        z
-    }
     let mut h = seed ^ 0x9e37_79b9_7f4a_7c15;
     for v in [source as u64, dest as u64, msg_index, attempt as u64] {
-        h = mix(h ^ v.wrapping_add(0x2545_f491_4f6c_dd1d));
+        h = mix64(h ^ v.wrapping_add(0x2545_f491_4f6c_dd1d));
     }
     h
 }
@@ -602,7 +738,9 @@ mod tests {
         let err = (0..64)
             .find_map(|k| plan.send_retry_charge(0, 1, k).err())
             .expect("an exhausted message");
-        let FaultError::RetriesExhausted { source, dest, attempts, .. } = err;
+        let FaultError::RetriesExhausted { source, dest, attempts, .. } = err else {
+            panic!("expected RetriesExhausted, got {err:?}");
+        };
         assert_eq!((source, dest), (0, 1));
         assert_eq!(attempts, 1);
         assert!(err.to_string().contains("retries exhausted"));
@@ -682,6 +820,91 @@ mod tests {
                 "drops = {drops}"
             );
         }
+    }
+
+    #[test]
+    fn mtbf_stream_is_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::new(42).with_mtbf(100.0);
+        let b = FaultPlan::new(42).with_mtbf(100.0);
+        let c = FaultPlan::new(43).with_mtbf(100.0);
+        let stream =
+            |p: &FaultPlan| (0..16).map(|r| p.sampled_death_time(r).unwrap()).collect::<Vec<_>>();
+        assert_eq!(stream(&a), stream(&b));
+        assert_ne!(stream(&a), stream(&c), "different seeds should differ somewhere");
+        assert!(stream(&a).iter().all(|t| t.is_finite() && t.as_secs() > 0.0));
+        // No MTBF ⇒ no stream.
+        assert!(FaultPlan::new(42).sampled_death_time(0).is_none());
+        assert!(FaultPlan::new(42).first_sampled_death(16).is_none());
+    }
+
+    #[test]
+    fn mtbf_draws_have_roughly_exponential_mean() {
+        // Sample mean over many ranks should land near the MTBF; the
+        // draws are fixed by the seed so this is a deterministic check,
+        // not a statistical one.
+        let mtbf = 50.0;
+        let plan = FaultPlan::new(7).with_mtbf(mtbf);
+        let n = 4096;
+        let sum: f64 = (0..n).map(|r| plan.sampled_death_time(r).unwrap().as_secs()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - mtbf).abs() / mtbf < 0.1, "mean {mean} vs mtbf {mtbf}");
+    }
+
+    #[test]
+    fn first_sampled_death_is_the_minimum() {
+        let plan = FaultPlan::new(11).with_mtbf(30.0);
+        let (rank, at) = plan.first_sampled_death(8).unwrap();
+        for r in 0..8 {
+            assert!(plan.sampled_death_time(r).unwrap() >= at, "rank {r} dies before {rank}");
+        }
+        assert_eq!(plan.sampled_death_time(rank).unwrap(), at);
+    }
+
+    #[test]
+    fn mtbf_extends_fingerprint_and_emptiness() {
+        let base = FaultPlan::new(5);
+        let with = FaultPlan::new(5).with_mtbf(120.0);
+        assert!(base.is_empty());
+        assert!(!with.is_empty());
+        assert_ne!(base.fingerprint(), with.fingerprint());
+        assert_ne!(with.fingerprint(), FaultPlan::new(5).with_mtbf(121.0).fingerprint());
+        // for_survivors carries the stream along.
+        assert_eq!(with.for_survivors(4).mtbf_secs(), Some(120.0));
+    }
+
+    #[test]
+    fn all_ranks_dead_is_typed() {
+        let cluster = ClusterSpec::homogeneous(2, 50.0);
+        let plan = FaultPlan::new(1).with_death(0, SimTime::ZERO).with_death(1, SimTime::ZERO);
+        let err = plan.surviving_cluster(&cluster).unwrap_err();
+        assert_eq!(err, FaultError::AllRanksDead { cluster_size: 2 });
+        assert!(err.to_string().contains("kills every node"));
+    }
+
+    #[test]
+    fn daly_interval_matches_closed_form() {
+        // sqrt(2 · δ · MTBF): δ = 2 s, MTBF = 100 s ⇒ 20 s.
+        assert!((daly_interval(100.0, 2.0) - 20.0).abs() < 1e-12);
+        // Longer MTBF ⇒ sparser checkpoints; costlier checkpoints too.
+        assert!(daly_interval(400.0, 2.0) > daly_interval(100.0, 2.0));
+        assert!(daly_interval(100.0, 8.0) > daly_interval(100.0, 2.0));
+    }
+
+    #[test]
+    fn checkpoint_cost_is_latency_plus_transfer() {
+        assert_eq!(checkpoint_cost_secs(0), CHECKPOINT_LATENCY_SECS);
+        let bytes = 1_000_000u64;
+        let expected = CHECKPOINT_LATENCY_SECS + bytes as f64 / CHECKPOINT_BANDWIDTH_BYTES_PER_SEC;
+        assert_eq!(checkpoint_cost_secs(bytes), expected);
+    }
+
+    #[test]
+    fn recovery_policy_labels_are_stable() {
+        assert_eq!(
+            RecoveryPolicy::CheckpointRestart { interval_secs: 5.0 }.label(),
+            "checkpoint-restart"
+        );
+        assert_eq!(RecoveryPolicy::ShrinkRebalance.label(), "shrink-rebalance");
     }
 
     #[test]

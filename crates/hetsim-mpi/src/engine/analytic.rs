@@ -150,6 +150,18 @@ pub(super) fn analyze(
         if done == nc {
             break;
         }
+        // Failure-recovery ops have no phase grammar here: recovery
+        // programs always price on the ready-queue scheduler, with the
+        // typed reason surfaced through telemetry.
+        let any_recovery = (0..nc).any(|c| {
+            matches!(
+                classes[c].get(cursor[c]),
+                Some(Op::Checkpoint { .. } | Op::Detect { .. } | Op::Recover { .. })
+            )
+        });
+        if any_recovery {
+            return Err(FallbackReason::RecoveryOps);
+        }
         let any_p2p = (0..nc)
             .any(|c| matches!(classes[c].get(cursor[c]), Some(Op::Send { .. } | Op::Recv { .. })));
         if any_p2p {
@@ -199,8 +211,13 @@ fn collective_phase(
             | Op::GatherRoot { op, .. }
             | Op::GatherLeaf { op, .. }
             | Op::BcastRootDerived { op } => op,
-            Op::Compute { .. } | Op::Send { .. } | Op::Recv { .. } => {
-                unreachable!("compute absorbed and p2p heads dispatched before this")
+            Op::Compute { .. }
+            | Op::Send { .. }
+            | Op::Recv { .. }
+            | Op::Checkpoint { .. }
+            | Op::Detect { .. }
+            | Op::Recover { .. } => {
+                unreachable!("compute absorbed, recovery rejected, p2p dispatched before this")
             }
         };
         match op_id {
@@ -236,7 +253,12 @@ fn collective_phase(
                 }
             }
             Op::GatherLeaf { .. } => gather_leaves += 1,
-            Op::Compute { .. } | Op::Send { .. } | Op::Recv { .. } => unreachable!("checked above"),
+            Op::Compute { .. }
+            | Op::Send { .. }
+            | Op::Recv { .. }
+            | Op::Checkpoint { .. }
+            | Op::Detect { .. }
+            | Op::Recover { .. } => unreachable!("checked above"),
         }
     }
 

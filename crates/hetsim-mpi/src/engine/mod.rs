@@ -116,6 +116,20 @@ pub trait SpmdTimer {
     /// rank 0 + broadcast of the packed concatenation, as in
     /// [`Rank::allgather_f64s`]).
     fn allgather_count(&mut self, count: usize);
+
+    /// Writes `bytes` of checkpoint state to the shared store (see
+    /// [`Rank::checkpoint`]).
+    fn checkpoint(&mut self, bytes: u64);
+
+    /// Charges the failure detector's timeout before declaring a silent
+    /// peer dead (see [`Rank::detect_failure`]).
+    fn detect_failure(&mut self, timeout_secs: f64);
+
+    /// Recovers from a detected death: replays `lost_flops` at the
+    /// node's marked speed, then absorbs `moved_bytes` of repartition
+    /// traffic (see [`Rank::recover`]). Either span is omitted when its
+    /// operand is zero.
+    fn recover(&mut self, lost_flops: f64, moved_bytes: u64);
 }
 
 impl SpmdTimer for Rank<'_> {
@@ -159,6 +173,18 @@ impl SpmdTimer for Rank<'_> {
 
     fn allgather_count(&mut self, count: usize) {
         let _ = self.allgather_f64s(&vec![0.0; count]);
+    }
+
+    fn checkpoint(&mut self, bytes: u64) {
+        Rank::checkpoint(self, bytes);
+    }
+
+    fn detect_failure(&mut self, timeout_secs: f64) {
+        Rank::detect_failure(self, timeout_secs);
+    }
+
+    fn recover(&mut self, lost_flops: f64, moved_bytes: u64) {
+        Rank::recover(self, lost_flops, moved_bytes);
     }
 }
 
@@ -213,6 +239,20 @@ enum Op {
     /// length-header layout of [`Rank::allgather_f64s`]).
     BcastRootDerived {
         op: u64,
+    },
+    /// Checkpoint image write of `bytes` (local, never blocks).
+    Checkpoint {
+        bytes: u64,
+    },
+    /// Failure-detector timeout of `secs` (finite, ≥ 0; local).
+    Detect {
+        secs: f64,
+    },
+    /// Recovery replay: `lost_flops` at marked speed plus `moved_bytes`
+    /// of repartition traffic (local; zero operands emit no span).
+    Recover {
+        lost_flops: f64,
+        moved_bytes: u64,
     },
 }
 
@@ -295,6 +335,26 @@ impl SpmdTimer for RecordTimer {
             self.ops.push(Op::GatherLeaf { op: gather_op, root: 0, count });
             self.ops.push(Op::BcastRecv { op: bcast_op, root: 0, expect: None });
         }
+    }
+
+    fn checkpoint(&mut self, bytes: u64) {
+        self.ops.push(Op::Checkpoint { bytes });
+    }
+
+    fn detect_failure(&mut self, timeout_secs: f64) {
+        assert!(
+            timeout_secs.is_finite() && timeout_secs >= 0.0,
+            "detector timeout must be finite and ≥ 0"
+        );
+        self.ops.push(Op::Detect { secs: timeout_secs });
+    }
+
+    fn recover(&mut self, lost_flops: f64, moved_bytes: u64) {
+        assert!(
+            lost_flops.is_finite() && lost_flops >= 0.0,
+            "lost work must be finite and ≥ 0 flops"
+        );
+        self.ops.push(Op::Recover { lost_flops, moved_bytes });
     }
 }
 
@@ -812,6 +872,40 @@ impl<N: NetworkModel> SimShared<'_, N> {
                 self.gather_pool.push(deposits);
                 Step::Progress
             }
+            Op::Checkpoint { bytes } => {
+                // Mirrors [`Rank::checkpoint`] float-op for float-op.
+                let dt = SimTime::from_secs(hetsim_cluster::faults::checkpoint_cost_secs(bytes));
+                rank.charge_comm(self.tracing, rank.clock + dt, OpKind::Checkpoint, bytes, None);
+                Step::Progress
+            }
+            Op::Detect { secs } => {
+                // Mirrors [`Rank::detect_failure`].
+                let dt = SimTime::from_secs(secs);
+                rank.charge_comm(self.tracing, rank.clock + dt, OpKind::Detect, 0, None);
+                Step::Progress
+            }
+            Op::Recover { lost_flops, moved_bytes } => {
+                // Mirrors [`Rank::recover`], including the zero-operand
+                // span omissions.
+                if lost_flops > 0.0 {
+                    let dt = SimTime::from_secs(lost_flops / rank.speed_flops);
+                    rank.charge_comm(self.tracing, rank.clock + dt, OpKind::LostWork, 0, None);
+                }
+                if moved_bytes > 0 {
+                    let dt = SimTime::from_secs(
+                        moved_bytes as f64
+                            / hetsim_cluster::faults::REBALANCE_BANDWIDTH_BYTES_PER_SEC,
+                    );
+                    rank.charge_comm(
+                        self.tracing,
+                        rank.clock + dt,
+                        OpKind::Rebalance,
+                        moved_bytes,
+                        None,
+                    );
+                }
+                Step::Progress
+            }
             Op::GatherLeaf { op, root, count } => {
                 let bytes = (count * 8) as u64;
                 rank.charge_link_retries(self.tracing, self.faults, root, bytes);
@@ -875,6 +969,11 @@ fn class_hash(speed_bits: u64, ops: &[Op]) -> u64 {
                 mix(mix(mix(mix(h, 8), op), root as u64), count as u64)
             }
             Op::BcastRootDerived { op } => mix(mix(h, 9), op),
+            Op::Checkpoint { bytes } => mix(mix(h, 10), bytes),
+            Op::Detect { secs } => mix(mix(h, 11), secs.to_bits()),
+            Op::Recover { lost_flops, moved_bytes } => {
+                mix(mix(mix(h, 12), lost_flops.to_bits()), moved_bytes)
+            }
         };
     }
     h
@@ -1147,7 +1246,12 @@ impl<R> SpmdProgram<R> {
                 match shared.exec(&mut ranks[r], &ops[pc]) {
                     Step::Progress => {
                         match ops[pc] {
-                            Op::Compute { .. } => {}
+                            // Recovery ops are local like compute:
+                            // neither p2p nor collective events.
+                            Op::Compute { .. }
+                            | Op::Checkpoint { .. }
+                            | Op::Detect { .. }
+                            | Op::Recover { .. } => {}
                             Op::Send { .. } | Op::Recv { .. } => p2p_events += 1,
                             _ => collective_events += 1,
                         }
@@ -1636,6 +1740,79 @@ mod tests {
                 t.send_count(1, Tag(1), 3);
             }
         });
+    }
+
+    /// A body exercising every failure-recovery op between ordinary
+    /// collectives. Rank 0 recovers nothing (both operands zero — no
+    /// spans); the others replay lost work and move repartition bytes.
+    fn recovery_body<T: SpmdTimer>(t: &mut T) {
+        let me = t.rank();
+        t.compute_flops(5e5 * (me + 1) as f64);
+        t.checkpoint(4096 * (me as u64 + 1));
+        t.barrier();
+        t.compute_flops(3e5);
+        t.detect_failure(0.05);
+        t.recover(2.5e5 * me as f64, 1024 * me as u64);
+        t.barrier();
+    }
+
+    #[test]
+    fn fast_matches_threaded_on_recovery_ops() {
+        let cluster = het3();
+        let net = SharedEthernet::new(0.3e-3, 1.25e7);
+        let fast = run_spmd_fast_traced(&cluster, &net, recovery_body);
+        let threaded = run_spmd_traced(&cluster, &net, |r| recovery_body(r));
+        assert_outcomes_match(&fast, &threaded);
+    }
+
+    #[test]
+    fn fast_matches_threaded_on_recovery_ops_under_faults() {
+        let cluster = het3();
+        let net = SharedEthernet::new(0.3e-3, 1.25e7);
+        let plan = FaultPlan::new(11).with_straggler(2, 0.5);
+        let fast = run_spmd_fast_faulted_traced(&cluster, &net, &plan, recovery_body);
+        let threaded = run_spmd_faulted_traced(&cluster, &net, &plan, |r| recovery_body(r));
+        assert_outcomes_match(&fast, &threaded);
+    }
+
+    #[test]
+    fn recovery_ops_reject_the_lockstep_analyzer_with_a_typed_reason() {
+        let cluster = het3();
+        let net = MpichEthernet::new(0.2e-3, 1e8);
+        let program: SpmdProgram<()> = record_spmd(&cluster, recovery_body);
+        assert!(!program.is_lockstep(), "recovery ops have no lockstep phase grammar");
+        assert_eq!(program.fallback_reason(), Some(FallbackReason::RecoveryOps));
+        assert!(program.simulate_analytic(&cluster, &net).is_none());
+        // The auto-selecting path still prices it via fallback, matching
+        // the scheduler and the threaded oracle exactly.
+        let auto = program.simulate(&cluster, &net);
+        let event = program.simulate_event_driven(&cluster, &net);
+        assert_eq!(auto.times, event.times);
+        assert_eq!(auto.comm_times, event.comm_times);
+        let threaded = crate::runtime::run_spmd(&cluster, &net, |r| recovery_body(r));
+        assert_eq!(auto.times, threaded.times);
+        assert_eq!(auto.comm_times, threaded.comm_times);
+        assert_eq!(auto.wait_times, threaded.wait_times);
+    }
+
+    #[test]
+    fn recovery_spans_are_typed_and_zero_operands_are_omitted() {
+        let cluster = het3();
+        let net = ConstantLatency::new(1e-3);
+        let outcome = run_spmd_fast_traced(&cluster, &net, recovery_body);
+        let count =
+            |r: usize, k: OpKind| outcome.traces[r].records.iter().filter(|t| t.kind == k).count();
+        for r in 0..3 {
+            assert_eq!(count(r, OpKind::Checkpoint), 1, "rank {r} checkpoints once");
+            assert_eq!(count(r, OpKind::Detect), 1, "rank {r} runs the detector once");
+        }
+        // Rank 0 recovers nothing: both recovery spans omitted.
+        assert_eq!(count(0, OpKind::LostWork), 0);
+        assert_eq!(count(0, OpKind::Rebalance), 0);
+        assert_eq!(count(1, OpKind::LostWork), 1);
+        assert_eq!(count(1, OpKind::Rebalance), 1);
+        assert_eq!(count(2, OpKind::LostWork), 1);
+        assert_eq!(count(2, OpKind::Rebalance), 1);
     }
 
     #[test]

@@ -57,11 +57,15 @@ pub enum FallbackReason {
     SendAcrossSync,
     /// A receive waits on a message no send in this phase produces.
     RecvBeforeSend,
+    /// The program charges failure-recovery ops (checkpoint, detector
+    /// timeout, recover); the lockstep phase grammar has no word for
+    /// them, so recovery programs always price event-driven.
+    RecoveryOps,
 }
 
 impl FallbackReason {
     /// Every variant, in stable report order.
-    pub const ALL: [FallbackReason; 10] = [
+    pub const ALL: [FallbackReason; 11] = [
         FallbackReason::ClassExhausted,
         FallbackReason::CollectiveIdMismatch,
         FallbackReason::MixedCollectiveKinds,
@@ -72,6 +76,7 @@ impl FallbackReason {
         FallbackReason::P2pSizeMismatch,
         FallbackReason::SendAcrossSync,
         FallbackReason::RecvBeforeSend,
+        FallbackReason::RecoveryOps,
     ];
 
     /// Stable kebab-case key used in the telemetry document.
@@ -87,6 +92,7 @@ impl FallbackReason {
             FallbackReason::P2pSizeMismatch => "p2p-size-mismatch",
             FallbackReason::SendAcrossSync => "send-across-sync",
             FallbackReason::RecvBeforeSend => "recv-before-send",
+            FallbackReason::RecoveryOps => "recovery-ops",
         }
     }
 
@@ -125,6 +131,9 @@ impl fmt::Display for FallbackReason {
             }
             FallbackReason::RecvBeforeSend => {
                 "a receive waits on a message only sent in a later phase"
+            }
+            FallbackReason::RecoveryOps => {
+                "the program charges failure-recovery ops the lockstep grammar cannot express"
             }
         };
         write!(f, "{what} ({})", self.name())
@@ -228,6 +237,7 @@ static RETRY_EVENTS: AtomicU64 = AtomicU64::new(0);
 static RETRY_ATTEMPTS: AtomicU64 = AtomicU64::new(0);
 static RETRY_CHARGE_US: AtomicU64 = AtomicU64::new(0);
 static FALLBACKS: [AtomicU64; FallbackReason::ALL.len()] = [
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),

@@ -38,11 +38,23 @@ pub enum OpKind {
     /// fault plan's lossy-link model (see `hetsim_cluster::faults`).
     /// Pure overhead: the wire carries nothing useful during it.
     Retry,
+    /// Writing checkpoint state to the shared store (recovery protocol,
+    /// DESIGN.md §12). Pure overhead: insurance against future deaths.
+    Checkpoint,
+    /// Failure-detector timeout: the span survivors wait before
+    /// declaring a silent rank dead.
+    Detect,
+    /// Re-executing work lost to a death — everything since the last
+    /// checkpoint (or since the start, for shrink-rebalance).
+    LostWork,
+    /// Repartition traffic while shrink-rebalance recovery moves state
+    /// onto the survivors.
+    Rebalance,
 }
 
 impl OpKind {
     /// All kinds, in display order.
-    pub const ALL: [OpKind; 9] = [
+    pub const ALL: [OpKind; 13] = [
         OpKind::Compute,
         OpKind::Send,
         OpKind::Recv,
@@ -52,6 +64,10 @@ impl OpKind {
         OpKind::Gather,
         OpKind::Scatter,
         OpKind::Retry,
+        OpKind::Checkpoint,
+        OpKind::Detect,
+        OpKind::LostWork,
+        OpKind::Rebalance,
     ];
 
     /// Short label.
@@ -66,12 +82,18 @@ impl OpKind {
             OpKind::Gather => "gather",
             OpKind::Scatter => "scatter",
             OpKind::Retry => "retry",
+            OpKind::Checkpoint => "checkpoint",
+            OpKind::Detect => "detect",
+            OpKind::LostWork => "lost-work",
+            OpKind::Rebalance => "rebalance",
         }
     }
 
     /// True for kinds that count toward communication overhead `T_o`
     /// (everything except compute; idle-wait is overhead — it is lost
-    /// time the paper's `T_o` absorbs).
+    /// time the paper's `T_o` absorbs, and so is every recovery span:
+    /// checkpoints, detector timeouts, replayed lost work, and
+    /// repartition traffic all buy no new results).
     pub fn is_overhead(self) -> bool {
         match self {
             OpKind::Compute => false,
@@ -82,7 +104,11 @@ impl OpKind {
             | OpKind::Bcast
             | OpKind::Gather
             | OpKind::Scatter
-            | OpKind::Retry => true,
+            | OpKind::Retry
+            | OpKind::Checkpoint
+            | OpKind::Detect
+            | OpKind::LostWork
+            | OpKind::Rebalance => true,
         }
     }
 
@@ -247,8 +273,8 @@ pub trait SpanSink: Sync {
 /// Each rank becomes one row of `width` cells covering `[0, horizon]`;
 /// a cell shows the operation occupying most of its time slice
 /// (`.` compute, `B` bcast, `b` barrier, `s`/`r` point-to-point,
-/// `~` idle-wait, `g` gather, `x` scatter, `!` retry, space for
-/// untraced gaps).
+/// `~` idle-wait, `g` gather, `x` scatter, `!` retry, `C` checkpoint,
+/// `d` detect, `L` lost work, `R` rebalance, space for untraced gaps).
 pub fn timeline_text(traces: &[RankTrace], width: usize) -> String {
     assert!(width > 0, "timeline needs a positive width");
     let horizon = traces
@@ -268,6 +294,10 @@ pub fn timeline_text(traces: &[RankTrace], width: usize) -> String {
         OpKind::Gather => 'g',
         OpKind::Scatter => 'x',
         OpKind::Retry => '!',
+        OpKind::Checkpoint => 'C',
+        OpKind::Detect => 'd',
+        OpKind::LostWork => 'L',
+        OpKind::Rebalance => 'R',
     };
     let cell_dt = horizon / width as f64;
     let mut out = String::new();
@@ -293,8 +323,8 @@ pub fn timeline_text(traces: &[RankTrace], width: usize) -> String {
         out.push_str(&format!("rank {rank:>3} |{}|\n", row.iter().collect::<String>()));
     }
     out.push_str(&format!(
-        "legend: .=compute B=bcast b=barrier s=send r=recv ~=wait g=gather x=scatter !=retry  \
-         (span {horizon:.4}s)\n"
+        "legend: .=compute B=bcast b=barrier s=send r=recv ~=wait g=gather x=scatter !=retry \
+         C=checkpoint d=detect L=lost-work R=rebalance  (span {horizon:.4}s)\n"
     ));
     out
 }
@@ -400,14 +430,7 @@ mod tests {
     #[test]
     fn op_kind_overhead_classification() {
         assert!(!OpKind::Compute.is_overhead());
-        for k in [
-            OpKind::Send,
-            OpKind::Recv,
-            OpKind::Wait,
-            OpKind::Barrier,
-            OpKind::Bcast,
-            OpKind::Retry,
-        ] {
+        for k in OpKind::ALL.into_iter().filter(|&k| k != OpKind::Compute) {
             assert!(k.is_overhead(), "{k} must count as overhead");
         }
     }

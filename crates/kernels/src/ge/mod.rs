@@ -1,10 +1,12 @@
 //! Gaussian elimination: sequential reference and parallel SPMD kernel.
 
 mod parallel;
+pub mod recover;
 mod seq;
 pub mod timed;
 
 pub use parallel::{ge_parallel, GeOutcome};
+pub use recover::{ge_parallel_timed_recoverable, ge_parallel_timed_recoverable_traced};
 pub use seq::ge_sequential;
 pub use timed::{
     ge_parallel_timed, ge_parallel_timed_faulted, ge_parallel_timed_faulted_traced,

@@ -1,10 +1,12 @@
 //! Matrix multiplication: sequential reference and parallel HoHe kernel.
 
 mod parallel;
+pub mod recover;
 mod seq;
 pub mod timed;
 
 pub use parallel::{mm_parallel, MmOutcome};
+pub use recover::{mm_parallel_timed_recoverable, mm_parallel_timed_recoverable_traced};
 pub use seq::mm_sequential;
 pub use timed::{
     mm_parallel_timed, mm_parallel_timed_faulted, mm_parallel_timed_faulted_traced,

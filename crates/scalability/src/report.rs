@@ -136,6 +136,46 @@ impl fmt::Display for ObservabilityAnnex {
     }
 }
 
+/// Where a mid-run recovery's overhead went, in virtual seconds summed
+/// over ranks — the decomposition of the recovery tax the runtime
+/// charges as `Checkpoint`, `Detect`, `LostWork`, and `Rebalance`
+/// spans (DESIGN.md §12).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RecoveryBreakdown {
+    /// Checkpoint I/O paid whether or not anything fails.
+    pub checkpoint_tax_secs: f64,
+    /// Failure-detector timeouts charged when a death fired.
+    pub detect_secs: f64,
+    /// Work rolled back to the last checkpoint, or recomputed for the
+    /// dead rank by the survivors.
+    pub lost_work_secs: f64,
+    /// Repartition traffic absorbed by the survivors under
+    /// shrink-and-rebalance.
+    pub rebalance_cost_secs: f64,
+}
+
+impl RecoveryBreakdown {
+    /// Sum of all four components.
+    pub fn total_secs(&self) -> f64 {
+        self.checkpoint_tax_secs + self.detect_secs + self.lost_work_secs + self.rebalance_cost_secs
+    }
+}
+
+impl fmt::Display for RecoveryBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "recovery overhead {:.4}s = checkpoint {:.4}s + detect {:.4}s + lost work {:.4}s \
+             + rebalance {:.4}s",
+            self.total_secs(),
+            self.checkpoint_tax_secs,
+            self.detect_secs,
+            self.lost_work_secs,
+            self.rebalance_cost_secs
+        )
+    }
+}
+
 /// How a faulted run compares to its fault-free baseline — the
 /// robustness annex printed next to the ψ table. ψ retention is the
 /// headline: the fraction of fault-free scalability the system keeps
@@ -153,6 +193,9 @@ pub struct RobustnessAnnex {
     pub repartition_cost_secs: f64,
     /// Original rank ids declared dead by the fault plan, ascending.
     pub dead_ranks: Vec<usize>,
+    /// Mid-run recovery overhead decomposition, present when the run
+    /// recovered from an MTBF-sampled death (DESIGN.md §12).
+    pub recovery: Option<RecoveryBreakdown>,
 }
 
 impl RobustnessAnnex {
@@ -172,7 +215,14 @@ impl RobustnessAnnex {
             retry_overhead_fraction: breakdown.fraction(OpKind::Retry),
             repartition_cost_secs,
             dead_ranks,
+            recovery: None,
         }
+    }
+
+    /// Attaches a mid-run recovery overhead decomposition.
+    pub fn with_recovery(mut self, recovery: RecoveryBreakdown) -> RobustnessAnnex {
+        self.recovery = Some(recovery);
+        self
     }
 }
 
@@ -185,14 +235,18 @@ impl fmt::Display for RobustnessAnnex {
             self.retry_overhead_fraction * 100.0
         )?;
         if self.dead_ranks.is_empty() {
-            writeln!(f)
+            writeln!(f)?;
         } else {
             writeln!(
                 f,
                 "   dead ranks {:?} repartitioned in {:.4}s",
                 self.dead_ranks, self.repartition_cost_secs
-            )
+            )?;
         }
+        if let Some(recovery) = &self.recovery {
+            writeln!(f, "  {recovery}")?;
+        }
+        Ok(())
     }
 }
 
@@ -426,12 +480,41 @@ mod tests {
             retry_overhead_fraction: 0.05,
             repartition_cost_secs: 0.0,
             dead_ranks: vec![],
+            recovery: None,
         };
         let report = analyze(&ladder_with(&[0.5])).with_robustness(annex);
         let text = format!("{report}");
         assert!(text.contains("under faults"));
         let bare = format!("{}", analyze(&ladder_with(&[0.5])));
         assert!(!bare.contains("under faults"));
+    }
+
+    #[test]
+    fn recovery_breakdown_prints_and_serializes_only_when_present() {
+        let annex = RobustnessAnnex {
+            psi_retention: 0.9,
+            retry_overhead_fraction: 0.0,
+            repartition_cost_secs: 0.0,
+            dead_ranks: vec![2],
+            recovery: None,
+        };
+        // Absent: no recovery line.
+        let text = format!("{annex}");
+        assert!(!text.contains("recovery overhead"));
+
+        let with = annex.clone().with_recovery(RecoveryBreakdown {
+            checkpoint_tax_secs: 0.5,
+            detect_secs: 0.1,
+            lost_work_secs: 0.25,
+            rebalance_cost_secs: 0.15,
+        });
+        let recovery = with.recovery.unwrap();
+        assert!((recovery.total_secs() - 1.0).abs() < 1e-12);
+        let text = format!("{with}");
+        assert!(text.contains("recovery overhead 1.0000s"));
+        assert!(text.contains("checkpoint 0.5000s"));
+        assert!(text.contains("lost work 0.2500s"));
+        assert!(text.contains("rebalance 0.1500s"));
     }
 
     #[test]

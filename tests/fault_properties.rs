@@ -79,6 +79,11 @@ proptest! {
                     prop_assert_eq!((source, dest, msg_index, attempts), (0, 1, msg, 1));
                     exhausted += 1;
                 }
+                Err(other @ FaultError::AllRanksDead { .. }) => {
+                    // The recovery-side exhaustion variant can never come
+                    // out of the retry arithmetic.
+                    prop_assert!(false, "send_retry_charge produced {other:?}");
+                }
             }
         }
         // P(no exhaustion in 64 messages) ≈ 1e-192: effectively a

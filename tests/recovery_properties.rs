@@ -1,0 +1,129 @@
+//! Property-based tests of the mid-run failure-recovery model
+//! (DESIGN.md §12): the robustness annex's ψ-retention headline, the
+//! Young/Daly interval arithmetic, and the MTBF death-stream sampler.
+//!
+//! The headline property from the issue — ψ retention lies in (0, 1]
+//! and degrades monotonically with fault severity — holds at the
+//! [`RobustnessAnnex`] constructor level: for any baseline ψ and any
+//! faulted ψ that severity can only push further down, the retention
+//! quotient stays in the unit interval and never increases as the
+//! faulted ψ drops. (Ladder-derived retentions can exceed 1 because a
+//! death moves the iso-efficiency crossing; the annex itself is the
+//! invariant-bearing quantity.)
+
+use hetscale::hetsim_cluster::faults::{
+    checkpoint_cost_secs, daly_interval, FaultPlan, CHECKPOINT_LATENCY_SECS,
+};
+use hetscale::scalability::report::RobustnessAnnex;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // Severity can only lower the faulted ψ below its baseline; the
+    // retention quotient must then land in (0, 1].
+    #[test]
+    fn annex_retention_stays_in_unit_interval(
+        psi_baseline in 1e-6f64..10.0,
+        degradation in 1e-9f64..1.0,
+    ) {
+        let psi_faulted = psi_baseline * degradation;
+        let annex = RobustnessAnnex::from_comparison(psi_baseline, psi_faulted, &[], 0.0, vec![]);
+        prop_assert!(annex.psi_retention > 0.0, "retention {} not positive", annex.psi_retention);
+        prop_assert!(
+            annex.psi_retention <= 1.0 + 1e-12,
+            "retention {} above 1",
+            annex.psi_retention
+        );
+    }
+
+    // Monotone non-increasing in severity: if one fault plan is at
+    // least as harsh as another (its faulted ψ is no larger), its
+    // retention is no larger either.
+    #[test]
+    fn annex_retention_is_monotone_non_increasing_in_severity(
+        psi_baseline in 1e-6f64..10.0,
+        mild in 1e-9f64..1.0,
+        extra in 1e-9f64..1.0,
+    ) {
+        let psi_mild = psi_baseline * mild;
+        let psi_harsh = psi_mild * extra; // harsher plan: psi_harsh <= psi_mild
+        let mild_annex = RobustnessAnnex::from_comparison(psi_baseline, psi_mild, &[], 0.0, vec![]);
+        let harsh_annex =
+            RobustnessAnnex::from_comparison(psi_baseline, psi_harsh, &[], 0.0, vec![]);
+        prop_assert!(
+            harsh_annex.psi_retention <= mild_annex.psi_retention + 1e-12,
+            "harsher plan retained more: {} > {}",
+            harsh_annex.psi_retention,
+            mild_annex.psi_retention
+        );
+    }
+
+    // A dead baseline degenerates to zero retention, never NaN.
+    #[test]
+    fn annex_retention_of_zero_baseline_is_zero(psi_faulted in 0.0f64..10.0) {
+        let annex = RobustnessAnnex::from_comparison(0.0, psi_faulted, &[], 0.0, vec![]);
+        prop_assert_eq!(annex.psi_retention, 0.0);
+    }
+
+    // The Young/Daly optimum sqrt(2 * delta * MTBF) is positive and
+    // monotone in both arguments.
+    #[test]
+    fn daly_interval_is_positive_and_monotone(
+        mtbf in 1e-6f64..1e6,
+        delta in 1e-6f64..1e3,
+        grow in 1.0f64..100.0,
+    ) {
+        let base = daly_interval(mtbf, delta);
+        prop_assert!(base > 0.0 && base.is_finite());
+        prop_assert!(daly_interval(mtbf * grow, delta) >= base);
+        prop_assert!(daly_interval(mtbf, delta * grow) >= base);
+    }
+
+    // Checkpoint pricing: the fixed latency floor plus a bandwidth
+    // term, monotone in payload size.
+    #[test]
+    fn checkpoint_cost_is_floored_and_monotone(bytes in 0u64..1u64 << 40, more in 0u64..1u64 << 20) {
+        let cost = checkpoint_cost_secs(bytes);
+        prop_assert!(cost >= CHECKPOINT_LATENCY_SECS);
+        prop_assert!(checkpoint_cost_secs(bytes + more) >= cost);
+    }
+
+    // The MTBF death sampler is an inverse-CDF transform: death times
+    // scale linearly with the MTBF (so severity factors reorder
+    // nothing), and every sampled time is strictly positive.
+    #[test]
+    fn sampled_death_times_scale_linearly_with_mtbf(
+        seed in prop::num::u64::ANY,
+        rank in 0usize..64,
+        mtbf in 1e-3f64..1e3,
+        factor in 1e-2f64..1e2,
+    ) {
+        let base = FaultPlan::new(seed).with_mtbf(mtbf);
+        let scaled = FaultPlan::new(seed).with_mtbf(mtbf * factor);
+        let t = base.sampled_death_time(rank).expect("mtbf plans sample every rank").as_secs();
+        let ts = scaled.sampled_death_time(rank).expect("sampled").as_secs();
+        prop_assert!(t > 0.0, "death time must be positive, got {t}");
+        let rel = (ts - t * factor).abs() / (t * factor);
+        prop_assert!(rel < 1e-9, "scaling broke linearity: {ts} vs {} (rel {rel})", t * factor);
+    }
+
+    // The first sampled death is the minimum over ranks — adding ranks
+    // can only pull it earlier, and it always names a valid rank.
+    #[test]
+    fn first_sampled_death_is_the_rank_minimum(
+        seed in prop::num::u64::ANY,
+        mtbf in 1e-3f64..1e3,
+        p in 1usize..32,
+    ) {
+        let plan = FaultPlan::new(seed).with_mtbf(mtbf);
+        let (rank, time) = plan.first_sampled_death(p).expect("mtbf plans always sample");
+        prop_assert!(rank < p);
+        for r in 0..p {
+            let tr = plan.sampled_death_time(r).expect("sampled").as_secs();
+            prop_assert!(time.as_secs() <= tr, "rank {r} dies earlier: {tr} < {}", time.as_secs());
+        }
+        let (_, wider) = plan.first_sampled_death(p + 1).expect("sampled");
+        prop_assert!(wider.as_secs() <= time.as_secs(), "adding a rank delayed the first death");
+    }
+}
