@@ -40,6 +40,16 @@ cmp /tmp/ci_recover_analytic.txt /tmp/ci_recover_engine.txt || {
     echo "--no-analytic output diverged on the recovery sweep" >&2
     exit 1
 }
+# Mega-scale sweep smoke (DESIGN.md §13): the class-aggregated closed
+# forms must reproduce the per-rank oracle byte for byte at the largest
+# oracle-affordable configuration — `--no-analytic` materializes every
+# quick preset (up to 10^5 ranks) and prices it per rank.
+"$BIN" --quick mega > /tmp/ci_mega_aggregated.txt
+"$BIN" --quick mega --no-analytic > /tmp/ci_mega_per_rank.txt
+cmp /tmp/ci_mega_aggregated.txt /tmp/ci_mega_per_rank.txt || {
+    echo "--no-analytic output diverged on the mega sweep" >&2
+    exit 1
+}
 
 # Perf gate, coarse: the experiment sweeps must stay on the fast timing
 # engine. The *full* ladders plus the fault and surface sweeps complete
@@ -52,9 +62,10 @@ start=$(date +%s)
 "$BIN" --faults
 "$BIN" surface
 "$BIN" recover
+"$BIN" mega
 elapsed=$(( $(date +%s) - start ))
 test "$elapsed" -le "$BUDGET_SECS" || {
-    echo "full bench-tables + faults + surface + recover took ${elapsed}s (budget ${BUDGET_SECS}s)" >&2
+    echo "full bench-tables + faults + surface + recover + mega took ${elapsed}s (budget ${BUDGET_SECS}s)" >&2
     exit 1
 }
 
@@ -73,6 +84,23 @@ for _ in 1 2 3 4 5 6 7 8; do
 done
 test "$best_us" -le "$LADDER_BUDGET_US" || {
     echo "full ladders took ${best_us}us internally (budget ${LADDER_BUDGET_US}us)" >&2
+    exit 1
+}
+
+# Perf gate, mega: the quick mega sweep (which includes a 10^5-rank
+# preset) must stay on the O(classes) aggregated path. ~0.6 ms expected
+# (BENCH_MEGASCALE.json); the acceptance bound is 1 s, but 100 ms
+# already trips on any cell sliding back to an O(P) walk (the per-rank
+# oracle needs ~1 s for the same sweep).
+MEGA_BUDGET_US=100000
+best_us=
+for _ in 1 2 3 4 5; do
+    us=$(BENCH_TABLES_STOPWATCH=1 "$BIN" --quick mega 2>&1 >/dev/null | sed -n 's/^stopwatch: \([0-9]*\) us$/\1/p')
+    test -n "$us" || { echo "stopwatch line missing from stderr" >&2; exit 1; }
+    if [ -z "$best_us" ] || [ "$us" -lt "$best_us" ]; then best_us=$us; fi
+done
+test "$best_us" -le "$MEGA_BUDGET_US" || {
+    echo "quick mega sweep took ${best_us}us internally (budget ${MEGA_BUDGET_US}us)" >&2
     exit 1
 }
 

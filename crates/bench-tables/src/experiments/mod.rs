@@ -8,6 +8,7 @@ pub mod ext;
 pub mod f1;
 pub mod f2t5;
 pub mod faults;
+pub mod mega;
 pub mod noise;
 pub mod recover;
 pub mod surface;

@@ -3,7 +3,7 @@
 //! ```text
 //! bench-tables [--quick] [--faults] [--no-analytic] [--jobs N] [--list] [--csv DIR] [--trace-out DIR] [--metrics-out FILE] [--stats-out FILE] [--profile-out FILE] [ids...]
 //!   ids: t1 t2 f1 t3 t4 f2 t5 t6 t7 compare x2 decomp ablate-dist
-//!        ablate-net ablate-fit ablate-place ext-mp faults surface all   (default: all)
+//!        ablate-net ablate-fit ablate-place ext-mp faults surface mega all   (default: all)
 //! ```
 //!
 //! `--list` prints every id with a one-line description and exits.
@@ -28,6 +28,12 @@
 //! scaled Sunwulf ladder (up to the whole 85-node machine), per kernel,
 //! with fitted-trend inversions per rung. Also opt-in: `all` excludes it.
 //!
+//! `mega` runs the X4 mega-scale sweep: ψ and required-N inversions on
+//! class-compressed HEET machines from 10³ to 10⁷ ranks, every cell
+//! priced in O(classes) through the class-aggregated closed forms
+//! (under `--no-analytic`: materialized and priced per rank, affordable
+//! up to the 10⁵ preset). Also opt-in: `all` excludes it.
+//!
 //! `--trace-out` writes Chrome-trace JSON plus round-trippable JSONL
 //! traces of one observed run per kernel; `--metrics-out` writes the
 //! combined metrics document (per-kind fractions, activity split,
@@ -45,8 +51,8 @@
 //! so in the document.
 
 use bench_tables::experiments::{
-    ablate, baselines, compare, decomp, ext, f1, f2t5, faults, noise, recover, surface, t1, t2,
-    t3t4, t6t7, validate, x2,
+    ablate, baselines, compare, decomp, ext, f1, f2t5, faults, mega, noise, recover, surface, t1,
+    t2, t3t4, t6t7, validate, x2,
 };
 use bench_tables::stats::{self, IdSummaries};
 use bench_tables::stopwatch::Stopwatch;
@@ -98,6 +104,7 @@ const KNOWN_IDS_WITH_DESCRIPTIONS: &[(&str, &str)] = &[
     ("faults", "opt-in — scalability under deterministic fault injection"),
     ("recover", "opt-in — mid-run failure recovery under MTBF death streams"),
     ("surface", "opt-in — psi(C, C') surface over scaled Sunwulf rungs"),
+    ("mega", "opt-in — psi sweep on classed HEET machines, 10^3..10^7 ranks"),
     ("all", "every id above except the opt-in ones (the default)"),
 ];
 
@@ -175,6 +182,7 @@ fn main() {
     let faults_requested = ids.contains("faults");
     let recover_requested = ids.contains("recover");
     let surface_requested = ids.contains("surface");
+    let mega_requested = ids.contains("mega");
     if ids.is_empty() || ids.contains("all") {
         ids = [
             "t1",
@@ -352,6 +360,12 @@ fn main() {
         }
         cp.mark("surface");
     }
+    if mega_requested {
+        for table in mega::mega_sweep(&params, quick) {
+            emit(table);
+        }
+        cp.mark("mega");
+    }
 
     if trace_dir.is_some() || metrics_path.is_some() {
         let mut runs = obs::observed_runs(quick);
@@ -435,8 +449,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: bench-tables [--quick] [--faults] [--no-analytic] [--jobs N] [--seed N] [--list] [--csv DIR] [--trace-out DIR] [--metrics-out FILE] [--stats-out FILE] [--profile-out FILE] [ids...]\n\
-         ids: t1 t2 f1 t3 t4 f2 t5 t6 t7 compare x2 decomp ablate-dist ablate-net ablate-fit ablate-place ablate-sched ablate-noise validate baselines ext-mp faults recover surface all\n\
-         `faults` (or --faults) runs the fault-injection sweep; `recover` runs the mid-run failure-recovery sweep (checkpoint/restart vs shrink-rebalance under MTBF death streams); `surface` runs the psi-surface sweep on scaled Sunwulf rungs. All three are opt-in and not part of `all`.\n\
+         ids: t1 t2 f1 t3 t4 f2 t5 t6 t7 compare x2 decomp ablate-dist ablate-net ablate-fit ablate-place ablate-sched ablate-noise validate baselines ext-mp faults recover surface mega all\n\
+         `faults` (or --faults) runs the fault-injection sweep; `recover` runs the mid-run failure-recovery sweep (checkpoint/restart vs shrink-rebalance under MTBF death streams); `surface` runs the psi-surface sweep on scaled Sunwulf rungs; `mega` runs the class-aggregated psi sweep on HEET machines up to 10^7 ranks. All four are opt-in and not part of `all`.\n\
          `--no-analytic` forces the event-driven engine on every cell (output is byte-identical to the default closed-form path).\n\
          `--jobs N` caps the experiment worker pool (default: available parallelism; output is byte-identical for every N).\n\
          `--seed N` re-bases every fault-plan seed (faults + recover sweeps; default 1592590336 = 0x5eed0000 reproduces the historical bytes; same seed twice => same bytes).\n\

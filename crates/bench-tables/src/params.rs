@@ -96,6 +96,60 @@ pub fn surface_mm_sizes(p: usize) -> Vec<usize> {
     SURFACE_GRID.iter().map(|m| (m * anchor).round().max(4.0) as usize).collect()
 }
 
+/// Rank counts of the X4 mega-scale sweep: HEET machines from 10³ to
+/// 10⁷ ranks, every cell priced in O(classes) through the
+/// class-aggregated closed forms. Quick stops at the 10⁵ preset (the
+/// interactive, ci.sh-gated point that is still affordable for the
+/// per-rank oracle under `--no-analytic`); full adds the 10⁶ and 10⁷
+/// machines.
+pub fn mega_presets(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1_000, 10_000, 100_000]
+    } else {
+        vec![1_000, 10_000, 100_000, 1_000_000, 10_000_000]
+    }
+}
+
+/// Speed-tier cap of the mega HEET machines — the same 8-tier shape the
+/// engine-equivalence extremes use at 85 nodes, scaled out.
+pub const MEGA_MAX_CLASSES: usize = 8;
+
+/// Marked speed of the slowest mega tier (Mflop/s) — Sunwulf's V210
+/// per-CPU class, so the mega machines read as scaled-out Sunwulfs.
+pub const MEGA_BASE_MFLOPS: f64 = 45.0;
+
+/// Fastest-to-slowest marked-speed ratio of the mega machines.
+pub const MEGA_SPREAD: f64 = 2.4;
+
+/// Fixed sweep count of the mega power-iteration cells. The ladder's
+/// `⌈n/4⌉` rule would put `O(n)` collective phases in every cell; a
+/// fixed count keeps evaluation `O(classes · iters)` at any rank count.
+pub const MEGA_POWER_ITERS: usize = 4;
+
+/// Dense problem-size grid for one MM mega rung. MM's Θ(N³) work
+/// against Θ(N²)-byte collectives keeps the target crossing finite;
+/// measured across all five presets the crossing sits at `N* ≈ 3.2·p`
+/// (the `O(p·α)` scatter/gather serialization is the binding overhead,
+/// so `N*` grows linearly, not with `p·log p`). The anchor follows it
+/// so the crossing stays interior from 10³ to 10⁷ ranks.
+pub fn mega_mm_sizes(p: usize) -> Vec<usize> {
+    let anchor = 3.2 * p as f64;
+    SURFACE_GRID.iter().map(|m| (m * anchor).round().max(4.0) as usize).collect()
+}
+
+/// Dense problem-size grid for one power mega rung. With a fixed sweep
+/// count, work is Θ(N²) against the Θ(N²) bytes the hub scatters
+/// serially, so `E_s` saturates instead of crossing any target; the
+/// grid's job is to reach the plateau. The scatter overtakes the
+/// per-sweep `O(p·α)` allgather serialization once
+/// `8N²/β ≳ iters·p·α`, i.e. `N ≳ 350·√p` on the Sunwulf network, so
+/// an anchor of `1000·√p` puts the top of the grid deep inside the
+/// plateau at every preset.
+pub fn mega_power_sizes(p: usize) -> Vec<usize> {
+    let anchor = 1000.0 * (p as f64).sqrt();
+    SURFACE_GRID.iter().map(|m| (m * anchor).round().max(4.0) as usize).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +187,36 @@ mod tests {
         let quick = surface_rungs(true);
         assert!(quick.len() < full.len());
         assert!(quick.iter().all(|p| full.contains(p)));
+    }
+
+    #[test]
+    fn mega_presets_span_three_to_seven_decades() {
+        let full = mega_presets(false);
+        assert_eq!(full, vec![1_000, 10_000, 100_000, 1_000_000, 10_000_000]);
+        let quick = mega_presets(true);
+        assert_eq!(*quick.last().unwrap(), 100_000, "quick must price a >= 10^5-rank preset");
+        assert!(quick.iter().all(|p| full.contains(p)));
+    }
+
+    #[test]
+    fn mega_grids_are_increasing_and_bracket_the_measured_crossings() {
+        // The MM crossing measured at N* ≈ 3.2·p must be interior to
+        // every preset's grid or the inversion cannot succeed; the
+        // power grid must reach past the scatter-dominance threshold
+        // N ≈ 350·√p so the ceiling is measured in its plateau.
+        for p in mega_presets(false) {
+            let mm = mega_mm_sizes(p);
+            assert!(mm.windows(2).all(|w| w[0] < w[1]), "MM grid not increasing at p = {p}");
+            let crossing = (3.2 * p as f64) as usize;
+            assert!(
+                mm[0] < crossing && crossing < *mm.last().unwrap(),
+                "MM crossing {crossing} exits grid at p = {p}"
+            );
+            let pw = mega_power_sizes(p);
+            assert!(pw.windows(2).all(|w| w[0] < w[1]), "power grid not increasing at p = {p}");
+            let plateau = (350.0 * (p as f64).sqrt()) as usize;
+            assert!(*pw.last().unwrap() > 2 * plateau, "power grid too shallow at p = {p}");
+        }
     }
 
     #[test]

@@ -106,44 +106,68 @@ pub struct IdSummaries {
     fallbacks: u64,
     memo_touches: u64,
     memo_hits: u64,
+    agg_ranks: u64,
+    ranks: u64,
+}
+
+struct IdDelta {
+    analytic: u64,
+    fallbacks: u64,
+    touches: u64,
+    hits: u64,
+    agg_ranks: u64,
+    ranks: u64,
 }
 
 impl IdSummaries {
     /// Starts from the counters' current state.
     pub fn new() -> IdSummaries {
-        let mut s = IdSummaries { analytic_cells: 0, fallbacks: 0, memo_touches: 0, memo_hits: 0 };
+        let mut s = IdSummaries {
+            analytic_cells: 0,
+            fallbacks: 0,
+            memo_touches: 0,
+            memo_hits: 0,
+            agg_ranks: 0,
+            ranks: 0,
+        };
         s.advance();
         s
     }
 
-    fn advance(&mut self) -> (u64, u64, u64, u64) {
+    fn advance(&mut self) -> IdDelta {
         let engine = hetsim_mpi::telemetry::snapshot();
         let memo = memo::snapshot();
         let touches: u64 = memo.values().map(|c| c.touches).sum();
         let hits: u64 = memo.values().map(|c| c.touches - c.entries).sum();
         let analytic = engine.analytic_cells();
         let fallbacks = engine.event_driven_fallback;
-        let delta = (
-            analytic - self.analytic_cells,
-            fallbacks - self.fallbacks,
-            touches - self.memo_touches,
-            hits - self.memo_hits,
-        );
+        let delta = IdDelta {
+            analytic: analytic - self.analytic_cells,
+            fallbacks: fallbacks - self.fallbacks,
+            touches: touches - self.memo_touches,
+            hits: hits - self.memo_hits,
+            agg_ranks: engine.aggregated_ranks - self.agg_ranks,
+            ranks: engine.ranks_simulated - self.ranks,
+        };
         self.analytic_cells = analytic;
         self.fallbacks = fallbacks;
         self.memo_touches = touches;
         self.memo_hits = hits;
+        self.agg_ranks = engine.aggregated_ranks;
+        self.ranks = engine.ranks_simulated;
         delta
     }
 
     /// The summary line for everything since the previous call:
-    /// `telemetry {id}: analytic P%, memo hit Q%` (`-` where the id
-    /// priced nothing eligible).
+    /// `telemetry {id}: analytic P%, memo hit Q%, agg R%` (`-` where the
+    /// id priced nothing eligible; `agg` is the share of simulated ranks
+    /// priced through class-aggregated representatives).
     pub fn line(&mut self, id: &str) -> String {
-        let (analytic, fallbacks, touches, hits) = self.advance();
-        let coverage = percent(analytic, analytic + fallbacks);
-        let hit_rate = percent(hits, touches);
-        format!("telemetry {id}: analytic {coverage}, memo hit {hit_rate}")
+        let d = self.advance();
+        let coverage = percent(d.analytic, d.analytic + d.fallbacks);
+        let hit_rate = percent(d.hits, d.touches);
+        let agg = percent(d.agg_ranks, d.ranks);
+        format!("telemetry {id}: analytic {coverage}, memo hit {hit_rate}, agg {agg}")
     }
 }
 
@@ -188,7 +212,7 @@ mod tests {
         let text = report.to_json().to_string();
         let parsed = Json::parse(&text).expect("stats document parses");
         let doc = parsed.as_obj().expect("object top level");
-        assert_eq!(doc["schema"].as_str(), Some("hetscale-telemetry/1"));
+        assert_eq!(doc["schema"].as_str(), Some("hetscale-telemetry/2"));
     }
 
     #[test]
@@ -200,5 +224,6 @@ mod tests {
         let line = sums.line("t0");
         assert!(line.starts_with("telemetry t0: analytic "));
         assert!(line.contains(", memo hit "));
+        assert!(line.contains(", agg "));
     }
 }

@@ -7,9 +7,12 @@
 //! thousands of matrix ranks stay cheap while producing exactly the
 //! virtual times the arithmetic-executing kernels would.
 
+use crate::params::MEGA_POWER_ITERS;
+use hetsim_cluster::classed::ClassedCluster;
 use hetsim_cluster::cluster::ClusterSpec;
 use hetsim_cluster::network::NetworkModel;
 use kernels::ge::ge_parallel_timed;
+use kernels::mega::{mm_mega, power_mega};
 use kernels::mm::mm_parallel_timed;
 use kernels::power::{power_parallel_timed, power_work};
 use kernels::stencil::{stencil_parallel_timed, stencil_work};
@@ -166,6 +169,107 @@ impl<N: NetworkModel> AlgorithmSystem for PowerSystem<'_, N> {
         })
         .makespan
         .as_secs()
+    }
+}
+
+/// HoHe MM on a class-compressed mega machine (X4). The analytic path
+/// prices the cell in O(classes) through [`mm_mega`] — no rank vector,
+/// no `BlockDistribution` — so 10⁷-rank cells cost the same as 10³;
+/// under `--no-analytic` the cluster is materialized and priced per
+/// rank (the oracle reference, affordable only at the small presets).
+/// Mega cells bypass the memo cache on purpose: its fingerprint walks
+/// a materialized cluster, which is exactly the O(P) pass this adapter
+/// exists to avoid.
+pub struct MegaMmSystem<'a, N: NetworkModel> {
+    /// The class-compressed configuration.
+    pub cluster: &'a ClassedCluster,
+    /// The interconnect model.
+    pub network: &'a N,
+}
+
+impl<'a, N: NetworkModel> MegaMmSystem<'a, N> {
+    /// Binds MM to a classed configuration.
+    pub fn new(cluster: &'a ClassedCluster, network: &'a N) -> Self {
+        MegaMmSystem { cluster, network }
+    }
+}
+
+impl<N: NetworkModel> AlgorithmSystem for MegaMmSystem<'_, N> {
+    fn label(&self) -> String {
+        format!("MM on {}", self.cluster.label)
+    }
+    fn marked_speed_flops(&self) -> f64 {
+        self.cluster.marked_speed_flops()
+    }
+    fn work(&self, n: usize) -> f64 {
+        mm_work(n)
+    }
+    fn execute(&self, n: usize) -> f64 {
+        if hetsim_mpi::analytic_enabled() {
+            mm_mega(self.cluster, self.network, n)
+                .expect("the mega network prices per class")
+                .makespan
+                .as_secs()
+        } else {
+            mm_parallel_timed(&self.cluster.materialize(), self.network, n).makespan.as_secs()
+        }
+    }
+}
+
+/// Power iteration on a class-compressed mega machine (X4), with the
+/// fixed [`MEGA_POWER_ITERS`] sweep count. Same two-path contract as
+/// [`MegaMmSystem`]: O(classes) through [`power_mega`] by default, the
+/// materialized per-rank oracle under `--no-analytic`.
+pub struct MegaPowerSystem<'a, N: NetworkModel> {
+    /// The class-compressed configuration.
+    pub cluster: &'a ClassedCluster,
+    /// The interconnect model.
+    pub network: &'a N,
+}
+
+impl<'a, N: NetworkModel> MegaPowerSystem<'a, N> {
+    /// Binds the power method to a classed configuration.
+    pub fn new(cluster: &'a ClassedCluster, network: &'a N) -> Self {
+        MegaPowerSystem { cluster, network }
+    }
+
+    /// Seconds the serial hub scatter alone takes at size `n` — the
+    /// zero-sweep protocol, priced by whichever engine is active. The
+    /// mega ceiling table divides work by this to get the BSF-style
+    /// saturation bound `E_s ≤ W/(C·T_scatter)`.
+    pub fn scatter_floor_secs(&self, n: usize) -> f64 {
+        if hetsim_mpi::analytic_enabled() {
+            power_mega(self.cluster, self.network, n, 0)
+                .expect("the mega network prices per class")
+                .makespan
+                .as_secs()
+        } else {
+            power_parallel_timed(&self.cluster.materialize(), self.network, n, 0).makespan.as_secs()
+        }
+    }
+}
+
+impl<N: NetworkModel> AlgorithmSystem for MegaPowerSystem<'_, N> {
+    fn label(&self) -> String {
+        format!("Power on {}", self.cluster.label)
+    }
+    fn marked_speed_flops(&self) -> f64 {
+        self.cluster.marked_speed_flops()
+    }
+    fn work(&self, n: usize) -> f64 {
+        power_work(n, MEGA_POWER_ITERS)
+    }
+    fn execute(&self, n: usize) -> f64 {
+        if hetsim_mpi::analytic_enabled() {
+            power_mega(self.cluster, self.network, n, MEGA_POWER_ITERS)
+                .expect("the mega network prices per class")
+                .makespan
+                .as_secs()
+        } else {
+            power_parallel_timed(&self.cluster.materialize(), self.network, n, MEGA_POWER_ITERS)
+                .makespan
+                .as_secs()
+        }
     }
 }
 

@@ -40,7 +40,7 @@ fn list_exits_zero_and_names_every_id() {
     let out = run(&["--list"]);
     assert_eq!(out.status.code(), Some(0));
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for id in ["t1", "t3", "faults", "surface", "all"] {
+    for id in ["t1", "t3", "faults", "surface", "mega", "all"] {
         assert!(
             stdout.lines().any(|l| l.split_whitespace().next() == Some(id)),
             "--list must name {id}: {stdout}"
@@ -105,6 +105,17 @@ fn surface_id_emits_the_psi_surface_tables() {
     assert!(stdout.contains("psi(C, C')"), "missing psi header: {stdout}");
 }
 
+#[test]
+fn mega_id_emits_the_mega_scale_tables() {
+    let out = run(&["--quick", "mega"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("X4 MM mega inversions"), "missing inversions: {stdout}");
+    assert!(stdout.contains("X4 MM mega surface"), "missing psi matrix: {stdout}");
+    assert!(stdout.contains("X4 power mega ceiling"), "missing ceiling: {stdout}");
+    assert!(stdout.contains("heet-100000x8"), "missing the 10^5-rank preset: {stdout}");
+}
+
 fn stdout_of(args: &[&str]) -> Vec<u8> {
     let out = run(args);
     assert!(out.status.success(), "{args:?} exited with {:?}: {}", out.status, stderr(&out));
@@ -139,6 +150,18 @@ fn no_analytic_is_byte_identical_on_the_surface_sweep() {
     let slow = stdout_of(&["--quick", "surface", "--no-analytic"]);
     assert!(!fast.is_empty());
     assert_eq!(fast, slow, "--no-analytic changed the surface-sweep output");
+}
+
+#[test]
+fn no_analytic_is_byte_identical_on_the_mega_sweep() {
+    // The largest oracle-affordable configuration: `--no-analytic`
+    // materializes every quick preset (up to 10⁵ ranks) and prices it
+    // per rank, so this is also the acceptance check that the
+    // aggregated path changed nothing but the cost.
+    let fast = stdout_of(&["--quick", "mega"]);
+    let slow = stdout_of(&["--quick", "mega", "--no-analytic"]);
+    assert!(!fast.is_empty());
+    assert_eq!(fast, slow, "--no-analytic changed the mega-sweep output");
 }
 
 #[test]
@@ -188,6 +211,7 @@ fn stats_doc_is_byte_identical_across_runs_and_jobs() {
         ("quick", vec!["--quick"]),
         ("faults", vec!["--quick", "--faults"]),
         ("surface", vec!["--quick", "surface"]),
+        ("mega", vec!["--quick", "mega"]),
     ] {
         let dir = temp_dir(tag);
         let j1 = stats_doc(&dir, "j1.json", &[&base[..], &["--jobs", "1"]].concat());
@@ -249,7 +273,7 @@ fn quick_stats_doc_reports_full_analytic_coverage_inline() {
         text.contains("\"analytic_coverage_percent\":100,"),
         "coverage gate pattern missing: {text}"
     );
-    assert!(text.contains("\"schema\":\"hetscale-telemetry/1\""), "schema missing: {text}");
+    assert!(text.contains("\"schema\":\"hetscale-telemetry/2\""), "schema missing: {text}");
 }
 
 #[test]

@@ -1,0 +1,71 @@
+//! Per-rank versus class-aggregated pricing at mega scale — the cost
+//! claim behind the X4 sweep (DESIGN.md §13).
+//!
+//! For HEET machines of 10³, 10⁴, and 10⁵ ranks (the same
+//! `mega_presets` shape the `mega` experiment id sweeps), each kernel
+//! cell is priced two ways:
+//!
+//! * `aggregated` — [`mm_mega`] / [`power_mega`] on the compressed
+//!   [`ClassedCluster`]: O(classes) state, no rank vector;
+//! * `per_rank` — [`mm_closed_form`] / [`power_closed_form`] on the
+//!   pre-materialized [`ClusterSpec`], the O(P) walk the aggregated
+//!   path replaces. Materialization and the O(P) block distribution
+//!   are built *outside* the timer, so the measured gap is a lower
+//!   bound on the real sweep's saving.
+//!
+//! The two paths are bit-identical in output (`mega_matches_per_rank_*`
+//! in `kernels::mega`); this bench pins that the aggregated cost is
+//! flat in P while the per-rank cost grows linearly. Numbers are
+//! recorded in `BENCH_MEGASCALE.json` at the repo root.
+
+use bench_tables::params::{
+    mega_mm_sizes, MEGA_BASE_MFLOPS, MEGA_MAX_CLASSES, MEGA_POWER_ITERS, MEGA_SPREAD,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetpart::BlockDistribution;
+use hetsim_cluster::sunwulf::sunwulf_network;
+use hetsim_cluster::ClassedCluster;
+use kernels::mega::{mm_mega, power_mega};
+use kernels::{mm_closed_form, power_closed_form};
+use std::hint::black_box;
+
+/// The presets the per-rank reference can still afford. (The `mega`
+/// sweep itself continues to 10⁶ and 10⁷ ranks on the aggregated path
+/// alone.)
+const PRESETS: [usize; 3] = [1_000, 10_000, 100_000];
+
+fn bench_megascale(c: &mut Criterion) {
+    let net = sunwulf_network();
+    let mut group = c.benchmark_group("megascale");
+    for p in PRESETS {
+        let cluster = ClassedCluster::heet(p, MEGA_MAX_CLASSES, MEGA_BASE_MFLOPS, MEGA_SPREAD);
+        // The grid anchor — the size whose crossing the sweep inverts.
+        let n = mega_mm_sizes(p)[4];
+        let spec = cluster.materialize();
+        let speeds: Vec<f64> = spec.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
+        let dist = BlockDistribution::proportional(n, &speeds);
+
+        group.bench_with_input(BenchmarkId::new("mm_aggregated", p), &p, |b, _| {
+            b.iter(|| black_box(mm_mega(&cluster, &net, n).unwrap().makespan))
+        });
+        group.bench_with_input(BenchmarkId::new("mm_per_rank", p), &p, |b, _| {
+            b.iter(|| black_box(mm_closed_form(&spec, &net, n, &dist).makespan))
+        });
+        group.bench_with_input(BenchmarkId::new("power_aggregated", p), &p, |b, _| {
+            b.iter(|| black_box(power_mega(&cluster, &net, n, MEGA_POWER_ITERS).unwrap().makespan))
+        });
+        group.bench_with_input(BenchmarkId::new("power_per_rank", p), &p, |b, _| {
+            b.iter(|| {
+                black_box(power_closed_form(&spec, &net, n, MEGA_POWER_ITERS, &dist).makespan)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = megascale_benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_megascale
+}
+criterion_main!(megascale_benches);

@@ -51,6 +51,78 @@ pub fn proportional_counts(n: usize, weights: &[f64]) -> Vec<usize> {
     counts
 }
 
+/// Class-collapsed [`proportional_counts`]: apportions `n` units over
+/// a run-length-encoded weight list (`(weight, members)` per run, in
+/// rank order) in O(classes log classes), returning `(units, members)`
+/// runs in rank order that expand to exactly what
+/// [`proportional_counts`] produces on the expanded weights.
+///
+/// The mirror is bit-exact, not approximate: the weight total is the
+/// same rank-order IEEE fold (collapsed per run by
+/// [`hetsim_cluster::flrepeat::repeat_add`]), every member of a class
+/// shares one ideal share and one fractional remainder, and the
+/// largest-remainder order — remainder descending, index ascending —
+/// visits contiguous classes block by block, handing leftover units to
+/// the first members of each class. Class-aggregated kernels rely on
+/// this to compute 10⁷-rank row distributions without materializing
+/// them (DESIGN.md §13).
+///
+/// # Panics
+/// As [`proportional_counts`], plus when a run is empty.
+pub fn proportional_counts_classed(n: usize, weight_runs: &[(f64, usize)]) -> Vec<(usize, usize)> {
+    assert!(!weight_runs.is_empty(), "need at least one weight");
+    assert!(
+        weight_runs.iter().all(|&(w, m)| w.is_finite() && w >= 0.0 && m > 0),
+        "weights must be finite and non-negative, runs non-empty"
+    );
+    let mut total = 0.0;
+    for &(w, m) in weight_runs {
+        total = hetsim_cluster::flrepeat::repeat_add(total, w, m as u64);
+    }
+    if n == 0 {
+        return weight_runs.iter().map(|&(_, m)| (0, m)).collect();
+    }
+    assert!(total > 0.0, "cannot apportion {n} units over all-zero weights");
+
+    let ideal: Vec<f64> = weight_runs.iter().map(|&(w, _)| n as f64 * w / total).collect();
+    let base: Vec<usize> = ideal.iter().map(|x| x.floor() as usize).collect();
+    let assigned: usize = base.iter().zip(weight_runs).map(|(&b, &(_, m))| b * m).sum();
+    let mut leftover = n - assigned;
+
+    // Largest remainder, classes visited whole: equal remainders within
+    // a class tie-break by index, and classes are contiguous runs, so
+    // the per-member order is exactly "class blocks sorted by
+    // (remainder desc, first index asc), first members first".
+    let mut order: Vec<usize> = (0..weight_runs.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = ideal[a] - ideal[a].floor();
+        let fb = ideal[b] - ideal[b].floor();
+        fb.total_cmp(&fa).then(a.cmp(&b))
+    });
+    let mut plus = vec![0usize; weight_runs.len()];
+    for &i in &order {
+        if leftover == 0 {
+            break;
+        }
+        if weight_runs[i].0 > 0.0 {
+            plus[i] = leftover.min(weight_runs[i].1);
+            leftover -= plus[i];
+        }
+    }
+
+    let mut runs = Vec::with_capacity(2 * weight_runs.len());
+    for (i, &(_, m)) in weight_runs.iter().enumerate() {
+        if plus[i] > 0 {
+            runs.push((base[i] + 1, plus[i]));
+        }
+        if m > plus[i] {
+            runs.push((base[i], m - plus[i]));
+        }
+    }
+    debug_assert_eq!(runs.iter().map(|&(u, m)| u * m).sum::<usize>(), n);
+    runs
+}
+
 /// Like [`proportional_counts`], but guarantees every positive-weight
 /// participant at least one unit when `n` allows it (`n ≥` number of
 /// positive weights). Used for distributions where a rank with zero rows
@@ -170,5 +242,60 @@ mod tests {
         let c = proportional_counts_min_one(4, &[1.0, 0.0, 1.0]);
         assert_eq!(c[1], 0);
         assert_eq!(c.iter().sum::<usize>(), 4);
+    }
+
+    /// Expands `(weight, members)` runs to the per-rank weight vector.
+    fn expand_weights(runs: &[(f64, usize)]) -> Vec<f64> {
+        runs.iter().flat_map(|&(w, m)| std::iter::repeat_n(w, m)).collect()
+    }
+
+    /// Expands `(units, members)` runs to the per-rank count vector.
+    fn expand_counts(runs: &[(usize, usize)]) -> Vec<usize> {
+        runs.iter().flat_map(|&(u, m)| std::iter::repeat_n(u, m)).collect()
+    }
+
+    #[test]
+    fn classed_matches_per_rank_exactly() {
+        for n in [0usize, 1, 7, 100, 313, 4096] {
+            for runs in [
+                vec![(90.0, 1), (50.0, 64)],
+                vec![(90.0, 3), (50.0, 64), (150.0, 20)],
+                vec![(1.0, 5), (1.0, 5)], // equal remainders across classes
+                vec![(0.3, 7), (0.4, 1)], // inexact total fold
+                vec![(1.0, 4), (0.0, 3), (2.0, 4)], // zero-weight class
+            ] {
+                let classed = proportional_counts_classed(n, &runs);
+                let per_rank = proportional_counts(n, &expand_weights(&runs));
+                assert_eq!(expand_counts(&classed), per_rank, "n={n}, runs={runs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn classed_is_compact() {
+        // Each class contributes at most two runs, regardless of size.
+        let runs = vec![(90.0, 1_000_000), (50.0, 2_000_000), (70.0, 3_000_000)];
+        let classed = proportional_counts_classed(317, &runs);
+        assert!(classed.len() <= 6, "{classed:?}");
+        assert_eq!(classed.iter().map(|&(u, m)| u * m).sum::<usize>(), 317);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn classed_matches_per_rank_on_random_runs(
+            n in 0usize..5_000,
+            picks in proptest::collection::vec((0usize..6, 1usize..40), 1..6),
+        ) {
+            // Draw weights from a small palette so equal-remainder ties
+            // across distinct classes actually occur.
+            let palette = [50.0, 90.0, 150.0, 50.0, 0.3, 1.0];
+            let runs: Vec<(f64, usize)> =
+                picks.iter().map(|&(i, m)| (palette[i], m)).collect();
+            let classed = proportional_counts_classed(n, &runs);
+            let per_rank = proportional_counts(n, &expand_weights(&runs));
+            proptest::prop_assert_eq!(expand_counts(&classed), per_rank);
+        }
     }
 }

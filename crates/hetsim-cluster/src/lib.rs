@@ -50,9 +50,11 @@
 #![deny(unsafe_code)]
 
 pub mod calibrate;
+pub mod classed;
 pub mod cluster;
 pub mod engine;
 pub mod faults;
+pub mod flrepeat;
 pub mod memory;
 pub mod netsim;
 pub mod network;
@@ -62,8 +64,10 @@ pub mod sunwulf;
 pub mod time;
 pub mod topology;
 
+pub use classed::{ClassedCluster, SpeedClass};
 pub use cluster::ClusterSpec;
 pub use faults::{FaultError, FaultPlan, RetryCharge, RetryPolicy, SpeedWindow};
+pub use flrepeat::repeat_add;
 pub use network::{
     ConstantLatency, JitteredNetwork, MpichEthernet, NetworkModel, SharedEthernet, SwitchedNetwork,
 };

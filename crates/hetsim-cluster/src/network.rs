@@ -56,6 +56,30 @@ pub trait NetworkModel: Send + Sync {
         self.bcast_time(p, bytes)
     }
 
+    /// Class-collapsed point-to-point cost: `Some(t)` iff the model
+    /// prices a `bytes`-sized message between *every* endpoint pair at
+    /// exactly `t` — bit-identical to
+    /// [`NetworkModel::p2p_time_between`] for all `from`/`to` pairs.
+    /// Endpoint-aware models return `None` (the default), telling
+    /// class-aggregated pricing (DESIGN.md §13) to fall back to the
+    /// per-rank path with a typed reason.
+    fn p2p_time_class(&self, _bytes: u64) -> Option<f64> {
+        None
+    }
+
+    /// Class-collapsed gather cost. `runs` run-length-encodes the
+    /// contribution list in rank order (`(bytes, count)` per run);
+    /// `root_run` is the run containing the root, whose own
+    /// contribution is local and free. `Some(t)` must be bit-identical
+    /// to [`NetworkModel::gather_time`] on the expanded sizes with the
+    /// root at any position inside its run. Models whose gather cost
+    /// cannot be reproduced in O(runs) — or whose size sums would
+    /// overflow the per-rank `u64` arithmetic — return `None` (the
+    /// default).
+    fn gather_time_classed(&self, _runs: &[(u64, u64)], _root_run: usize) -> Option<f64> {
+        None
+    }
+
     /// Short label for reports.
     fn label(&self) -> &'static str;
 
@@ -93,6 +117,12 @@ impl<T: NetworkModel + ?Sized> NetworkModel for &T {
     fn reduce_time(&self, p: usize, bytes: u64) -> f64 {
         (**self).reduce_time(p, bytes)
     }
+    fn p2p_time_class(&self, bytes: u64) -> Option<f64> {
+        (**self).p2p_time_class(bytes)
+    }
+    fn gather_time_classed(&self, runs: &[(u64, u64)], root_run: usize) -> Option<f64> {
+        (**self).gather_time_classed(runs, root_run)
+    }
     fn label(&self) -> &'static str {
         (**self).label()
     }
@@ -123,12 +153,34 @@ impl<T: NetworkModel + ?Sized> NetworkModel for Box<T> {
     fn reduce_time(&self, p: usize, bytes: u64) -> f64 {
         (**self).reduce_time(p, bytes)
     }
+    fn p2p_time_class(&self, bytes: u64) -> Option<f64> {
+        (**self).p2p_time_class(bytes)
+    }
+    fn gather_time_classed(&self, runs: &[(u64, u64)], root_run: usize) -> Option<f64> {
+        (**self).gather_time_classed(runs, root_run)
+    }
     fn label(&self) -> &'static str {
         (**self).label()
     }
     fn fingerprint(&self) -> Option<Vec<u64>> {
         (**self).fingerprint()
     }
+}
+
+/// Expanded rank count of a run-length-encoded contribution list.
+fn classed_len(runs: &[(u64, u64)]) -> u128 {
+    runs.iter().map(|&(_, c)| c as u128).sum()
+}
+
+/// Σ bytes over the expanded runs minus the root's own contribution —
+/// exactly the integer total the per-rank gather costs sum. `None`
+/// when the total would overflow the per-rank `u64` arithmetic.
+fn classed_total_excl_root(runs: &[(u64, u64)], root_run: usize) -> Option<u64> {
+    let mut total: u128 = 0;
+    for (i, &(bytes, count)) in runs.iter().enumerate() {
+        total += bytes as u128 * (count as u128 - u128::from(i == root_run));
+    }
+    u64::try_from(total).ok()
 }
 
 fn ceil_log2(p: usize) -> f64 {
@@ -181,6 +233,12 @@ impl NetworkModel for ConstantLatency {
         } else {
             self.latency
         }
+    }
+    fn p2p_time_class(&self, bytes: u64) -> Option<f64> {
+        Some(self.p2p_time(bytes))
+    }
+    fn gather_time_classed(&self, runs: &[(u64, u64)], _root_run: usize) -> Option<f64> {
+        Some(if classed_len(runs) <= 1 { 0.0 } else { self.latency })
     }
     fn label(&self) -> &'static str {
         "constant-latency"
@@ -235,6 +293,17 @@ impl NetworkModel for SwitchedNetwork {
             return 0.0;
         }
         ceil_log2(sizes.len()) * self.alpha + total as f64 / self.beta
+    }
+    fn p2p_time_class(&self, bytes: u64) -> Option<f64> {
+        Some(self.p2p_time(bytes))
+    }
+    fn gather_time_classed(&self, runs: &[(u64, u64)], root_run: usize) -> Option<f64> {
+        let len = classed_len(runs);
+        if len <= 1 {
+            return Some(0.0);
+        }
+        let total = classed_total_excl_root(runs, root_run)?;
+        Some(ceil_log2(usize::try_from(len).ok()?) * self.alpha + total as f64 / self.beta)
     }
     fn label(&self) -> &'static str {
         "switched"
@@ -292,6 +361,25 @@ impl NetworkModel for SharedEthernet {
     }
     fn gather_time(&self, sizes: &[u64], root: usize) -> f64 {
         sizes.iter().enumerate().filter(|(i, _)| *i != root).map(|(_, &s)| self.transfer(s)).sum()
+    }
+    fn p2p_time_class(&self, bytes: u64) -> Option<f64> {
+        Some(self.p2p_time(bytes))
+    }
+    fn gather_time_classed(&self, runs: &[(u64, u64)], root_run: usize) -> Option<f64> {
+        // The per-rank cost is a sequential IEEE fold of one transfer
+        // per contributor in rank order; every member of a run costs
+        // the same, so each run collapses exactly. Which member of the
+        // root run is skipped cannot matter: the folded sequence is
+        // identical.
+        let mut t = 0.0;
+        for (i, &(bytes, count)) in runs.iter().enumerate() {
+            t = crate::flrepeat::repeat_add(
+                t,
+                self.transfer(bytes),
+                count - u64::from(i == root_run),
+            );
+        }
+        Some(t)
     }
     fn label(&self) -> &'static str {
         "shared-ethernet"
@@ -356,6 +444,17 @@ impl NetworkModel for MpichEthernet {
         let total: u64 =
             sizes.iter().enumerate().filter(|(i, _)| *i != root).map(|(_, &s)| s).sum();
         (sizes.len() - 1) as f64 * self.alpha + total as f64 / self.beta
+    }
+    fn p2p_time_class(&self, bytes: u64) -> Option<f64> {
+        Some(self.p2p_time(bytes))
+    }
+    fn gather_time_classed(&self, runs: &[(u64, u64)], root_run: usize) -> Option<f64> {
+        let len = classed_len(runs);
+        if len <= 1 {
+            return Some(0.0);
+        }
+        let total = classed_total_excl_root(runs, root_run)?;
+        Some((usize::try_from(len).ok()? - 1) as f64 * self.alpha + total as f64 / self.beta)
     }
     fn label(&self) -> &'static str {
         "mpich-ethernet"
@@ -629,6 +728,72 @@ mod tests {
     #[should_panic(expected = "sigma must be in [0, 1)")]
     fn sigma_of_one_rejected() {
         JitteredNetwork::new(MpichEthernet::new(3e-4, 1e8), 1.0, 0);
+    }
+
+    /// Expands a run-length-encoded contribution list and returns the
+    /// expanded sizes plus the rank index of the `offset`-th member of
+    /// `root_run`.
+    fn expand(runs: &[(u64, u64)], root_run: usize, offset: u64) -> (Vec<u64>, usize) {
+        let mut sizes = Vec::new();
+        let mut root = 0;
+        for (i, &(bytes, count)) in runs.iter().enumerate() {
+            if i == root_run {
+                root = sizes.len() + offset as usize;
+            }
+            sizes.extend(std::iter::repeat_n(bytes, count as usize));
+        }
+        (sizes, root)
+    }
+
+    #[test]
+    fn classed_gather_matches_expanded_bit_for_bit() {
+        let runs: Vec<(u64, u64)> = vec![(4096, 1), (800, 37), (1600, 5), (800, 2)];
+        let models: Vec<Box<dyn NetworkModel>> = vec![
+            Box::new(ConstantLatency::new(1e-3)),
+            Box::new(SwitchedNetwork::new(1e-4, 1e7)),
+            Box::new(SharedEthernet::new(1e-4, 1.25e7)),
+            Box::new(MpichEthernet::new(0.30e-3, 1.0e8)),
+        ];
+        for m in &models {
+            for root_run in 0..runs.len() {
+                let classed = m.gather_time_classed(&runs, root_run).expect("flat model prices");
+                // The root's position inside its run must not matter.
+                for offset in [0, runs[root_run].1 - 1] {
+                    let (sizes, root) = expand(&runs, root_run, offset);
+                    let expanded = m.gather_time(&sizes, root);
+                    assert_eq!(classed.to_bits(), expanded.to_bits(), "{} root {root}", m.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classed_gather_handles_degenerate_lists() {
+        let m = MpichEthernet::new(0.30e-3, 1.0e8);
+        assert_eq!(m.gather_time_classed(&[(800, 1)], 0), Some(0.0));
+        assert_eq!(SharedEthernet::new(1e-4, 1e7).gather_time_classed(&[(800, 1)], 0), Some(0.0));
+        // Overflowing the per-rank u64 total refuses rather than lies.
+        assert_eq!(m.gather_time_classed(&[(u64::MAX, 3)], 0), None);
+    }
+
+    #[test]
+    fn classed_p2p_matches_endpoint_blind_cost() {
+        let flat: Vec<Box<dyn NetworkModel>> = vec![
+            Box::new(ConstantLatency::new(1e-3)),
+            Box::new(SwitchedNetwork::new(1e-4, 1e7)),
+            Box::new(SharedEthernet::new(1e-4, 1.25e7)),
+            Box::new(MpichEthernet::new(0.30e-3, 1.0e8)),
+        ];
+        for m in &flat {
+            for bytes in [0u64, 8, 800, 1 << 20] {
+                let classed = m.p2p_time_class(bytes).expect("flat model is endpoint-blind");
+                assert_eq!(classed.to_bits(), m.p2p_time_between(3, 11, bytes).to_bits());
+            }
+        }
+        // Endpoint-dependent pricing must refuse the classed shortcut.
+        let jittered = JitteredNetwork::new(MpichEthernet::new(0.30e-3, 1.0e8), 0.15, 42);
+        assert_eq!(jittered.p2p_time_class(800), None);
+        assert_eq!(jittered.gather_time_classed(&[(800, 4)], 0), None);
     }
 
     #[test]

@@ -69,7 +69,7 @@ use std::collections::{HashMap, VecDeque};
 /// A recording's lockstep phase plan, produced by [`analyze`].
 #[derive(Debug)]
 pub(super) struct LockstepProgram {
-    phases: Vec<Phase>,
+    pub(super) phases: Vec<Phase>,
     /// Collective ops one evaluation covers (per participating rank) —
     /// the same count the scheduler would execute, kept for telemetry.
     pub(super) collective_ops: u64,
@@ -79,7 +79,7 @@ pub(super) struct LockstepProgram {
 
 /// One lockstep phase. Exit clocks are a pure function of entry clocks.
 #[derive(Debug)]
-enum Phase {
+pub(super) enum Phase {
     /// Per-class maximal compute runs: `runs[c]` is the `[start, end)`
     /// op-index range into class `c`'s op list (flops stay per-op —
     /// fault windows and the engine both charge them individually).
@@ -101,7 +101,7 @@ enum Phase {
 /// One scheduled op of a P2P phase. `slot` indexes the phase's sends
 /// in emission order; analysis guarantees a receive's slot precedes it.
 #[derive(Debug)]
-enum P2pStep {
+pub(super) enum P2pStep {
     Send { rank: u32, dest: u32, count: usize },
     Recv { rank: u32, source: u32, count: usize, slot: u32 },
 }
@@ -421,7 +421,7 @@ impl LockstepProgram {
         class_of: &[usize],
     ) -> Vec<SimRank> {
         let p = class_of.len();
-        let mut ranks: Vec<SimRank> = (0..p).map(|id| SimRank::new(id, cluster)).collect();
+        let mut ranks: Vec<SimRank> = (0..p).map(|id| SimRank::new(id, cluster, false)).collect();
         // Hoisted once per evaluation, exactly as the scheduler hoists
         // it once per replay.
         let barrier_cost = SimTime::from_secs(network.barrier_time(p));

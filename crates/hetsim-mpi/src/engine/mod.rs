@@ -52,8 +52,10 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 
+mod aggregate;
 mod analytic;
 
+pub use aggregate::{AggregateOutcome, AggregatePlan, AggregatePlanBuilder};
 use analytic::LockstepProgram;
 
 /// Process-wide switch for the lockstep analytic evaluator (default
@@ -421,7 +423,11 @@ struct SimRank {
 }
 
 impl SimRank {
-    fn new(id: usize, cluster: &ClusterSpec) -> SimRank {
+    /// `faulted` sizes the per-destination retry sequence table; only
+    /// faulted replays consult it (`charge_link_retries` early-returns
+    /// without a plan), and eagerly allocating it per rank made a
+    /// fault-free P-rank replay O(P²) in memory.
+    fn new(id: usize, cluster: &ClusterSpec, faulted: bool) -> SimRank {
         SimRank {
             id,
             clock: SimTime::ZERO,
@@ -429,7 +435,7 @@ impl SimRank {
             comm_time: SimTime::ZERO,
             wait_time: SimTime::ZERO,
             speed_flops: cluster.nodes()[id].marked_speed_flops(),
-            send_seq: vec![0; cluster.size()],
+            send_seq: if faulted { vec![0; cluster.size()] } else { Vec::new() },
             trace: RankTrace::default(),
             pc: 0,
             last_gather_counts: Vec::new(),
@@ -1191,7 +1197,8 @@ impl<R> SpmdProgram<R> {
         assert_eq!(cluster.size(), p, "cluster size disagrees with the recording's rank count");
         let simulate_started = std::time::Instant::now();
 
-        let mut ranks: Vec<SimRank> = (0..p).map(|id| SimRank::new(id, cluster)).collect();
+        let mut ranks: Vec<SimRank> =
+            (0..p).map(|id| SimRank::new(id, cluster, faults.is_some())).collect();
         if tracing {
             // Presize each trace for the common case of at most two
             // records per op (a Wait plus the op itself); fault-path

@@ -61,11 +61,21 @@ pub enum FallbackReason {
     /// timeout, recover); the lockstep phase grammar has no word for
     /// them, so recovery programs always price event-driven.
     RecoveryOps,
+    /// A point-to-point batch is not a single-hub scatter — the only
+    /// p2p shape the class aggregator (DESIGN.md §13) can fold.
+    AsymmetricP2p,
+    /// The network model prices endpoints individually (e.g. frozen
+    /// per-pair jitter), so per-class costs do not exist.
+    UnclassedNetwork,
+    /// Message delivery order within a rank class does not follow
+    /// member rank order, so tracking one representative clock per
+    /// class would lose the tail.
+    ClassOrderDiverged,
 }
 
 impl FallbackReason {
     /// Every variant, in stable report order.
-    pub const ALL: [FallbackReason; 11] = [
+    pub const ALL: [FallbackReason; 14] = [
         FallbackReason::ClassExhausted,
         FallbackReason::CollectiveIdMismatch,
         FallbackReason::MixedCollectiveKinds,
@@ -77,6 +87,9 @@ impl FallbackReason {
         FallbackReason::SendAcrossSync,
         FallbackReason::RecvBeforeSend,
         FallbackReason::RecoveryOps,
+        FallbackReason::AsymmetricP2p,
+        FallbackReason::UnclassedNetwork,
+        FallbackReason::ClassOrderDiverged,
     ];
 
     /// Stable kebab-case key used in the telemetry document.
@@ -93,6 +106,9 @@ impl FallbackReason {
             FallbackReason::SendAcrossSync => "send-across-sync",
             FallbackReason::RecvBeforeSend => "recv-before-send",
             FallbackReason::RecoveryOps => "recovery-ops",
+            FallbackReason::AsymmetricP2p => "asymmetric-p2p",
+            FallbackReason::UnclassedNetwork => "unclassed-network",
+            FallbackReason::ClassOrderDiverged => "class-order-diverged",
         }
     }
 
@@ -135,6 +151,15 @@ impl fmt::Display for FallbackReason {
             FallbackReason::RecoveryOps => {
                 "the program charges failure-recovery ops the lockstep grammar cannot express"
             }
+            FallbackReason::AsymmetricP2p => {
+                "a point-to-point batch is not the single-hub scatter the aggregator folds"
+            }
+            FallbackReason::UnclassedNetwork => {
+                "the network model prices endpoints individually, so class costs do not exist"
+            }
+            FallbackReason::ClassOrderDiverged => {
+                "message order within a rank class diverges from member rank order"
+            }
         };
         write!(f, "{what} ({})", self.name())
     }
@@ -159,6 +184,9 @@ pub enum EventDrivenMode {
 pub enum EnginePath {
     /// Lockstep analytic evaluation (DESIGN.md §10).
     Analytic,
+    /// Class-aggregated evaluation: one representative clock per rank
+    /// class plus analytic fan-out corrections (DESIGN.md §13).
+    Aggregated,
     /// The event-driven ready-queue scheduler.
     EventDriven(EventDrivenMode),
     /// The thread-per-rank oracle runtime.
@@ -222,6 +250,9 @@ pub struct ClosedFormStats {
 }
 
 static ANALYTIC_SIMS: AtomicU64 = AtomicU64::new(0);
+static AGGREGATED_SIMS: AtomicU64 = AtomicU64::new(0);
+static AGGREGATED_RANKS: AtomicU64 = AtomicU64::new(0);
+static AGGREGATED_CLASSES: AtomicU64 = AtomicU64::new(0);
 static EVENT_FALLBACK: AtomicU64 = AtomicU64::new(0);
 static EVENT_FORCED: AtomicU64 = AtomicU64::new(0);
 static EVENT_TRACED: AtomicU64 = AtomicU64::new(0);
@@ -248,6 +279,9 @@ static FALLBACKS: [AtomicU64; FallbackReason::ALL.len()] = [
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
 ];
 static CLOSED_FORM: Mutex<BTreeMap<&'static str, ClosedFormStats>> = Mutex::new(BTreeMap::new());
 // Wall-clock accumulators — profile export only, never in the
@@ -259,6 +293,11 @@ static SIMULATE_WALL_NS: AtomicU64 = AtomicU64::new(0);
 pub fn record_simulation(report: &EngineReport) {
     match report.path {
         EnginePath::Analytic => ANALYTIC_SIMS.fetch_add(1, Ordering::Relaxed),
+        EnginePath::Aggregated => {
+            AGGREGATED_RANKS.fetch_add(report.ranks, Ordering::Relaxed);
+            AGGREGATED_CLASSES.fetch_add(report.classes, Ordering::Relaxed);
+            AGGREGATED_SIMS.fetch_add(1, Ordering::Relaxed)
+        }
         EnginePath::EventDriven(EventDrivenMode::Fallback) => {
             EVENT_FALLBACK.fetch_add(1, Ordering::Relaxed)
         }
@@ -329,6 +368,12 @@ pub struct EngineTelemetry {
     pub closed_form: BTreeMap<String, ClosedFormStats>,
     /// Simulations priced by the lockstep analytic evaluator.
     pub analytic_sims: u64,
+    /// Simulations priced by the class-aggregated evaluator.
+    pub aggregated_sims: u64,
+    /// Ranks folded into class representatives by those simulations.
+    pub aggregated_ranks: u64,
+    /// Rank classes actually priced by those simulations.
+    pub aggregated_classes: u64,
     /// Event-driven simulations after an analyzer rejection.
     pub event_driven_fallback: u64,
     /// Event-driven simulations forced by `--no-analytic` or an
@@ -369,9 +414,19 @@ impl EngineTelemetry {
     }
 
     /// Everything priced without the scheduler: closed-form cells plus
-    /// lockstep-analytic simulations.
+    /// lockstep-analytic and class-aggregated simulations.
     pub fn analytic_cells(&self) -> u64 {
-        self.closed_form_cells() + self.analytic_sims
+        self.closed_form_cells() + self.analytic_sims + self.aggregated_sims
+    }
+
+    /// Share of simulated ranks the class aggregator folded into
+    /// representatives, in percent (0 when nothing aggregated).
+    pub fn aggregated_rank_percent(&self) -> f64 {
+        if self.ranks_simulated == 0 {
+            0.0
+        } else {
+            100.0 * self.aggregated_ranks as f64 / self.ranks_simulated as f64
+        }
     }
 
     /// Share of analytic-eligible work that actually priced
@@ -412,6 +467,9 @@ pub fn snapshot() -> EngineTelemetry {
     EngineTelemetry {
         closed_form,
         analytic_sims: ANALYTIC_SIMS.load(Ordering::Relaxed),
+        aggregated_sims: AGGREGATED_SIMS.load(Ordering::Relaxed),
+        aggregated_ranks: AGGREGATED_RANKS.load(Ordering::Relaxed),
+        aggregated_classes: AGGREGATED_CLASSES.load(Ordering::Relaxed),
         event_driven_fallback: EVENT_FALLBACK.load(Ordering::Relaxed),
         event_driven_forced: EVENT_FORCED.load(Ordering::Relaxed),
         event_driven_traced: EVENT_TRACED.load(Ordering::Relaxed),
@@ -455,6 +513,33 @@ mod tests {
         t.closed_form.insert("ge".into(), ClosedFormStats { batches: 1, cells: 4 });
         assert_eq!(t.analytic_cells(), 7);
         assert_eq!(t.analytic_coverage_percent(), 87.5);
+    }
+
+    #[test]
+    fn aggregated_sims_count_as_analytic_cells() {
+        let t = EngineTelemetry {
+            aggregated_sims: 2,
+            aggregated_ranks: 2_000_000,
+            aggregated_classes: 6,
+            ranks_simulated: 2_500_000,
+            ..Default::default()
+        };
+        assert_eq!(t.analytic_cells(), 2);
+        assert_eq!(t.analytic_coverage_percent(), 100.0);
+        assert_eq!(t.aggregated_rank_percent(), 80.0);
+        assert_eq!(EngineTelemetry::default().aggregated_rank_percent(), 0.0);
+    }
+
+    #[test]
+    fn aggregated_reports_accumulate() {
+        let before = snapshot();
+        let report = EngineReport::new(EnginePath::Aggregated, 100_000, 5);
+        record_simulation(&report);
+        let after = snapshot();
+        assert!(after.aggregated_sims > before.aggregated_sims);
+        assert!(after.aggregated_ranks >= before.aggregated_ranks + 100_000);
+        assert!(after.aggregated_classes >= before.aggregated_classes + 5);
+        assert!(after.ranks_simulated >= before.ranks_simulated + 100_000);
     }
 
     #[test]

@@ -93,7 +93,13 @@ impl TelemetryReport {
         lines
     }
 
-    /// Serializes to the stats document (schema `hetscale-telemetry/1`).
+    /// Aggregated-class rank share in percent (see
+    /// [`EngineTelemetry::aggregated_rank_percent`]).
+    pub fn aggregated_rank_percent(&self) -> f64 {
+        self.engine.aggregated_rank_percent()
+    }
+
+    /// Serializes to the stats document (schema `hetscale-telemetry/2`).
     pub fn to_json(&self) -> Json {
         let e = &self.engine;
         let closed_form = e
@@ -139,6 +145,7 @@ impl TelemetryReport {
             (
                 "paths",
                 obj([
+                    ("aggregated_sims", Json::int(e.aggregated_sims)),
                     ("analytic_sims", Json::int(e.analytic_sims)),
                     (
                         "event_driven",
@@ -155,6 +162,8 @@ impl TelemetryReport {
             (
                 "rank_classes",
                 obj([
+                    ("aggregated_classes", Json::int(e.aggregated_classes)),
+                    ("aggregated_ranks", Json::int(e.aggregated_ranks)),
                     ("classes_simulated", Json::int(e.classes_simulated)),
                     ("dedup_factor", Json::Num(e.dedup_factor())),
                     ("ranks_simulated", Json::int(e.ranks_simulated)),
@@ -176,6 +185,7 @@ impl TelemetryReport {
             ("queue_high_water", Json::int(self.pool.queue_high_water)),
         ]);
         let summary = obj([
+            ("aggregated_rank_percent", Json::Num(self.aggregated_rank_percent())),
             ("analytic_coverage_percent", Json::Num(self.analytic_coverage_percent())),
             ("memo_hit_percent", Json::Num(self.memo_hit_percent())),
         ]);
@@ -183,7 +193,7 @@ impl TelemetryReport {
             ("engine", engine),
             ("memo", Json::Obj(memo)),
             ("pool", pool),
-            ("schema", Json::str("hetscale-telemetry/1")),
+            ("schema", Json::str("hetscale-telemetry/2")),
             ("summary", summary),
         ])
     }
@@ -201,11 +211,14 @@ mod tests {
     fn sample() -> TelemetryReport {
         let mut report = TelemetryReport::default();
         report.engine.closed_form.insert("ge".into(), ClosedFormStats { batches: 2, cells: 5 });
-        report.engine.analytic_sims = 3;
+        report.engine.analytic_sims = 2;
         report.engine.event_driven_fallback = 2;
         report.engine.fallback_reasons.insert("send-across-sync".into(), 2);
         report.engine.ranks_simulated = 20;
         report.engine.classes_simulated = 5;
+        report.engine.aggregated_sims = 1;
+        report.engine.aggregated_ranks = 10;
+        report.engine.aggregated_classes = 2;
         report
             .memo
             .insert("mm".into(), MemoKernelStats { touches: 10, entries: 6, hits: 4, bypasses: 1 });
@@ -241,11 +254,16 @@ mod tests {
         let text = report.to_json().to_string();
         let parsed = Json::parse(&text).expect("self-produced JSON parses");
         let doc = parsed.as_obj().expect("top level is an object");
-        assert_eq!(doc["schema"].as_str(), Some("hetscale-telemetry/1"));
+        assert_eq!(doc["schema"].as_str(), Some("hetscale-telemetry/2"));
         let engine = doc["engine"].as_obj().expect("engine object");
         let paths = engine["paths"].as_obj().expect("paths object");
-        assert_eq!(paths["analytic_sims"].as_num(), Some(3.0));
+        assert_eq!(paths["analytic_sims"].as_num(), Some(2.0));
+        assert_eq!(paths["aggregated_sims"].as_num(), Some(1.0));
+        let classes = engine["rank_classes"].as_obj().expect("rank_classes object");
+        assert_eq!(classes["aggregated_ranks"].as_num(), Some(10.0));
+        assert_eq!(classes["aggregated_classes"].as_num(), Some(2.0));
         let summary = doc["summary"].as_obj().expect("summary object");
+        assert_eq!(summary["aggregated_rank_percent"].as_num(), Some(50.0));
         assert_eq!(summary["analytic_coverage_percent"].as_num(), Some(80.0));
         assert_eq!(summary["memo_hit_percent"].as_num(), Some(40.0));
         // Serialization is a pure function of the report.

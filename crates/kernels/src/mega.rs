@@ -1,0 +1,276 @@
+//! Mega-scale classed closed forms: MM and power iteration priced on a
+//! [`ClassedCluster`] in O(classes) per cell, without materializing a
+//! rank vector (DESIGN.md §13).
+//!
+//! [`mm_closed_form`](crate::mm_closed_form) and
+//! [`power_closed_form`](crate::power_closed_form) walk one clock per
+//! rank. At 10⁵–10⁷ ranks that walk — and the `BlockDistribution` it
+//! prices — is the whole cost of a cell. These evaluators rebuild the
+//! same protocols on class-aggregated state instead:
+//!
+//! * The row distribution comes from
+//!   [`proportional_counts_classed`], which splits every speed class
+//!   into at most two *(rows, members)* sub-runs and expands, bit for
+//!   bit, to the per-rank `proportional_counts` the block distribution
+//!   uses.
+//! * Rank 0 (root and hub of every collective) is split into its own
+//!   singleton subclass — its clock diverges from its speed class at
+//!   the first scatter, exactly as its op stream diverges in a
+//!   recording.
+//! * The phase schedule is handed to
+//!   [`hetsim_mpi::AggregatePlanBuilder`], whose evaluation performs
+//!   the per-rank engines' float-op sequence restricted to class tails
+//!   (scatter chains batched through exact repeated addition, gather
+//!   serialization priced over run-length-encoded sizes).
+//!
+//! The `mega_matches_per_rank_*` tests pin both kernels against the
+//! per-rank closed forms — and transitively, via
+//! `closed_form_matches_engine_*`, against the event-driven engine and
+//! the threaded oracle — at every materializable size. Networks that
+//! price endpoints individually (jittered, segmented) have no per-class
+//! costs and return [`FallbackReason::UnclassedNetwork`].
+
+use hetpart::proportional_counts_classed;
+use hetsim_cluster::classed::ClassedCluster;
+use hetsim_cluster::network::NetworkModel;
+use hetsim_cluster::time::SimTime;
+use hetsim_mpi::{AggregatePlanBuilder, FallbackReason};
+
+/// The compact result of one mega-scale evaluation: no per-rank
+/// vectors, by construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MegaOutcome {
+    /// Virtual completion time — bit-identical to the per-rank closed
+    /// form's makespan on the materialized cluster.
+    pub makespan: SimTime,
+    /// Subclasses actually walked (≤ 2 · speed classes + 1).
+    pub classes: usize,
+    /// Ranks the evaluation priced.
+    pub ranks: u64,
+}
+
+/// The (speed × row-count) subclass decomposition of a classed cluster
+/// under the proportional row distribution, rank 0 split off.
+struct Subclasses {
+    members: Vec<u64>,
+    speed_flops: Vec<f64>,
+    rows: Vec<usize>,
+    p: usize,
+}
+
+fn subclasses(cluster: &ClassedCluster, n: usize) -> Subclasses {
+    let weight_runs: Vec<(f64, usize)> =
+        cluster.classes().iter().map(|c| (c.speed_mflops, c.count)).collect();
+    let row_runs = proportional_counts_classed(n, &weight_runs);
+
+    let total = cluster.size();
+    let mut members = Vec::with_capacity(row_runs.len() + 1);
+    let mut speed_flops = Vec::with_capacity(row_runs.len() + 1);
+    let mut rows = Vec::with_capacity(row_runs.len() + 1);
+    let mut runs = row_runs.into_iter();
+    let mut first = true;
+    for class in cluster.classes() {
+        // Same float op the materialized NodeSpec performs.
+        let speed = class.speed_mflops * 1e6;
+        let mut covered = 0usize;
+        while covered < class.count {
+            let (r, m) = runs.next().expect("runs cover every member");
+            if first {
+                // Rank 0 is the root and hub of every collective; its
+                // clock leaves its speed class at the first scatter.
+                members.push(1);
+                speed_flops.push(speed);
+                rows.push(r);
+                if m > 1 {
+                    members.push((m - 1) as u64);
+                    speed_flops.push(speed);
+                    rows.push(r);
+                }
+                first = false;
+            } else {
+                members.push(m as u64);
+                speed_flops.push(speed);
+                rows.push(r);
+            }
+            covered += m;
+        }
+    }
+    debug_assert!(runs.next().is_none(), "runs must not outlive the classes");
+    Subclasses { members, speed_flops, rows, p: total }
+}
+
+/// Classed-cluster MM (HoHe) timing: A-block scatter, B broadcast,
+/// local multiply, C gather — the same protocol
+/// [`crate::mm_closed_form`] prices per rank, evaluated in O(classes).
+pub fn mm_mega<N: NetworkModel>(
+    cluster: &ClassedCluster,
+    network: &N,
+    n: usize,
+) -> Result<MegaOutcome, FallbackReason> {
+    let sc = subclasses(cluster, n);
+    let block_counts: Vec<usize> = sc.rows.iter().map(|&r| r * n).collect();
+    let flops: Vec<f64> =
+        sc.rows.iter().map(|&r| (2 * r * n * n).saturating_sub(r * n) as f64).collect();
+
+    let mut plan = AggregatePlanBuilder::new(&sc.members, &sc.speed_flops);
+    plan.scatter(0, &block_counts);
+    plan.bcast(0, n * n);
+    plan.compute(flops);
+    plan.gather(0, &block_counts);
+
+    let outcome = plan.build().evaluate_recorded(network)?;
+    Ok(MegaOutcome { makespan: outcome.makespan, classes: sc.members.len(), ranks: sc.p as u64 })
+}
+
+/// Classed-cluster power-iteration timing: scatter, then `iters` sweeps
+/// of local matvec → allgather (gather + packed rebroadcast) →
+/// normalization — the protocol of [`crate::power_closed_form`],
+/// evaluated in O(classes + iters · classes).
+pub fn power_mega<N: NetworkModel>(
+    cluster: &ClassedCluster,
+    network: &N,
+    n: usize,
+    iters: usize,
+) -> Result<MegaOutcome, FallbackReason> {
+    let sc = subclasses(cluster, n);
+    let block_counts: Vec<usize> = sc.rows.iter().map(|&r| r * n).collect();
+    let matvec: Vec<f64> = sc.rows.iter().map(|&r| 2.0 * (r * n) as f64).collect();
+    let normalize: Vec<f64> = vec![2.0 * n as f64; sc.members.len()];
+    // The allgather's closing broadcast carries `p` length headers plus
+    // the packed contributions (row counts sum to `n` exactly).
+    let packed =
+        sc.p + sc.rows.iter().zip(sc.members.iter()).map(|(&r, &m)| r * m as usize).sum::<usize>();
+
+    let mut plan = AggregatePlanBuilder::new(&sc.members, &sc.speed_flops);
+    plan.scatter(0, &block_counts);
+    for _sweep in 0..iters {
+        plan.compute(matvec.clone());
+        plan.gather(0, &sc.rows);
+        plan.bcast(0, packed);
+        plan.compute(normalize.clone());
+    }
+
+    let outcome = plan.build().evaluate_recorded(network)?;
+    Ok(MegaOutcome { makespan: outcome.makespan, classes: sc.members.len(), ranks: sc.p as u64 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{mm_closed_form, power_closed_form};
+    use hetpart::BlockDistribution;
+    use hetsim_cluster::network::{
+        ConstantLatency, JitteredNetwork, MpichEthernet, SharedEthernet, SwitchedNetwork,
+    };
+
+    /// Class-structure extremes, all materializable: single rank,
+    /// homogeneous, two tiers, many tiers at the 85-node scale.
+    fn clusters() -> Vec<ClassedCluster> {
+        vec![
+            ClassedCluster::heet(1, 1, 50.0, 1.0),
+            ClassedCluster::heet(8, 1, 70.0, 1.0),
+            ClassedCluster::heet(7, 2, 50.0, 3.0),
+            ClassedCluster::heet(40, 5, 50.0, 2.2),
+            ClassedCluster::heet(85, 8, 45.0, 2.4),
+        ]
+    }
+
+    fn networks() -> Vec<(&'static str, Box<dyn NetworkModel>)> {
+        vec![
+            ("const", Box::new(ConstantLatency::new(2.5e-4))),
+            ("switched", Box::new(SwitchedNetwork::new(1.2e-4, 9.0e-9))),
+            ("shared", Box::new(SharedEthernet::new(0.3e-3, 1.25e7))),
+            ("mpich", Box::new(MpichEthernet::new(0.30e-3, 1.0e8))),
+        ]
+    }
+
+    fn mflops(cluster: &ClassedCluster) -> Vec<f64> {
+        cluster.materialize().nodes().iter().map(|nd| nd.marked_speed_mflops).collect()
+    }
+
+    #[test]
+    fn mega_matches_per_rank_mm() {
+        for cluster in &clusters() {
+            let spec = cluster.materialize();
+            for n in [1usize, 2, 3, 17, 64] {
+                let dist = BlockDistribution::proportional(n, &mflops(cluster));
+                for (tag, net) in &networks() {
+                    let net: &dyn NetworkModel = net.as_ref();
+                    let per_rank = mm_closed_form(&spec, &net, n, &dist);
+                    let mega = mm_mega(cluster, &net, n).expect("classed network");
+                    assert_eq!(
+                        mega.makespan, per_rank.makespan,
+                        "mm diverged ({tag}, {}, n={n})",
+                        cluster.label
+                    );
+                    assert_eq!(mega.ranks as usize, cluster.size());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mega_matches_per_rank_power() {
+        for cluster in &clusters() {
+            let spec = cluster.materialize();
+            // `(5, 0)` pins the zero-sweep protocol (the scatter
+            // alone) — the serial-scatter bound of the mega ceiling
+            // table prices it.
+            for (n, iters) in [(1usize, 1usize), (2, 2), (3, 1), (5, 0), (17, 4), (64, 3)] {
+                let dist = BlockDistribution::proportional(n, &mflops(cluster));
+                for (tag, net) in &networks() {
+                    let net: &dyn NetworkModel = net.as_ref();
+                    let per_rank = power_closed_form(&spec, &net, n, iters, &dist);
+                    let mega = power_mega(cluster, &net, n, iters).expect("classed network");
+                    assert_eq!(
+                        mega.makespan, per_rank.makespan,
+                        "power diverged ({tag}, {}, n={n}, iters={iters})",
+                        cluster.label
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subclass_count_is_bounded_by_classes_not_ranks() {
+        // 10⁶ ranks in 8 tiers: at most 2 row-runs per tier plus the
+        // split-off root, and evaluation never materializes a rank.
+        let cluster = ClassedCluster::heet(1_000_000, 8, 50.0, 2.4);
+        let out = mm_mega(&cluster, &MpichEthernet::new(0.29e-3, 1.07e8), 64).expect("classed");
+        assert_eq!(out.ranks, 1_000_000);
+        assert!(out.classes <= 2 * 8 + 1, "got {} subclasses", out.classes);
+        assert!(out.makespan > SimTime::ZERO);
+    }
+
+    #[test]
+    fn endpoint_priced_networks_are_rejected() {
+        let cluster = ClassedCluster::heet(100, 4, 50.0, 2.0);
+        let net = JitteredNetwork::new(MpichEthernet::new(0.3e-3, 1e8), 0.1, 7);
+        assert_eq!(mm_mega(&cluster, &net, 16), Err(FallbackReason::UnclassedNetwork));
+        assert_eq!(power_mega(&cluster, &net, 16, 2), Err(FallbackReason::UnclassedNetwork));
+    }
+
+    #[test]
+    fn row_subclasses_expand_to_the_block_distribution() {
+        for cluster in &clusters() {
+            for n in [0usize, 1, 17, 64, 200] {
+                let sc = subclasses(cluster, n);
+                let dist = BlockDistribution::proportional(n, &mflops(cluster));
+                let mut rank = 0usize;
+                for (c, &m) in sc.members.iter().enumerate() {
+                    for _ in 0..m {
+                        assert_eq!(
+                            sc.rows[c],
+                            dist.range_of(rank).len(),
+                            "{} rank {rank} n={n}",
+                            cluster.label
+                        );
+                        rank += 1;
+                    }
+                }
+                assert_eq!(rank, cluster.size());
+            }
+        }
+    }
+}

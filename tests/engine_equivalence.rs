@@ -10,12 +10,13 @@ use hetscale::hetsim_cluster::faults::FaultPlan;
 use hetscale::hetsim_cluster::network::{
     ConstantLatency, MpichEthernet, NetworkModel, SharedEthernet,
 };
-use hetscale::hetsim_cluster::{ClusterSpec, NodeSpec};
+use hetscale::hetsim_cluster::{ClassedCluster, ClusterSpec, NodeSpec};
 use hetscale::hetsim_mpi::{
     record_spmd, run_spmd, run_spmd_fast, run_spmd_fast_faulted_traced, run_spmd_faulted_traced,
     OpKind, SpmdOutcome, SpmdTimer, Tag,
 };
 use hetscale::kernels::ge::ge_timed_body;
+use hetscale::kernels::mega::{mm_mega, power_mega};
 use hetscale::kernels::mm::mm_timed_body;
 use hetscale::kernels::power::power_timed_body;
 use hetscale::kernels::stencil::stencil_timed_body;
@@ -308,6 +309,68 @@ proptest! {
         assert_times_match(&auto, &event_driven);
         let threaded = run_spmd(&cluster, &net, |r| crossing_body(r, n));
         assert_times_match(&auto, &threaded);
+    }
+
+    /// Three-way: the O(classes) aggregated evaluators against the
+    /// per-rank event-driven engine against the threaded oracle, for
+    /// both mega kernel protocols × the class-structure extremes of
+    /// the HEET generator (one class, one class *per rank*, mixed
+    /// tiers) × the classed network models. Makespans must be
+    /// bit-identical on all three paths — the contract that lets the
+    /// mega sweep drop the rank walk entirely (DESIGN.md §13).
+    #[test]
+    fn aggregated_matches_event_driven_and_threaded_oracle(
+        p in 1usize..16,
+        k in 1usize..9,
+        base in 20.0f64..120.0,
+        spread in 1.0f64..4.0,
+        n in 1usize..48,
+        iters in 0usize..4,
+        kernel in 0usize..2,
+        net_choice in 0usize..3,
+        cluster_kind in 0usize..3,
+    ) {
+        let cluster = match cluster_kind {
+            // Dedup collapses to a single class tail.
+            0 => ClassedCluster::heet(p, 1, base, 1.0),
+            // Every rank its own class: aggregation degenerates to
+            // per-rank state and must still match.
+            1 => ClassedCluster::heet(p, p, base, 1.0 + spread),
+            _ => ClassedCluster::heet(p, k, base, spread),
+        };
+        let spec = cluster.materialize();
+        let speeds: Vec<f64> =
+            spec.nodes().iter().map(|nd| nd.marked_speed_mflops).collect();
+        let block = BlockDistribution::proportional(n, &speeds);
+        let mpich = MpichEthernet::new(2e-4, 9e7);
+        let shared = SharedEthernet::new(1.5e-4, 1.1e8);
+        let latency = ConstantLatency::new(3e-4);
+        let net: &dyn NetworkModel = match net_choice {
+            0 => &mpich,
+            1 => &shared,
+            _ => &latency,
+        };
+        let (aggregated, program, threaded) = if kernel == 0 {
+            (
+                mm_mega(&cluster, &net, n).expect("classed network"),
+                record_spmd(&spec, |t| mm_timed_body(t, &block, n)),
+                run_spmd(&spec, &net, |r| mm_timed_body(r, &block, n)),
+            )
+        } else {
+            // `iters` may be 0: the scatter-only protocol the mega
+            // ceiling table prices as its serial-scatter bound.
+            (
+                power_mega(&cluster, &net, n, iters).expect("classed network"),
+                record_spmd(&spec, |t| power_timed_body(t, &block, n, iters)),
+                run_spmd(&spec, &net, |r| power_timed_body(r, &block, n, iters)),
+            )
+        };
+        let event_driven = program.simulate_event_driven(&spec, &net);
+        assert_times_match(&event_driven, &threaded);
+        prop_assert_eq!(aggregated.ranks as usize, p);
+        prop_assert!(aggregated.classes <= 2 * cluster.class_count() + 1);
+        prop_assert_eq!(aggregated.makespan, event_driven.makespan());
+        prop_assert_eq!(aggregated.makespan, threaded.makespan());
     }
 }
 
