@@ -41,9 +41,11 @@ cmp /tmp/ci_recover_analytic.txt /tmp/ci_recover_engine.txt || {
     exit 1
 }
 # Mega-scale sweep smoke (DESIGN.md §13): the class-aggregated closed
-# forms must reproduce the per-rank oracle byte for byte at the largest
-# oracle-affordable configuration — `--no-analytic` materializes every
-# quick preset (up to 10^5 ranks) and prices it per rank.
+# forms — including the round-batched GE form — must reproduce the
+# per-rank oracle byte for byte at the largest oracle-affordable
+# configuration: `--no-analytic` materializes every quick preset (up to
+# 10^5 ranks) and prices it per rank, except GE's Theta(N*P) replay,
+# which is gated at 10^3 ranks (larger presets stay aggregated).
 "$BIN" --quick mega > /tmp/ci_mega_aggregated.txt
 "$BIN" --quick mega --no-analytic > /tmp/ci_mega_per_rank.txt
 cmp /tmp/ci_mega_aggregated.txt /tmp/ci_mega_per_rank.txt || {
@@ -88,10 +90,11 @@ test "$best_us" -le "$LADDER_BUDGET_US" || {
 }
 
 # Perf gate, mega: the quick mega sweep (which includes a 10^5-rank
-# preset) must stay on the O(classes) aggregated path. ~0.6 ms expected
-# (BENCH_MEGASCALE.json); the acceptance bound is 1 s, but 100 ms
-# already trips on any cell sliding back to an O(P) walk (the per-rank
-# oracle needs ~1 s for the same sweep).
+# preset) must stay on the O(classes) aggregated path. ~84 ms expected
+# (BENCH_MEGASCALE.json) — nearly all of it GE's Theta(N*classes)
+# rounds, ~35 ns each over the 2.4M-round quick grids — so 100 ms
+# trips on any per-round regression or a cell sliding back to an O(P)
+# walk (the per-rank oracle needs ~4 s for the same sweep).
 MEGA_BUDGET_US=100000
 best_us=
 for _ in 1 2 3 4 5; do

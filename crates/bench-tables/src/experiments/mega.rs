@@ -32,11 +32,11 @@
 //! like any other id.
 
 use crate::params::{
-    mega_mm_sizes, mega_power_sizes, mega_presets, ExperimentParams, MEGA_BASE_MFLOPS,
-    MEGA_MAX_CLASSES, MEGA_SPREAD,
+    mega_ge_sizes, mega_mm_sizes, mega_power_sizes, mega_presets, ExperimentParams, MegaPreset,
+    MEGA_BASE_MFLOPS, MEGA_MAX_CLASSES, MEGA_SPREAD,
 };
 use crate::pool;
-use crate::systems::{MegaMmSystem, MegaPowerSystem};
+use crate::systems::{MegaGeSystem, MegaMmSystem, MegaPowerSystem};
 use crate::table::{fnum, Table};
 use hetsim_cluster::classed::ClassedCluster;
 use hetsim_cluster::sunwulf;
@@ -65,19 +65,25 @@ struct Ceiling {
 /// One `(kernel, preset)` pool cell's result.
 enum Cell {
     Mm(Rung),
+    Ge(Rung),
     Power(Ceiling),
 }
 
-/// The mega machine at one preset — the HEET shape pinned in
+/// The mega machine at one preset — the HEET shapes pinned in
 /// [`crate::params`].
-fn mega_cluster(p: usize) -> ClassedCluster {
-    ClassedCluster::heet(p, MEGA_MAX_CLASSES, MEGA_BASE_MFLOPS, MEGA_SPREAD)
+fn mega_cluster(preset: MegaPreset) -> ClassedCluster {
+    if preset.zipf {
+        ClassedCluster::heet_zipf(preset.ranks, MEGA_MAX_CLASSES, MEGA_BASE_MFLOPS, MEGA_SPREAD)
+    } else {
+        ClassedCluster::heet(preset.ranks, MEGA_MAX_CLASSES, MEGA_BASE_MFLOPS, MEGA_SPREAD)
+    }
 }
 
 /// Measures one `(kernel, preset)` cell.
-fn measure_cell(kernel: &'static str, p: usize, params: &ExperimentParams) -> Cell {
+fn measure_cell(kernel: &'static str, preset: MegaPreset, params: &ExperimentParams) -> Cell {
     let net = sunwulf::sunwulf_network();
-    let cluster = mega_cluster(p);
+    let cluster = mega_cluster(preset);
+    let p = preset.ranks;
     match kernel {
         "mm" => {
             let sys = MegaMmSystem::new(&cluster, &net);
@@ -88,6 +94,19 @@ fn measure_cell(kernel: &'static str, p: usize, params: &ExperimentParams) -> Ce
                 .map(|n| n.round().max(1.0) as usize)
                 .map(|n| (n, sys.work(n)));
             Cell::Mm(Rung { label: sys.label(), c_flops: sys.marked_speed_flops(), inverted })
+        }
+        "ge" => {
+            // GE's crossing (N* ≈ 150·p) is unaffordable to sample at
+            // mega scale, so the inversion extrapolates the reciprocal
+            // trend past the measured band (see `mega_ge_sizes`).
+            let sys = MegaGeSystem::new(&cluster, &net);
+            let curve = EfficiencyCurve::measure(&sys, &mega_ge_sizes(p));
+            let inverted = curve
+                .required_n_extrapolated(params.ge_target, params.fit_degree)
+                .ok()
+                .map(|n| n.round().max(1.0) as usize)
+                .map(|n| (n, sys.work(n)));
+            Cell::Ge(Rung { label: sys.label(), c_flops: sys.marked_speed_flops(), inverted })
         }
         "power" => {
             let sys = MegaPowerSystem::new(&cluster, &net);
@@ -110,12 +129,20 @@ fn measure_cell(kernel: &'static str, p: usize, params: &ExperimentParams) -> Ce
     }
 }
 
-/// Renders the MM inversion table and ψ matrix.
-fn render_mm(target: f64, presets: &[usize], measured: &[Rung]) -> (Table, Table) {
+/// Renders one kernel's inversion table and ψ matrix. `trend` names
+/// how the required `N` was read off the efficiency curve (MM brackets
+/// its crossing, GE extrapolates the reciprocal trend past its band).
+fn render_inversions(
+    kernel: &str,
+    trend: &str,
+    target: f64,
+    presets: &[MegaPreset],
+    measured: &[Rung],
+) -> (Table, Table) {
     // Titles keep a distinct pre-dash prefix per table so the `--csv`
     // slugs (title up to the em-dash) do not collide.
     let mut inv = Table::new(
-        format!("X4 MM mega inversions — fitted-trend required N per preset (E_s = {target})"),
+        format!("X4 {kernel} mega inversions — {trend} required N per preset (E_s = {target})"),
         &["System", "Marked speed (Mflop/s)", "Required N", "Workload W (flop)"],
     );
     for r in measured {
@@ -125,18 +152,18 @@ fn render_mm(target: f64, presets: &[usize], measured: &[Rung]) -> (Table, Table
         };
         inv.push_row(vec![r.label.clone(), fnum(r.c_flops / 1e6), n_cell, w_cell]);
     }
-    inv.push_note("`-`: the preset's size grid never brackets the target efficiency");
+    inv.push_note("`-`: the preset's trend never reaches the target efficiency");
 
     let headers: Vec<String> = std::iter::once("p".to_string())
-        .chain(presets.iter().map(|p| format!("p' = {p}")))
+        .chain(presets.iter().map(|p| format!("p' = {}", p.tag())))
         .collect();
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     let mut matrix = Table::new(
-        format!("X4 MM mega surface — psi(C, C') over HEET presets (E_s = {target})"),
+        format!("X4 {kernel} mega surface — psi(C, C') over HEET presets (E_s = {target})"),
         &header_refs,
     );
     for (i, from) in measured.iter().enumerate() {
-        let mut row = vec![presets[i].to_string()];
+        let mut row = vec![presets[i].tag()];
         for (j, to) in measured.iter().enumerate() {
             row.push(match (i.cmp(&j), &from.inverted, &to.inverted) {
                 (std::cmp::Ordering::Equal, _, _) => "1.0000".to_string(),
@@ -186,26 +213,30 @@ fn render_power(measured: &[Ceiling]) -> Table {
     t
 }
 
-/// Runs the mega sweep and returns the three tables (MM inversions, MM
-/// ψ matrix, power ceiling).
+/// Runs the mega sweep and returns the five tables (MM inversions, MM
+/// ψ matrix, GE inversions, GE ψ matrix, power ceiling).
 pub fn mega_sweep(params: &ExperimentParams, quick: bool) -> Vec<Table> {
     let presets = mega_presets(quick);
-    // Flatten both kernels' presets into one cell list so the pool
-    // keeps every worker busy across the MM/power cost imbalance.
-    let cells: Vec<(&'static str, usize)> =
-        ["mm", "power"].iter().flat_map(|&k| presets.iter().map(move |&p| (k, p))).collect();
+    // Flatten all kernels' presets into one cell list so the pool
+    // keeps every worker busy across the per-kernel cost imbalance.
+    let cells: Vec<(&'static str, MegaPreset)> =
+        ["mm", "ge", "power"].iter().flat_map(|&k| presets.iter().map(move |&p| (k, p))).collect();
     let measured: Vec<Cell> =
         pool::run_indexed(&cells, |_, &(kernel, p)| measure_cell(kernel, p, params));
     let mut mm = Vec::new();
+    let mut ge = Vec::new();
     let mut power = Vec::new();
     for cell in measured {
         match cell {
             Cell::Mm(r) => mm.push(r),
+            Cell::Ge(r) => ge.push(r),
             Cell::Power(c) => power.push(c),
         }
     }
-    let (mm_inv, mm_mat) = render_mm(params.mm_target, &presets, &mm);
-    vec![mm_inv, mm_mat, render_power(&power)]
+    let (mm_inv, mm_mat) = render_inversions("MM", "fitted-trend", params.mm_target, &presets, &mm);
+    let (ge_inv, ge_mat) =
+        render_inversions("GE", "reciprocal-trend", params.ge_target, &presets, &ge);
+    vec![mm_inv, mm_mat, ge_inv, ge_mat, render_power(&power)]
 }
 
 #[cfg(test)]
@@ -216,13 +247,15 @@ mod tests {
     fn mega_tables_have_the_expected_shape() {
         let params = ExperimentParams::quick();
         let tables = mega_sweep(&params, true);
-        assert_eq!(tables.len(), 3, "MM inversions, MM psi matrix, power ceiling");
+        assert_eq!(tables.len(), 5, "MM inv, MM psi, GE inv, GE psi, power ceiling");
         let presets = mega_presets(true);
         for t in &tables {
             assert_eq!(t.rows.len(), presets.len(), "one row per preset in {}", t.title);
         }
-        assert_eq!(tables[1].headers.len(), presets.len() + 1, "{}", tables[1].title);
-        assert_eq!(tables[2].headers.len(), 6, "{}", tables[2].title);
+        for matrix in [&tables[1], &tables[3]] {
+            assert_eq!(matrix.headers.len(), presets.len() + 1, "{}", matrix.title);
+        }
+        assert_eq!(tables[4].headers.len(), 6, "{}", tables[4].title);
     }
 
     #[test]
@@ -238,38 +271,64 @@ mod tests {
     }
 
     #[test]
-    fn mm_diagonal_is_one_and_upper_triangle_is_in_unit_interval() {
+    fn quick_presets_all_invert_for_ge() {
+        // The GE band never brackets its crossing, but the reciprocal
+        // trend must still reach the target at every quick preset.
         let params = ExperimentParams::quick();
         let tables = mega_sweep(&params, true);
-        let t = &tables[1];
-        for (i, row) in t.rows.iter().enumerate() {
-            assert_eq!(row[i + 1], "1.0000", "diagonal of {}", t.title);
-            for (j, cell) in row.iter().enumerate().skip(1) {
-                let j = j - 1;
-                if j < i {
-                    assert!(cell.is_empty(), "lower triangle of {}", t.title);
-                } else if j > i && cell != "-" {
-                    let psi: f64 = cell.parse().expect("psi cell parses");
-                    assert!(
-                        psi > 0.0 && psi < 1.0,
-                        "psi({i}, {j}) = {psi} out of (0, 1) in {}",
-                        t.title
-                    );
+        let presets = mega_presets(true);
+        for (row, preset) in tables[2].rows.iter().zip(&presets) {
+            assert_ne!(row[2], "-", "GE inversion failed: {row:?}");
+            // The X3 surface pins GE's required N near 150·p; the
+            // extrapolated crossings should land on the same trend
+            // (generously bracketed — it is an extrapolation).
+            let n: f64 = row[2].parse().expect("required N parses");
+            let p = preset.ranks as f64;
+            assert!(
+                n > 20.0 * p && n < 1000.0 * p,
+                "GE required N = {n} off-trend at p = {p} ({row:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn psi_matrices_have_unit_diagonals_and_unit_interval_upper_triangles() {
+        let params = ExperimentParams::quick();
+        let tables = mega_sweep(&params, true);
+        for t in [&tables[1], &tables[3]] {
+            for (i, row) in t.rows.iter().enumerate() {
+                assert_eq!(row[i + 1], "1.0000", "diagonal of {}", t.title);
+                for (j, cell) in row.iter().enumerate().skip(1) {
+                    let j = j - 1;
+                    if j < i {
+                        assert!(cell.is_empty(), "lower triangle of {}", t.title);
+                    } else if j > i && cell != "-" {
+                        let psi: f64 = cell.parse().expect("psi cell parses");
+                        assert!(
+                            psi > 0.0 && psi < 1.0,
+                            "psi({i}, {j}) = {psi} out of (0, 1) in {}",
+                            t.title
+                        );
+                    }
                 }
             }
         }
     }
 
     #[test]
-    fn mm_psi_decays_along_long_jumps() {
+    fn psi_decays_along_long_jumps() {
         // ψ over the 10³ → 10⁵ jump must not exceed ψ over 10³ → 10⁴:
-        // scaling further away cannot get *easier*.
+        // scaling further away cannot get *easier*. Holds for both
+        // kernels' matrices (columns: 10⁴ is index 2, 10⁵ index 4 —
+        // the zipf rung sits between them).
         let params = ExperimentParams::quick();
         let tables = mega_sweep(&params, true);
-        let first = &tables[1].rows[0];
-        let short: f64 = first[2].parse().expect("psi(1e3,1e4) parses");
-        let long: f64 = first[3].parse().expect("psi(1e3,1e5) parses");
-        assert!(long <= short, "psi(1e3,1e5) = {long} > psi(1e3,1e4) = {short}");
+        for t in [&tables[1], &tables[3]] {
+            let first = &t.rows[0];
+            let short: f64 = first[2].parse().expect("psi(1e3,1e4) parses");
+            let long: f64 = first[4].parse().expect("psi(1e3,1e5) parses");
+            assert!(long <= short, "psi(1e3,1e5) = {long} > psi(1e3,1e4) = {short} in {}", t.title);
+        }
     }
 
     #[test]
@@ -277,7 +336,7 @@ mod tests {
         let params = ExperimentParams::quick();
         let tables = mega_sweep(&params, true);
         let mut prev_top = f64::INFINITY;
-        for row in &tables[2].rows {
+        for row in &tables[4].rows {
             let e_bottom: f64 = row[2].parse().expect("bottom parses");
             let e_top: f64 = row[3].parse().expect("top parses");
             let bound: f64 = row[4].parse().expect("bound parses");
@@ -306,8 +365,9 @@ mod tests {
         // succeed with the crossing interior to the grid, and the power
         // ceiling to sit under its bound.
         let params = ExperimentParams::full();
-        let p = 10_000_000;
-        match measure_cell("mm", p, &params) {
+        let preset = MegaPreset { ranks: 10_000_000, zipf: false };
+        let p = preset.ranks;
+        match measure_cell("mm", preset, &params) {
             Cell::Mm(rung) => {
                 let (n, _) = rung
                     .inverted
@@ -318,14 +378,31 @@ mod tests {
                     "MM required N = {n} exits the grid {grid:?}"
                 );
             }
-            Cell::Power(_) => unreachable!(),
+            _ => unreachable!(),
         }
-        match measure_cell("power", p, &params) {
+        match measure_cell("power", preset, &params) {
             Cell::Power(c) => {
                 assert!(c.e_top < c.bound, "E_s {} over bound {}", c.e_top, c.bound);
                 assert!(c.scatter_share > 0.5, "share {}", c.scatter_share);
             }
-            Cell::Mm(_) => unreachable!(),
+            _ => unreachable!(),
+        }
+        // GE walks Θ(N) rounds per cell, so exercise the full-scale
+        // trend at the 10⁶ preset (the 10⁷ cell is interactive-budget
+        // territory: ~10⁸ aggregated rounds across its grid).
+        let preset = MegaPreset { ranks: 1_000_000, zipf: false };
+        match measure_cell("ge", preset, &params) {
+            Cell::Ge(rung) => {
+                let (n, _) = rung
+                    .inverted
+                    .unwrap_or_else(|| panic!("10^6-rank GE inversion failed ({})", rung.label));
+                assert!(
+                    n > 20 * preset.ranks && n < 1000 * preset.ranks,
+                    "GE required N = {n} off-trend at p = {}",
+                    preset.ranks
+                );
+            }
+            _ => unreachable!(),
         }
     }
 }

@@ -96,18 +96,48 @@ pub fn surface_mm_sizes(p: usize) -> Vec<usize> {
     SURFACE_GRID.iter().map(|m| (m * anchor).round().max(4.0) as usize).collect()
 }
 
-/// Rank counts of the X4 mega-scale sweep: HEET machines from 10³ to
-/// 10⁷ ranks, every cell priced in O(classes) through the
-/// class-aggregated closed forms. Quick stops at the 10⁵ preset (the
-/// interactive, ci.sh-gated point that is still affordable for the
-/// per-rank oracle under `--no-analytic`); full adds the 10⁶ and 10⁷
-/// machines.
-pub fn mega_presets(quick: bool) -> Vec<usize> {
-    if quick {
-        vec![1_000, 10_000, 100_000]
-    } else {
-        vec![1_000, 10_000, 100_000, 1_000_000, 10_000_000]
+/// One machine of the X4 mega-scale sweep: a rank count plus the
+/// speed-ladder shape of its HEET preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MegaPreset {
+    /// Total ranks.
+    pub ranks: usize,
+    /// Harmonic (Zipf-spread) speed decay instead of the linear ladder
+    /// — same endpoints and tier populations, sagging interior tiers.
+    pub zipf: bool,
+}
+
+impl MegaPreset {
+    /// Short tag for table axes: the rank count, with the ladder shape
+    /// when it is not the default linear one.
+    pub fn tag(&self) -> String {
+        if self.zipf {
+            format!("{} (zipf)", self.ranks)
+        } else {
+            self.ranks.to_string()
+        }
     }
+}
+
+/// Presets of the X4 mega-scale sweep: HEET machines from 10³ to 10⁷
+/// ranks, every cell priced in O(classes) through the class-aggregated
+/// closed forms. One heavy-tailed (Zipf-spread) rung rides between the
+/// 10⁴ and 10⁵ linear machines so the sweep crosses ladder shapes, not
+/// just sizes. Quick stops at the 10⁵ preset (the interactive,
+/// ci.sh-gated point that is still affordable for the per-rank oracle
+/// under `--no-analytic`); full adds the 10⁶ and 10⁷ machines.
+pub fn mega_presets(quick: bool) -> Vec<MegaPreset> {
+    let mut presets = vec![
+        MegaPreset { ranks: 1_000, zipf: false },
+        MegaPreset { ranks: 10_000, zipf: false },
+        MegaPreset { ranks: 30_000, zipf: true },
+        MegaPreset { ranks: 100_000, zipf: false },
+    ];
+    if !quick {
+        presets.push(MegaPreset { ranks: 1_000_000, zipf: false });
+        presets.push(MegaPreset { ranks: 10_000_000, zipf: false });
+    }
+    presets
 }
 
 /// Speed-tier cap of the mega HEET machines — the same 8-tier shape the
@@ -148,6 +178,26 @@ pub fn mega_mm_sizes(p: usize) -> Vec<usize> {
 pub fn mega_power_sizes(p: usize) -> Vec<usize> {
     let anchor = 1000.0 * (p as f64).sqrt();
     SURFACE_GRID.iter().map(|m| (m * anchor).round().max(4.0) as usize).collect()
+}
+
+/// Relative multipliers of the GE mega anchor. Denser and narrower than
+/// [`SURFACE_GRID`]: the GE cells never reach their crossing (see
+/// [`mega_ge_sizes`]), so the grid's job is to pin the low-size band
+/// the reciprocal trend extrapolates from.
+const MEGA_GE_GRID: [f64; 5] = [1.0, 1.25, 1.6, 2.0, 2.5];
+
+/// Dense problem-size grid for one GE mega rung. GE walks Θ(N)
+/// lockstep broadcast + barrier rounds, so a cell costs Θ(N·classes)
+/// even aggregated — and its target crossing sits near `N* ≈ 150·p`
+/// (the X3 surface trend), unaffordable to sample at 10⁷ ranks. The
+/// grid instead samples a dense band anchored at `2·p` — above the
+/// `n ≈ p` regime change where ranks still hold single rows — and the
+/// sweep inverts the *reciprocal* trend
+/// ([`scalability::metric::EfficiencyCurve::required_n_extrapolated`]),
+/// which reaches crossings beyond the sampled range.
+pub fn mega_ge_sizes(p: usize) -> Vec<usize> {
+    let anchor = 2.0 * p as f64;
+    MEGA_GE_GRID.iter().map(|m| (m * anchor).round().max(4.0) as usize).collect()
 }
 
 #[cfg(test)]
@@ -192,10 +242,18 @@ mod tests {
     #[test]
     fn mega_presets_span_three_to_seven_decades() {
         let full = mega_presets(false);
-        assert_eq!(full, vec![1_000, 10_000, 100_000, 1_000_000, 10_000_000]);
+        let ranks: Vec<usize> = full.iter().map(|p| p.ranks).collect();
+        assert_eq!(ranks, vec![1_000, 10_000, 30_000, 100_000, 1_000_000, 10_000_000]);
         let quick = mega_presets(true);
-        assert_eq!(*quick.last().unwrap(), 100_000, "quick must price a >= 10^5-rank preset");
+        assert_eq!(quick.last().unwrap().ranks, 100_000, "quick must price a >= 10^5-rank preset");
         assert!(quick.iter().all(|p| full.contains(p)));
+        // Exactly one heavy-tailed rung, present in both scales, with a
+        // distinct rank count so every preset pair is a genuine jump.
+        assert_eq!(quick.iter().filter(|p| p.zipf).count(), 1);
+        assert_eq!(full.iter().filter(|p| p.zipf).count(), 1);
+        let zipf = quick.iter().find(|p| p.zipf).unwrap();
+        assert_eq!(zipf.tag(), "30000 (zipf)");
+        assert!(ranks.windows(2).all(|w| w[0] < w[1]), "rank counts strictly increase");
     }
 
     #[test]
@@ -204,7 +262,8 @@ mod tests {
         // every preset's grid or the inversion cannot succeed; the
         // power grid must reach past the scatter-dominance threshold
         // N ≈ 350·√p so the ceiling is measured in its plateau.
-        for p in mega_presets(false) {
+        for preset in mega_presets(false) {
+            let p = preset.ranks;
             let mm = mega_mm_sizes(p);
             assert!(mm.windows(2).all(|w| w[0] < w[1]), "MM grid not increasing at p = {p}");
             let crossing = (3.2 * p as f64) as usize;
@@ -216,6 +275,13 @@ mod tests {
             assert!(pw.windows(2).all(|w| w[0] < w[1]), "power grid not increasing at p = {p}");
             let plateau = (350.0 * (p as f64).sqrt()) as usize;
             assert!(*pw.last().unwrap() > 2 * plateau, "power grid too shallow at p = {p}");
+            // The GE band sits entirely above the n ≈ p regime change
+            // and below the ≈ 150·p crossing — it is an extrapolation
+            // base, not a bracketing grid.
+            let ge = mega_ge_sizes(p);
+            assert!(ge.windows(2).all(|w| w[0] < w[1]), "GE grid not increasing at p = {p}");
+            assert!(ge[0] >= 2 * p, "GE band dips into the single-row regime at p = {p}");
+            assert!(*ge.last().unwrap() < 150 * p, "GE band reaches the crossing at p = {p}");
         }
     }
 

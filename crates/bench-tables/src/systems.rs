@@ -12,7 +12,7 @@ use hetsim_cluster::classed::ClassedCluster;
 use hetsim_cluster::cluster::ClusterSpec;
 use hetsim_cluster::network::NetworkModel;
 use kernels::ge::ge_parallel_timed;
-use kernels::mega::{mm_mega, power_mega};
+use kernels::mega::{ge_mega, mm_mega, power_mega};
 use kernels::mm::mm_parallel_timed;
 use kernels::power::{power_parallel_timed, power_work};
 use kernels::stencil::{stencil_parallel_timed, stencil_work};
@@ -212,6 +212,54 @@ impl<N: NetworkModel> AlgorithmSystem for MegaMmSystem<'_, N> {
                 .as_secs()
         } else {
             mm_parallel_timed(&self.cluster.materialize(), self.network, n).makespan.as_secs()
+        }
+    }
+}
+
+/// Cyclic-deal GE on a class-compressed mega machine (X4). The
+/// analytic path prices the cell in Θ(N·classes) through [`ge_mega`]
+/// (GE's lockstep rounds are inherently Θ(N); only the per-round state
+/// compresses to O(classes)). Under `--no-analytic` the *small*
+/// presets materialize and run the per-rank engine — the oracle
+/// reference; above [`MegaGeSystem::ORACLE_MAX_RANKS`] the per-rank GE
+/// walk is Θ(N·P) ≈ 10¹⁰⁺ events, so those cells stay on the
+/// aggregated form, which is bit-identical anyway (the byte-equality
+/// gate in ci.sh exercises exactly this split).
+pub struct MegaGeSystem<'a, N: NetworkModel> {
+    /// The class-compressed configuration.
+    pub cluster: &'a ClassedCluster,
+    /// The interconnect model.
+    pub network: &'a N,
+}
+
+impl<'a, N: NetworkModel> MegaGeSystem<'a, N> {
+    /// Largest preset the `--no-analytic` oracle path materializes.
+    pub const ORACLE_MAX_RANKS: usize = 1_000;
+
+    /// Binds GE to a classed configuration.
+    pub fn new(cluster: &'a ClassedCluster, network: &'a N) -> Self {
+        MegaGeSystem { cluster, network }
+    }
+}
+
+impl<N: NetworkModel> AlgorithmSystem for MegaGeSystem<'_, N> {
+    fn label(&self) -> String {
+        format!("GE on {}", self.cluster.label)
+    }
+    fn marked_speed_flops(&self) -> f64 {
+        self.cluster.marked_speed_flops()
+    }
+    fn work(&self, n: usize) -> f64 {
+        ge_work(n)
+    }
+    fn execute(&self, n: usize) -> f64 {
+        if !hetsim_mpi::analytic_enabled() && self.cluster.size() <= Self::ORACLE_MAX_RANKS {
+            ge_parallel_timed(&self.cluster.materialize(), self.network, n).makespan.as_secs()
+        } else {
+            ge_mega(self.cluster, self.network, n)
+                .expect("the mega network prices per class")
+                .makespan
+                .as_secs()
         }
     }
 }

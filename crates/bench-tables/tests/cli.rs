@@ -112,8 +112,11 @@ fn mega_id_emits_the_mega_scale_tables() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("X4 MM mega inversions"), "missing inversions: {stdout}");
     assert!(stdout.contains("X4 MM mega surface"), "missing psi matrix: {stdout}");
+    assert!(stdout.contains("X4 GE mega inversions"), "missing GE inversions: {stdout}");
+    assert!(stdout.contains("X4 GE mega surface"), "missing GE psi matrix: {stdout}");
     assert!(stdout.contains("X4 power mega ceiling"), "missing ceiling: {stdout}");
     assert!(stdout.contains("heet-100000x8"), "missing the 10^5-rank preset: {stdout}");
+    assert!(stdout.contains("heet-zipf-30000x8"), "missing the zipf preset: {stdout}");
 }
 
 fn stdout_of(args: &[&str]) -> Vec<u8> {

@@ -16,6 +16,7 @@
 //! one unit by a hair; the property tests bound it by two.)
 
 use crate::Distribution;
+use hetsim_cluster::repeat_add;
 use serde::{Deserialize, Serialize};
 
 /// Heterogeneous block-cyclic distribution of rows over ranks.
@@ -88,6 +89,129 @@ impl CyclicDistribution {
     /// The dealing block size.
     pub fn block_size(&self) -> usize {
         self.block
+    }
+}
+
+/// The greedy largest-deficit deal replayed over *speed classes* in
+/// O(classes) state — the ownership query behind class-aggregated GE
+/// (DESIGN.md §13).
+///
+/// When the speed vector is a run-length sequence of equal-speed
+/// classes (ranks of a class contiguous, as `ClassedCluster`
+/// materializes them), the per-rank deal collapses: all members of a
+/// class share one fraction bit pattern, so within a class the next
+/// winner is always the lowest-index member holding the minimum count —
+/// i.e. the deal serves each class round-robin from member 0. The whole
+/// per-rank state therefore reduces to, per class, the rows dealt so
+/// far (`dealt`), the count held by the class's current front member
+/// (`front = ⌊dealt/members⌋`), and that member's index within the
+/// class (`wrap = dealt mod members`).
+///
+/// Every float operation mirrors [`CyclicDistribution::new`] exactly:
+/// the speed total is the same sequential fold (batched per run through
+/// [`repeat_add`]), fractions are the same `s / total`, and the deficit
+/// `t·f − count` is evaluated with the identical expression, strict `>`
+/// comparison, and class-order tie-breaking — so the winner sequence is
+/// bit-for-bit the per-rank one (pinned by the tests below and the
+/// kernel-level equivalence suite).
+#[derive(Debug, Clone)]
+pub struct ClassedCyclicDeal {
+    fractions: Vec<f64>,
+    members: Vec<u64>,
+    dealt: Vec<u64>,
+    front: Vec<u64>,
+    wrap: Vec<u64>,
+    step: u64,
+}
+
+impl ClassedCyclicDeal {
+    /// Builds the deal state for rank-order speed runs `(speed, members)`.
+    ///
+    /// # Panics
+    /// Panics when `classes` is empty, any run is empty, or any speed is
+    /// non-finite, negative, or all are zero — the same contract as
+    /// [`CyclicDistribution::new`] on the expanded speed vector.
+    pub fn new(classes: &[(f64, u64)]) -> ClassedCyclicDeal {
+        assert!(!classes.is_empty(), "need at least one class");
+        assert!(classes.iter().all(|&(_, m)| m > 0), "every class needs at least one member");
+        assert!(
+            classes.iter().all(|&(s, _)| s.is_finite() && s >= 0.0),
+            "speeds must be finite and non-negative"
+        );
+        // The same left fold as `speeds.iter().sum()` over the expanded
+        // vector: within a run every step adds the same value, so the
+        // run collapses to one exact repeat_add hop.
+        let mut total = 0.0f64;
+        for &(s, m) in classes {
+            total = repeat_add(total, s, m);
+        }
+        assert!(total > 0.0, "at least one speed must be positive");
+        ClassedCyclicDeal {
+            fractions: classes.iter().map(|&(s, _)| s / total).collect(),
+            members: classes.iter().map(|&(_, m)| m).collect(),
+            dealt: vec![0; classes.len()],
+            front: vec![0; classes.len()],
+            wrap: vec![0; classes.len()],
+            step: 0,
+        }
+    }
+
+    /// Deals the next row and returns the winning class index.
+    ///
+    /// The row lands on member `front_member()` of that class (its
+    /// pre-deal value): each class is served round-robin from member 0.
+    pub fn deal(&mut self) -> usize {
+        let next_total = (self.step + 1) as f64;
+        let mut best = usize::MAX;
+        let mut best_deficit = f64::NEG_INFINITY;
+        // Zipped iteration keeps the O(n · classes) replay loops free
+        // of bounds checks (this is the hot path of the aggregated GE
+        // form, run once per matrix row).
+        for (c, (&f, &front)) in self.fractions.iter().zip(self.front.iter()).enumerate() {
+            if f == 0.0 {
+                continue;
+            }
+            let deficit = next_total * f - front as f64;
+            if deficit > best_deficit {
+                best_deficit = deficit;
+                best = c;
+            }
+        }
+        debug_assert!(best != usize::MAX);
+        self.dealt[best] += 1;
+        self.wrap[best] += 1;
+        if self.wrap[best] == self.members[best] {
+            self.wrap[best] = 0;
+            self.front[best] += 1;
+        }
+        self.step += 1;
+        best
+    }
+
+    /// Rows dealt so far, per class.
+    pub fn class_counts(&self) -> &[u64] {
+        &self.dealt
+    }
+
+    /// Member index (within `class`) that receives the class's next row.
+    pub fn front_member(&self, class: usize) -> u64 {
+        self.wrap[class]
+    }
+
+    /// Total rows dealt so far.
+    pub fn rows_dealt(&self) -> u64 {
+        self.step
+    }
+
+    /// Per-class row totals after dealing `n` rows — the classed
+    /// equivalent of aggregating [`CyclicDistribution::fine`] counts,
+    /// in O(runs) memory.
+    pub fn counts(n: usize, classes: &[(f64, u64)]) -> Vec<u64> {
+        let mut deal = ClassedCyclicDeal::new(classes);
+        for _ in 0..n {
+            deal.deal();
+        }
+        deal.dealt
     }
 }
 
@@ -238,6 +362,108 @@ mod tests {
         let a = CyclicDistribution::new(313, &speeds, 2);
         let b = CyclicDistribution::new(313, &speeds, 2);
         assert_eq!(a, b);
+    }
+
+    /// Expands class runs to the per-rank speed vector.
+    fn expand(classes: &[(f64, u64)]) -> Vec<f64> {
+        classes.iter().flat_map(|&(s, m)| std::iter::repeat_n(s, m as usize)).collect()
+    }
+
+    /// Checks the classed deal reproduces the per-rank deal on `n` rows:
+    /// the winner-class sequence, the within-class round-robin member,
+    /// and the final counts must all match exactly.
+    fn check_classed_mirrors_fine(n: usize, classes: &[(f64, u64)]) {
+        let speeds = expand(classes);
+        let fine = CyclicDistribution::fine(n, &speeds);
+        let base: Vec<usize> = classes
+            .iter()
+            .scan(0usize, |acc, &(_, m)| {
+                let b = *acc;
+                *acc += m as usize;
+                Some(b)
+            })
+            .collect();
+        let mut deal = ClassedCyclicDeal::new(classes);
+        for row in 0..n {
+            let owner = fine.owner(row);
+            let class = base.iter().rposition(|&b| b <= owner).unwrap();
+            let member = deal.front_member(class);
+            assert_eq!(deal.deal(), class, "row {row}: class ({classes:?})");
+            assert_eq!(base[class] + member as usize, owner, "row {row}: member ({classes:?})");
+        }
+        let per_class: Vec<u64> = base
+            .iter()
+            .zip(classes)
+            .map(|(&b, &(_, m))| (b..b + m as usize).map(|r| fine.counts()[r] as u64).sum())
+            .collect();
+        assert_eq!(deal.class_counts(), per_class, "counts ({classes:?})");
+        assert_eq!(deal.rows_dealt(), n as u64);
+    }
+
+    #[test]
+    fn classed_deal_mirrors_fine_on_many_shapes() {
+        for (n, classes) in [
+            (0usize, vec![(50.0, 3u64)]),
+            (1, vec![(50.0, 1)]),
+            (17, vec![(90.0, 2), (50.0, 1), (110.0, 3)]),
+            (129, vec![(108.0, 1), (72.0, 3), (45.0, 4)]),
+            (313, vec![(1000.0, 1), (1.0, 5)]),
+            (100, vec![(1.0, 2), (0.0, 3), (1.0, 2)]),
+            // Equal speeds across distinct classes: the cross-class tie
+            // must break to the lower class, exactly as the rank scan.
+            (97, vec![(64.0, 2), (64.0, 3), (32.0, 1)]),
+            (64, vec![(45.0, 8)]),
+        ] {
+            check_classed_mirrors_fine(n, &classes);
+        }
+    }
+
+    #[test]
+    fn classed_total_matches_sequential_sum() {
+        // The fraction denominators must share bits with the per-rank
+        // fold; a same-speed singleton pair exercises the run batching.
+        // `45.0 + 8e-15` rounds to the next representable above 45.0 —
+        // an awkward mantissa no decimal literal spells cleanly.
+        let awkward = 45.0f64 + 8e-15;
+        let classes = [(awkward, 1_000_000u64), (104.3, 1), (104.3, 1)];
+        let speeds = expand(&classes);
+        let seq: f64 = speeds.iter().sum();
+        let mut total = 0.0f64;
+        for &(s, m) in &classes {
+            total = hetsim_cluster::repeat_add(total, s, m);
+        }
+        assert_eq!(total.to_bits(), seq.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one speed must be positive")]
+    fn classed_all_zero_speeds_rejected() {
+        ClassedCyclicDeal::new(&[(0.0, 2), (0.0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "every class needs at least one member")]
+    fn classed_empty_run_rejected() {
+        ClassedCyclicDeal::new(&[(50.0, 0)]);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn classed_deal_matches_per_rank_on_random_runs(
+            n in 0usize..600,
+            picks in proptest::collection::vec((0usize..6, 1u64..9), 1..6),
+        ) {
+            // A small speed palette (with repeats and a zero) makes
+            // cross-class deficit ties and skipped classes common.
+            let palette = [50.0, 90.0, 150.0, 50.0, 0.0, 1.0];
+            let classes: Vec<(f64, u64)> =
+                picks.iter().map(|&(i, m)| (palette[i], m)).collect();
+            if classes.iter().any(|&(s, _)| s > 0.0) {
+                check_classed_mirrors_fine(n, &classes);
+            }
+        }
     }
 
     #[test]

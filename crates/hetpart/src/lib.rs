@@ -46,7 +46,7 @@ pub mod rebalance;
 
 pub use balance::{imbalance, parallel_time_estimate};
 pub use block::{BlockDistribution, RowRange};
-pub use cyclic::CyclicDistribution;
+pub use cyclic::{ClassedCyclicDeal, CyclicDistribution};
 pub use proportion::{proportional_counts, proportional_counts_classed};
 pub use rebalance::{repartition_after_deaths, Repartition};
 

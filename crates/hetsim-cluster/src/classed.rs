@@ -85,11 +85,7 @@ impl ClassedCluster {
     /// non-empty and the class count never exceeds
     /// `min(max_classes, p)`.
     pub fn heet(p: usize, max_classes: usize, base_mflops: f64, spread: f64) -> ClassedCluster {
-        assert!(p > 0, "need at least one rank");
-        assert!(max_classes > 0, "need at least one class");
-        assert!(base_mflops > 0.0 && base_mflops.is_finite(), "base speed must be positive");
-        assert!(spread >= 1.0 && spread.is_finite(), "spread is fastest/slowest, at least 1");
-        let k = max_classes.min(p);
+        let k = heet_class_count(p, max_classes, base_mflops, spread);
         // Linear speed ladder, fastest first. k = 1 degenerates to a
         // homogeneous machine at base speed.
         let speed = |j: usize| -> f64 {
@@ -100,29 +96,36 @@ impl ClassedCluster {
                 base_mflops * (1.0 + frac * (spread - 1.0))
             }
         };
-        // One guaranteed member per class; the rest by largest
-        // remainder over the tail-heavy weights (ties toward the fast
-        // classes, matching the index order).
-        let spare = p - k;
-        let total_weight: usize = (1..=k).sum();
-        let mut counts: Vec<usize> = (0..k).map(|j| spare * (j + 1) / total_weight).collect();
-        let mut leftover = spare - counts.iter().sum::<usize>();
-        let mut order: Vec<usize> = (0..k).collect();
-        order.sort_by_key(|&j| {
-            // Remainder of spare·(j+1)/total_weight, largest first;
-            // index ascending breaks ties.
-            (std::cmp::Reverse(spare * (j + 1) % total_weight), j)
-        });
-        for &j in &order {
-            if leftover == 0 {
-                break;
-            }
-            counts[j] += 1;
-            leftover -= 1;
-        }
-        let classes =
-            (0..k).map(|j| SpeedClass { speed_mflops: speed(j), count: counts[j] + 1 }).collect();
+        let classes = heet_classes(p, k, speed);
         ClassedCluster { classes, label: format!("heet-{p}x{k}") }
+    }
+
+    /// The heavy-tailed sibling of [`ClassedCluster::heet`]: same total
+    /// size, class count, spread, and tail-heavy populations, but the
+    /// marked speeds decay *harmonically* (Zipf-like) instead of
+    /// linearly — `base · spread / (1 + (spread − 1) · j/(k − 1))` —
+    /// so a small elite of fast tiers towers over a long near-`base`
+    /// tail. Class 0 still holds rank 0 at `base · spread`; the last
+    /// class still sits exactly at `base`.
+    ///
+    /// Deterministic and `powf`-free, like the linear ladder.
+    pub fn heet_zipf(
+        p: usize,
+        max_classes: usize,
+        base_mflops: f64,
+        spread: f64,
+    ) -> ClassedCluster {
+        let k = heet_class_count(p, max_classes, base_mflops, spread);
+        let speed = |j: usize| -> f64 {
+            if k == 1 {
+                base_mflops
+            } else {
+                let depth = j as f64 / (k - 1) as f64;
+                base_mflops * spread / (1.0 + (spread - 1.0) * depth)
+            }
+        };
+        let classes = heet_classes(p, k, speed);
+        ClassedCluster { classes, label: format!("heet-zipf-{p}x{k}") }
     }
 
     /// The speed classes, in rank order.
@@ -188,6 +191,41 @@ impl ClassedCluster {
             .collect();
         ClusterSpec::new(self.label.clone(), nodes).expect("classed cluster is never empty")
     }
+}
+
+/// Validates the shared HEET generator arguments and returns the
+/// effective class count `min(max_classes, p)`.
+fn heet_class_count(p: usize, max_classes: usize, base_mflops: f64, spread: f64) -> usize {
+    assert!(p > 0, "need at least one rank");
+    assert!(max_classes > 0, "need at least one class");
+    assert!(base_mflops > 0.0 && base_mflops.is_finite(), "base speed must be positive");
+    assert!(spread >= 1.0 && spread.is_finite(), "spread is fastest/slowest, at least 1");
+    max_classes.min(p)
+}
+
+/// Tail-heavy class populations shared by every HEET speed ladder: one
+/// guaranteed member per class, the rest by largest remainder over
+/// weights `j + 1` (ties toward the fast classes, matching index
+/// order), with `speed(j)` supplying the per-class marked speed.
+fn heet_classes(p: usize, k: usize, speed: impl Fn(usize) -> f64) -> Vec<SpeedClass> {
+    let spare = p - k;
+    let total_weight: usize = (1..=k).sum();
+    let mut counts: Vec<usize> = (0..k).map(|j| spare * (j + 1) / total_weight).collect();
+    let mut leftover = spare - counts.iter().sum::<usize>();
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by_key(|&j| {
+        // Remainder of spare·(j+1)/total_weight, largest first; index
+        // ascending breaks ties.
+        (std::cmp::Reverse(spare * (j + 1) % total_weight), j)
+    });
+    for &j in &order {
+        if leftover == 0 {
+            break;
+        }
+        counts[j] += 1;
+        leftover -= 1;
+    }
+    (0..k).map(|j| SpeedClass { speed_mflops: speed(j), count: counts[j] + 1 }).collect()
 }
 
 impl fmt::Display for ClassedCluster {
@@ -265,6 +303,48 @@ mod tests {
     }
 
     #[test]
+    fn zipf_shares_envelope_with_linear_but_decays_faster() {
+        let lin = ClassedCluster::heet(30_000, 8, 45.0, 2.4);
+        let zipf = ClassedCluster::heet_zipf(30_000, 8, 45.0, 2.4);
+        // Same size, class count, populations, and speed envelope.
+        assert_eq!(zipf.size(), lin.size());
+        assert_eq!(zipf.class_count(), lin.class_count());
+        let counts =
+            |c: &ClassedCluster| -> Vec<usize> { c.classes().iter().map(|s| s.count).collect() };
+        assert_eq!(counts(&zipf), counts(&lin));
+        assert_eq!(zipf.classes()[0].speed_mflops, lin.classes()[0].speed_mflops);
+        assert_eq!(zipf.classes()[7].speed_mflops, lin.classes()[7].speed_mflops);
+        // Harmonic decay: every interior tier is slower than linear,
+        // so the machine's marked speed drops and heterogeneity rises.
+        for j in 1..7 {
+            assert!(
+                zipf.classes()[j].speed_mflops < lin.classes()[j].speed_mflops,
+                "tier {j} should sag below the linear ladder"
+            );
+        }
+        assert!(zipf.marked_speed_mflops() < lin.marked_speed_mflops());
+        assert!(zipf.heterogeneity_index() > lin.heterogeneity_index());
+        assert_eq!(zipf.label, "heet-zipf-30000x8");
+    }
+
+    #[test]
+    fn zipf_degenerates_like_the_linear_ladder() {
+        let solo = ClassedCluster::heet_zipf(1, 8, 50.0, 4.0);
+        assert_eq!(solo.size(), 1);
+        assert_eq!(solo.classes()[0].speed_mflops, 50.0);
+        let homo = ClassedCluster::heet_zipf(64, 1, 50.0, 4.0);
+        assert_eq!(homo.class_count(), 1);
+        assert_eq!(homo.classes()[0].speed_mflops, 50.0);
+        // spread = 1 collapses both ladders to the same homogeneous machine.
+        let flat_lin = ClassedCluster::heet(100, 6, 50.0, 1.0);
+        let flat_zipf = ClassedCluster::heet_zipf(100, 6, 50.0, 1.0);
+        let speeds = |c: &ClassedCluster| -> Vec<u64> {
+            c.classes().iter().map(|s| s.speed_mflops.to_bits()).collect()
+        };
+        assert_eq!(speeds(&flat_lin), speeds(&flat_zipf));
+    }
+
+    #[test]
     fn heterogeneity_index_grows_with_spread() {
         let narrow = ClassedCluster::heet(10_000, 8, 50.0, 2.0);
         let wide = ClassedCluster::heet(10_000, 8, 50.0, 16.0);
@@ -293,11 +373,13 @@ mod tests {
             base in 1.0f64..200.0,
             spread in 1.0f64..64.0,
         ) {
-            let c = ClassedCluster::heet(p, k, base, spread);
-            prop_assert_eq!(c.size(), p);
-            prop_assert!(c.class_count() <= k.min(p));
-            prop_assert_eq!(c.class_count(), k.min(p));
-            prop_assert!(c.classes().iter().all(|s| s.count >= 1 && s.speed_mflops > 0.0));
+            for c in [ClassedCluster::heet(p, k, base, spread),
+                      ClassedCluster::heet_zipf(p, k, base, spread)] {
+                prop_assert_eq!(c.size(), p);
+                prop_assert!(c.class_count() <= k.min(p));
+                prop_assert_eq!(c.class_count(), k.min(p));
+                prop_assert!(c.classes().iter().all(|s| s.count >= 1 && s.speed_mflops > 0.0));
+            }
         }
 
         /// Compressed and materialized views agree bit for bit on the

@@ -88,7 +88,14 @@ fn bcast_from<N: NetworkModel>(
     }
 }
 
-/// Gather of `counts[r]` elements per rank to `root`. Deposits carry
+/// Per-rank element counts to byte sizes, rank-indexed like the engine.
+fn byte_sizes(counts: &[usize]) -> Vec<u64> {
+    counts.iter().map(|&c| (c * 8) as u64).collect()
+}
+
+/// Gather of `sizes[r]` bytes per rank to `root` (callers precompute
+/// the size vector once — the power iteration gathers every sweep and
+/// the batched GE every campaign with the same sizes). Deposits carry
 /// each rank's *entry* clock; leaves then pay their p2p cost while the
 /// root waits for the latest deposit plus the gather cost over the
 /// size vector (rank-indexed, like the engine).
@@ -97,10 +104,9 @@ fn gather_to<N: NetworkModel>(
     clock: &mut [SimTime],
     comm: &mut [SimTime],
     root: usize,
-    counts: &[usize],
+    sizes: &[u64],
 ) {
     let p = clock.len();
-    let sizes: Vec<u64> = counts.iter().map(|&c| (c * 8) as u64).collect();
     let max_entry = *clock.iter().max().expect("p >= 1");
     for r in 0..p {
         if r != root {
@@ -110,7 +116,7 @@ fn gather_to<N: NetworkModel>(
             clock[r] = exit;
         }
     }
-    let gather_cost = SimTime::from_secs(network.gather_time(&sizes, root));
+    let gather_cost = SimTime::from_secs(network.gather_time(sizes, root));
     let ready = clock[root].max(max_entry);
     let exit = ready + gather_cost;
     comm[root] += exit - clock[root];
@@ -211,6 +217,9 @@ pub fn ge_closed_form_many<N: NetworkModel>(
         networks.iter().map(|net| SimTime::from_secs(net.barrier_time(p))).collect();
     let mut remaining = rows;
     let mut dts = vec![SimTime::ZERO; p];
+    // The elimination-flops ladder is a pure function of the round —
+    // precomputed once per batch and shared by every campaign.
+    let elims: Vec<f64> = (0..n.saturating_sub(1)).map(|i| elimination_flops(n - i)).collect();
     let mut rounds = 0..n.saturating_sub(1);
     // Round 0 runs generically: the scatter leaves rank clocks
     // unequal, so receivers genuinely race the pivot broadcast. Its
@@ -223,7 +232,7 @@ pub fn ge_closed_form_many<N: NetworkModel>(
         let owner = dist.owner(i);
         let bytes = ((n - i + 1) * 8) as u64;
         remaining[owner] -= 1;
-        let elim = elimination_flops(n - i);
+        let elim = elims[i];
         for (d, (&rem, &spd)) in dts.iter_mut().zip(remaining.iter().zip(speeds.iter())) {
             *d = SimTime::from_secs(rem as f64 * elim / spd);
         }
@@ -269,7 +278,7 @@ pub fn ge_closed_form_many<N: NetworkModel>(
         let owner = dist.owner(i);
         let bytes = ((n - i + 1) * 8) as u64;
         remaining[owner] -= 1;
-        let elim = elimination_flops(n - i);
+        let elim = elims[i];
         for (d, (&rem, &spd)) in dts.iter_mut().zip(remaining.iter().zip(speeds.iter())) {
             *d = SimTime::from_secs(rem as f64 * elim / spd);
         }
@@ -312,12 +321,13 @@ pub fn ge_closed_form_many<N: NetworkModel>(
 
     // Stage 3: gather to rank 0, then sequential back substitution.
     let backsub = SimTime::from_secs((n * n) as f64 / speeds[0]);
+    let gather_sizes = byte_sizes(&scatter_counts);
     networks
         .iter()
         .zip(campaigns)
         .map(|(net, cpn)| {
             let GeCampaign { mut clock, mut compute, mut comm, .. } = cpn;
-            gather_to(net, &mut clock, &mut comm, 0, &scatter_counts);
+            gather_to(net, &mut clock, &mut comm, 0, &gather_sizes);
             clock[0] += backsub;
             compute[0] += backsub;
             finish(clock, compute, comm)
@@ -352,7 +362,7 @@ pub fn mm_closed_form<N: NetworkModel>(
         clock[r] += dt;
         compute[r] += dt;
     }
-    gather_to(network, &mut clock, &mut comm, 0, &block_counts);
+    gather_to(network, &mut clock, &mut comm, 0, &byte_sizes(&block_counts));
 
     finish(clock, compute, comm)
 }
@@ -389,12 +399,13 @@ pub fn power_closed_form<N: NetworkModel>(
     // The allgather's closing broadcast carries `p` length headers plus
     // the packed gathered contributions.
     let packed = p + rows.iter().sum::<usize>();
+    let gather_sizes = byte_sizes(&rows);
     for _sweep in 0..iters {
         for r in 0..p {
             clock[r] += matvec[r];
             compute[r] += matvec[r];
         }
-        gather_to(network, &mut clock, &mut comm, 0, &rows);
+        gather_to(network, &mut clock, &mut comm, 0, &gather_sizes);
         bcast_from(network, &mut clock, &mut comm, 0, packed);
         for r in 0..p {
             clock[r] += normalize[r];
@@ -507,7 +518,7 @@ pub fn stencil_closed_form<N: NetworkModel>(
         }
     }
 
-    gather_to(network, &mut clock, &mut comm, 0, &block_counts);
+    gather_to(network, &mut clock, &mut comm, 0, &byte_sizes(&block_counts));
 
     finish(clock, compute, comm)
 }

@@ -15,7 +15,7 @@
 use crate::function::isospeed_efficiency_scalability;
 use crate::measure::Measurement;
 use numfit::series::Series;
-use numfit::{invert_monotone, FitError, FitReport};
+use numfit::{invert_monotone, polyfit, FitError, FitReport};
 use serde::{Deserialize, Serialize};
 
 /// One algorithm–system combination that can be measured at any problem
@@ -182,6 +182,36 @@ impl EfficiencyCurve {
             }
         }
         self.series.invert_linear(target)
+    }
+
+    /// Reads the required problem size for `target` efficiency off a
+    /// trend fitted in *reciprocal* coordinates, so the crossing may
+    /// lie beyond the sampled sizes.
+    ///
+    /// Communication-bound kernels (the paper's GE at mega scale)
+    /// cross low targets only at sizes far past anything affordable to
+    /// sample. [`EfficiencyCurve::required_n`] searches the sampled
+    /// range and reports `NoBracket` there; this variant instead fits
+    /// `1/E` against `x = n_min/n` — a degree-`degree` polynomial in a
+    /// coordinate where `n → ∞` compactifies to `x → 0` — and inverts
+    /// it for `1/target` over `x ∈ (0, 1]`, returning `n_min / x*`.
+    /// Efficiency rising in `n` means `1/E` rising in `x`, so the
+    /// bracket search sees a monotone trend; crossings *inside* the
+    /// sampled range agree with the direct inversion to fit accuracy.
+    /// A target below the trend's `x → 0` limit still reports
+    /// [`FitError::NoBracket`] — the curve never gets there.
+    pub fn required_n_extrapolated(&self, target: f64, degree: usize) -> Result<f64, FitError> {
+        let (lo, _) =
+            self.series.x_range().ok_or(FitError::InsufficientData { got: 0, need: 2 })?;
+        let xs: Vec<f64> = self.series.xs().iter().map(|&n| lo / n).collect();
+        let ys: Vec<f64> = self.series.ys().iter().map(|&e| 1.0 / e).collect();
+        let fit = polyfit(&xs, &ys, degree)?;
+        let x_star = invert_monotone(|x| fit.poly.eval(x), 0.0, 1.0, 1.0 / target, 1e-9)?;
+        if x_star <= 0.0 {
+            // The trend only *touches* the target in the n → ∞ limit.
+            return Err(FitError::NoBracket { lo: 0.0, hi: 1.0, target: 1.0 / target });
+        }
+        Ok(lo / x_star)
     }
 }
 
@@ -366,6 +396,42 @@ mod tests {
         let curve = EfficiencyCurve::measure(&alg, &[100, 400]);
         let n = curve.required_n(0.3, 3).unwrap();
         assert!(n > 100.0 && n < 400.0);
+    }
+
+    #[test]
+    fn extrapolated_inversion_reaches_past_the_sampled_range() {
+        // Same analytic crossing as `required_n_matches_analytic_inverse`
+        // (n* = 300 for these constants), but sampled entirely below it:
+        // the in-range inversion cannot bracket, the reciprocal-trend
+        // fit extrapolates to it. In reciprocal coordinates the model is
+        // exactly quadratic (1/E = 1 + (3kC/2)/n²), so the fit is tight.
+        let (c, k, target): (f64, f64, f64) = (1.4e8, 1e-3, 0.3);
+        let expected = (3.0 * target * k * c / (2.0 * (1.0 - target))).sqrt();
+        let alg = analytic_system(c, k, "a");
+        let curve = EfficiencyCurve::measure(&alg, &[50, 75, 100, 125, 150]);
+        assert!(curve.required_n(target, 3).is_err(), "crossing lies outside the samples");
+        let n = curve.required_n_extrapolated(target, 3).unwrap();
+        let rel = (n - expected).abs() / expected;
+        assert!(rel < 0.05, "n = {n}, expected = {expected}");
+    }
+
+    #[test]
+    fn extrapolated_inversion_agrees_with_direct_on_interior_crossings() {
+        let alg = analytic_system(1.4e8, 1e-3, "a");
+        let curve = EfficiencyCurve::measure(&alg, &sizes());
+        let direct = curve.required_n(0.3, 3).unwrap();
+        let extrapolated = curve.required_n_extrapolated(0.3, 3).unwrap();
+        let rel = (direct - extrapolated).abs() / direct;
+        assert!(rel < 0.05, "direct = {direct}, extrapolated = {extrapolated}");
+    }
+
+    #[test]
+    fn extrapolated_inversion_rejects_targets_past_the_limit() {
+        // E saturates at 1 from below; a target above the saturating
+        // limit is never crossed, extrapolation or not.
+        let alg = analytic_system(1.4e8, 1e-3, "a");
+        let curve = EfficiencyCurve::measure(&alg, &sizes());
+        assert!(matches!(curve.required_n_extrapolated(1.2, 3), Err(FitError::NoBracket { .. })));
     }
 
     #[test]

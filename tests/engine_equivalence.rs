@@ -16,7 +16,7 @@ use hetscale::hetsim_mpi::{
     OpKind, SpmdOutcome, SpmdTimer, Tag,
 };
 use hetscale::kernels::ge::ge_timed_body;
-use hetscale::kernels::mega::{mm_mega, power_mega};
+use hetscale::kernels::mega::{ge_mega, mm_mega, power_mega};
 use hetscale::kernels::mm::mm_timed_body;
 use hetscale::kernels::power::power_timed_body;
 use hetscale::kernels::stencil::stencil_timed_body;
@@ -313,7 +313,7 @@ proptest! {
 
     /// Three-way: the O(classes) aggregated evaluators against the
     /// per-rank event-driven engine against the threaded oracle, for
-    /// both mega kernel protocols × the class-structure extremes of
+    /// all three mega kernel protocols × the class-structure extremes of
     /// the HEET generator (one class, one class *per rank*, mixed
     /// tiers) × the classed network models. Makespans must be
     /// bit-identical on all three paths — the contract that lets the
@@ -326,7 +326,7 @@ proptest! {
         spread in 1.0f64..4.0,
         n in 1usize..48,
         iters in 0usize..4,
-        kernel in 0usize..2,
+        kernel in 0usize..3,
         net_choice in 0usize..3,
         cluster_kind in 0usize..3,
     ) {
@@ -350,11 +350,20 @@ proptest! {
             1 => &shared,
             _ => &latency,
         };
+        let cyclic = CyclicDistribution::fine(n, &speeds);
         let (aggregated, program, threaded) = if kernel == 0 {
             (
                 mm_mega(&cluster, &net, n).expect("classed network"),
                 record_spmd(&spec, |t| mm_timed_body(t, &block, n)),
                 run_spmd(&spec, &net, |r| mm_timed_body(r, &block, n)),
+            )
+        } else if kernel == 1 {
+            // The round-batched GE form replays the same fine cyclic
+            // deal the timed body partitions with.
+            (
+                ge_mega(&cluster, &net, n).expect("classed network"),
+                record_spmd(&spec, |t| ge_timed_body(t, &cyclic, n)),
+                run_spmd(&spec, &net, |r| ge_timed_body(r, &cyclic, n)),
             )
         } else {
             // `iters` may be 0: the scatter-only protocol the mega
